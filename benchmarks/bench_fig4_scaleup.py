@@ -1,0 +1,45 @@
+"""Fig. 4: scale-up — input grows with the degree of parallelism.
+
+The linguistic flow stays near the ideal (flat) line; the entity flow
+degrades sub-linearly at large DoPs and input sizes.
+"""
+
+from reporting import format_table, write_report
+
+from repro.dataflow.cluster import (
+    ENTITY_OPS, LINGUISTIC_OPS, PREPROCESSING_OPS, SimulatedCluster,
+)
+
+DOPS = [1, 2, 4, 8, 12, 16, 20, 24, 28]
+LING = PREPROCESSING_OPS + LINGUISTIC_OPS
+ENTITY = PREPROCESSING_OPS + ENTITY_OPS
+
+
+def test_fig4_scale_up(benchmark):
+    cluster = SimulatedCluster()
+    ling_reports = benchmark.pedantic(
+        lambda: cluster.scale_up(LING, 1.0, DOPS), rounds=1, iterations=1)
+    entity_reports = cluster.scale_up(ENTITY, 1.0, DOPS)
+    rows = []
+    for dop, ling, entity in zip(DOPS, ling_reports, entity_reports):
+        rows.append([
+            f"{dop}/{dop} GB", f"{ling.seconds:.0f} s",
+            f"{entity.seconds:.0f} s" if entity.feasible else "infeasible",
+        ])
+    lines = format_table(["DoP/input", "linguistic flow", "entity flow"],
+                         rows)
+    lines.append("")
+    lines.append("paper Fig 4: linguistic flow exhibits an almost ideal "
+                 "(flat) scale-up; entity flow scales sub-linearly for "
+                 "large DoPs and input sizes")
+    write_report("fig4_scaleup", "Fig. 4 — scale-up", lines)
+    # Ideal scale-up = flat curve. Linguistic: <40% drift over 28x.
+    assert ling_reports[-1].seconds < 1.4 * ling_reports[0].seconds
+    # Entity: grows (sub-linear scaling) but far less than input growth.
+    feasible = [r for r in entity_reports if r.feasible]
+    assert feasible[-1].seconds > 1.1 * feasible[0].seconds
+    assert feasible[-1].seconds < 3.0 * feasible[0].seconds
+    # Entity flow is the slower of the two everywhere.
+    for ling, entity in zip(ling_reports, entity_reports):
+        if entity.feasible:
+            assert entity.seconds > ling.seconds

@@ -1,0 +1,95 @@
+"""Fig. 6 + Section 4.3.1: linguistic properties of the four corpora —
+document lengths, sentence lengths, negation, pronouns, parentheses —
+with Mann-Whitney-Wilcoxon significance tests."""
+
+from reporting import format_table, write_report
+
+from repro.core.analysis import compare_corpora
+from repro.nlp.stats import mean
+
+ORDER = ("relevant", "irrelevant", "medline", "pmc")
+
+
+def test_fig6_linguistic_properties(ctx, stats, benchmark):
+    benchmark.pedantic(lambda: compare_corpora(stats["relevant"],
+                                               stats["medline"]),
+                       rounds=1, iterations=1)
+    rows = []
+    for name in ORDER:
+        corpus = stats[name]
+        rows.append([
+            name,
+            f"{corpus.mean_doc_chars:,.0f}",
+            f"{corpus.mean_sentence_tokens:.1f}",
+            f"{mean(corpus.negation_per_1000_chars()):.2f}",
+            f"{mean(corpus.coreference_pronouns_per_doc()):.1f}",
+            f"{mean(corpus.parentheses_per_doc):.1f}",
+        ])
+    lines = format_table(
+        ["corpus", "mean doc chars", "mean sent tokens",
+         "negation/1000 chars", "coref pronouns/doc", "parens/doc"],
+        rows)
+    lines.append("")
+    pair_lines = []
+    for a, b in (("relevant", "irrelevant"), ("relevant", "medline"),
+                 ("relevant", "pmc"), ("medline", "pmc")):
+        p_values = compare_corpora(stats[a], stats[b])
+        pair_lines.append(
+            f"MWW p-values {a} vs {b}: "
+            + ", ".join(f"{k}={v:.2g}" for k, v in p_values.items()))
+    lines.extend(pair_lines)
+    lines.append("")
+    lines.append("paper Fig 6: all pairwise differences significant at "
+                 "P < 0.01; doc length relevant > pmc > irrelevant > "
+                 "medline; sentence length pmc longest, abstracts short; "
+                 "negation pmc/irrelevant > relevant > medline")
+    write_report("fig6_linguistic", "Fig. 6 — linguistic properties",
+                 lines)
+
+    # Fig 6a ordering (document length).
+    doc_means = {name: stats[name].mean_doc_chars for name in ORDER}
+    assert doc_means["relevant"] > doc_means["pmc"] \
+        > doc_means["irrelevant"] > doc_means["medline"]
+    # Fig 6b ordering (sentence length).
+    sent_means = {name: stats[name].mean_sentence_tokens for name in ORDER}
+    assert sent_means["pmc"] > sent_means["relevant"] \
+        > sent_means["medline"] > sent_means["irrelevant"]
+    # Fig 6c ordering (negation, relative to document length).
+    neg = {name: mean(stats[name].negation_per_1000_chars())
+           for name in ORDER}
+    assert neg["relevant"] > neg["medline"]
+    assert neg["irrelevant"] > neg["relevant"]
+    # Significance: big pairs significant at P < 0.01.
+    p_values = compare_corpora(stats["relevant"], stats["medline"])
+    assert p_values["doc_length"] < 0.01
+    p_values = compare_corpora(stats["relevant"], stats["irrelevant"])
+    assert p_values["doc_length"] < 0.01
+
+
+def test_pronoun_and_parenthesis_incidence(stats, benchmark):
+    """Section 4.3.1 (data not shown in the paper's figures): PMC has
+    the highest incidence of coreference pronouns and parentheses;
+    parentheses lowest in irrelevant documents."""
+    benchmark.pedantic(
+        lambda: {name: mean(stats[name].parentheses_per_doc)
+                 for name in ORDER}, rounds=1, iterations=1)
+    paren_per_char = {
+        name: sum(stats[name].parentheses_per_doc)
+        / max(1, sum(stats[name].doc_lengths)) for name in ORDER}
+    pron_per_char = {
+        name: sum(stats[name].coreference_pronouns_per_doc())
+        / max(1, sum(stats[name].doc_lengths)) for name in ORDER}
+    lines = format_table(
+        ["corpus", "coref pronouns /1000 chars", "parens /1000 chars"],
+        [[name, f"{pron_per_char[name] * 1000:.2f}",
+          f"{paren_per_char[name] * 1000:.2f}"] for name in ORDER])
+    lines.append("")
+    lines.append("paper: coreference pronoun incidence significantly "
+                 "lower in web texts than PMC; parentheses highest in "
+                 "PMC, lowest in irrelevant documents")
+    write_report("fig6_pronouns_parens",
+                 "Section 4.3.1 — pronouns and parentheses", lines)
+    assert pron_per_char["pmc"] > pron_per_char["relevant"]
+    assert pron_per_char["pmc"] > pron_per_char["irrelevant"]
+    assert paren_per_char["pmc"] > paren_per_char["relevant"]
+    assert paren_per_char["relevant"] > paren_per_char["irrelevant"]

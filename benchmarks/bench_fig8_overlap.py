@@ -1,0 +1,80 @@
+"""Fig. 8 + Section 4.3.2: overlap of distinct entity names across the
+four corpora, and Jensen-Shannon divergences between their name
+distributions."""
+
+from reporting import format_table, write_report
+
+from repro.core.analysis import entity_overlap, jsd_between
+
+
+def test_fig8_annotation_overlap(stats, benchmark):
+    ordered = [stats[name] for name in ("relevant", "irrelevant",
+                                        "medline", "pmc")]
+    lines = []
+    overlaps = {}
+    for entity_type in ("disease", "drug", "gene"):
+        regions = benchmark.pedantic(
+            lambda et=entity_type: entity_overlap(ordered, et),
+            rounds=1, iterations=1) if entity_type == "disease" else \
+            entity_overlap(ordered, entity_type)
+        overlaps[entity_type] = regions
+        lines.append(f"--- {entity_type} (dictionary annotations) ---")
+        rows = [[" + ".join(members), f"{percent:.1f} %"]
+                for members, percent in sorted(regions.items(),
+                                               key=lambda kv: -kv[1])]
+        lines.extend(format_table(["corpora sharing the names", "share"],
+                                  rows))
+        lines.append("")
+    lines.append("paper Fig 8: relevant∩irrelevant overlap small "
+                 "(~15 % disease, ~30 % drug, ~17 % gene); "
+                 "relevant-vs-literature overlap considerably larger; "
+                 "thousands of names appear ONLY in relevant web "
+                 "documents")
+    write_report("fig8_overlap", "Fig. 8 — annotation overlap", lines)
+
+    for entity_type, regions in overlaps.items():
+        exclusive_relevant = regions.get(("relevant",), 0.0)
+        # The punchline: web-only names exist for every type.
+        assert exclusive_relevant > 0.0, entity_type
+        # And the literature contributes names the web lacks.
+        literature_only = sum(
+            percent for members, percent in regions.items()
+            if "relevant" not in members and "irrelevant" not in members)
+        assert literature_only > 0.0, entity_type
+
+
+def test_jsd_shape(stats, benchmark):
+    """Section 4.3.2: JSD(rel, irrel) > JSD(rel, medline) and
+    JSD(rel, pmc) — relevant documents are more similar to the
+    biomedical literature than to the rejected crawl."""
+    relevant = stats["relevant"]
+    irrelevant = stats["irrelevant"]
+    medline = stats["medline"]
+    pmc = stats["pmc"]
+    rows = []
+    shape_holds = 0
+    checks = 0
+    for entity_type in ("disease", "drug", "gene"):
+        rel_irrel = benchmark.pedantic(
+            lambda et=entity_type: jsd_between(relevant, irrelevant, et),
+            rounds=1, iterations=1) if entity_type == "disease" else \
+            jsd_between(relevant, irrelevant, entity_type)
+        rel_medl = jsd_between(relevant, medline, entity_type)
+        rel_pmc = jsd_between(relevant, pmc, entity_type)
+        rows.append([entity_type, f"{rel_irrel:.3f}", f"{rel_medl:.3f}",
+                     f"{rel_pmc:.3f}"])
+        checks += 2
+        shape_holds += (rel_irrel >= rel_medl - 0.05)
+        shape_holds += (rel_irrel >= rel_pmc - 0.05)
+    lines = format_table(
+        ["entity type", "JSD(rel,irrel)", "JSD(rel,medline)",
+         "JSD(rel,pmc)"], rows)
+    lines.append("")
+    lines.append("paper: 0.45<=JSD(rel,irrel)<=0.65 exceeds "
+                 "0.29<=JSD(rel,medl)<=0.36 and "
+                 "0.17<=JSD(rel,pmc)<=0.34 for every entity type")
+    write_report("jsd_table", "Section 4.3.2 — Jensen-Shannon "
+                 "divergences", lines)
+    # At reproduction scale the ordering must hold for a majority of
+    # the type/pair combinations (sampling noise allows one miss).
+    assert shape_holds >= checks - 2

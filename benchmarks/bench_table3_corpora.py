@@ -1,0 +1,36 @@
+"""Table 3: summary of the four analyzed data sets."""
+
+from reporting import format_table, write_report
+
+from repro.corpora.profiles import PROFILES
+
+
+def test_table3_corpus_summary(ctx, benchmark):
+    corpora = benchmark.pedantic(ctx.corpora, rounds=1, iterations=1)
+    rows = []
+    for name in ("relevant", "irrelevant", "medline", "pmc"):
+        documents = corpora[name]
+        total_chars = sum(len(d.text) for d in documents)
+        mean_chars = total_chars / len(documents)
+        paper = PROFILES[name].paper
+        rows.append([
+            name, f"{paper['size_gb']} GB", f"{paper['n_docs']:,}",
+            f"{paper['mean_chars']:,}", len(documents),
+            f"{total_chars / 1024:.0f} KB", f"{mean_chars:,.0f}",
+        ])
+    lines = format_table(
+        ["data set", "paper size", "paper #docs", "paper mean chars",
+         "repro #docs", "repro size", "repro mean chars"], rows)
+    lines.append("")
+    lines.append("repro scale preserves the orderings, not absolute "
+                 "sizes (see DESIGN.md substitutions)")
+    write_report("table3_corpora", "Table 3 — data set summary", lines)
+
+    means = {row[0]: float(str(row[6]).replace(",", "")) for row in rows}
+    # Paper ordering: relevant > pmc > irrelevant > medline.
+    assert means["relevant"] > means["pmc"] > means["irrelevant"] \
+        > means["medline"]
+    counts = {name: len(corpora[name]) for name in corpora}
+    # Medline has the most documents relative to its size, as in the
+    # paper (21M abstracts vs 250K full texts).
+    assert counts["medline"] > counts["pmc"]

@@ -1,0 +1,53 @@
+"""Table 4: number of distinct entity names by corpus and method."""
+
+from reporting import format_table, write_report
+
+PAPER_TABLE4 = {
+    ("relevant", "dictionary"): (26_344, 17_974, 73_435),
+    ("relevant", "ml"): (629_384, 28_660, 5_506_579),
+    ("irrelevant", "dictionary"): (5_318, 8_456, 22_131),
+    ("irrelevant", "ml"): (119_638, 15_875, 991_010),
+    ("medline", "dictionary"): (11_194, 12_164, 29_928),
+    ("medline", "ml"): (343_184, 20_282, 4_715_194),
+    ("pmc", "dictionary"): (12_291, 15_013, 92_319),
+    ("pmc", "ml"): (277_211, 25_462, 1_858_709),
+}
+
+
+def test_table4_distinct_names(ctx, stats, benchmark):
+    benchmark.pedantic(
+        lambda: stats["relevant"].distinct_names("gene", "ml"),
+        rounds=1, iterations=1)
+    rows = []
+    for corpus in ("relevant", "irrelevant", "medline", "pmc"):
+        for method in ("dictionary", "ml"):
+            paper = PAPER_TABLE4[(corpus, method)]
+            rows.append([
+                corpus, method,
+                f"{paper[0]:,}", stats[corpus].distinct_names("disease",
+                                                              method),
+                f"{paper[1]:,}", stats[corpus].distinct_names("drug",
+                                                              method),
+                f"{paper[2]:,}", stats[corpus].distinct_names("gene",
+                                                              method),
+            ])
+    lines = format_table(
+        ["corpus", "method", "paper dis", "repro dis", "paper drug",
+         "repro drug", "paper gene", "repro gene"], rows)
+    lines.append("")
+    lines.append("shape targets: ML > dictionary per corpus/type; "
+                 "relevant >> irrelevant for every type")
+    write_report("table4_entities", "Table 4 — distinct entity names",
+                 lines)
+
+    relevant, irrelevant = stats["relevant"], stats["irrelevant"]
+    # ML-based annotation produces substantially more distinct names
+    # (novel mentions + false positives) on the web corpus.
+    for entity_type in ("disease", "drug", "gene"):
+        assert relevant.distinct_names(entity_type, "ml") >= \
+            relevant.distinct_names(entity_type, "dictionary")
+    # Relevant corpus far richer than irrelevant for every type/method.
+    for entity_type in ("disease", "drug", "gene"):
+        for method in ("dictionary", "ml"):
+            assert relevant.distinct_names(entity_type, method) > \
+                irrelevant.distinct_names(entity_type, method)

@@ -1,0 +1,126 @@
+"""Section 4.2 "Processing the entire crawl — a war story".
+
+Reproduces the full failure cascade and its mitigations:
+
+1. complete colocated flow: OpenNLP 1.4/1.5 class-loader conflict;
+2. without the conflicting tagger: 60 GB/worker > 24 GB nodes;
+3. split flows (one linguistic + one per entity class): feasible, but
+   the 1.6 TB of derived annotations over HDFS congests the 1 GbE
+   network — timeout crashes;
+4. chunking the input into 50 GB pieces: completes, slower;
+5. gene recognition moved to the 1 TB-RAM server with 40 threads.
+"""
+
+from reporting import format_table, write_report
+
+from repro.dataflow.cluster import (
+    ClusterSpec, SimulatedCluster, complete_flow, split_flow_plan,
+)
+
+INPUT_GB = 1024.0  # the 1 TB crawl
+
+
+def test_warstory_cascade(benchmark):
+    cluster = SimulatedCluster()
+    rows = []
+
+    step1 = benchmark.pedantic(
+        lambda: cluster.run_flow(complete_flow(), INPUT_GB, 28,
+                                 colocated=True),
+        rounds=1, iterations=1)
+    rows.append(["1. complete flow, colocated", "FAILS",
+                 step1.reason[:58]])
+    assert not step1.feasible and "version conflict" in step1.reason
+
+    no_disease = [op for op in complete_flow()
+                  if op != "ml_disease_tagger"]
+    step2 = cluster.run_flow(no_disease, INPUT_GB, 28, colocated=True)
+    rows.append(["2. minus disease-ML, colocated", "FAILS",
+                 step2.reason[:58]])
+    assert not step2.feasible and "GB per worker" in step2.reason
+
+    crash_count = 0
+    for name, ops in split_flow_plan().items():
+        dop = cluster.max_feasible_dop(ops)
+        report = cluster.run_flow(ops, INPUT_GB, dop or 1,
+                                  colocated=False,
+                                  enforce_runtime_limit=False)
+        status = (f"{report.seconds / 3600:.1f} h"
+                  + (", CRASHES (network timeouts)" if report.crashed
+                     else ""))
+        rows.append([f"3. split flow '{name}' @ DoP {dop}",
+                     "runs" if not report.crashed else "CRASHES", status])
+        crash_count += report.crashed
+    assert crash_count >= 1, "expected timeout crashes on whole input"
+
+    chunk_rows = []
+    for name, ops in split_flow_plan().items():
+        if name == "gene":
+            continue  # handled on the big-memory server below
+        dop = cluster.max_feasible_dop(ops)
+        report = cluster.run_flow(ops, INPUT_GB, dop or 1,
+                                  colocated=False,
+                                  enforce_runtime_limit=False,
+                                  chunk_gb=50)
+        assert report.feasible and not report.crashed, name
+        chunk_rows.append([f"4. '{name}' in 50 GB chunks", "runs",
+                           f"{report.seconds / 3600:.1f} h"])
+    rows.extend(chunk_rows)
+
+    big = SimulatedCluster(ClusterSpec().big_memory_variant())
+    step5 = big.run_flow(split_flow_plan()["gene"], INPUT_GB, 40,
+                         colocated=False, enforce_runtime_limit=False,
+                         chunk_gb=50)
+    rows.append(["5. gene on 1 TB-RAM server, 40 threads",
+                 "runs" if step5.feasible and not step5.crashed else "FAILS",
+                 f"{step5.seconds / 3600:.1f} h"])
+    assert step5.feasible and not step5.crashed
+
+    lines = format_table(["step", "outcome", "detail"], rows)
+    lines.append("")
+    lines.append("paper: 'we could not execute the complete flow on the "
+                 "available hardware' — memory scheduling, library "
+                 "versioning, and network pressure from 1.6 TB of "
+                 "derived annotations forced flow splitting, 50 GB "
+                 "chunking, and a big-memory side server")
+    write_report("warstory", "Section 4.2 — war story", lines)
+
+
+def test_annotation_blowup(ctx, benchmark):
+    """The data *grows* through the pipeline (1 TB -> +1.6 TB derived):
+    measure the same blow-up on real flow output records."""
+    import json
+
+    from repro.core.flows import build_fig2_flow
+    from repro.dataflow.executor import LocalExecutor
+    from repro.web.htmlgen import PageRenderer
+
+    renderer = PageRenderer(seed=13)
+    documents = []
+    for index, document in enumerate(ctx.corpus_documents("relevant")[:6]):
+        url = f"http://blowup{index}.example.org/a.html"
+        document.raw = renderer.render(url, "t", document.text, [])
+        document.meta.update({"url": url, "content_type": "text/html"})
+        documents.append(document)
+    input_bytes = sum(len(d.raw) for d in documents)
+    plan = build_fig2_flow(ctx.pipeline)
+    outputs, _ = benchmark.pedantic(
+        lambda: LocalExecutor().execute(
+            plan, [d.copy_shallow() for d in documents]),
+        rounds=1, iterations=1)
+    derived_bytes = sum(
+        len(json.dumps(record)) for sink in ("sentences", "linguistics",
+                                             "entities")
+        for record in outputs[sink])
+    ratio = derived_bytes / input_bytes
+    lines = [
+        f"raw input:            {input_bytes:,} bytes",
+        f"derived annotations:  {derived_bytes:,} bytes",
+        f"blow-up ratio:        {ratio:.2f}x",
+        "paper: 1 TB raw -> 1.6 TB derived (0.4 TB entity + 1.2 TB "
+        "linguistic annotations); latter tasks receive *more* data, "
+        "not less — the inverse of typical Big Data aggregation",
+    ]
+    write_report("annotation_blowup",
+                 "Section 4.2 — annotation blow-up", lines)
+    assert ratio > 0.5

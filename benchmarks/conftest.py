@@ -1,0 +1,25 @@
+"""Benchmark fixtures: a shared reproduction context at bench scale.
+
+Benchmarks both *time* the relevant kernels (pytest-benchmark) and
+*regenerate* the paper's tables/figures, writing each as a text report
+under ``benchmarks/out/`` and asserting the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import default_context
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """Bench-scale context: larger corpora than the unit-test one."""
+    return default_context(corpus_docs=30, n_training_docs=50,
+                           crf_iterations=40, n_hosts=70,
+                           crawl_pages=1200, seed_scale=15)
+
+
+@pytest.fixture(scope="session")
+def stats(ctx):
+    return ctx.corpus_stats()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Aggregate benchmarks/out/*.txt into one experiment digest.
+
+Run after ``pytest benchmarks/ --benchmark-only``:
+
+    python benchmarks/make_report.py [output.md]
+
+Produces a single markdown file with every regenerated table/figure in
+paper order, ready to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: Paper order; reports not listed here are appended alphabetically.
+ORDER = [
+    ("Section 2.2 / Table 1", ["table1_seeds", "seed_rounds"]),
+    ("Section 4.1 — crawl", ["crawl_quality", "link_topology"]),
+    ("Section 4.1 — classifier", ["classifier_cv", "classifier_sample"]),
+    ("Section 4.1 — boilerplate", ["boilerplate_gold",
+                                   "boilerplate_crawl"]),
+    ("Table 2", ["table2_pagerank"]),
+    ("Table 3", ["table3_corpora"]),
+    ("Fig. 3 / Section 4.2 runtimes", [
+        "fig3a_pos_runtime", "fig3b_ner_runtime", "fig3b_quadratic",
+        "component_shares", "dictionary_scaling", "tool_quality"]),
+    ("Fig. 4", ["fig4_scaleup"]),
+    ("Fig. 5", ["fig5_scaleout"]),
+    ("Section 4.2 war story", ["warstory", "annotation_blowup"]),
+    ("Fig. 6 / Section 4.3.1", ["fig6_linguistic",
+                                "fig6_pronouns_parens"]),
+    ("Table 4", ["table4_entities"]),
+    ("Fig. 7", ["fig7_incidence", "fig7_tla_filter", "fig7_tla_flood"]),
+    ("Fig. 8 / Section 4.3.2", ["fig8_overlap", "jsd_table"]),
+    ("Ablations", ["ablation_threshold", "ablation_follow_irrelevant",
+                   "ablation_optimizer", "ablation_fuzzy_dict",
+                   "ablation_chunks", "ablation_online_learning"]),
+    ("Section 5 extensions", ["ext_consolidated", "ext_two_phase",
+                              "ext_sentence_limit", "mime_detection",
+                              "classifier_comparison"]),
+]
+
+
+def build_digest() -> str:
+    if not OUT_DIR.is_dir():
+        raise SystemExit("benchmarks/out/ not found — run "
+                         "`pytest benchmarks/ --benchmark-only` first")
+    available = {path.stem: path for path in OUT_DIR.glob("*.txt")}
+    used: set[str] = set()
+    sections: list[str] = [
+        "# Experiment digest",
+        "",
+        "Generated from `benchmarks/out/` by `benchmarks/make_report.py`.",
+        "",
+    ]
+    for heading, names in ORDER:
+        present = [name for name in names if name in available]
+        if not present:
+            continue
+        sections.append(f"## {heading}\n")
+        for name in present:
+            used.add(name)
+            sections.append("```")
+            sections.append(available[name].read_text().rstrip())
+            sections.append("```\n")
+    leftovers = sorted(set(available) - used)
+    if leftovers:
+        sections.append("## Other reports\n")
+        for name in leftovers:
+            sections.append("```")
+            sections.append(available[name].read_text().rstrip())
+            sections.append("```\n")
+    return "\n".join(sections) + "\n"
+
+
+def main(argv: list[str]) -> int:
+    target = Path(argv[1]) if len(argv) > 1 \
+        else OUT_DIR.parent / "EXPERIMENT_DIGEST.md"
+    target.write_text(build_digest())
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

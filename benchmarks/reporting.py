@@ -1,0 +1,39 @@
+"""Report writing for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures and
+records a paper-vs-measured report under ``benchmarks/out/`` — the raw
+material for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_report(name: str, title: str, lines: list[str]) -> Path:
+    """Write (and echo) one experiment report."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    content = "\n".join([f"== {title} ==", *lines, ""])
+    path.write_text(content)
+    print(f"\n{content}")
+    return path
+
+
+def format_table(headers: list[str], rows: list[list[object]],
+                 widths: list[int] | None = None) -> list[str]:
+    """Fixed-width text table."""
+    if widths is None:
+        widths = []
+        for column, header in enumerate(headers):
+            cells = [str(row[column]) for row in rows]
+            widths.append(max(len(header), *(len(c) for c in cells))
+                          if cells else len(header))
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    return lines

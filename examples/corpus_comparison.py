@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""The paper's Section 4.3 content analysis: compare the "web view" of
+biomedicine (relevant/irrelevant crawl corpora) against the scientific
+literature (Medline abstracts, PMC full texts).
+
+Run:  python examples/corpus_comparison.py
+"""
+
+from repro.core import default_context
+from repro.core.analysis import (
+    compare_corpora, entity_overlap, jsd_between,
+)
+from repro.nlp.stats import mean
+
+ORDER = ("relevant", "irrelevant", "medline", "pmc")
+
+
+def main() -> None:
+    ctx = default_context(corpus_docs=20, n_training_docs=40,
+                          crf_iterations=30, n_hosts=40, crawl_pages=300)
+    print("Analyzing the four corpora (linguistics + six entity "
+          "taggers)...")
+    stats = ctx.corpus_stats()
+
+    print("\n-- linguistic properties (Fig. 6) ---------------------------")
+    header = (f"{'corpus':<11} {'docs':>5} {'mean chars':>11} "
+              f"{'sent tokens':>12} {'neg/1000c':>10} {'parens/doc':>11}")
+    print(header)
+    for name in ORDER:
+        corpus = stats[name]
+        print(f"{name:<11} {corpus.n_docs:>5} "
+              f"{corpus.mean_doc_chars:>11,.0f} "
+              f"{corpus.mean_sentence_tokens:>12.1f} "
+              f"{mean(corpus.negation_per_1000_chars()):>10.2f} "
+              f"{mean(corpus.parentheses_per_doc):>11.1f}")
+
+    print("\n-- significance (Mann-Whitney-Wilcoxon) ---------------------")
+    for a, b in (("relevant", "medline"), ("relevant", "irrelevant")):
+        p_values = compare_corpora(stats[a], stats[b])
+        formatted = ", ".join(f"{k}: P={v:.2g}"
+                              for k, v in p_values.items())
+        print(f"{a} vs {b}: {formatted}")
+
+    print("\n-- entity statistics (Table 4 / Fig. 7) ---------------------")
+    for entity_type in ("disease", "drug", "gene"):
+        print(f"{entity_type}:")
+        for name in ORDER:
+            corpus = stats[name]
+            print(f"  {name:<11} dictionary {corpus.distinct_names(entity_type, 'dictionary'):>5} "
+                  f"distinct | ML {corpus.distinct_names(entity_type, 'ml'):>5} distinct "
+                  f"| {corpus.per_1000_sentences(entity_type):>7.1f} "
+                  f"mentions/1000 sentences")
+
+    print("\n-- name overlap across corpora (Fig. 8, drug names) ---------")
+    regions = entity_overlap([stats[name] for name in ORDER], "drug")
+    for members, percent in sorted(regions.items(), key=lambda kv: -kv[1]):
+        print(f"  {' + '.join(members):<42} {percent:5.1f} %")
+
+    print("\n-- Jensen-Shannon divergences (Section 4.3.2) ---------------")
+    rel = stats["relevant"]
+    for other in ("irrelevant", "medline", "pmc"):
+        values = [jsd_between(rel, stats[other], et)
+                  for et in ("disease", "drug", "gene")]
+        print(f"  relevant vs {other:<11} "
+              + "  ".join(f"{et}={v:.3f}" for et, v in
+                          zip(("disease", "drug", "gene"), values)))
+    print("\npaper: JSD(rel,irrel) > JSD(rel,medline) > JSD(rel,pmc) — "
+          "the relevant crawl is biomedical literature's nearest "
+          "neighbour, yet contributes names the literature lacks.")
+
+
+if __name__ == "__main__":
+    main()

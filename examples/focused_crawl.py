@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Focused crawling end to end: seed generation, both seed rounds,
+harvest-rate monitoring, and the PageRank domain ranking (Table 2).
+
+Run:  python examples/focused_crawl.py
+"""
+
+from repro.classify.naive_bayes import NaiveBayesClassifier
+from repro.core import default_context
+from repro.corpora.goldstandard import build_classifier_gold
+from repro.crawler.crawl import CrawlConfig, FocusedCrawler
+from repro.crawler.pagerank import top_ranked
+from repro.crawler.search import build_search_engines
+from repro.crawler.seeds import SeedGenerator
+
+
+def main() -> None:
+    ctx = default_context(corpus_docs=10, n_training_docs=30,
+                          crf_iterations=25, n_hosts=60, crawl_pages=800)
+    graph = ctx.webgraph
+
+    print("-- seed generation (Table 1 / Section 2.2) -----------------")
+    engines = build_search_engines(graph)
+    generator = SeedGenerator(engines, ctx.vocabulary)
+    first = generator.first_round(scale=20)
+    second = generator.second_round(scale=20)
+    for label, batch in (("round 1 (subset)", first),
+                         ("round 2 (full)", second)):
+        terms = sum(len(t) for t in batch.terms_by_category.values())
+        print(f"{label}: {terms} keywords -> {batch.queries_issued} "
+              f"queries -> {batch.n_seeds} seed URLs")
+    for category, count, examples in second.table1_rows():
+        print(f"  {category:<8} {count:>4} terms   e.g. {examples}")
+
+    print("\n-- crawling both seed rounds -------------------------------")
+    classifier = NaiveBayesClassifier(decision_threshold=0.9).fit(
+        build_classifier_gold(ctx.vocabulary, 100))
+    for label, batch in (("round 1", first), ("round 2", second)):
+        crawler = FocusedCrawler(ctx.web, classifier,
+                                 ctx.build_filter_chain(),
+                                 CrawlConfig(max_pages=3000))
+        result = crawler.crawl(batch.urls)
+        print(f"{label}: fetched {result.pages_fetched:>5}, relevant "
+              f"{len(result.relevant):>4}, harvest "
+              f"{result.harvest_rate:.0%}, rate "
+              f"{result.download_rate:.1f} docs/s, "
+              f"stopped: {result.stop_reason}")
+        if label == "round 2":
+            attrition = result.filter_attrition
+            print(f"  filter attrition: MIME {attrition['mime']:.1%}, "
+                  f"language {attrition['language']:.1%}, "
+                  f"length {attrition['length']:.1%} "
+                  f"(paper: 9.5 % / 14 % / 17 %)")
+            print("\n-- top domains by PageRank (Table 2) ---------------")
+            for rank, (domain, score) in enumerate(
+                    top_ranked(result.linkdb.domain_graph(), k=15), 1):
+                print(f"  {rank:>2}. {domain:<34} {score:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Scalability study on the simulated cluster: Figs. 4-5 plus the
+Section 4.2 war story with its mitigations.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro.dataflow.cluster import (
+    ENTITY_OPS, LINGUISTIC_OPS, PREPROCESSING_OPS, ClusterSpec,
+    SimulatedCluster, complete_flow, split_flow_plan,
+)
+
+LING = PREPROCESSING_OPS + LINGUISTIC_OPS
+ENTITY = PREPROCESSING_OPS + ENTITY_OPS
+
+
+def main() -> None:
+    cluster = SimulatedCluster()
+    print("cluster: 28 nodes x 6 cores x 24 GB, 1 GbE, HDFS repl. 3\n")
+
+    print("-- Fig. 5: scale-out (20 GB sample) ------------------------")
+    print(f"{'DoP':>4}  {'linguistic':>12}  {'entity':>30}")
+    for dop in (1, 2, 4, 8, 12, 16, 20, 24, 28, 56, 84, 140, 156):
+        ling = cluster.run_flow(LING, 20, dop, colocated=False)
+        entity = cluster.run_flow(ENTITY, 20, dop, colocated=False)
+        entity_cell = (f"{entity.seconds:8.0f} s" if entity.feasible
+                       else entity.reason[:30])
+        print(f"{dop:>4}  {ling.seconds:>10.0f} s  {entity_cell:>30}")
+
+    print("\n-- Fig. 4: scale-up (1 GB per DoP unit) --------------------")
+    print(f"{'DoP/GB':>7}  {'linguistic':>12}  {'entity':>12}")
+    for dop in (1, 4, 8, 16, 28):
+        ling = cluster.run_flow(LING, dop, dop, colocated=False)
+        entity = cluster.run_flow(ENTITY, dop, dop, colocated=False)
+        print(f"{dop:>3}/{dop:<3}  {ling.seconds:>10.0f} s  "
+              f"{entity.seconds:>10.0f} s")
+
+    print("\n-- war story: processing the full 1 TB crawl ---------------")
+    report = cluster.run_flow(complete_flow(), 1024, 28, colocated=True)
+    print(f"1. complete colocated flow: {report.reason}")
+    no_disease = [op for op in complete_flow()
+                  if op != "ml_disease_tagger"]
+    report = cluster.run_flow(no_disease, 1024, 28, colocated=True)
+    print(f"2. minus disease-ML:        {report.reason}")
+    print("3. split flows on the whole input:")
+    for name, ops in split_flow_plan().items():
+        dop = cluster.max_feasible_dop(ops)
+        report = cluster.run_flow(ops, 1024, dop or 1, colocated=False,
+                                  enforce_runtime_limit=False)
+        status = (f"{report.seconds / 3600:5.1f} h"
+                  + ("  ** CRASHES: " + report.crash_reason[:50]
+                     if report.crashed else ""))
+        print(f"   {name:<11} DoP {dop:>3}: {status}")
+    print("4. with 50 GB chunking:")
+    for name, ops in split_flow_plan().items():
+        if name == "gene":
+            continue
+        dop = cluster.max_feasible_dop(ops)
+        report = cluster.run_flow(ops, 1024, dop or 1, colocated=False,
+                                  enforce_runtime_limit=False,
+                                  chunk_gb=50)
+        print(f"   {name:<11} DoP {dop:>3}: {report.seconds / 3600:5.1f} h"
+              f"  crashed={report.crashed}")
+    big = SimulatedCluster(ClusterSpec().big_memory_variant())
+    report = big.run_flow(split_flow_plan()["gene"], 1024, 40,
+                          colocated=False, enforce_runtime_limit=False,
+                          chunk_gb=50)
+    print(f"5. gene flow on the 1 TB-RAM server (40 threads): "
+          f"{report.seconds / 3600:.1f} h, crashed={report.crashed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Text classification for crawl focusing.
+
+Bag-of-words features and a multinomial Naïve Bayes classifier — the
+paper's choice for relevance classification during focused crawling,
+picked for its robustness to class imbalance and its support for
+incremental model updates (Section 2.1).
+"""
+
+from repro.classify.features import BagOfWords
+from repro.classify.naive_bayes import NaiveBayesClassifier
+from repro.classify.logistic import LogisticTextClassifier
+from repro.classify.evaluation import (
+    precision_recall, cross_validate, ClassificationReport,
+)
+
+__all__ = [
+    "BagOfWords",
+    "NaiveBayesClassifier",
+    "LogisticTextClassifier",
+    "precision_recall",
+    "cross_validate",
+    "ClassificationReport",
+]

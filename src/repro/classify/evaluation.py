@@ -1,0 +1,110 @@
+"""Classifier evaluation: precision/recall and k-fold cross-validation.
+
+Mirrors the paper's methodology: 10-fold cross-validation on the
+training corpus (reported at P=98 % / R=83 %) and spot-checks on a
+small manually-judged crawl sample (P=94 % / R=90 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, Sequence
+
+
+class _Classifier(Protocol):
+    def fit(self, examples: list[tuple[str, bool]]) -> object: ...
+    def predict(self, text: str) -> bool: ...
+
+
+@dataclass
+class ClassificationReport:
+    """Binary classification outcome counts with derived metrics."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    true_negatives: int = 0
+    false_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        total = (self.true_positives + self.false_positives
+                 + self.true_negatives + self.false_negatives)
+        correct = self.true_positives + self.true_negatives
+        return correct / total if total else 0.0
+
+    def add(self, predicted: bool, actual: bool) -> None:
+        if predicted and actual:
+            self.true_positives += 1
+        elif predicted and not actual:
+            self.false_positives += 1
+        elif not predicted and actual:
+            self.false_negatives += 1
+        else:
+            self.true_negatives += 1
+
+
+def precision_recall(predictions: Sequence[bool],
+                     labels: Sequence[bool]) -> ClassificationReport:
+    """Build a report from parallel prediction/label sequences."""
+    if len(predictions) != len(labels):
+        raise ValueError("predictions and labels differ in length")
+    report = ClassificationReport()
+    for predicted, actual in zip(predictions, labels):
+        report.add(predicted, actual)
+    return report
+
+
+def cross_validate(factory: Callable[[], _Classifier],
+                   examples: Sequence[tuple[str, bool]],
+                   folds: int = 10) -> list[ClassificationReport]:
+    """Stratified k-fold cross-validation; returns one report per fold.
+
+    Examples are assigned to folds round-robin *within each class*, so
+    every fold's test set preserves the class balance regardless of
+    the input ordering.
+    """
+    if folds < 2:
+        raise ValueError("need at least 2 folds")
+    if len(examples) < folds:
+        raise ValueError("fewer examples than folds")
+    assignments: list[int] = []
+    per_class_counter = {True: 0, False: 0}
+    for _text, label in examples:
+        assignments.append(per_class_counter[label] % folds)
+        per_class_counter[label] += 1
+    reports = []
+    for fold in range(folds):
+        train = [ex for ex, f in zip(examples, assignments) if f != fold]
+        test = [ex for ex, f in zip(examples, assignments) if f == fold]
+        model = factory()
+        model.fit(train)
+        report = ClassificationReport()
+        for text, label in test:
+            report.add(model.predict(text), label)
+        reports.append(report)
+    return reports
+
+
+def mean_precision_recall(
+        reports: Sequence[ClassificationReport]) -> tuple[float, float]:
+    """Mean precision and recall over folds."""
+    if not reports:
+        return 0.0, 0.0
+    precision = sum(r.precision for r in reports) / len(reports)
+    recall = sum(r.recall for r in reports) / len(reports)
+    return precision, recall

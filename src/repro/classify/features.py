@@ -1,0 +1,41 @@
+"""Bag-of-words feature extraction."""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+_WORD_RE = re.compile(r"[a-zA-Z][a-zA-Z0-9'-]+")
+
+#: A compact English stopword list; stopwords carry no topical signal
+#: and inflate the vocabulary.
+STOPWORDS = frozenset("""
+a an and are as at be but by for from has have in is it its of on or
+that the this to was were will with not no nor neither which who whom
+these those they them their we our you your he she his her
+""".split())
+
+
+class BagOfWords:
+    """Tokenizes text into a lower-cased word-count vector.
+
+    ``min_length`` drops very short tokens; ``use_stopwords`` filters
+    the embedded stopword list (recommended for topical
+    classification).
+    """
+
+    def __init__(self, min_length: int = 2,
+                 use_stopwords: bool = True) -> None:
+        self.min_length = min_length
+        self.use_stopwords = use_stopwords
+
+    def vector(self, text: str) -> Counter:
+        counts: Counter = Counter()
+        for match in _WORD_RE.finditer(text.lower()):
+            word = match.group()
+            if len(word) < self.min_length:
+                continue
+            if self.use_stopwords and word in STOPWORDS:
+                continue
+            counts[word] += 1
+        return counts

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Subcommands cover the main workflows:
+
+* ``repro crawl``       — run a focused crawl on the synthetic web;
+* ``repro analyze``     — run the content analysis on the four corpora;
+* ``repro scalability`` — the simulated-cluster sweeps (Figs. 4-5);
+* ``repro seeds``       — seed generation statistics (Table 1);
+* ``repro facts``       — crawl, extract, and export a fact database.
+
+All commands are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Domain-Specific Information "
+                    "Extraction at Web Scale' (SIGMOD 2016)")
+    parser.add_argument("--seed", type=int, default=19,
+                        help="base random seed (default 19)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    crawl = subparsers.add_parser("crawl", help="run a focused crawl")
+    crawl.add_argument("--pages", type=int, default=600,
+                       help="fetch budget (default 600)")
+    crawl.add_argument("--hosts", type=int, default=50,
+                       help="synthetic web hosts (default 50)")
+    crawl.add_argument("--follow-irrelevant", type=int, default=0,
+                       help="steps to follow links of irrelevant pages")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="content analysis of the four corpora")
+    analyze.add_argument("--docs", type=int, default=12,
+                         help="documents per corpus (default 12)")
+
+    subparsers.add_parser("scalability",
+                          help="simulated-cluster scale-out/up sweeps")
+
+    seeds = subparsers.add_parser("seeds", help="seed generation stats")
+    seeds.add_argument("--scale", type=int, default=20,
+                       help="term-count down-scale factor (default 20)")
+
+    facts = subparsers.add_parser(
+        "facts", help="crawl, extract entities/relations, export JSONL")
+    facts.add_argument("--out", default="facts",
+                       help="output directory (default ./facts)")
+    facts.add_argument("--pages", type=int, default=400)
+    return parser
+
+
+def _context(args, **overrides):
+    from repro.core.experiment import default_context
+
+    return default_context(seed=args.seed, n_training_docs=30,
+                           crf_iterations=25, **overrides)
+
+
+def cmd_crawl(args) -> int:
+    ctx = _context(args, n_hosts=args.hosts, crawl_pages=args.pages)
+    result = ctx.run_crawl(max_pages=args.pages,
+                           follow_irrelevant_steps=args.follow_irrelevant)
+    print(f"fetched {result.pages_fetched} pages in "
+          f"{result.clock_seconds:.0f} simulated seconds "
+          f"({result.download_rate:.1f} docs/s)")
+    print(f"relevant {len(result.relevant)} | irrelevant "
+          f"{len(result.irrelevant)} | harvest {result.harvest_rate:.0%}")
+    attrition = result.filter_attrition
+    print(f"filter attrition: mime {attrition['mime']:.1%}, language "
+          f"{attrition['language']:.1%}, length {attrition['length']:.1%}")
+    print(f"stop reason: {result.stop_reason}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    ctx = _context(args, corpus_docs=args.docs)
+    stats = ctx.corpus_stats()
+    header = (f"{'corpus':<11} {'docs':>5} {'mean chars':>11} "
+              f"{'sent tokens':>12} {'dict names':>11} {'ml names':>9}")
+    print(header)
+    for name in ("relevant", "irrelevant", "medline", "pmc"):
+        corpus = stats[name]
+        dictionary = sum(corpus.distinct_names(t, "dictionary")
+                         for t in ("disease", "drug", "gene"))
+        ml = sum(corpus.distinct_names(t, "ml")
+                 for t in ("disease", "drug", "gene"))
+        print(f"{name:<11} {corpus.n_docs:>5} "
+              f"{corpus.mean_doc_chars:>11,.0f} "
+              f"{corpus.mean_sentence_tokens:>12.1f} "
+              f"{dictionary:>11} {ml:>9}")
+    return 0
+
+
+def cmd_scalability(_args) -> int:
+    from repro.dataflow.cluster import (
+        ENTITY_OPS, LINGUISTIC_OPS, PREPROCESSING_OPS, SimulatedCluster,
+    )
+
+    cluster = SimulatedCluster()
+    ling = PREPROCESSING_OPS + LINGUISTIC_OPS
+    entity = PREPROCESSING_OPS + ENTITY_OPS
+    print(f"{'DoP':>4} {'linguistic':>12} {'entity':>12}")
+    for dop in (1, 4, 8, 16, 28):
+        ling_report = cluster.run_flow(ling, 20, dop, colocated=False)
+        entity_report = cluster.run_flow(entity, 20, dop, colocated=False)
+        entity_cell = (f"{entity_report.seconds:>10.0f} s"
+                       if entity_report.feasible else "infeasible")
+        print(f"{dop:>4} {ling_report.seconds:>10.0f} s {entity_cell:>12}")
+    return 0
+
+
+def cmd_seeds(args) -> int:
+    from repro.crawler.search import build_search_engines
+    from repro.crawler.seeds import SeedGenerator
+
+    ctx = _context(args)
+    generator = SeedGenerator(build_search_engines(ctx.webgraph),
+                              ctx.vocabulary)
+    batch = generator.second_round(scale=args.scale)
+    for category, count, examples in batch.table1_rows():
+        print(f"{category:<8} {count:>5} terms   e.g. {examples}")
+    print(f"{batch.queries_issued} queries -> {batch.n_seeds} seed URLs")
+    return 0
+
+
+def cmd_facts(args) -> int:
+    from repro.io import FactDatabase
+    from repro.ner.relations import RelationExtractor, relations_to_records
+
+    ctx = _context(args, crawl_pages=args.pages)
+    result = ctx.run_crawl(max_pages=args.pages)
+    database = FactDatabase()
+    extractor = RelationExtractor()
+    for document in result.relevant:
+        copy = document.copy_shallow()
+        ctx.pipeline.analyze(copy)
+        database.add_document(copy)
+        database.add_relations(
+            relations_to_records(extractor.extract(copy)))
+    paths = database.export(args.out)
+    print(f"analyzed {len(result.relevant)} relevant documents")
+    print(f"entity mentions: {len(database.entity_records)} "
+          f"({database.n_distinct_names} distinct names)")
+    print(f"relations: {len(database.relation_records)}")
+    for artifact, path in paths.items():
+        print(f"wrote {artifact}: {path}")
+    return 0
+
+
+_COMMANDS = {
+    "crawl": cmd_crawl,
+    "analyze": cmd_analyze,
+    "scalability": cmd_scalability,
+    "seeds": cmd_seeds,
+    "facts": cmd_facts,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+"""Bundled text-analytics pipeline.
+
+One object holding every trained tool the flows need — the Python
+equivalent of the paper's "wrapped best-of-breed tools".  Building a
+pipeline trains the HMM POS tagger and the three CRF entity taggers on
+Medline-profile gold (the only training data available, as in the
+paper) and constructs the three fuzzy dictionaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.annotations import Document
+from repro.classify.naive_bayes import NaiveBayesClassifier
+from repro.corpora.goldstandard import build_classifier_gold, build_ner_gold
+from repro.corpora.profiles import MEDLINE
+from repro.corpora.vocabulary import BiomedicalVocabulary
+from repro.html.boilerplate import BoilerplateDetector
+from repro.ner.dictionary import DictionaryTagger
+from repro.ner.taggers import (
+    ENTITY_TYPES, MlEntityTagger, build_dictionary_taggers, build_ml_taggers,
+)
+from repro.nlp.language import LanguageIdentifier, default_identifier
+from repro.nlp.linguistics import LinguisticAnalyzer
+from repro.nlp.pos_hmm import HmmPosTagger
+from repro.nlp.sentence import SentenceSplitter
+from repro.nlp.tokenize import tokenize
+
+
+@dataclass
+class TextAnalyticsPipeline:
+    """All tools, trained and ready."""
+
+    vocabulary: BiomedicalVocabulary
+    classifier: NaiveBayesClassifier
+    identifier: LanguageIdentifier
+    splitter: SentenceSplitter
+    pos_tagger: HmmPosTagger
+    dictionary_taggers: dict[str, DictionaryTagger]
+    ml_taggers: dict[str, MlEntityTagger]
+    boilerplate: BoilerplateDetector = field(default_factory=BoilerplateDetector)
+    linguistics: LinguisticAnalyzer = field(default_factory=LinguisticAnalyzer)
+
+    @classmethod
+    def build(cls, vocabulary: BiomedicalVocabulary | None = None,
+              seed: int = 19, n_training_docs: int = 60,
+              n_classifier_docs: int = 100, crf_iterations: int = 40,
+              gene_quadratic_context: bool = False,
+              ) -> "TextAnalyticsPipeline":
+        """Train everything from synthetic gold.
+
+        ``gene_quadratic_context=True`` enables the BANNER-style heavy
+        feature set (slow; used by the runtime benchmarks).
+        """
+        import dataclasses
+
+        vocabulary = vocabulary or BiomedicalVocabulary(seed=seed)
+        # NER gold corpora (BioCreative-style) are entity-dense
+        # annotated selections, not raw abstracts: boost the mention
+        # rates of the Medline profile for training only.
+        training_profile = dataclasses.replace(
+            MEDLINE,
+            disease_per_1000_sentences=600.0,
+            drug_per_1000_sentences=600.0,
+            gene_per_1000_sentences=800.0)
+        training = build_ner_gold(vocabulary, training_profile,
+                                  n_training_docs, seed=seed + 1)
+        pos_tagger = HmmPosTagger()
+        pos_tagger.train(sentence for gold in training
+                         for sentence in gold.tagged_sentences())
+        classifier = NaiveBayesClassifier(decision_threshold=0.9).fit(
+            build_classifier_gold(vocabulary, n_classifier_docs,
+                                  seed=seed + 2))
+        return cls(
+            vocabulary=vocabulary,
+            classifier=classifier,
+            identifier=default_identifier(seed=seed + 3),
+            splitter=SentenceSplitter(),
+            pos_tagger=pos_tagger,
+            dictionary_taggers=build_dictionary_taggers(vocabulary),
+            ml_taggers=build_ml_taggers(
+                training, max_iterations=crf_iterations,
+                gene_quadratic_context=gene_quadratic_context),
+        )
+
+    # -- direct (non-dataflow) document analysis ------------------------------
+
+    def preprocess(self, document: Document) -> Document:
+        """Sentence + token annotation (and POS) on net text."""
+        document.sentences = self.splitter.split(document.text)
+        for sentence in document.sentences:
+            sentence.tokens = tokenize(sentence.text,
+                                       base_offset=sentence.start)
+        return document
+
+    def analyze(self, document: Document,
+                methods: tuple[str, ...] = ("dictionary", "ml"),
+                entity_types: tuple[str, ...] = ENTITY_TYPES,
+                with_pos: bool = False) -> Document:
+        """Full linguistic + entity annotation of one document."""
+        if not document.sentences:
+            self.preprocess(document)
+        if with_pos:
+            from repro.nlp.pos_hmm import TaggerCrash
+
+            for sentence in document.sentences:
+                try:
+                    sentence.tokens = self.pos_tagger.tag_tokens(
+                        sentence.tokens)
+                except TaggerCrash:
+                    document.meta["pos_crashes"] = (
+                        document.meta.get("pos_crashes", 0) + 1)
+        self.linguistics.analyze(document)
+        for entity_type in entity_types:
+            if "dictionary" in methods:
+                self.dictionary_taggers[entity_type].annotate(document)
+            if "ml" in methods:
+                self.ml_taggers[entity_type].annotate(document)
+        return document

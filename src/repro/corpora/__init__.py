@@ -1,0 +1,38 @@
+"""Synthetic corpus substrate.
+
+The paper analyses four text collections: a relevant web crawl, an
+irrelevant web crawl, Medline abstracts, and PMC full texts.  None of
+these is available offline, so this package generates deterministic
+synthetic stand-ins whose linguistic profiles (document length,
+sentence length, negation/pronoun/parenthesis incidence, entity
+density) are calibrated to the distributions the paper reports.
+
+Every generated document carries gold annotations (sentence spans,
+tokens, POS tags, entity mentions), which lets the NLP and NER tools in
+this repository be trained and evaluated without external data.
+"""
+
+from repro.corpora.vocabulary import BiomedicalVocabulary, TermEntry
+from repro.corpora.profiles import CorpusProfile, PROFILES
+from repro.corpora.textgen import DocumentGenerator, GoldDocument
+from repro.corpora.medline import MedlineCorpusBuilder
+from repro.corpora.pmc import PmcCorpusBuilder
+from repro.corpora.goldstandard import (
+    build_classifier_gold,
+    build_boilerplate_gold,
+    build_ner_gold,
+)
+
+__all__ = [
+    "BiomedicalVocabulary",
+    "TermEntry",
+    "CorpusProfile",
+    "PROFILES",
+    "DocumentGenerator",
+    "GoldDocument",
+    "MedlineCorpusBuilder",
+    "PmcCorpusBuilder",
+    "build_classifier_gold",
+    "build_boilerplate_gold",
+    "build_ner_gold",
+]

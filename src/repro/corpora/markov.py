@@ -1,0 +1,76 @@
+"""Word-bigram Markov chain for filler text.
+
+Used for boilerplate snippets (navigation teasers, ad copy) and other
+places where cheap, vaguely plausible text is needed without gold
+annotations.  Deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from collections.abc import Iterable
+
+
+class MarkovTextModel:
+    """A first-order word Markov chain with add-one start tokens."""
+
+    START = "<s>"
+    END = "</s>"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._transitions: dict[str, list[str]] = defaultdict(list)
+        self._rng = random.Random(seed)
+
+    def train(self, sentences: Iterable[list[str]]) -> None:
+        """Accumulate transitions from tokenized sentences."""
+        for words in sentences:
+            prev = self.START
+            for word in words:
+                self._transitions[prev].append(word)
+                prev = word
+            self._transitions[prev].append(self.END)
+
+    def sentence(self, max_words: int = 30) -> list[str]:
+        """Sample one sentence (list of words, no punctuation)."""
+        if not self._transitions:
+            raise ValueError("model has no training data")
+        words: list[str] = []
+        state = self.START
+        for _ in range(max_words):
+            choices = self._transitions.get(state)
+            if not choices:
+                break
+            word = self._rng.choice(choices)
+            if word == self.END:
+                break
+            words.append(word)
+            state = word
+        return words
+
+    def text(self, n_sentences: int, max_words: int = 30) -> str:
+        parts = []
+        for _ in range(n_sentences):
+            words = self.sentence(max_words)
+            if words:
+                parts.append(" ".join(words) + ".")
+        return " ".join(parts)
+
+
+def default_filler_model(seed: int = 0) -> MarkovTextModel:
+    """A small pre-trained filler model for boilerplate snippets."""
+    model = MarkovTextModel(seed=seed)
+    training = [
+        "click here to subscribe to our weekly newsletter".split(),
+        "sign up now for exclusive offers and deals".split(),
+        "read more about our privacy policy and terms".split(),
+        "follow us on social media for the latest updates".split(),
+        "this site uses cookies to improve your experience".split(),
+        "share this article with your friends and family".split(),
+        "all rights reserved copyright by the publisher".split(),
+        "related articles you might also like to read".split(),
+        "leave a comment below and join the discussion".split(),
+        "advertisement sponsored content from our partners".split(),
+    ]
+    model.train(training)
+    return model

@@ -1,0 +1,35 @@
+"""Medline-like abstract corpus builder.
+
+Produces short scientific abstracts following the ``medline`` profile:
+a title line plus an abstract body, dense in entity mentions, short
+sentences, little negation (cf. Table 3 / Fig. 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.corpora.profiles import MEDLINE, CorpusProfile
+from repro.corpora.textgen import DocumentGenerator, GoldDocument
+from repro.corpora.vocabulary import BiomedicalVocabulary
+
+
+class MedlineCorpusBuilder:
+    """Builds gold-annotated Medline-style abstracts."""
+
+    def __init__(self, vocabulary: BiomedicalVocabulary,
+                 profile: CorpusProfile = MEDLINE, seed: int = 11) -> None:
+        self.vocabulary = vocabulary
+        self.profile = profile
+        self._generator = DocumentGenerator(vocabulary, profile, seed=seed)
+
+    def abstract(self, index: int) -> GoldDocument:
+        """Generate abstract number ``index`` with PMID-style metadata."""
+        gold = self._generator.document(index)
+        gold.document.meta.update({
+            "pmid": f"{10_000_000 + index}",
+            "source": "medline",
+            "year": 1990 + index % 24,  # Medline "until year 2013"
+        })
+        return gold
+
+    def build(self, count: int, start: int = 0) -> list[GoldDocument]:
+        return [self.abstract(i) for i in range(start, start + count)]

@@ -1,0 +1,182 @@
+"""Per-corpus linguistic profiles.
+
+Each profile parameterizes :class:`repro.corpora.textgen.DocumentGenerator`
+so the generated corpus reproduces the *orderings and rough ratios* the
+paper reports (Table 3, Figs. 6-7), at a configurable reproduction
+scale.  Paper-reported values are kept alongside for the benchmark
+harness to print as the "paper" column.
+
+Calibration targets (paper, Section 4.3):
+
+* Document length ordering: relevant > PMC > irrelevant > Medline.
+* Sentence length ordering: PMC > relevant > Medline > irrelevant,
+  all significantly different (Fig. 6b; Medline abstracts short).
+* Negation incidence: PMC, irrelevant > relevant > Medline (Fig. 6c).
+* Pronoun incidence (co-reference classes): PMC > relevant, irrelevant.
+* Parenthesis incidence: PMC > relevant > Medline > irrelevant.
+* Entity mentions per 1000 sentences (dictionary-findable), Fig. 7:
+  disease rel=128.5, irrel=4.6, medl=204.9, pmc=117.5;
+  drug    rel=97.8,  irrel=6.9, medl=294.0, pmc=276.0;
+  gene    rel=128.2, irrel=4.4, medl=415.6, pmc=74.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """Generation parameters for one corpus.
+
+    Rates named ``*_per_1000_sentences`` control how often the
+    generator inserts the phenomenon; lengths are means of lognormal
+    distributions.
+    """
+
+    name: str
+    #: Mean document length in characters at reproduction scale.
+    mean_doc_chars: int
+    #: Relative std-dev of document length (lognormal sigma).
+    doc_chars_sigma: float
+    #: Mean sentence length in tokens.
+    mean_sentence_tokens: float
+    sentence_tokens_sigma: float
+    #: Probability that a sentence contains a negation cue.
+    negation_per_sentence: float
+    #: Probability that a sentence contains a coreference-class pronoun.
+    pronoun_per_sentence: float
+    #: Probability that a sentence contains parenthesized text.
+    parenthesis_per_sentence: float
+    #: Dictionary-findable entity mentions per 1000 sentences.
+    disease_per_1000_sentences: float
+    drug_per_1000_sentences: float
+    gene_per_1000_sentences: float
+    #: Fraction of inserted entity mentions drawn from the novel
+    #: (out-of-dictionary) pool; only ML taggers can find these.
+    novel_entity_fraction: float = 0.2
+    #: Fraction of entity mentions surface-varied (case/hyphen), which
+    #: only fuzzy dictionary matching and ML recover.
+    variant_fraction: float = 0.15
+    #: Probability of inserting a bare TLA acronym per sentence (these
+    #: trigger the ML gene tagger's false positives).
+    tla_per_sentence: float = 0.02
+    #: Whether documents are "biomedical" (affects topic vocabulary).
+    biomedical: bool = True
+    #: Beta-distribution parameters for per-document topic purity: the
+    #: fraction of topical (vs off-topic) vocabulary.  Low-purity
+    #: documents are the "fringe" pages the paper's classifier gets
+    #: wrong (body-builder chemistry, wheelchairs, ...).
+    topic_purity_alpha: float = 9.0
+    topic_purity_beta: float = 1.0
+    #: Paper-reported reference values, for benchmark report columns.
+    paper: dict[str, float] = field(default_factory=dict)
+
+    def entity_rate(self, entity_type: str) -> float:
+        """Per-sentence insertion probability for ``entity_type``."""
+        per_1000 = {
+            "disease": self.disease_per_1000_sentences,
+            "drug": self.drug_per_1000_sentences,
+            "gene": self.gene_per_1000_sentences,
+        }[entity_type]
+        return per_1000 / 1000.0
+
+
+RELEVANT = CorpusProfile(
+    name="relevant",
+    mean_doc_chars=5200, doc_chars_sigma=1.0,
+    mean_sentence_tokens=22.0, sentence_tokens_sigma=0.45,
+    negation_per_sentence=0.12,
+    pronoun_per_sentence=0.18,
+    parenthesis_per_sentence=0.14,
+    disease_per_1000_sentences=128.5,
+    drug_per_1000_sentences=97.8,
+    gene_per_1000_sentences=128.2,
+    novel_entity_fraction=0.35,
+    tla_per_sentence=0.06,
+    biomedical=True,
+    topic_purity_alpha=5.0,
+    topic_purity_beta=1.6,
+    paper={
+        "size_gb": 373, "n_docs": 4_233_523, "mean_chars": 88_384,
+        "disease_per_1000": 128.49, "drug_per_1000": 97.83,
+        "gene_per_1000": 128.23,
+    },
+)
+
+IRRELEVANT = CorpusProfile(
+    name="irrelevant",
+    mean_doc_chars=1900, doc_chars_sigma=1.1,
+    mean_sentence_tokens=14.0, sentence_tokens_sigma=0.5,
+    negation_per_sentence=0.16,
+    pronoun_per_sentence=0.14,
+    parenthesis_per_sentence=0.04,
+    disease_per_1000_sentences=4.57,
+    drug_per_1000_sentences=6.85,
+    gene_per_1000_sentences=4.39,
+    novel_entity_fraction=0.5,
+    tla_per_sentence=0.05,
+    biomedical=False,
+    topic_purity_alpha=6.0,
+    topic_purity_beta=1.2,
+    paper={
+        "size_gb": 607, "n_docs": 17_704_365, "mean_chars": 37_625,
+        "disease_per_1000": 4.57, "drug_per_1000": 6.85,
+        "gene_per_1000": 4.39,
+    },
+)
+
+MEDLINE = CorpusProfile(
+    name="medline",
+    mean_doc_chars=865, doc_chars_sigma=0.35,
+    mean_sentence_tokens=18.0, sentence_tokens_sigma=0.35,
+    negation_per_sentence=0.06,
+    pronoun_per_sentence=0.08,
+    parenthesis_per_sentence=0.10,
+    disease_per_1000_sentences=204.9,
+    drug_per_1000_sentences=294.0,
+    gene_per_1000_sentences=415.6,
+    novel_entity_fraction=0.1,
+    # In scientific abstracts almost every bare acronym *is* a gene or
+    # another entity — taggers trained here learn "TLA => gene", the
+    # root of the paper's false-positive catastrophe on web text.
+    tla_per_sentence=0.01,
+    biomedical=True,
+    topic_purity_alpha=14.0,
+    topic_purity_beta=0.9,
+    paper={
+        "size_gb": 21, "n_docs": 21_686_397, "mean_chars": 865,
+        "disease_per_1000": 204.92, "drug_per_1000": 293.95,
+        "gene_per_1000": 415.58,
+    },
+)
+
+PMC = CorpusProfile(
+    name="pmc",
+    # Per *section*: PmcCorpusBuilder concatenates four IMRaD sections,
+    # so full texts land near 4x this (below the relevant-crawl mean,
+    # above irrelevant, preserving the Table 3 ordering).
+    mean_doc_chars=1100, doc_chars_sigma=0.5,
+    mean_sentence_tokens=26.0, sentence_tokens_sigma=0.4,
+    negation_per_sentence=0.15,
+    pronoun_per_sentence=0.25,
+    parenthesis_per_sentence=0.30,
+    disease_per_1000_sentences=117.5,
+    drug_per_1000_sentences=276.0,
+    gene_per_1000_sentences=74.1,
+    novel_entity_fraction=0.15,
+    tla_per_sentence=0.10,
+    biomedical=True,
+    topic_purity_alpha=12.0,
+    topic_purity_beta=0.9,
+    paper={
+        "size_gb": 19, "n_docs": 250_440, "mean_chars": 55_704,
+        "disease_per_1000": 117.51, "drug_per_1000": 275.95,
+        "gene_per_1000": 74.12,
+    },
+)
+
+#: All four corpora of the paper's content analysis, by name.
+PROFILES: dict[str, CorpusProfile] = {
+    p.name: p for p in (RELEVANT, IRRELEVANT, MEDLINE, PMC)
+}

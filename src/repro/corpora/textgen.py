@@ -1,0 +1,508 @@
+"""Gold-annotated synthetic text generation.
+
+:class:`DocumentGenerator` produces English-like documents whose
+linguistic statistics follow a :class:`~repro.corpora.profiles.CorpusProfile`.
+Each document comes with gold annotations — sentence spans, tokens with
+POS tags, and entity mentions flagged as dictionary-known or novel —
+so every downstream tool (sentence splitter, HMM tagger, dictionary
+and CRF NER) can be trained and evaluated without external corpora.
+
+Generation is template-based: sentences are assembled from tagged
+clause patterns over fixed word inventories, then decorated with
+negation cues, pronouns, parenthesized asides, entity mentions, and
+bare acronyms at profile-controlled rates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import string
+from dataclasses import dataclass, field
+
+from repro.annotations import Document, EntityMention, Sentence, Token
+from repro.corpora.profiles import CorpusProfile
+from repro.corpora.vocabulary import BiomedicalVocabulary, TermEntry
+from repro.util import seeded_rng
+
+# ---------------------------------------------------------------------------
+# Word inventories (word, POS tag).  Tags follow a compact Penn-style set.
+# ---------------------------------------------------------------------------
+
+NOUNS_BIO = [
+    "patients", "treatment", "expression", "cells", "therapy", "dose",
+    "tumor", "mutation", "protein", "receptor", "pathway", "trial",
+    "symptoms", "tissue", "response", "infection", "diagnosis", "risk",
+    "study", "analysis", "levels", "activity", "inhibitor", "sample",
+    "cohort", "biomarker", "prognosis", "relapse", "antibody", "enzyme",
+]
+NOUNS_GENERAL = [
+    "report", "market", "company", "game", "music", "travel", "city",
+    "weather", "movie", "recipe", "garden", "football", "election",
+    "holiday", "photo", "fashion", "car", "school", "money", "phone",
+    "house", "kitchen", "river", "mountain", "story", "team", "price",
+    "ticket", "hotel", "concert",
+]
+VERBS_3SG = [
+    "shows", "indicates", "suggests", "reduces", "increases",
+    "inhibits", "induces", "affects", "reveals", "confirms",
+    "improves", "requires", "supports", "predicts", "remains",
+    "demonstrates", "regulates", "mediates", "activates", "targets",
+]
+VERBS_PAST = [
+    "showed", "indicated", "suggested", "reduced", "increased",
+    "inhibited", "induced", "affected", "revealed", "confirmed",
+    "improved", "required", "supported", "predicted", "remained",
+    "demonstrated", "regulated", "mediated", "activated", "targeted",
+]
+VERBS_PLURAL = [
+    "show", "indicate", "suggest", "reduce", "increase", "inhibit",
+    "induce", "affect", "reveal", "confirm", "improve", "require",
+    "support", "predict", "remain", "demonstrate", "regulate",
+    "mediate", "activate", "target",
+]
+ADJECTIVES = [
+    "significant", "recent", "clinical", "novel", "severe", "common",
+    "effective", "chronic", "specific", "potential", "primary",
+    "molecular", "observed", "robust", "elevated", "distinct",
+    "relevant", "early", "major", "systemic",
+]
+ADJECTIVES_GENERAL = [
+    "new", "big", "popular", "local", "cheap", "famous", "modern",
+    "beautiful", "fast", "quiet", "friendly", "sunny", "crowded",
+    "expensive", "small", "great", "simple", "busy", "classic", "warm",
+]
+ADVERBS = [
+    "significantly", "strongly", "rapidly", "notably", "partially",
+    "consistently", "frequently", "markedly", "slightly", "broadly",
+]
+PREPOSITIONS = ["in", "of", "with", "for", "after", "during",
+                "between", "among", "under", "across"]
+# Demonstratives are kept out of the determiner pool so that
+# demonstrative-pronoun incidence is governed by the profile rate.
+DETERMINERS = ["the", "a", "an", "each", "every", "some"]
+CONJUNCTIONS = ["and", "but", "or", "whereas", "while"]
+
+#: Six pronoun classes counted by the linguistic analysis (Section 4.3.1).
+PRONOUN_CLASSES: dict[str, list[str]] = {
+    "personal_subject": ["he", "she", "they", "we", "it"],
+    "personal_object": ["him", "her", "them", "us"],
+    "possessive": ["his", "their", "its", "our"],
+    "demonstrative": ["this", "that", "these", "those"],
+    "relative": ["which", "who", "whom", "whose"],
+    "reflexive": ["itself", "themselves", "himself", "herself"],
+}
+#: Classes the paper highlights for co-reference resolution.
+COREFERENCE_CLASSES = ("demonstrative", "relative", "personal_object")
+
+NEGATION_CUES = ["not", "nor", "neither"]
+
+_PAREN_FILLERS = [
+    ["see", "Figure", "2"], ["n", "=", "42"], ["P", "<", "0.01"],
+    ["data", "not", "shown"], ["reviewed", "in", "2014"],
+    ["e.g.", "in", "mice"], ["Table", "1"], ["95", "%", "CI"],
+]
+
+_PRON_TAGS = {
+    "personal_subject": "PRP", "personal_object": "PRP",
+    "possessive": "PRP$", "demonstrative": "DT",
+    "relative": "WDT", "reflexive": "PRP",
+}
+
+_NO_SPACE_BEFORE = {".", ",", ")", ";", ":", "%", "?", "!"}
+_NO_SPACE_AFTER = {"("}
+
+
+@dataclass(frozen=True)
+class GoldEntity:
+    """Gold entity mention with provenance flags.
+
+    ``in_dictionary`` is True when the surface form corresponds to a
+    dictionary entry (possibly as a fuzzy variant); ``variant`` marks
+    surface-varied mentions.
+    """
+
+    mention: EntityMention
+    in_dictionary: bool
+    variant: bool
+
+
+@dataclass
+class GoldDocument:
+    """A generated document plus its gold annotation layers.
+
+    ``document`` carries only text and metadata (annotation layers
+    empty) — the pipeline under test fills those.  Gold layers live
+    alongside for evaluation and training.
+    """
+
+    document: Document
+    sentences: list[Sentence] = field(default_factory=list)
+    entities: list[GoldEntity] = field(default_factory=list)
+
+    @property
+    def doc_id(self) -> str:
+        return self.document.doc_id
+
+    @property
+    def text(self) -> str:
+        return self.document.text
+
+    def tagged_sentences(self) -> list[list[tuple[str, str]]]:
+        """Gold (token, tag) sequences — HMM tagger training format."""
+        return [[(t.text, t.pos) for t in s.tokens] for s in self.sentences]
+
+
+class _SentenceDraft:
+    """Mutable (token, tag) list with entity bookkeeping."""
+
+    def __init__(self) -> None:
+        self.items: list[tuple[str, str]] = []
+        # (token_index_start, n_tokens, entity_type, name, entry, variant)
+        self.entity_slots: list[tuple[int, int, str, str,
+                                      TermEntry | None, bool]] = []
+
+    def add(self, word: str, tag: str) -> None:
+        self.items.append((word, tag))
+
+    def add_entity(self, name: str, entity_type: str,
+                   entry: TermEntry | None, variant: bool) -> None:
+        words = name.split(" ")
+        self.entity_slots.append(
+            (len(self.items), len(words), entity_type, name, entry, variant))
+        for word in words:
+            self.items.append((word, "NNP"))
+
+
+class DocumentGenerator:
+    """Deterministic generator of gold-annotated documents.
+
+    Parameters
+    ----------
+    vocabulary:
+        Entity nomenclature (also used to derive the novel,
+        out-of-dictionary pools with a shifted seed).
+    profile:
+        Linguistic parameters of the target corpus.
+    seed:
+        Base RNG seed; each document additionally mixes in its index.
+    pathological_fraction:
+        Probability that a document is a "run-on" page (no sentence
+        punctuation, very long comma-separated fragments), emulating
+        boilerplate-extraction failures on web pages.
+    """
+
+    def __init__(self, vocabulary: BiomedicalVocabulary,
+                 profile: CorpusProfile, seed: int = 7,
+                 pathological_fraction: float = 0.0) -> None:
+        self.vocabulary = vocabulary
+        self.profile = profile
+        self.seed = seed
+        self.pathological_fraction = pathological_fraction
+        novel_seed = vocabulary.seed + 104_729
+        self._novel = BiomedicalVocabulary(
+            seed=novel_seed, n_genes=300, n_diseases=120, n_drugs=120)
+        known = {n.lower() for n in (vocabulary.gene_names()
+                                     + vocabulary.disease_names()
+                                     + vocabulary.drug_names())}
+        self._novel_names = {
+            etype: [n for n in self._novel.names(etype)
+                    if n.lower() not in known]
+            for etype in ("gene", "disease", "drug")
+        }
+
+    # -- public API ----------------------------------------------------
+
+    def document(self, index: int) -> GoldDocument:
+        """Generate document number ``index`` of this corpus."""
+        rng = seeded_rng(self.seed, self.profile.name, index)
+        doc_id = f"{self.profile.name}-{index:08d}"
+        if rng.random() < self.pathological_fraction:
+            return self._pathological_document(rng, doc_id)
+        target_chars = max(
+            120, int(rng.lognormvariate(
+                math.log(self.profile.mean_doc_chars)
+                - self.profile.doc_chars_sigma ** 2 / 2,
+                self.profile.doc_chars_sigma)))
+        purity = min(1.0, rng.betavariate(self.profile.topic_purity_alpha,
+                                          self.profile.topic_purity_beta))
+        parts: list[str] = []
+        sentences: list[Sentence] = []
+        gold_entities: list[GoldEntity] = []
+        offset = 0
+        while offset < target_chars:
+            draft = self._draft_sentence(rng, purity)
+            text, tokens, mentions = _render(draft, offset)
+            sentence = Sentence(start=offset, end=offset + len(text),
+                                text=text, tokens=tokens,
+                                entities=[g.mention for g in mentions])
+            sentences.append(sentence)
+            gold_entities.extend(mentions)
+            parts.append(text)
+            offset += len(text) + 1  # separating space
+        full_text = " ".join(parts)
+        document = Document(doc_id=doc_id, text=full_text,
+                            meta={"corpus": self.profile.name,
+                                  "biomedical": self.profile.biomedical})
+        return GoldDocument(document=document, sentences=sentences,
+                            entities=gold_entities)
+
+    def documents(self, count: int, start: int = 0) -> list[GoldDocument]:
+        return [self.document(i) for i in range(start, start + count)]
+
+    # -- sentence assembly ----------------------------------------------
+
+    def _draft_sentence(self, rng: random.Random,
+                        purity: float = 1.0) -> _SentenceDraft:
+        profile = self.profile
+        target_tokens = max(4, int(rng.lognormvariate(
+            math.log(profile.mean_sentence_tokens)
+            - profile.sentence_tokens_sigma ** 2 / 2,
+            profile.sentence_tokens_sigma)))
+        draft = _SentenceDraft()
+        planned = self._plan_entities(rng, purity)
+        negate = rng.random() < profile.negation_per_sentence
+        pronoun = rng.random() < profile.pronoun_per_sentence
+        parenthesis = rng.random() < profile.parenthesis_per_sentence
+        tla = rng.random() < profile.tla_per_sentence
+        first = True
+        while len(draft.items) < target_tokens:
+            if not first:
+                draft.add(",", ",")
+                draft.add(rng.choice(CONJUNCTIONS), "CC")
+            self._clause(rng, draft, purity,
+                         entity=planned.pop() if planned else None,
+                         negate=negate and first,
+                         pronoun=pronoun and first)
+            first = False
+        # Remaining planned entities attach as trailing PPs.
+        for entity in planned:
+            draft.add(rng.choice(PREPOSITIONS), "IN")
+            self._add_entity(draft, entity)
+        if tla:
+            draft.add(rng.choice(PREPOSITIONS), "IN")
+            draft.add(_random_tla(rng), "NN")
+        if parenthesis:
+            draft.add("(", "(")
+            for word in rng.choice(_PAREN_FILLERS):
+                draft.add(word, _filler_tag(word))
+            draft.add(")", ")")
+        draft.add(".", ".")
+        self._capitalize_first(draft)
+        return draft
+
+    @staticmethod
+    def _capitalize_first(draft: _SentenceDraft) -> None:
+        """Capitalize the sentence-initial word (entity surfaces are
+        left untouched to keep dictionary forms intact)."""
+        if not draft.items:
+            return
+        if any(slot[0] == 0 for slot in draft.entity_slots):
+            return
+        word, tag = draft.items[0]
+        if word and word[0].isalpha():
+            draft.items[0] = (word[0].upper() + word[1:], tag)
+
+    def _clause(self, rng: random.Random, draft: _SentenceDraft,
+                purity: float,
+                entity: tuple[str, str, TermEntry | None, bool] | None,
+                negate: bool, pronoun: bool) -> None:
+        profile = self.profile
+        on_topic = rng.random() < purity
+        topical = profile.biomedical if on_topic else not profile.biomedical
+        nouns = NOUNS_BIO if topical else NOUNS_GENERAL
+        adjectives = ADJECTIVES if topical else ADJECTIVES_GENERAL
+        # Subject NP
+        if pronoun:
+            cls = rng.choice(list(PRONOUN_CLASSES))
+            word = rng.choice(PRONOUN_CLASSES[cls])
+            draft.add(word, _PRON_TAGS[cls])
+            if cls in ("possessive", "demonstrative"):
+                draft.add(rng.choice(nouns), "NNS")
+        elif entity is not None and rng.random() < 0.5:
+            self._add_entity(draft, entity)
+            entity = None
+        else:
+            draft.add(rng.choice(DETERMINERS), "DT")
+            if rng.random() < 0.5:
+                draft.add(rng.choice(adjectives), "JJ")
+            draft.add(rng.choice(nouns), "NNS")
+        # VP
+        if negate:
+            style = rng.random()
+            if style < 0.6:
+                draft.add("does", "VBZ")
+                draft.add("not", "RB")
+                draft.add(rng.choice(VERBS_PLURAL), "VB")
+            elif style < 0.85:
+                draft.add("neither", "CC")
+                draft.add(rng.choice(VERBS_3SG), "VBZ")
+                draft.add("nor", "CC")
+                draft.add(rng.choice(VERBS_3SG), "VBZ")
+            else:
+                draft.add("is", "VBZ")
+                draft.add("not", "RB")
+                draft.add(rng.choice(VERBS_PAST), "VBN")
+        else:
+            if rng.random() < 0.25:
+                draft.add(rng.choice(ADVERBS), "RB")
+            draft.add(rng.choice(VERBS_3SG if rng.random() < 0.6
+                                 else VERBS_PAST),
+                      "VBZ" if rng.random() < 0.6 else "VBD")
+        # Object NP
+        if entity is not None:
+            self._add_entity(draft, entity)
+        else:
+            draft.add(rng.choice(DETERMINERS), "DT")
+            if rng.random() < 0.4:
+                draft.add(rng.choice(adjectives), "JJ")
+            draft.add(rng.choice(nouns), "NNS")
+        # Optional PP tail
+        if rng.random() < 0.5:
+            draft.add(rng.choice(PREPOSITIONS), "IN")
+            draft.add(rng.choice(DETERMINERS), "DT")
+            draft.add(rng.choice(nouns), "NNS")
+        if rng.random() < 0.15:
+            draft.add(rng.choice(PREPOSITIONS), "IN")
+            draft.add(str(rng.randint(1, 2015)), "CD")
+
+    # -- entity planning -------------------------------------------------
+
+    def _plan_entities(
+            self, rng: random.Random, purity: float = 1.0,
+    ) -> list[tuple[str, str, TermEntry | None, bool]]:
+        """Choose entity mentions for one sentence.
+
+        Returns (surface, entity_type, entry_or_None, variant) tuples;
+        ``entry`` is None for novel (out-of-dictionary) mentions.
+        Entity density scales with topic purity (normalized so the
+        corpus-level mean stays at the profile's calibrated rate).
+        """
+        alpha = self.profile.topic_purity_alpha
+        beta = self.profile.topic_purity_beta
+        # E[purity^2] for a Beta(alpha, beta) draw, used to normalize so
+        # the corpus-level mean rate stays calibrated while low-purity
+        # documents get quadratically fewer entity mentions.
+        mean_sq = (alpha * (alpha + 1)) / ((alpha + beta) * (alpha + beta + 1))
+        planned = []
+        for etype in ("disease", "drug", "gene"):
+            rate = self.profile.entity_rate(etype) * purity ** 2 / mean_sq
+            count = int(rate) + (1 if rng.random() < rate % 1 else 0)
+            for _ in range(count):
+                novel_pool = self._novel_names[etype]
+                if novel_pool and rng.random() < self.profile.novel_entity_fraction:
+                    planned.append((rng.choice(novel_pool), etype, None, False))
+                    continue
+                entry = rng.choice(self.vocabulary.entries(etype))
+                surface = rng.choice(entry.all_names())
+                variant = rng.random() < self.profile.variant_fraction
+                if variant:
+                    surface = _vary_surface(rng, surface)
+                planned.append((surface, etype, entry, variant))
+        rng.shuffle(planned)
+        return planned
+
+    def _add_entity(self, draft: _SentenceDraft,
+                    entity: tuple[str, str, TermEntry | None, bool]) -> None:
+        surface, etype, entry, variant = entity
+        draft.add_entity(surface, etype, entry, variant)
+
+    # -- pathological pages ------------------------------------------------
+
+    def _pathological_document(self, rng: random.Random,
+                               doc_id: str) -> GoldDocument:
+        """A run-on page: one giant comma list, no sentence punctuation."""
+        nouns = NOUNS_BIO if self.profile.biomedical else NOUNS_GENERAL
+        words: list[str] = []
+        target = max(2200, self.profile.mean_doc_chars)
+        length = 0
+        while length < target:
+            word = rng.choice(nouns + ADJECTIVES_GENERAL)
+            words.append(word)
+            words.append(",")
+            length += len(word) + 2
+        text = " ".join(words[:-1])
+        document = Document(doc_id=doc_id, text=text,
+                            meta={"corpus": self.profile.name,
+                                  "biomedical": self.profile.biomedical,
+                                  "pathological": True})
+        # Gold: the whole blob is one "sentence" of noun tokens.
+        tokens = []
+        offset = 0
+        for word in text.split(" "):
+            tokens.append(Token(word, offset, offset + len(word),
+                                "," if word == "," else "NN"))
+            offset += len(word) + 1
+        sentence = Sentence(start=0, end=len(text), text=text, tokens=tokens)
+        return GoldDocument(document=document, sentences=[sentence])
+
+
+# ---------------------------------------------------------------------------
+# Rendering and helpers
+# ---------------------------------------------------------------------------
+
+def _render(draft: _SentenceDraft,
+            base_offset: int) -> tuple[str, list[Token], list[GoldEntity]]:
+    """Render a draft into text, offset tokens, and gold entities."""
+    pieces: list[str] = []
+    starts: list[int] = []
+    cursor = 0
+    prev = ""
+    for word, _tag in draft.items:
+        if pieces and word not in _NO_SPACE_BEFORE and prev not in _NO_SPACE_AFTER:
+            cursor += 1
+        starts.append(cursor)
+        pieces.append(word)
+        cursor += len(word)
+        prev = word
+    text_parts: list[str] = []
+    last_end = 0
+    for word, start in zip(pieces, starts):
+        text_parts.append(" " * (start - last_end))
+        text_parts.append(word)
+        last_end = start + len(word)
+    text = "".join(text_parts)
+    tokens = [
+        Token(word, base_offset + start, base_offset + start + len(word), tag)
+        for (word, tag), start in zip(draft.items, starts)
+    ]
+    entities: list[GoldEntity] = []
+    for tok_start, n_tokens, etype, name, entry, variant in draft.entity_slots:
+        span_start = tokens[tok_start].start
+        span_end = tokens[tok_start + n_tokens - 1].end
+        mention = EntityMention(
+            text=text[span_start - base_offset:span_end - base_offset],
+            start=span_start, end=span_end, entity_type=etype,
+            method="gold", term_id=entry.term_id if entry else "")
+        entities.append(GoldEntity(mention=mention,
+                                   in_dictionary=entry is not None,
+                                   variant=variant))
+    return text, tokens, entities
+
+
+def _vary_surface(rng: random.Random, name: str) -> str:
+    """Produce a fuzzy surface variant of a dictionary name."""
+    roll = rng.random()
+    if roll < 0.35:
+        return name.lower()
+    if roll < 0.5:
+        return name.upper()
+    if roll < 0.75 and "-" in name:
+        return name.replace("-", " ")
+    if roll < 0.9 and " " in name:
+        return name.replace(" ", "-")
+    if not name.endswith("s"):
+        return name + "s"
+    return name.lower()
+
+
+def _random_tla(rng: random.Random) -> str:
+    return "".join(rng.choices(string.ascii_uppercase, k=3))
+
+
+def _filler_tag(word: str) -> str:
+    if word.isdigit() or word.replace(".", "").isdigit():
+        return "CD"
+    if word in ("<", ">", "=", "%"):
+        return "SYM"
+    return "NN"

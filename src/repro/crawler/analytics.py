@@ -1,0 +1,98 @@
+"""Crawl analytics: per-host yields, depth profiles, frontier health.
+
+Section 4.1's analysis of the crawl (harvest rate by source, link
+topology, where the crawl spends its budget) packaged as reusable
+post-crawl analytics over a :class:`~repro.crawler.crawl.CrawlResult`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.crawler.crawl import CrawlResult
+from repro.web.urls import domain_of, host_of
+
+
+@dataclass
+class HostYield:
+    """Per-host crawl outcome."""
+
+    host: str
+    relevant: int = 0
+    irrelevant: int = 0
+
+    @property
+    def fetched(self) -> int:
+        return self.relevant + self.irrelevant
+
+    @property
+    def harvest_rate(self) -> float:
+        return self.relevant / self.fetched if self.fetched else 0.0
+
+
+@dataclass
+class CrawlAnalytics:
+    """Aggregated post-crawl statistics."""
+
+    host_yields: dict[str, HostYield] = field(default_factory=dict)
+    depth_histogram: Counter = field(default_factory=Counter)
+    relevant_depth_histogram: Counter = field(default_factory=Counter)
+    domain_yields: Counter = field(default_factory=Counter)
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.host_yields)
+
+    def top_hosts(self, k: int = 10,
+                  min_fetched: int = 3) -> list[HostYield]:
+        """Hosts ranked by relevant yield."""
+        eligible = [h for h in self.host_yields.values()
+                    if h.fetched >= min_fetched]
+        return sorted(eligible, key=lambda h: -h.relevant)[:k]
+
+    def single_host_concentration(self) -> float:
+        """Share of relevant documents from the single best host — a
+        diversity check on the harvested corpus."""
+        total = sum(h.relevant for h in self.host_yields.values())
+        if not total:
+            return 0.0
+        best = max(h.relevant for h in self.host_yields.values())
+        return best / total
+
+    def mean_relevant_depth(self) -> float:
+        total = sum(self.relevant_depth_histogram.values())
+        if not total:
+            return 0.0
+        return sum(depth * count for depth, count
+                   in self.relevant_depth_histogram.items()) / total
+
+    def yield_by_depth(self) -> dict[int, float]:
+        """Harvest rate per crawl depth (how fast relevance decays as
+        the crawl walks away from the seeds)."""
+        rates = {}
+        for depth, fetched in sorted(self.depth_histogram.items()):
+            relevant = self.relevant_depth_histogram.get(depth, 0)
+            rates[depth] = relevant / fetched if fetched else 0.0
+        return rates
+
+
+def analyze_crawl(result: CrawlResult) -> CrawlAnalytics:
+    """Compute analytics from a finished crawl."""
+    analytics = CrawlAnalytics()
+    for document, relevant in (
+            [(d, True) for d in result.relevant]
+            + [(d, False) for d in result.irrelevant]):
+        url = document.meta.get("url", document.doc_id)
+        host = host_of(url)
+        host_yield = analytics.host_yields.setdefault(host,
+                                                      HostYield(host))
+        depth = int(document.meta.get("depth", 0))
+        analytics.depth_histogram[depth] += 1
+        if relevant:
+            host_yield.relevant += 1
+            analytics.relevant_depth_histogram[depth] += 1
+            analytics.domain_yields[domain_of(url)] += 1
+        else:
+            host_yield.irrelevant += 1
+    return analytics

@@ -1,0 +1,172 @@
+"""Crawl checkpointing.
+
+The paper's crawl ran for more than 80 days; nothing that long survives
+without restartability.  This module persists the crawl state — the
+frontier (pending URLs + seen set + per-host budgets), the harvested
+corpora, the link graph, and the counters — as JSON, and restores a
+:class:`~repro.crawler.crawl.FocusedCrawler` run from it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.annotations import Document
+from repro.crawler.crawl import CrawlConfig, CrawlResult, FocusedCrawler
+from repro.crawler.frontier import CrawlDb, FrontierEntry
+from repro.crawler.linkdb import LinkDb
+
+FORMAT_VERSION = 1
+
+
+def frontier_to_dict(frontier: CrawlDb) -> dict:
+    return {
+        "host_fetch_list_cap": frontier.host_fetch_list_cap,
+        "max_urls_per_host": frontier.max_urls_per_host,
+        "queues": {host: [[e.url, e.depth, e.irrelevant_steps]
+                          for e in queue]
+                   for host, queue in frontier._queues.items()},
+        "seen": sorted(frontier._seen),
+        "per_host_added": dict(frontier._per_host_added),
+        "dropped_host_cap": frontier.dropped_host_cap,
+    }
+
+
+def frontier_from_dict(payload: dict) -> CrawlDb:
+    from collections import deque
+
+    frontier = CrawlDb(
+        host_fetch_list_cap=payload["host_fetch_list_cap"],
+        max_urls_per_host=payload["max_urls_per_host"])
+    frontier._seen = set(payload["seen"])
+    frontier._per_host_added = dict(payload["per_host_added"])
+    frontier.dropped_host_cap = payload["dropped_host_cap"]
+    for host, entries in payload["queues"].items():
+        frontier._queues[host] = deque(
+            FrontierEntry(url, depth, steps)
+            for url, depth, steps in entries)
+    return frontier
+
+
+def _document_to_dict(document: Document) -> dict:
+    return {"doc_id": document.doc_id, "text": document.text,
+            "meta": document.meta}
+
+
+def _document_from_dict(payload: dict) -> Document:
+    return Document(doc_id=payload["doc_id"], text=payload["text"],
+                    meta=dict(payload["meta"]))
+
+
+def result_to_dict(result: CrawlResult) -> dict:
+    return {
+        "relevant": [_document_to_dict(d) for d in result.relevant],
+        "irrelevant": [_document_to_dict(d) for d in result.irrelevant],
+        "outlinks": {s: list(t) for s, t in result.linkdb.outlinks.items()},
+        "pages_fetched": result.pages_fetched,
+        "fetch_failures": result.fetch_failures,
+        "robots_denied": result.robots_denied,
+        "filtered_out": result.filtered_out,
+        "clock_seconds": result.clock_seconds,
+        "stop_reason": result.stop_reason,
+    }
+
+
+def result_from_dict(payload: dict) -> CrawlResult:
+    result = CrawlResult(
+        relevant=[_document_from_dict(d) for d in payload["relevant"]],
+        irrelevant=[_document_from_dict(d)
+                    for d in payload["irrelevant"]],
+        pages_fetched=payload["pages_fetched"],
+        fetch_failures=payload["fetch_failures"],
+        robots_denied=payload["robots_denied"],
+        filtered_out=payload["filtered_out"],
+        clock_seconds=payload["clock_seconds"],
+        stop_reason=payload["stop_reason"])
+    linkdb = LinkDb()
+    for source, targets in payload["outlinks"].items():
+        linkdb.add_edges(source, targets)
+    result.linkdb = linkdb
+    return result
+
+
+def save_checkpoint(path: str | Path, frontier: CrawlDb,
+                    result: CrawlResult, clock_now: float) -> Path:
+    """Persist mid-crawl state to one JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": FORMAT_VERSION,
+        "clock_now": clock_now,
+        "frontier": frontier_to_dict(frontier),
+        "result": result_to_dict(result),
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def load_checkpoint(path: str | Path) -> tuple[CrawlDb, CrawlResult, float]:
+    """Restore (frontier, partial result, clock) from a checkpoint."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version: {payload.get('version')}")
+    return (frontier_from_dict(payload["frontier"]),
+            result_from_dict(payload["result"]),
+            float(payload["clock_now"]))
+
+
+class ResumableCrawl:
+    """A focused crawl that can stop at a checkpoint and resume.
+
+    Wraps :class:`FocusedCrawler`, splitting the page budget into
+    checkpointed legs.  State lives in ``checkpoint_path``; calling
+    :meth:`run_leg` repeatedly advances the crawl until the frontier
+    empties or the total budget is reached.
+    """
+
+    def __init__(self, crawler: FocusedCrawler,
+                 checkpoint_path: str | Path) -> None:
+        self.crawler = crawler
+        self.checkpoint_path = Path(checkpoint_path)
+
+    def run_leg(self, seeds: list[str] | None, leg_pages: int,
+                ) -> CrawlResult:
+        """Run up to ``leg_pages`` fetches, then checkpoint.
+
+        The first leg needs ``seeds``; later legs resume from the
+        checkpoint and ignore the argument.
+        """
+        crawler = self.crawler
+        config = crawler.config
+        if self.checkpoint_path.exists():
+            frontier, result, clock_now = load_checkpoint(
+                self.checkpoint_path)
+            crawler.clock.now = clock_now
+        else:
+            if seeds is None:
+                raise ValueError("first leg requires seeds")
+            frontier = CrawlDb(
+                host_fetch_list_cap=config.host_fetch_list_cap,
+                max_urls_per_host=config.max_urls_per_host)
+            frontier.add_seeds(seeds)
+            result = CrawlResult()
+        start_fetched = result.pages_fetched
+        start_clock = crawler.clock.now
+        while (result.pages_fetched - start_fetched < leg_pages
+               and not frontier.is_empty()):
+            batch = frontier.next_batch(
+                min(config.batch_size,
+                    leg_pages - (result.pages_fetched - start_fetched)))
+            if not batch:
+                break
+            for entry in batch:
+                crawler._process(entry, frontier, result)
+        result.stop_reason = ("frontier_empty" if frontier.is_empty()
+                              else "leg_budget")
+        result.clock_seconds += crawler.clock.now - start_clock
+        result.filter_attrition = crawler.filters.attrition_report()
+        save_checkpoint(self.checkpoint_path, frontier, result,
+                        crawler.clock.now)
+        return result

@@ -1,0 +1,205 @@
+"""The focused crawl loop (Fig. 1 of the paper).
+
+Fetch → parse → MIME filter → boilerplate removal → language/length
+filters → Naïve Bayes relevance classification.  Links of relevant
+pages feed back into the CrawlDB; links of irrelevant pages are
+dropped (or followed for up to ``follow_irrelevant_steps`` — the
+Section 5 alternative).  The loop runs until the frontier empties, the
+page budget is reached, or the caller stops it.
+
+Time is accounted on the :class:`~repro.web.server.SimulatedClock`:
+fetch latency is divided across fetcher threads, while the modelled
+per-document filtering/classification cost is serialized — this is
+what pushes the effective rate down to the paper's 3-4 documents/s
+(versus 10-100 for plain crawlers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.annotations import Document
+from repro.classify.naive_bayes import NaiveBayesClassifier
+from repro.crawler.filters import FilterChain
+from repro.crawler.frontier import CrawlDb, FrontierEntry
+from repro.crawler.linkdb import LinkDb
+from repro.crawler.parser import extract_links
+from repro.html.boilerplate import BoilerplateDetector
+from repro.html.repair import repair_html
+from repro.web.robots import RobotsPolicy, parse_robots
+from repro.web.server import SimulatedClock, SimulatedWeb
+from repro.web.urls import host_of
+
+
+@dataclass
+class CrawlConfig:
+    """Operational knobs (defaults mirror the paper's deployment,
+    scaled to the synthetic substrate)."""
+
+    max_pages: int = 2000
+    fetcher_threads: int = 16
+    batch_size: int = 200
+    host_fetch_list_cap: int = 500
+    max_urls_per_host: int = 400
+    politeness_delay: float = 1.0
+    #: Modelled serialized per-document cost of boilerplate removal +
+    #: classification; calibrated so the crawl runs at the paper's
+    #: 3-4 documents/s.
+    processing_seconds: float = 0.22
+    follow_irrelevant_steps: int = 0
+    respect_robots: bool = True
+    #: Self-training: feed confidently classified pages back into the
+    #: (incremental) Naïve Bayes model — the capability the paper chose
+    #: NB for "although we currently don't use this feature".
+    online_learning: bool = False
+    online_confidence: float = 0.98
+
+
+@dataclass
+class CrawlResult:
+    """Everything a crawl produces."""
+
+    relevant: list[Document] = field(default_factory=list)
+    irrelevant: list[Document] = field(default_factory=list)
+    linkdb: LinkDb = field(default_factory=LinkDb)
+    pages_fetched: int = 0
+    fetch_failures: int = 0
+    robots_denied: int = 0
+    filtered_out: int = 0
+    clock_seconds: float = 0.0
+    stop_reason: str = ""
+    filter_attrition: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def harvest_rate(self) -> float:
+        classified = len(self.relevant) + len(self.irrelevant)
+        return len(self.relevant) / classified if classified else 0.0
+
+    @property
+    def download_rate(self) -> float:
+        """Documents per (simulated) second."""
+        if self.clock_seconds <= 0:
+            return 0.0
+        return self.pages_fetched / self.clock_seconds
+
+    def bytes_of(self, which: str) -> int:
+        docs = self.relevant if which == "relevant" else self.irrelevant
+        return sum(len(d.raw) for d in docs)
+
+
+class FocusedCrawler:
+    """Nutch-with-focus-extension analog over the simulated web."""
+
+    def __init__(self, web: SimulatedWeb, classifier: NaiveBayesClassifier,
+                 filters: FilterChain, config: CrawlConfig | None = None,
+                 boilerplate: BoilerplateDetector | None = None,
+                 clock: SimulatedClock | None = None) -> None:
+        self.web = web
+        self.classifier = classifier
+        self.filters = filters
+        self.config = config or CrawlConfig()
+        self.boilerplate = boilerplate or BoilerplateDetector()
+        self.clock = clock or SimulatedClock()
+        self._robots_cache: dict[str, RobotsPolicy] = {}
+        self._host_ready: dict[str, float] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def crawl(self, seeds: list[str]) -> CrawlResult:
+        """Run a focused crawl from the seed list."""
+        config = self.config
+        frontier = CrawlDb(host_fetch_list_cap=config.host_fetch_list_cap,
+                           max_urls_per_host=config.max_urls_per_host)
+        frontier.add_seeds(seeds)
+        result = CrawlResult()
+        start_time = self.clock.now
+        while True:
+            if result.pages_fetched >= config.max_pages:
+                result.stop_reason = "page_budget"
+                break
+            if frontier.is_empty():
+                result.stop_reason = "frontier_empty"
+                break
+            batch = frontier.next_batch(config.batch_size)
+            for entry in batch:
+                if result.pages_fetched >= config.max_pages:
+                    break
+                self._process(entry, frontier, result)
+        result.clock_seconds = self.clock.now - start_time
+        result.filter_attrition = self.filters.attrition_report()
+        return result
+
+    # -- one page ----------------------------------------------------------------
+
+    def _process(self, entry: FrontierEntry, frontier: CrawlDb,
+                 result: CrawlResult) -> None:
+        config = self.config
+        host = host_of(entry.url)
+        if config.respect_robots and not self._robots(host).allows(entry.url):
+            result.robots_denied += 1
+            return
+        # Politeness: wait until the host allows another request.
+        ready = self._host_ready.get(host, 0.0)
+        if ready > self.clock.now:
+            self.clock.advance(min(ready - self.clock.now,
+                                   config.politeness_delay))
+        fetch = self.web.fetch(entry.url)
+        delay = max(config.politeness_delay,
+                    self._robots(host).crawl_delay)
+        self._host_ready[host] = self.clock.now + delay
+        self.clock.advance(fetch.elapsed / config.fetcher_threads)
+        result.pages_fetched += 1
+        if fetch.redirected_from:
+            frontier.mark_seen(fetch.url)
+        if not fetch.ok:
+            result.fetch_failures += 1
+            return
+        self.clock.advance(config.processing_seconds)
+        if not self.filters.accept_payload(fetch.body, fetch.url,
+                                           fetch.content_type):
+            result.filtered_out += 1
+            return
+        repaired, report = repair_html(fetch.body)
+        if not report.transcodable:
+            result.filtered_out += 1
+            return
+        net_text = self.boilerplate.extract(repaired)
+        outlinks = extract_links(repaired, fetch.url)
+        result.linkdb.add_edges(fetch.url, outlinks)
+        ok, _which = self.filters.accept_text(net_text)
+        if not ok:
+            result.filtered_out += 1
+            return
+        document = Document(
+            doc_id=fetch.url, text=net_text, raw=fetch.body,
+            meta={"url": fetch.url, "depth": entry.depth,
+                  "content_type": fetch.content_type})
+        relevant = self.classifier.predict(net_text)
+        document.meta["relevant"] = relevant
+        if config.online_learning and hasattr(self.classifier, "update"):
+            probability = self.classifier.probability(net_text)
+            if (probability >= config.online_confidence
+                    or probability <= 1 - config.online_confidence):
+                self.classifier.update(net_text, relevant)
+        if relevant:
+            result.relevant.append(document)
+            for link in outlinks:
+                frontier.add(link, depth=entry.depth + 1,
+                             irrelevant_steps=0)
+        else:
+            result.irrelevant.append(document)
+            if entry.irrelevant_steps < config.follow_irrelevant_steps:
+                for link in outlinks:
+                    frontier.add(link, depth=entry.depth + 1,
+                                 irrelevant_steps=entry.irrelevant_steps + 1)
+
+    def _robots(self, host: str) -> RobotsPolicy:
+        policy = self._robots_cache.get(host)
+        if policy is None:
+            response = self.web.fetch(f"http://{host}/robots.txt")
+            self.clock.advance(
+                response.elapsed / self.config.fetcher_threads)
+            policy = (parse_robots(response.body)
+                      if response.ok else RobotsPolicy())
+            self._robots_cache[host] = policy
+        return policy

@@ -1,0 +1,71 @@
+"""LinkDB: the crawl's link-graph store.
+
+Records every observed edge (including edges into pages never
+fetched), supports the link-topology analysis of Section 4.1 — how
+weakly biomedical sites are interlinked, the navigational/cross-host
+split — and feeds PageRank for the Table 2 domain ranking.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.web.urls import domain_of, host_of
+
+
+@dataclass
+class LinkDb:
+    """Directed page graph with host/domain aggregation."""
+
+    outlinks: dict[str, list[str]] = field(
+        default_factory=lambda: defaultdict(list))
+    inlink_counts: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int))
+
+    def add_edges(self, source: str, targets: list[str]) -> None:
+        self.outlinks[source].extend(targets)
+        for target in targets:
+            self.inlink_counts[target] += 1
+
+    @property
+    def n_pages(self) -> int:
+        pages = set(self.outlinks)
+        for targets in self.outlinks.values():
+            pages.update(targets)
+        return len(pages)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(t) for t in self.outlinks.values())
+
+    def navigational_fraction(self, source_filter=None) -> float:
+        """Fraction of edges staying on the same host.
+
+        ``source_filter`` optionally restricts to sources for which it
+        returns True (e.g. biomedical pages only).
+        """
+        same = total = 0
+        for source, targets in self.outlinks.items():
+            if source_filter is not None and not source_filter(source):
+                continue
+            source_host = host_of(source)
+            for target in targets:
+                total += 1
+                if host_of(target) == source_host:
+                    same += 1
+        return same / total if total else 0.0
+
+    def domain_graph(self) -> dict[str, dict[str, int]]:
+        """Aggregate the page graph to domain level (edge weights)."""
+        graph: dict[str, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+        for source, targets in self.outlinks.items():
+            source_domain = domain_of(source)
+            for target in targets:
+                target_domain = domain_of(target)
+                if source_domain and target_domain:
+                    graph[source_domain][target_domain] += 1
+        return {s: dict(t) for s, t in graph.items()}
+
+    def out_degree_distribution(self) -> list[int]:
+        return sorted((len(t) for t in self.outlinks.values()), reverse=True)

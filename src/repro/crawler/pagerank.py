@@ -1,0 +1,47 @@
+"""PageRank by power iteration.
+
+Used to rank the crawled domains (Table 2).  Works on any weighted
+directed graph given as ``{node: {target: weight}}``; dangling mass is
+redistributed uniformly, so ranks always sum to 1.
+"""
+
+from __future__ import annotations
+
+
+def pagerank(graph: dict[str, dict[str, int]], damping: float = 0.85,
+             max_iterations: int = 100, tolerance: float = 1e-9,
+             ) -> dict[str, float]:
+    """Weighted PageRank; returns node -> rank (sums to 1)."""
+    nodes: set[str] = set(graph)
+    for targets in graph.values():
+        nodes.update(targets)
+    if not nodes:
+        return {}
+    n = len(nodes)
+    ranks = {node: 1.0 / n for node in nodes}
+    out_weight = {node: sum(graph.get(node, {}).values()) for node in nodes}
+    for _ in range(max_iterations):
+        next_ranks = {node: (1 - damping) / n for node in nodes}
+        dangling_mass = sum(ranks[node] for node in nodes
+                            if out_weight[node] == 0)
+        for node in nodes:
+            share = damping * dangling_mass / n
+            next_ranks[node] += share
+        for source, targets in graph.items():
+            if out_weight[source] == 0:
+                continue
+            source_rank = damping * ranks[source]
+            for target, weight in targets.items():
+                next_ranks[target] += source_rank * weight / out_weight[source]
+        delta = sum(abs(next_ranks[node] - ranks[node]) for node in nodes)
+        ranks = next_ranks
+        if delta < tolerance:
+            break
+    return ranks
+
+
+def top_ranked(graph: dict[str, dict[str, int]], k: int = 30,
+               damping: float = 0.85) -> list[tuple[str, float]]:
+    """Top-k nodes by PageRank (the Table 2 listing)."""
+    ranks = pagerank(graph, damping=damping)
+    return sorted(ranks.items(), key=lambda item: -item[1])[:k]

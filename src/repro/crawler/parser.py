@@ -1,0 +1,42 @@
+"""Page parsing: outlink and title extraction (Nutch parser analog)."""
+
+from __future__ import annotations
+
+from repro.html.dom import parse_html
+from repro.web.urls import normalize, resolve
+
+
+def extract_links(html: str, base_url: str) -> list[str]:
+    """All resolved, deduplicated outlinks of a page.
+
+    Skips fragments-only, ``javascript:`` and ``mailto:`` links, and
+    self-links.
+    """
+    tree = parse_html(html)
+    base = normalize(base_url)
+    links: list[str] = []
+    seen: set[str] = set()
+    for anchor in tree.find_all("a"):
+        href = anchor.attrs.get("href", "").strip()
+        if not href or href.startswith("#"):
+            continue
+        lowered = href.lower()
+        if lowered.startswith(("javascript:", "mailto:", "tel:")):
+            continue
+        resolved = resolve(base, href)
+        if not resolved.startswith(("http://", "https://")):
+            continue
+        if resolved == base or resolved in seen:
+            continue
+        seen.add(resolved)
+        links.append(resolved)
+    return links
+
+
+def extract_title(html: str) -> str:
+    """The page title ('' if absent)."""
+    tree = parse_html(html)
+    titles = tree.find_all("title")
+    if not titles:
+        return ""
+    return titles[0].get_text().strip()

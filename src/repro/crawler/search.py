@@ -1,0 +1,145 @@
+"""Simulated search engines for seed generation.
+
+Five engines (as in the paper: Bing, Google, Arxiv, Nature, Nature
+blogs) indexing different slices of the synthetic web, each with a
+per-query result cap and a total query quota — the API limits that
+force seed generation to issue thousands of queries.
+
+Ranking reproduces the behaviour that sank the paper's first seed
+round: for *general* terms, engines rank authoritative portal front
+pages highest — pages that are link hubs with little topical text, so
+the focused crawler immediately classifies them irrelevant.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+
+from repro.corpora.vocabulary import GENERAL_BIOMED_TERMS
+from repro.util import seeded_rng
+from repro.web.webgraph import WebGraph
+
+_WORD_RE = re.compile(r"[a-z0-9][a-z0-9'-]*")
+
+
+class QueryQuotaExceeded(RuntimeError):
+    """The engine's API quota is exhausted."""
+
+
+class SimulatedSearchEngine:
+    """An inverted index over (a slice of) the synthetic web."""
+
+    def __init__(self, name: str, graph: WebGraph,
+                 host_filter=None, result_limit: int = 20,
+                 query_quota: int = 100_000, seed: int = 67) -> None:
+        self.name = name
+        self.graph = graph
+        self.host_filter = host_filter
+        self.result_limit = result_limit
+        self.query_quota = query_quota
+        self.queries_issued = 0
+        self._seed = seed
+        self._index: dict[str, dict[str, int]] | None = None
+        self._authority_bonus: dict[str, float] = {}
+
+    # -- indexing -----------------------------------------------------------
+
+    def _ensure_index(self) -> None:
+        if self._index is not None:
+            return
+        index: dict[str, dict[str, int]] = defaultdict(dict)
+        for url, page in self.graph.pages.items():
+            if self.host_filter is not None and not self.host_filter(page.host):
+                continue
+            if page.content_type.startswith("application/"):
+                continue
+            host = self.graph.hosts[page.host]
+            bonus = 0.0
+            if page.kind == "front":
+                bonus = 5.0 if host.kind in ("authority", "portal") else 1.0
+            self._authority_bonus[url] = bonus
+            terms = self._page_terms(url, page, host)
+            for term, count in terms.items():
+                index[term][url] = count
+        self._index = dict(index)
+
+    def _page_terms(self, url: str, page, host) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for token in _WORD_RE.findall(self.graph.title_of(url).lower()):
+            counts[token] += 3
+        if page.kind == "front":
+            # Portal front pages advertise general topics: engines
+            # consider them authoritative for broad keywords.
+            if host.biomedical and host.kind in ("authority", "portal"):
+                rng = seeded_rng(self._seed, "frontterms", host.name)
+                for term in rng.sample(GENERAL_BIOMED_TERMS,
+                                       k=min(10, len(GENERAL_BIOMED_TERMS))):
+                    for token in _WORD_RE.findall(term.lower()):
+                        counts[token] += 5
+            for token in _WORD_RE.findall(
+                    self.graph.body_text(url).lower()):
+                counts[token] += 1
+            return counts
+        if page.kind == "article" and page.language == "en":
+            for token in _WORD_RE.findall(self.graph.body_text(url).lower()):
+                counts[token] += 1
+        return counts
+
+    # -- querying --------------------------------------------------------------
+
+    def query(self, term: str) -> list[str]:
+        """Top URLs for a (possibly multi-word) keyword query.
+
+        Raises :class:`QueryQuotaExceeded` past the API quota; results
+        are capped at ``result_limit`` per query.
+        """
+        if self.queries_issued >= self.query_quota:
+            raise QueryQuotaExceeded(
+                f"{self.name}: quota of {self.query_quota} queries exhausted")
+        self.queries_issued += 1
+        self._ensure_index()
+        words = _WORD_RE.findall(term.lower())
+        if not words:
+            return []
+        scores: dict[str, float] = {}
+        candidate_sets = [self._index.get(word, {}) for word in words]
+        if not all(candidate_sets):
+            return []
+        base = min(candidate_sets, key=len)
+        for url in base:
+            if all(url in s for s in candidate_sets):
+                tf = sum(s[url] for s in candidate_sets)
+                scores[url] = tf + 10.0 * self._authority_bonus.get(url, 0.0)
+        ranked = sorted(scores, key=lambda u: (-scores[u], u))
+        return ranked[: self.result_limit]
+
+
+def build_search_engines(graph: WebGraph,
+                         result_limit: int = 20,
+                         query_quota: int = 100_000,
+                         ) -> list[SimulatedSearchEngine]:
+    """The paper's five engines over the synthetic web.
+
+    Two general-purpose engines index everything; three publisher
+    engines only return content from their own domains (the paper
+    notes arxiv.org / nature.com rank high in the crawl precisely
+    because their APIs only return their own pages).
+    """
+    def hosted_on(*fragments: str):
+        def accept(host: str) -> bool:
+            return any(fragment in host for fragment in fragments)
+        return accept
+
+    return [
+        SimulatedSearchEngine("bing", graph, None, result_limit, query_quota),
+        SimulatedSearchEngine("google", graph, None, result_limit,
+                              query_quota),
+        SimulatedSearchEngine("arxiv", graph, hosted_on("arxiv"),
+                              result_limit, query_quota),
+        SimulatedSearchEngine("nature", graph, hosted_on("nature"),
+                              result_limit, query_quota),
+        SimulatedSearchEngine("nature-blogs", graph,
+                              hosted_on("nature-blogs"), result_limit,
+                              query_quota),
+    ]

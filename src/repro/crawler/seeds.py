@@ -1,0 +1,99 @@
+"""Seed URL generation (Section 2.2 / Table 1).
+
+Issues keyword queries from four term categories — general biomedical
+terms, disease-, drug-, and gene-specific names — against the
+simulated search engines and merges the results into a deduplicated
+seed list.  The paper's two rounds are reproduced by the two term-count
+presets: the small first round (1,205 terms, 45,227 seeds, crawl died)
+and the large second round (16,000 terms / 15,000 queries, 485,462
+seeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpora.vocabulary import BiomedicalVocabulary
+from repro.crawler.search import QueryQuotaExceeded, SimulatedSearchEngine
+
+#: Paper term counts per category (Table 1): full inventory and the
+#: bracketed first-round subset.
+PAPER_TERM_COUNTS = {
+    "general": (500, 166),
+    "disease": (5000, 468),
+    "drug": (4000, 325),
+    "gene": (6500, 246),
+}
+
+
+@dataclass
+class SeedBatch:
+    """Result of one seed-generation round."""
+
+    urls: list[str]
+    terms_by_category: dict[str, list[str]]
+    queries_issued: int
+    results_per_category: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_seeds(self) -> int:
+        return len(self.urls)
+
+    def table1_rows(self) -> list[tuple[str, int, str]]:
+        """(category, #terms, example terms) rows, Table 1 format."""
+        rows = []
+        for category, terms in self.terms_by_category.items():
+            examples = ", ".join(terms[:3])
+            rows.append((category, len(terms), examples))
+        return rows
+
+
+class SeedGenerator:
+    """Queries all engines with category keyword samples."""
+
+    def __init__(self, engines: list[SimulatedSearchEngine],
+                 vocabulary: BiomedicalVocabulary) -> None:
+        self.engines = engines
+        self.vocabulary = vocabulary
+
+    def generate(self, term_counts: dict[str, int],
+                 seed: int = 0) -> SeedBatch:
+        """Run one round with ``{category: n_terms}`` keyword samples."""
+        terms_by_category: dict[str, list[str]] = {}
+        for category, count in term_counts.items():
+            terms_by_category[category] = self.vocabulary.seed_keywords(
+                category, count, seed=seed)
+        urls: list[str] = []
+        seen: set[str] = set()
+        queries_issued = 0
+        results_per_category: dict[str, int] = {}
+        for category, terms in terms_by_category.items():
+            found = 0
+            for term in terms:
+                for engine in self.engines:
+                    try:
+                        results = engine.query(term)
+                    except QueryQuotaExceeded:
+                        continue
+                    queries_issued += 1
+                    for url in results:
+                        found += 1
+                        if url not in seen:
+                            seen.add(url)
+                            urls.append(url)
+            results_per_category[category] = found
+        return SeedBatch(urls=urls, terms_by_category=terms_by_category,
+                         queries_issued=queries_issued,
+                         results_per_category=results_per_category)
+
+    def first_round(self, scale: int = 10, seed: int = 0) -> SeedBatch:
+        """The paper's small first round, term counts scaled down."""
+        counts = {category: max(2, subset // scale)
+                  for category, (_full, subset) in PAPER_TERM_COUNTS.items()}
+        return self.generate(counts, seed=seed)
+
+    def second_round(self, scale: int = 10, seed: int = 1) -> SeedBatch:
+        """The paper's large second round, term counts scaled down."""
+        counts = {category: max(4, full // scale)
+                  for category, (full, _subset) in PAPER_TERM_COUNTS.items()}
+        return self.generate(counts, seed=seed)

@@ -1,0 +1,399 @@
+"""Simulated cluster for scalability experiments.
+
+The paper's scale-out/scale-up experiments (Figs. 4-5) and its war
+story (Section 4.2) hinge on four first-order effects, all modelled
+here:
+
+1. **Startup costs** — the dictionary-based gene tagger needs ~20
+   minutes to build its automaton; this is a hard lower bound on task
+   runtime regardless of the degree of parallelism (DoP), so curves
+   plateau.
+2. **Memory-bounded DoP** — each worker thread needs the sum of its
+   pipeline's operator footprints (≈60 GB for the complete flow,
+   6-20 GB for dictionary taggers alone); nodes have 24 GB, capping
+   workers per node and sometimes making a flow entirely infeasible.
+3. **Straggler skew** — per-record cost variance (Fig. 3a's
+   fluctuations) makes the slowest of N workers increasingly late,
+   bending scale-up away from ideal for the entity flow.
+4. **Annotation blow-up and network pressure** — the flows *grow* data
+   (1 TB input → 1.6 TB derived annotations); materializing
+   intermediates through HDFS (replication 3) over 1 GbE stresses the
+   network and, past a congestion threshold, time-out-crashes
+   sensitive tools.
+
+Operator cost constants are calibrated to the paper's measurements
+(entity extraction 70 % of runtime, POS tagging 12 %, 20-minute gene
+dictionary load, per-worker memory 6-20 GB).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node (paper: Intel Xeon E5-2620, 6 cores, 24 GB)."""
+
+    cores: int = 6
+    ram_gb: float = 24.0
+    disk_tb: float = 1.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The paper's 28-node analysis cluster by default."""
+
+    n_nodes: int = 28
+    node: NodeSpec = field(default_factory=NodeSpec)
+    #: Per-node network link (GbE in the paper).
+    network_gbit: float = 1.0
+    hdfs_replication: int = 3
+
+    @property
+    def max_dop(self) -> int:
+        return self.n_nodes * self.node.cores
+
+    def big_memory_variant(self, ram_gb: float = 1024.0,
+                           cores: int = 40) -> "ClusterSpec":
+        """The 1 TB-RAM single server the paper fell back to for gene
+        recognition."""
+        return ClusterSpec(n_nodes=1,
+                           node=NodeSpec(cores=cores, ram_gb=ram_gb),
+                           network_gbit=10.0,
+                           hdfs_replication=1)
+
+
+@dataclass(frozen=True)
+class OperatorCostModel:
+    """Cost profile of one pipeline operator.
+
+    ``seconds_per_mb`` is single-thread processing rate;
+    ``output_expansion_mb_per_mb`` is how many MB of *derived* data the
+    operator emits per input MB (annotations add, filters subtract);
+    ``cost_variance`` drives straggler skew; ``library`` encodes
+    dependency versions for the class-loader-conflict check.
+    """
+
+    name: str
+    seconds_per_mb: float
+    startup_seconds: float = 0.0
+    memory_gb: float = 0.5
+    output_expansion_mb_per_mb: float = 0.0
+    cost_variance: float = 0.1
+    timeout_sensitive: bool = False
+    library: str | None = None
+
+
+#: Calibrated cost models (see module docstring).  Shares on the
+#: complete flow: entity extraction 70 %, POS 12 %, rest 18 %.
+DEFAULT_COSTS: dict[str, OperatorCostModel] = {
+    model.name: model for model in [
+        OperatorCostModel("filter_long_documents", 0.02, memory_gb=0.3),
+        OperatorCostModel("repair_markup", 0.08, memory_gb=0.4),
+        OperatorCostModel("remove_markup", 0.05, memory_gb=0.4),
+        OperatorCostModel("annotate_sentences", 0.04, memory_gb=0.5,
+                          library="opennlp-1.5"),
+        OperatorCostModel("annotate_tokens", 0.06, memory_gb=0.5,
+                          library="opennlp-1.5"),
+        OperatorCostModel("annotate_pos", 0.23, memory_gb=2.0,
+                          cost_variance=0.5, timeout_sensitive=True),
+        OperatorCostModel("annotate_pronouns", 0.03, memory_gb=0.2,
+                          output_expansion_mb_per_mb=0.35),
+        OperatorCostModel("annotate_negation", 0.03, memory_gb=0.2,
+                          output_expansion_mb_per_mb=0.35),
+        OperatorCostModel("annotate_parentheses", 0.04, memory_gb=0.2,
+                          output_expansion_mb_per_mb=0.5),
+        OperatorCostModel("dict_gene_tagger", 0.05, startup_seconds=1200,
+                          memory_gb=20.0,
+                          output_expansion_mb_per_mb=0.08),
+        OperatorCostModel("dict_drug_tagger", 0.05, startup_seconds=120,
+                          memory_gb=6.0, output_expansion_mb_per_mb=0.04),
+        OperatorCostModel("dict_disease_tagger", 0.05, startup_seconds=150,
+                          memory_gb=8.0, output_expansion_mb_per_mb=0.04),
+        OperatorCostModel("ml_gene_tagger", 0.70, startup_seconds=30,
+                          memory_gb=5.0, output_expansion_mb_per_mb=0.16,
+                          cost_variance=0.8, timeout_sensitive=True),
+        OperatorCostModel("ml_drug_tagger", 0.25, startup_seconds=30,
+                          memory_gb=4.0, output_expansion_mb_per_mb=0.04,
+                          cost_variance=0.6, timeout_sensitive=True),
+        OperatorCostModel("ml_disease_tagger", 0.26, startup_seconds=30,
+                          memory_gb=4.0, output_expansion_mb_per_mb=0.04,
+                          cost_variance=0.6, timeout_sensitive=True,
+                          library="opennlp-1.4"),
+    ]
+}
+
+#: Operator groups for the canonical flows.
+PREPROCESSING_OPS = ["filter_long_documents", "repair_markup",
+                     "remove_markup", "annotate_sentences",
+                     "annotate_tokens"]
+LINGUISTIC_OPS = ["annotate_pronouns", "annotate_negation",
+                  "annotate_parentheses"]
+ENTITY_OPS = ["annotate_pos",
+              "dict_gene_tagger", "dict_drug_tagger", "dict_disease_tagger",
+              "ml_gene_tagger", "ml_drug_tagger", "ml_disease_tagger"]
+
+
+@dataclass
+class FlowRunReport:
+    """Outcome of one simulated flow execution."""
+
+    feasible: bool
+    seconds: float = 0.0
+    reason: str = ""
+    dop: int = 0
+    workers_per_node: int = 0
+    memory_per_worker_gb: float = 0.0
+    startup_seconds: float = 0.0
+    processing_seconds: float = 0.0
+    network_seconds: float = 0.0
+    derived_gb: float = 0.0
+    congestion: float = 0.0
+    crashed: bool = False
+    crash_reason: str = ""
+
+
+class SimulatedCluster:
+    """Analytic executor of flow cost models on a cluster spec."""
+
+    def __init__(self, spec: ClusterSpec | None = None,
+                 congestion_crash_threshold: float = 0.25,
+                 congestion_window_seconds: float = 3600.0,
+                 max_runtime_seconds: float = 14_400.0) -> None:
+        self.spec = spec or ClusterSpec()
+        #: Crash rule: tools time out when the network is saturated
+        #: (congestion ratio above the threshold) for a sustained
+        #: window.  Splitting the input into chunks shortens each
+        #: window below the limit — the paper's 50 GB-chunk mitigation.
+        self.congestion_crash_threshold = congestion_crash_threshold
+        self.congestion_window_seconds = congestion_window_seconds
+        #: Runs projected beyond this wall-clock are reported
+        #: infeasible ("excessive runtimes" — why the paper could not
+        #: run the entity flow below DoP 4).
+        self.max_runtime_seconds = max_runtime_seconds
+
+    # -- main entry -------------------------------------------------------------
+
+    def run_flow(self, operator_names: list[str], input_gb: float,
+                 dop: int,
+                 costs: dict[str, OperatorCostModel] | None = None,
+                 enforce_runtime_limit: bool = True,
+                 colocated: bool = True,
+                 chunk_gb: float | None = None) -> FlowRunReport:
+        """Simulate one flow over ``input_gb`` at the given DoP.
+
+        ``colocated=True`` models Stratosphere's default scheduling,
+        where one worker thread hosts the whole pipeline: per-worker
+        memory is the *sum* of operator footprints and all operators
+        share one JVM runtime (so conflicting library versions cannot
+        coexist — the war story).  ``colocated=False`` models the
+        mitigated setup the scalability experiments used — operators
+        run in separate runtimes/stages, so per-worker memory is the
+        *largest single* footprint and version clashes do not arise,
+        at the price of extra intermediate I/O.
+        """
+        costs = costs or DEFAULT_COSTS
+        if chunk_gb is not None and chunk_gb < input_gb:
+            return self._run_chunked(operator_names, input_gb, dop, costs,
+                                     enforce_runtime_limit, colocated,
+                                     chunk_gb)
+        operators = [costs[name] for name in operator_names]
+        spec = self.spec
+        if dop < 1:
+            return FlowRunReport(False, reason="dop must be >= 1")
+        if dop > spec.max_dop:
+            return FlowRunReport(
+                False, reason=f"dop {dop} exceeds cluster maximum "
+                              f"{spec.max_dop}")
+        if colocated:
+            conflict = self._library_conflict(operators)
+            if conflict:
+                return FlowRunReport(False, reason=conflict)
+            memory_per_worker = sum(op.memory_gb for op in operators)
+        else:
+            memory_per_worker = max(op.memory_gb for op in operators)
+        workers_per_node = math.ceil(dop / spec.n_nodes)
+        needed_ram = workers_per_node * memory_per_worker
+        if needed_ram > spec.node.ram_gb:
+            return FlowRunReport(
+                False, dop=dop, workers_per_node=workers_per_node,
+                memory_per_worker_gb=memory_per_worker,
+                reason=(f"flow needs {memory_per_worker:.1f} GB per worker"
+                        f" x {workers_per_node} workers/node"
+                        f" > {spec.node.ram_gb:.0f} GB node RAM"))
+        # Startup: each worker initializes its pipeline sequentially;
+        # workers start in parallel, with jitter on the slowest.
+        startup = sum(op.startup_seconds for op in operators)
+        startup *= 1.0 + 0.05 * math.log(max(1, dop))
+        # Processing: work divided by DoP, inflated by straggler skew.
+        input_mb = input_gb * 1024
+        work_seconds = sum(op.seconds_per_mb for op in operators) * input_mb
+        skew = max((op.cost_variance for op in operators), default=0.1)
+        straggler = 1.0 + skew * math.log(max(1, dop)) / 10.0
+        processing = work_seconds / dop * straggler
+        # Network: derived data accumulates along the pipeline.  With
+        # colocated scheduling only the flow boundary hits HDFS; in the
+        # split (non-colocated) setup every stage materializes its
+        # output through HDFS and the next stage reads it back.
+        derived_mb = sum(op.output_expansion_mb_per_mb
+                         for op in operators) * input_mb
+        nodes_used = min(spec.n_nodes, dop)
+        aggregate_bw_mb_s = nodes_used * spec.network_gbit * 1024 / 8
+        if colocated:
+            io_mb = input_mb + (input_mb + derived_mb) * spec.hdfs_replication
+        else:
+            io_mb = 0.0
+            volume = input_mb
+            for op in operators:
+                io_mb += volume  # stage read
+                volume += op.output_expansion_mb_per_mb * input_mb
+                io_mb += volume * spec.hdfs_replication  # stage write
+        network = io_mb / aggregate_bw_mb_s
+        total = startup + max(processing, network) + 2.0 * dop
+        congestion = network / max(1.0, processing)
+        crashed = False
+        crash_reason = ""
+        if (congestion > self.congestion_crash_threshold
+                and network > self.congestion_window_seconds
+                and any(op.timeout_sensitive for op in operators)):
+            crashed = True
+            crash_reason = (
+                f"network congestion (ratio {congestion:.2f}) sustained "
+                f"for {network / 3600:.1f} h: unpredictable delays cause "
+                "timeout-induced crashes in annotation tools")
+        if enforce_runtime_limit and total > self.max_runtime_seconds:
+            return FlowRunReport(
+                False, dop=dop, seconds=total,
+                memory_per_worker_gb=memory_per_worker,
+                reason=f"projected runtime {total / 3600:.1f} h exceeds "
+                       "the experiment budget (excessive runtimes)")
+        return FlowRunReport(
+            True, seconds=total, dop=dop,
+            workers_per_node=workers_per_node,
+            memory_per_worker_gb=memory_per_worker,
+            startup_seconds=startup, processing_seconds=processing,
+            network_seconds=network, derived_gb=derived_mb / 1024,
+            congestion=congestion, crashed=crashed,
+            crash_reason=crash_reason)
+
+    def _run_chunked(self, operator_names: list[str], input_gb: float,
+                     dop: int, costs: dict[str, OperatorCostModel],
+                     enforce_runtime_limit: bool, colocated: bool,
+                     chunk_gb: float) -> FlowRunReport:
+        """Process the input in sequential chunks (the paper's 50 GB
+        mitigation): startup is paid per chunk, but each chunk's
+        congestion window stays below the crash threshold."""
+        n_chunks = math.ceil(input_gb / chunk_gb)
+        total = FlowRunReport(True, dop=dop)
+        for index in range(n_chunks):
+            size = min(chunk_gb, input_gb - index * chunk_gb)
+            report = self.run_flow(operator_names, size, dop, costs,
+                                   enforce_runtime_limit=False,
+                                   colocated=colocated)
+            if not report.feasible:
+                return report
+            total.seconds += report.seconds
+            total.startup_seconds += report.startup_seconds
+            total.processing_seconds += report.processing_seconds
+            total.network_seconds += report.network_seconds
+            total.derived_gb += report.derived_gb
+            total.workers_per_node = report.workers_per_node
+            total.memory_per_worker_gb = report.memory_per_worker_gb
+            total.congestion = max(total.congestion, report.congestion)
+            if report.crashed:
+                total.crashed = True
+                total.crash_reason = report.crash_reason
+        return total
+
+    # -- sweeps ---------------------------------------------------------------------
+
+    def scale_out(self, operator_names: list[str], input_gb: float,
+                  dops: list[int],
+                  costs: dict[str, OperatorCostModel] | None = None,
+                  colocated: bool = False) -> list[FlowRunReport]:
+        """Fixed input, varying DoP (Fig. 5 setup: 20 GB sample).
+
+        Defaults to the non-colocated scheduling the experiments used.
+        """
+        return [self.run_flow(operator_names, input_gb, dop, costs,
+                              colocated=colocated)
+                for dop in dops]
+
+    def scale_up(self, operator_names: list[str], gb_per_dop: float,
+                 dops: list[int],
+                 costs: dict[str, OperatorCostModel] | None = None,
+                 colocated: bool = False) -> list[FlowRunReport]:
+        """Input grows with DoP (Fig. 4 setup: 1 GB per DoP unit)."""
+        return [self.run_flow(operator_names, gb_per_dop * dop, dop, costs,
+                              colocated=colocated)
+                for dop in dops]
+
+    def max_feasible_dop(self, operator_names: list[str],
+                         costs: dict[str, OperatorCostModel] | None = None,
+                         colocated: bool = False) -> int:
+        """Largest DoP the flow's memory footprint allows (0 = none)."""
+        costs = costs or DEFAULT_COSTS
+        footprints = [costs[name].memory_gb for name in operator_names]
+        memory = sum(footprints) if colocated else max(footprints)
+        if memory > self.spec.node.ram_gb:
+            return 0
+        per_node = int(self.spec.node.ram_gb // memory)
+        return min(self.spec.max_dop,
+                   self.spec.n_nodes * min(per_node, self.spec.node.cores))
+
+    @staticmethod
+    def _library_conflict(operators: list[OperatorCostModel]) -> str:
+        """Detect two versions of one library in a single flow (the
+        Java-class-loader problem that forced disease extraction into
+        its own run)."""
+        seen: dict[str, str] = {}
+        for op in operators:
+            if not op.library:
+                continue
+            library, _sep, version = op.library.partition("-")
+            if library in seen and seen[library] != version:
+                return (f"library version conflict: {library} "
+                        f"{seen[library]} vs {version} cannot coexist "
+                        "in one runtime")
+            seen[library] = version
+        return ""
+
+
+def split_flow_plan(
+        costs: dict[str, OperatorCostModel] | None = None,
+) -> dict[str, list[str]]:
+    """The paper's war-story mitigation: one linguistic flow plus one
+    flow per entity class, each with the shared preprocessing prefix.
+
+    The disease flow isolates the OpenNLP 1.4 dependency; gene
+    recognition stays memory-heavy and needs the big-memory server.
+    """
+    prefix = list(PREPROCESSING_OPS)
+    return {
+        "linguistic": prefix + LINGUISTIC_OPS,
+        "gene": prefix + ["annotate_pos", "dict_gene_tagger",
+                          "ml_gene_tagger"],
+        "drug": prefix + ["annotate_pos", "dict_drug_tagger",
+                          "ml_drug_tagger"],
+        "disease": [name for name in prefix
+                    if name not in ("annotate_sentences",
+                                    "annotate_tokens")]
+        + ["annotate_pos", "dict_disease_tagger", "ml_disease_tagger"],
+    }
+
+
+def complete_flow() -> list[str]:
+    """All 15 cost-model operators of the consolidated Fig. 2 flow."""
+    return PREPROCESSING_OPS + LINGUISTIC_OPS + ENTITY_OPS
+
+
+def with_cost_override(base: dict[str, OperatorCostModel],
+                       **overrides: dict) -> dict[str, OperatorCostModel]:
+    """Copy cost table with per-operator field overrides, e.g.
+    ``with_cost_override(DEFAULT_COSTS, ml_gene_tagger={'memory_gb': 2})``."""
+    table = dict(base)
+    for name, fields in overrides.items():
+        table[name] = replace(table[name], **fields)
+    return table

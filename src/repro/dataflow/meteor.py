@@ -1,0 +1,154 @@
+"""Meteor-like declarative script front-end.
+
+A small parser for the paper's Meteor query language (ref. [13]):
+scripts assign the output of package operators to ``$variables``,
+forming a data-flow DAG that is then optimized and executed.
+
+Syntax::
+
+    -- comments start with two dashes
+    $docs     = read();
+    $repaired = repair_markup($docs);
+    $tagged   = annotate_genes_dict($repaired, tagger=@gene_dict);
+    write($tagged, 'genes');
+
+* ``read()`` binds the plan source.
+* Operator calls take ``$variable`` inputs positionally and literal or
+  ``@context`` keyword parameters; context values are supplied by the
+  caller (trained taggers, identifiers, detectors — the wrapped tools).
+* ``write($var, 'name')`` marks a named sink.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.dataflow.packages import make_operator
+from repro.dataflow.plan import LogicalPlan, PlanNode
+
+_ASSIGN_RE = re.compile(
+    r"^\$(?P<var>\w+)\s*=\s*(?P<op>\w+)\s*\((?P<args>.*)\)$", re.DOTALL)
+_WRITE_RE = re.compile(
+    r"^write\s*\(\s*\$(?P<var>\w+)\s*,\s*'(?P<name>[^']*)'\s*\)$")
+_COMMENT_RE = re.compile(r"--[^\n]*")
+
+
+class MeteorError(ValueError):
+    """Raised on script syntax or semantic errors."""
+
+
+def parse_meteor(script: str,
+                 context: dict[str, Any] | None = None) -> LogicalPlan:
+    """Parse a Meteor script into a logical plan."""
+    context = context or {}
+    plan = LogicalPlan()
+    variables: dict[str, PlanNode | None] = {}
+    statements = [s.strip() for s in _COMMENT_RE.sub("", script).split(";")]
+    for statement in statements:
+        if not statement:
+            continue
+        write_match = _WRITE_RE.match(statement)
+        if write_match:
+            var = write_match.group("var")
+            if var not in variables:
+                raise MeteorError(f"write() of undefined variable ${var}")
+            node = variables[var]
+            if node is None:
+                raise MeteorError("cannot write() the raw source; apply an "
+                                  "operator first")
+            plan.mark_sink(write_match.group("name"), node)
+            continue
+        assign_match = _ASSIGN_RE.match(statement)
+        if not assign_match:
+            raise MeteorError(f"cannot parse statement: {statement!r}")
+        var = assign_match.group("var")
+        op_name = assign_match.group("op")
+        inputs, params = _parse_args(assign_match.group("args"), variables,
+                                     context)
+        if op_name == "read":
+            if inputs or params:
+                raise MeteorError("read() takes no arguments")
+            variables[var] = None  # plan source marker
+            continue
+        try:
+            operator = make_operator(op_name, **params)
+        except KeyError as error:
+            raise MeteorError(str(error)) from None
+        input_nodes = [node for node in inputs if node is not None]
+        node = plan.add(operator, input_nodes)
+        variables[var] = node
+    if not plan.sinks:
+        raise MeteorError("script has no write() sink")
+    return plan
+
+
+def _parse_args(raw: str, variables: dict[str, PlanNode | None],
+                context: dict[str, Any],
+                ) -> tuple[list[PlanNode | None], dict[str, Any]]:
+    inputs: list[PlanNode | None] = []
+    params: dict[str, Any] = {}
+    for token in _split_args(raw):
+        if not token:
+            continue
+        if token.startswith("$"):
+            name = token[1:]
+            if name not in variables:
+                raise MeteorError(f"undefined variable ${name}")
+            inputs.append(variables[name])
+            continue
+        if "=" not in token:
+            raise MeteorError(f"cannot parse argument: {token!r}")
+        key, _sep, value = token.partition("=")
+        params[key.strip()] = _parse_value(value.strip(), context)
+    return inputs, params
+
+
+def _split_args(raw: str) -> list[str]:
+    """Split on commas outside quotes."""
+    parts: list[str] = []
+    depth_quote = ""
+    current: list[str] = []
+    for char in raw:
+        if depth_quote:
+            current.append(char)
+            if char == depth_quote:
+                depth_quote = ""
+            continue
+        if char in "'\"":
+            depth_quote = char
+            current.append(char)
+        elif char == ",":
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current).strip())
+    return parts
+
+
+def _parse_value(token: str, context: dict[str, Any]) -> Any:
+    if token.startswith("@"):
+        name = token[1:]
+        if name not in context:
+            raise MeteorError(f"missing context value @{name}")
+        return context[name]
+    if token.startswith(("'", '"')) and token[-1:] == token[:1]:
+        return token[1:-1]
+    lowered = token.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    if lowered in ("none", "null"):
+        return None
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    raise MeteorError(f"cannot parse literal: {token!r}")

@@ -1,0 +1,156 @@
+"""Operator model with optimizer annotations.
+
+Operators carry the semantic annotations the SOFA optimizer (paper
+ref. [23]) reasons over: an estimated *selectivity* (output/input
+ratio), a relative *CPU cost per record*, a per-worker *memory
+footprint*, a *startup cost* (e.g. dictionary loading), and the
+*read/write sets* of record attributes that determine whether two
+operators may legally be reordered.
+
+Operators process iterables lazily; state accumulated during a run is
+reported through ``records_in`` / ``records_out`` counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+
+class Operator:
+    """Base class: identity pass-through with accounting."""
+
+    #: Operator package ("base", "ie", "wa", "dc") for registry grouping.
+    package = "base"
+
+    def __init__(self, name: str, selectivity: float = 1.0,
+                 cost_per_record: float = 1.0, memory_mb: float = 64.0,
+                 startup_seconds: float = 0.0, parallelizable: bool = True,
+                 reorderable: bool = True,
+                 reads: frozenset[str] = frozenset(),
+                 writes: frozenset[str] = frozenset()) -> None:
+        self.name = name
+        self.selectivity = selectivity
+        self.cost_per_record = cost_per_record
+        self.memory_mb = memory_mb
+        self.startup_seconds = startup_seconds
+        self.parallelizable = parallelizable
+        self.reorderable = reorderable
+        self.reads = frozenset(reads)
+        self.writes = frozenset(writes)
+        self.records_in = 0
+        self.records_out = 0
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+    # -- execution ---------------------------------------------------------
+
+    def open(self) -> None:
+        """Called once per worker before processing (startup costs)."""
+
+    def process(self, records: Iterable[Any]) -> Iterator[Any]:
+        """Transform the record stream.  Subclasses override
+        :meth:`_process`; this wrapper maintains the counters."""
+        def counted_input() -> Iterator[Any]:
+            for record in records:
+                self.records_in += 1
+                yield record
+
+        for record in self._process(counted_input()):
+            self.records_out += 1
+            yield record
+
+    def _process(self, records: Iterator[Any]) -> Iterator[Any]:
+        yield from records
+
+    def reset_counters(self) -> None:
+        self.records_in = 0
+        self.records_out = 0
+
+    # -- optimizer support -----------------------------------------------------
+
+    def commutes_with(self, other: "Operator") -> bool:
+        """Whether this operator may be swapped with ``other``.
+
+        Legal iff both are reorderable and their read/write sets do
+        not conflict (no write-read, read-write, or write-write
+        overlap) — the SOFA conflict test.
+        """
+        if not (self.reorderable and other.reorderable):
+            return False
+        if self.writes & (other.reads | other.writes):
+            return False
+        if other.writes & self.reads:
+            return False
+        return True
+
+    def rank(self) -> float:
+        """Predicate-ordering rank: cheap, highly-selective operators
+        should run first.  Lower rank = earlier."""
+        drop_rate = 1.0 - self.selectivity
+        if drop_rate <= 0:
+            return float("inf") if self.cost_per_record > 0 else 0.0
+        return self.cost_per_record / drop_rate
+
+
+class MapOperator(Operator):
+    """1:1 record transformation via a callable."""
+
+    def __init__(self, name: str, fn: Callable[[Any], Any],
+                 **annotations: Any) -> None:
+        annotations.setdefault("selectivity", 1.0)
+        super().__init__(name, **annotations)
+        self.fn = fn
+
+    def _process(self, records: Iterator[Any]) -> Iterator[Any]:
+        for record in records:
+            yield self.fn(record)
+
+
+class FilterOperator(Operator):
+    """Keeps records for which the predicate holds."""
+
+    def __init__(self, name: str, predicate: Callable[[Any], bool],
+                 **annotations: Any) -> None:
+        annotations.setdefault("selectivity", 0.5)
+        super().__init__(name, **annotations)
+        self.predicate = predicate
+
+    def _process(self, records: Iterator[Any]) -> Iterator[Any]:
+        for record in records:
+            if self.predicate(record):
+                yield record
+
+
+class FlatMapOperator(Operator):
+    """1:N record transformation."""
+
+    def __init__(self, name: str, fn: Callable[[Any], Iterable[Any]],
+                 **annotations: Any) -> None:
+        super().__init__(name, **annotations)
+        self.fn = fn
+
+    def _process(self, records: Iterator[Any]) -> Iterator[Any]:
+        for record in records:
+            yield from self.fn(record)
+
+
+class UdfOperator(Operator):
+    """Wraps a user-defined function over the whole stream.
+
+    The escape hatch for operators that need stream-level state
+    (grouping, joins, sorts).  Usually not parallelizable without a
+    repartition, so it defaults to ``parallelizable=False`` and
+    ``reorderable=False``.
+    """
+
+    def __init__(self, name: str,
+                 fn: Callable[[Iterator[Any]], Iterable[Any]],
+                 **annotations: Any) -> None:
+        annotations.setdefault("parallelizable", False)
+        annotations.setdefault("reorderable", False)
+        super().__init__(name, **annotations)
+        self.fn = fn
+
+    def _process(self, records: Iterator[Any]) -> Iterator[Any]:
+        yield from self.fn(records)

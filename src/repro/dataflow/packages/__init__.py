@@ -1,0 +1,67 @@
+"""Sopremo-style operator packages.
+
+Four self-contained operator libraries, as in the paper (Section 3.1):
+general-purpose relational operators (BASE), information extraction
+(IE), web analytics (WA), and data cleansing (DC) — more than 60
+registered operators in total.  Operators are created by name through
+:func:`make_operator`, which is also what the Meteor script front-end
+uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.dataflow.operators import Operator
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Registry entry: metadata plus a factory."""
+
+    name: str
+    package: str
+    description: str
+    factory: Callable[..., Operator]
+
+
+OPERATOR_REGISTRY: dict[str, OperatorSpec] = {}
+
+
+def register(name: str, package: str, description: str):
+    """Decorator registering an operator factory under ``name``."""
+    def decorate(factory: Callable[..., Operator]):
+        if name in OPERATOR_REGISTRY:
+            raise ValueError(f"operator {name!r} registered twice")
+        OPERATOR_REGISTRY[name] = OperatorSpec(name, package, description,
+                                               factory)
+        return factory
+    return decorate
+
+
+def make_operator(name: str, **params: Any) -> Operator:
+    """Instantiate a registered operator."""
+    try:
+        spec = OPERATOR_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown operator: {name!r} (available: "
+                       f"{', '.join(sorted(OPERATOR_REGISTRY))})") from None
+    return spec.factory(**params)
+
+
+def operators_in_package(package: str) -> list[OperatorSpec]:
+    return [spec for spec in OPERATOR_REGISTRY.values()
+            if spec.package == package]
+
+
+# Importing the package modules populates the registry.
+from repro.dataflow.packages import base, dc, ie, wa  # noqa: E402,F401
+
+__all__ = [
+    "OPERATOR_REGISTRY",
+    "OperatorSpec",
+    "register",
+    "make_operator",
+    "operators_in_package",
+]

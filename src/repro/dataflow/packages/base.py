@@ -1,0 +1,217 @@
+"""BASE package: general-purpose relational operators.
+
+These mirror Stratosphere's base Sopremo package: selection,
+projection, transformation, set operations, grouping, joining, and
+small stream utilities.  Record-shape-agnostic: they work on dicts,
+documents, or arbitrary values, with callables or field names as
+parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.dataflow.operators import (
+    FilterOperator, FlatMapOperator, MapOperator, Operator, UdfOperator,
+)
+from repro.dataflow.packages import register
+
+
+def _field_getter(field: str | Callable[[Any], Any]) -> Callable[[Any], Any]:
+    if callable(field):
+        return field
+
+    def get(record: Any) -> Any:
+        if isinstance(record, dict):
+            return record.get(field)
+        return getattr(record, field, None)
+    return get
+
+
+@register("filter", "base", "Keep records matching a predicate")
+def _filter(predicate: Callable[[Any], bool],
+            selectivity: float = 0.5, **ann) -> Operator:
+    return FilterOperator("filter", predicate, selectivity=selectivity,
+                          **ann)
+
+
+@register("projection", "base", "Keep only the named dict fields")
+def _projection(fields: list[str], **ann) -> Operator:
+    def project(record: dict) -> dict:
+        return {f: record.get(f) for f in fields}
+    return MapOperator("projection", project, reads=frozenset(fields), **ann)
+
+
+@register("transformation", "base", "Apply a function to every record")
+def _transformation(fn: Callable[[Any], Any], name: str = "transformation",
+                    **ann) -> Operator:
+    return MapOperator(name, fn, **ann)
+
+
+@register("union", "base", "Pass through the (already unioned) inputs")
+def _union(**ann) -> Operator:
+    return Operator("union", **ann)
+
+
+@register("distinct", "base", "Drop duplicate records")
+def _distinct(key: str | Callable[[Any], Any] | None = None,
+              **ann) -> Operator:
+    getter = _field_getter(key) if key is not None else lambda r: r
+
+    def dedup(records: Iterator[Any]) -> Iterator[Any]:
+        seen: set[Any] = set()
+        for record in records:
+            marker = getter(record)
+            try:
+                if marker in seen:
+                    continue
+                seen.add(marker)
+            except TypeError:
+                marker = repr(marker)
+                if marker in seen:
+                    continue
+                seen.add(marker)
+            yield record
+    return UdfOperator("distinct", dedup, selectivity=0.9, **ann)
+
+
+@register("limit", "base", "Keep the first n records")
+def _limit(n: int, **ann) -> Operator:
+    def take(records: Iterator[Any]) -> Iterator[Any]:
+        for i, record in enumerate(records):
+            if i >= n:
+                break
+            yield record
+    return UdfOperator("limit", take, **ann)
+
+
+@register("sample", "base", "Keep each record with probability rate")
+def _sample(rate: float, seed: int = 0, **ann) -> Operator:
+    rng = random.Random(seed)
+    return FilterOperator("sample", lambda _r: rng.random() < rate,
+                          selectivity=rate, **ann)
+
+
+@register("sort", "base", "Sort records by a key")
+def _sort(key: str | Callable[[Any], Any], reverse: bool = False,
+          **ann) -> Operator:
+    getter = _field_getter(key)
+
+    def do_sort(records: Iterator[Any]) -> Iterable[Any]:
+        return sorted(records, key=getter, reverse=reverse)
+    return UdfOperator("sort", do_sort, **ann)
+
+
+@register("count", "base", "Collapse the stream to a single count record")
+def _count(**ann) -> Operator:
+    def count(records: Iterator[Any]) -> Iterator[dict]:
+        total = sum(1 for _ in records)
+        yield {"count": total}
+    return UdfOperator("count", count, **ann)
+
+
+@register("group_by", "base", "Group records and aggregate each group")
+def _group_by(key: str | Callable[[Any], Any],
+              aggregate: Callable[[list[Any]], Any] = len,
+              **ann) -> Operator:
+    getter = _field_getter(key)
+
+    def group(records: Iterator[Any]) -> Iterator[dict]:
+        groups: dict[Any, list[Any]] = defaultdict(list)
+        for record in records:
+            groups[getter(record)].append(record)
+        for value, members in groups.items():
+            yield {"key": value, "value": aggregate(members)}
+    return UdfOperator("group_by", group, **ann)
+
+
+@register("join", "base", "Equi-join two tagged input streams on a key")
+def _join(key: str | Callable[[Any], Any], left_tag: str = "left",
+          right_tag: str = "right", tag_field: str = "_side",
+          **ann) -> Operator:
+    """Records arrive unioned; each must carry ``tag_field`` naming its
+    side.  Emits merged dicts for matching keys."""
+    getter = _field_getter(key)
+
+    def join(records: Iterator[dict]) -> Iterator[dict]:
+        left: dict[Any, list[dict]] = defaultdict(list)
+        right: dict[Any, list[dict]] = defaultdict(list)
+        for record in records:
+            side = record.get(tag_field)
+            (left if side == left_tag else right)[getter(record)].append(
+                record)
+        for value, left_rows in left.items():
+            for l_row in left_rows:
+                for r_row in right.get(value, []):
+                    merged = {**l_row, **r_row}
+                    merged.pop(tag_field, None)
+                    yield merged
+    return UdfOperator("join", join, **ann)
+
+
+@register("rename_field", "base", "Rename a dict field")
+def _rename_field(source: str, target: str, **ann) -> Operator:
+    def rename(record: dict) -> dict:
+        record = dict(record)
+        if source in record:
+            record[target] = record.pop(source)
+        return record
+    return MapOperator("rename_field", rename,
+                       reads=frozenset({source}),
+                       writes=frozenset({target}), **ann)
+
+
+@register("add_field", "base", "Add a computed dict field")
+def _add_field(field: str, fn: Callable[[dict], Any], **ann) -> Operator:
+    def add(record: dict) -> dict:
+        record = dict(record)
+        record[field] = fn(record)
+        return record
+    return MapOperator("add_field", add, writes=frozenset({field}), **ann)
+
+
+@register("explode", "base", "Emit one record per element of a list field")
+def _explode(field: str, **ann) -> Operator:
+    def explode(record: dict) -> Iterable[dict]:
+        for element in record.get(field) or []:
+            child = dict(record)
+            child[field] = element
+            yield child
+    return FlatMapOperator("explode", explode, reads=frozenset({field}),
+                           **ann)
+
+
+@register("head", "base", "Keep the first n records (alias of limit)")
+def _head(n: int = 10, **ann) -> Operator:
+    def take(records: Iterator[Any]) -> Iterator[Any]:
+        for i, record in enumerate(records):
+            if i >= n:
+                break
+            yield record
+    return UdfOperator("head", take, **ann)
+
+
+@register("pivot", "base", "Pivot key/value records into one dict")
+def _pivot(**ann) -> Operator:
+    def pivot(records: Iterator[dict]) -> Iterator[dict]:
+        merged: dict[Any, Any] = {}
+        for record in records:
+            merged[record.get("key")] = record.get("value")
+        yield merged
+    return UdfOperator("pivot", pivot, **ann)
+
+
+@register("tag_side", "base", "Mark records with a join-side tag")
+def _tag_side(side: str, tag_field: str = "_side", **ann) -> Operator:
+    def tag(record: dict) -> dict:
+        record = dict(record)
+        record[tag_field] = side
+        return record
+    return MapOperator("tag_side", tag, writes=frozenset({tag_field}), **ann)
+
+
+@register("flatten", "base", "Flatten list-valued records into elements")
+def _flatten(**ann) -> Operator:
+    return FlatMapOperator("flatten", lambda record: record, **ann)

@@ -1,0 +1,167 @@
+"""Physical plan compilation.
+
+Stratosphere compiles the optimized logical plan into a parallel data
+flow of execution stages connected by channels (Section 3.1: "compiled
+into a parallel data flow program of parallelization primitives …
+physically optimized, translated into an execution graph").  This
+module performs that translation for our engine:
+
+* consecutive parallelizable operators fuse into one pipelined
+  **stage** (no materialization between them);
+* a non-parallelizable operator forms its own stage behind a
+  **gather** channel (all partitions merge);
+* stage boundaries otherwise use **forward** channels (partitions pass
+  through untouched).
+
+The physical plan carries per-stage DoP and cost estimates, and
+:class:`PhysicalExecutor` runs it with true partition pipelining —
+records cross a fused stage without intermediate lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import chain
+from typing import Any, Sequence
+
+from repro.dataflow.executor import ExecutionReport, OperatorStats
+from repro.dataflow.operators import Operator
+from repro.dataflow.optimizer import estimate_chain_cost
+from repro.dataflow.plan import LogicalPlan
+
+
+@dataclass
+class Stage:
+    """A pipelined run of operators sharing one DoP."""
+
+    stage_id: int
+    operators: list[Operator]
+    #: Channel feeding this stage: "source", "forward", or "gather".
+    input_channel: str
+    dop: int
+
+    @property
+    def name(self) -> str:
+        inner = " > ".join(op.name for op in self.operators)
+        return f"stage{self.stage_id}[{inner}]"
+
+    @property
+    def pipelined(self) -> bool:
+        return len(self.operators) > 1
+
+    def estimated_cost(self, input_records: float = 1000.0) -> float:
+        return estimate_chain_cost(self.operators, input_records)
+
+
+@dataclass
+class PhysicalPlan:
+    """An ordered list of stages for one linear flow."""
+
+    stages: list[Stage] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def describe(self) -> str:
+        lines = []
+        for stage in self.stages:
+            lines.append(f"{stage.name}  <- {stage.input_channel} "
+                         f"(dop={stage.dop})")
+        return "\n".join(lines)
+
+    def total_estimated_cost(self, input_records: float = 1000.0) -> float:
+        cost = 0.0
+        records = input_records
+        for stage in self.stages:
+            cost += stage.estimated_cost(records)
+            for operator in stage.operators:
+                records *= operator.selectivity
+        return cost
+
+
+def compile_physical(plan: LogicalPlan, dop: int = 1) -> PhysicalPlan:
+    """Translate a *linear* logical plan into stages.
+
+    Branching plans should be split into linear flows first (the
+    paper's war-story mitigation does exactly this).
+    """
+    operators = list(plan.iter_chain_from_source())
+    return compile_chain(operators, dop=dop)
+
+
+def compile_chain(operators: Sequence[Operator],
+                  dop: int = 1) -> PhysicalPlan:
+    """Stage-fuse a chain of operators."""
+    physical = PhysicalPlan()
+    current: list[Operator] = []
+    first = True
+
+    def flush(channel: str) -> None:
+        nonlocal first
+        if not current:
+            return
+        stage_dop = dop if all(op.parallelizable for op in current) else 1
+        physical.stages.append(Stage(
+            stage_id=len(physical.stages), operators=list(current),
+            input_channel="source" if first else channel,
+            dop=stage_dop))
+        current.clear()
+        first = False
+
+    for operator in operators:
+        if operator.parallelizable:
+            current.append(operator)
+        else:
+            flush("forward")
+            current.append(operator)
+            flush("gather")
+    flush("forward")
+    return physical
+
+
+class PhysicalExecutor:
+    """Executes a physical plan with pipelined stages.
+
+    Within a stage, records stream through the fused operators
+    lazily; the stage boundary materializes (the HDFS write in the
+    real system).
+    """
+
+    def __init__(self, dop: int = 1) -> None:
+        if dop < 1:
+            raise ValueError("dop must be >= 1")
+        self.dop = dop
+
+    def execute(self, physical: PhysicalPlan,
+                source_records: Sequence[Any],
+                ) -> tuple[list[Any], ExecutionReport]:
+        import time
+
+        report = ExecutionReport(dop=self.dop)
+        started = time.perf_counter()
+        records: list[Any] = list(source_records)
+        for stage in physical.stages:
+            stage_started = time.perf_counter()
+            n_in = len(records)
+            if stage.dop > 1:
+                partitions = [records[i::stage.dop]
+                              for i in range(stage.dop)]
+                outputs = [self._run_partition(stage, partition)
+                           for partition in partitions]
+                records = list(chain.from_iterable(outputs))
+            else:
+                records = self._run_partition(stage, records)
+            report.operator_stats.append(OperatorStats(
+                name=stage.name, records_in=n_in,
+                records_out=len(records),
+                seconds=time.perf_counter() - stage_started))
+        report.total_seconds = time.perf_counter() - started
+        return records, report
+
+    @staticmethod
+    def _run_partition(stage: Stage, records: list[Any]) -> list[Any]:
+        stream = iter(records)
+        for operator in stage.operators:
+            operator.open()
+            stream = operator.process(stream)
+        return list(stream)

@@ -1,0 +1,146 @@
+"""Logical plans: DAGs of operators.
+
+A plan node wraps one operator and points at its input nodes.  Most of
+the paper's flows are chains with a shared preprocessing prefix fanning
+out into linguistic and entity branches (Fig. 2); the plan model
+supports arbitrary DAGs with single-output nodes and multiple sinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.dataflow.operators import Operator
+
+
+@dataclass
+class PlanNode:
+    """One operator instance in a plan."""
+
+    operator: Operator
+    inputs: list["PlanNode"] = field(default_factory=list)
+    node_id: int = -1
+
+    @property
+    def name(self) -> str:
+        return self.operator.name
+
+
+class LogicalPlan:
+    """An operator DAG with named sinks."""
+
+    def __init__(self) -> None:
+        self._nodes: list[PlanNode] = []
+        self.sinks: dict[str, PlanNode] = {}
+        self.source: PlanNode | None = None
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, operator: Operator,
+            inputs: list[PlanNode] | PlanNode | None = None) -> PlanNode:
+        if isinstance(inputs, PlanNode):
+            inputs = [inputs]
+        node = PlanNode(operator=operator, inputs=list(inputs or []),
+                        node_id=len(self._nodes))
+        self._nodes.append(node)
+        if not node.inputs and self.source is None:
+            self.source = node
+        return node
+
+    def chain(self, operators: list[Operator],
+              after: PlanNode | None = None) -> PlanNode:
+        """Append a linear chain; returns its last node."""
+        current = after
+        for operator in operators:
+            current = self.add(operator, current)
+        if current is None:
+            raise ValueError("empty chain")
+        return current
+
+    def mark_sink(self, name: str, node: PlanNode) -> None:
+        self.sinks[name] = node
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[PlanNode]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def operators(self) -> list[Operator]:
+        return [node.operator for node in self._nodes]
+
+    def topological_order(self) -> list[PlanNode]:
+        """Nodes in dependency order; raises on cycles."""
+        visited: dict[int, int] = {}  # 0 = visiting, 1 = done
+        order: list[PlanNode] = []
+
+        def visit(node: PlanNode) -> None:
+            state = visited.get(node.node_id)
+            if state == 1:
+                return
+            if state == 0:
+                raise ValueError("plan contains a cycle")
+            visited[node.node_id] = 0
+            for parent in node.inputs:
+                visit(parent)
+            visited[node.node_id] = 1
+            order.append(node)
+
+        for node in self._nodes:
+            visit(node)
+        return order
+
+    def linear_segments(self) -> list[list[PlanNode]]:
+        """Maximal chains of single-input/single-consumer nodes —
+        the units the optimizer may reorder within."""
+        consumers: dict[int, list[PlanNode]] = {}
+        for node in self._nodes:
+            for parent in node.inputs:
+                consumers.setdefault(parent.node_id, []).append(node)
+        segments: list[list[PlanNode]] = []
+        in_segment: set[int] = set()
+        for node in self.topological_order():
+            if node.node_id in in_segment:
+                continue
+            segment = [node]
+            current = node
+            while True:
+                children = consumers.get(current.node_id, [])
+                if len(children) != 1:
+                    break
+                child = children[0]
+                if len(child.inputs) != 1:
+                    break
+                segment.append(child)
+                current = child
+            for member in segment:
+                in_segment.add(member.node_id)
+            segments.append(segment)
+        return segments
+
+    def describe(self) -> str:
+        """Multi-line plan listing (topological)."""
+        lines = []
+        for node in self.topological_order():
+            parents = ", ".join(p.name for p in node.inputs) or "<source>"
+            lines.append(f"{node.node_id:3d}  {node.name}  <- {parents}")
+        return "\n".join(lines)
+
+    def iter_chain_from_source(self) -> Iterator[Operator]:
+        """Operators of a purely linear plan, in order (errors if the
+        plan branches, in either direction)."""
+        order = self.topological_order()
+        consumer_counts: dict[int, int] = {}
+        for node in order:
+            if len(node.inputs) > 1:
+                raise ValueError("plan is not linear (fan-in)")
+            for parent in node.inputs:
+                consumer_counts[parent.node_id] = \
+                    consumer_counts.get(parent.node_id, 0) + 1
+        if any(count > 1 for count in consumer_counts.values()):
+            raise ValueError("plan is not linear (fan-out)")
+        yield from (node.operator for node in order)

@@ -1,0 +1,153 @@
+"""Sopremo-style JSON record model.
+
+Stratosphere's Sopremo layer operates on semi-structured JSON records
+addressed by field paths.  :class:`Record` wraps a nested dict/list
+structure with path access (``"meta.url"``, ``"entities[0].text"``),
+which the BASE package's relational operators can use instead of bare
+dict keys.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator
+
+_PATH_TOKEN_RE = re.compile(r"([A-Za-z_][\w-]*)|\[(\d+)\]")
+
+_MISSING = object()
+
+
+def parse_path(path: str) -> list[str | int]:
+    """Parse ``a.b[0].c`` into ['a', 'b', 0, 'c']."""
+    if not path:
+        raise ValueError("empty path")
+    tokens: list[str | int] = []
+    position = 0
+    while position < len(path):
+        if path[position] == ".":
+            position += 1
+            continue
+        match = _PATH_TOKEN_RE.match(path, position)
+        if match is None:
+            raise ValueError(f"cannot parse path {path!r} at "
+                             f"position {position}")
+        if match.group(1) is not None:
+            tokens.append(match.group(1))
+        else:
+            tokens.append(int(match.group(2)))
+        position = match.end()
+    if not tokens:
+        raise ValueError(f"empty path: {path!r}")
+    return tokens
+
+
+class Record:
+    """A nested JSON value with path access."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any = None) -> None:
+        self.value = {} if value is None else value
+
+    def __repr__(self) -> str:
+        return f"Record({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Record):
+            return self.value == other.value
+        return NotImplemented
+
+    def get(self, path: str, default: Any = None) -> Any:
+        """Value at a path, or ``default`` when absent."""
+        current = self.value
+        for token in parse_path(path):
+            current = self._step(current, token)
+            if current is _MISSING:
+                return default
+        return current
+
+    def has(self, path: str) -> bool:
+        return self.get(path, _MISSING) is not _MISSING
+
+    def set(self, path: str, value: Any) -> "Record":
+        """Set a path, creating intermediate dicts; returns self."""
+        tokens = parse_path(path)
+        current = self.value
+        for token, upcoming in zip(tokens[:-1], tokens[1:]):
+            nxt = self._step(current, token)
+            if nxt is _MISSING or not isinstance(nxt, (dict, list)):
+                nxt = [] if isinstance(upcoming, int) else {}
+                self._assign(current, token, nxt)
+            current = nxt
+        self._assign(current, tokens[-1], value)
+        return self
+
+    def delete(self, path: str) -> bool:
+        """Remove a path; returns whether something was removed."""
+        tokens = parse_path(path)
+        current = self.value
+        for token in tokens[:-1]:
+            current = self._step(current, token)
+            if current is _MISSING:
+                return False
+        last = tokens[-1]
+        if isinstance(current, dict) and last in current:
+            del current[last]
+            return True
+        if isinstance(current, list) and isinstance(last, int) \
+                and 0 <= last < len(current):
+            del current[last]
+            return True
+        return False
+
+    def project(self, paths: list[str]) -> "Record":
+        """A new record containing only the given paths."""
+        projected = Record()
+        for path in paths:
+            value = self.get(path, _MISSING)
+            if value is not _MISSING:
+                projected.set(path, value)
+        return projected
+
+    def flatten(self, prefix: str = "") -> Iterator[tuple[str, Any]]:
+        """Yield (path, leaf value) pairs in document order."""
+        yield from self._flatten(self.value, prefix)
+
+    # -- internals -----------------------------------------------------
+
+    @staticmethod
+    def _step(current: Any, token: str | int) -> Any:
+        if isinstance(token, int):
+            if isinstance(current, list) and 0 <= token < len(current):
+                return current[token]
+            return _MISSING
+        if isinstance(current, dict):
+            return current.get(token, _MISSING)
+        return _MISSING
+
+    @staticmethod
+    def _assign(container: Any, token: str | int, value: Any) -> None:
+        if isinstance(token, int):
+            if not isinstance(container, list):
+                raise TypeError(f"cannot index {type(container).__name__} "
+                                f"with [{token}]")
+            while len(container) <= token:
+                container.append(None)
+            container[token] = value
+        else:
+            if not isinstance(container, dict):
+                raise TypeError(f"cannot set field {token!r} on "
+                                f"{type(container).__name__}")
+            container[token] = value
+
+    @classmethod
+    def _flatten(cls, value: Any, prefix: str) -> Iterator[tuple[str, Any]]:
+        if isinstance(value, dict):
+            for key, child in value.items():
+                child_prefix = f"{prefix}.{key}" if prefix else str(key)
+                yield from cls._flatten(child, child_prefix)
+        elif isinstance(value, list):
+            for index, child in enumerate(value):
+                yield from cls._flatten(child, f"{prefix}[{index}]")
+        else:
+            yield prefix, value

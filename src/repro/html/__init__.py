@@ -1,0 +1,36 @@
+"""HTML treatment: parsing, repair, boilerplate removal, MIME sniffing.
+
+The web-analytics (WA) part of the pipeline.  Real-world pages violate
+the HTML standard ~95 % of the time (paper ref. [19]); the tolerant
+parser and repairer here cope with the defect classes injected by
+:mod:`repro.web.htmlgen`, and the boilerplate detector re-implements
+the shallow-text-feature approach of Boilerpipe (Kohlschütter et al.).
+"""
+
+from repro.html.dom import HtmlNode, parse_html, iter_text
+from repro.html.repair import repair_html, RepairReport
+from repro.html.boilerplate import (
+    BoilerplateDetector, TextBlock, extract_blocks, extract_content,
+)
+from repro.html.mime import sniff_mime, is_textual
+from repro.html.neardup import MinHasher, NearDuplicateFilter, jaccard
+from repro.html.mime_ml import MlMimeDetector, robust_is_textual
+
+__all__ = [
+    "MlMimeDetector",
+    "robust_is_textual",
+    "MinHasher",
+    "NearDuplicateFilter",
+    "jaccard",
+    "HtmlNode",
+    "parse_html",
+    "iter_text",
+    "repair_html",
+    "RepairReport",
+    "BoilerplateDetector",
+    "TextBlock",
+    "extract_blocks",
+    "extract_content",
+    "sniff_mime",
+    "is_textual",
+]

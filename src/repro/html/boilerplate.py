@@ -1,0 +1,177 @@
+"""Boilerplate detection with shallow text features (Boilerpipe analog).
+
+Re-implements the densitometric approach of Kohlschütter et al. (paper
+ref. [15]): segment a page into text blocks at block-level tag
+boundaries, compute shallow features per block (word count, link
+density, text density), and classify each block as content or
+boilerplate with the classic ``NumWordsRules`` decision tree, taking
+the previous and next blocks into account.
+
+Like the original, it systematically under-extracts tables and lists —
+short ``li``/``td`` blocks fall below the word-count thresholds — which
+is exactly the recall failure the paper reports (98 % precision at 72 %
+recall on crawled pages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.html.dom import BLOCK_ELEMENTS, HtmlNode, parse_html
+from repro.html.repair import repair_html
+
+#: Characters per visual line, used for text density (Boilerpipe uses
+#: a virtual 80-column wrap).
+_WRAP_COLUMNS = 80
+
+
+@dataclass
+class TextBlock:
+    """A contiguous run of text with shallow features."""
+
+    text: str
+    n_words: int
+    n_anchor_words: int
+    tag_path: str
+    is_heading: bool = False
+    in_list: bool = False
+    is_content: bool | None = None
+
+    @property
+    def link_density(self) -> float:
+        if self.n_words == 0:
+            return 0.0
+        return self.n_anchor_words / self.n_words
+
+    @property
+    def text_density(self) -> float:
+        """Words per wrapped line (Kohlschütter's density measure)."""
+        lines = max(1, len(self.text) // _WRAP_COLUMNS)
+        return self.n_words / lines
+
+
+class _Segmenter:
+    """Accumulates text into blocks while walking the DOM."""
+
+    def __init__(self) -> None:
+        self.blocks: list[TextBlock] = []
+        self._words: list[str] = []
+        self._anchor_words = 0
+        self._path: list[str] = []
+        self._anchor_depth = 0
+
+    def walk(self, node: HtmlNode) -> None:
+        if node.is_text:
+            words = node.text.split()
+            self._words.extend(words)
+            if self._anchor_depth > 0:
+                self._anchor_words += len(words)
+            return
+        is_block = node.tag in BLOCK_ELEMENTS
+        if is_block:
+            self.flush()
+            self._path.append(node.tag)
+        if node.tag == "a":
+            self._anchor_depth += 1
+        if node.tag not in ("script", "style"):
+            for child in node.children:
+                self.walk(child)
+        if node.tag == "a":
+            self._anchor_depth -= 1
+        if is_block:
+            self.flush()
+            self._path.pop()
+
+    def flush(self) -> None:
+        if not self._words:
+            self._anchor_words = 0
+            return
+        text = " ".join(self._words)
+        path = ">".join(self._path)
+        tag = self._path[-1] if self._path else ""
+        self.blocks.append(TextBlock(
+            text=text, n_words=len(self._words),
+            n_anchor_words=self._anchor_words, tag_path=path,
+            is_heading=tag.startswith("h") and len(tag) == 2,
+            in_list=any(t in ("ul", "ol", "li", "table") for t in self._path)))
+        self._words = []
+        self._anchor_words = 0
+
+
+def extract_blocks(html: str, repaired: bool = False) -> list[TextBlock]:
+    """Segment a page into text blocks (repairing markup first unless
+    the caller already did)."""
+    if not repaired:
+        html, _report = repair_html(html)
+    tree = parse_html(html)
+    segmenter = _Segmenter()
+    segmenter.walk(tree)
+    segmenter.flush()
+    return segmenter.blocks
+
+
+class BoilerplateDetector:
+    """NumWordsRules-style block classifier.
+
+    The thresholds are Kohlschütter's published decision-tree values;
+    they can be tuned for the precision/recall trade-off experiments.
+    """
+
+    def __init__(self, max_link_density: float = 1 / 3,
+                 prev_link_density: float = 0.555556,
+                 curr_words: int = 16, next_words: int = 15,
+                 prev_words: int = 4, dense_curr_words: int = 40,
+                 dense_next_words: int = 17) -> None:
+        self.max_link_density = max_link_density
+        self.prev_link_density = prev_link_density
+        self.curr_words = curr_words
+        self.next_words = next_words
+        self.prev_words = prev_words
+        self.dense_curr_words = dense_curr_words
+        self.dense_next_words = dense_next_words
+
+    def classify(self, blocks: list[TextBlock]) -> list[TextBlock]:
+        """Label every block's ``is_content`` in place (and return them)."""
+        for i, block in enumerate(blocks):
+            prev_block = blocks[i - 1] if i > 0 else None
+            next_block = blocks[i + 1] if i + 1 < len(blocks) else None
+            block.is_content = self._is_content(prev_block, block, next_block)
+        return blocks
+
+    def _is_content(self, prev: TextBlock | None, curr: TextBlock,
+                    next_: TextBlock | None) -> bool:
+        if curr.link_density > self.max_link_density:
+            return False
+        prev_ld = prev.link_density if prev else 0.0
+        prev_nw = prev.n_words if prev else 0
+        next_nw = next_.n_words if next_ else 0
+        if prev_ld <= self.prev_link_density:
+            return (curr.n_words > self.curr_words
+                    or next_nw > self.next_words
+                    or prev_nw > self.prev_words)
+        return (curr.n_words > self.dense_curr_words
+                or next_nw > self.dense_next_words)
+
+    def extract(self, html: str) -> str:
+        """Repair, segment, classify, and join the content blocks."""
+        blocks = self.classify(extract_blocks(html))
+        return " ".join(b.text for b in blocks if b.is_content)
+
+
+def extract_content(html: str) -> str:
+    """Extract net text with the default detector."""
+    return BoilerplateDetector().extract(html)
+
+
+def evaluate_extraction(extracted: str, gold: str) -> tuple[float, float]:
+    """Word-multiset precision/recall of extracted vs. gold net text."""
+    from collections import Counter
+
+    extracted_words = Counter(extracted.split())
+    gold_words = Counter(gold.split())
+    overlap = sum((extracted_words & gold_words).values())
+    n_extracted = sum(extracted_words.values())
+    n_gold = sum(gold_words.values())
+    precision = overlap / n_extracted if n_extracted else 0.0
+    recall = overlap / n_gold if n_gold else 0.0
+    return precision, recall

@@ -1,0 +1,218 @@
+"""Tolerant HTML tokenizer and tree builder.
+
+A small, forgiving HTML parser: it never raises on malformed markup.
+Unclosed tags are auto-closed, stray closers are dropped, unquoted
+attribute values are accepted, and ``<script>``/``<style>`` content is
+treated as opaque raw text.  The tree is the substrate for markup
+repair and boilerplate detection.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from html import unescape
+from typing import Iterator
+
+#: Elements that never have children (no closing tag expected).
+VOID_ELEMENTS = frozenset({
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+})
+#: Elements whose raw content is not parsed as HTML.
+RAW_TEXT_ELEMENTS = frozenset({"script", "style"})
+#: Block-level elements: text-block boundaries for boilerplate analysis.
+BLOCK_ELEMENTS = frozenset({
+    "address", "article", "aside", "blockquote", "body", "center",
+    "dd", "div", "dl", "dt", "fieldset", "figure", "footer", "form",
+    "h1", "h2", "h3", "h4", "h5", "h6", "header", "hr", "html", "li",
+    "main", "nav", "ol", "p", "pre", "section", "table", "td", "th",
+    "tr", "ul",
+})
+
+_TAG_RE = re.compile(
+    r"<(?P<close>/)?(?P<name>[a-zA-Z][a-zA-Z0-9-]*)(?P<attrs>[^<>]*?)"
+    r"(?P<self>/)?>",
+    re.DOTALL)
+_ATTR_RE = re.compile(
+    r"""(?P<name>[a-zA-Z][a-zA-Z0-9_:.-]*)\s*(?:=\s*(?P<value>"[^"]*"|'[^']*'|[^\s"'>]+))?""")
+_COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
+_DOCTYPE_RE = re.compile(r"<!DOCTYPE[^>]*>", re.IGNORECASE)
+
+
+@dataclass
+class HtmlNode:
+    """An element or text node.
+
+    Text nodes have ``tag == '#text'`` and carry ``text``; element
+    nodes carry ``attrs`` and ``children``.
+    """
+
+    tag: str
+    attrs: dict[str, str] = field(default_factory=dict)
+    children: list["HtmlNode"] = field(default_factory=list)
+    text: str = ""
+    parent: "HtmlNode | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def is_text(self) -> bool:
+        return self.tag == "#text"
+
+    def append(self, node: "HtmlNode") -> None:
+        node.parent = self
+        self.children.append(node)
+
+    def find_all(self, tag: str) -> list["HtmlNode"]:
+        found = []
+        for node in self.walk():
+            if node.tag == tag:
+                found.append(node)
+        return found
+
+    def walk(self) -> Iterator["HtmlNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def get_text(self, separator: str = " ") -> str:
+        parts = [n.text for n in self.walk() if n.is_text and n.text.strip()]
+        return separator.join(p.strip() for p in parts)
+
+    def class_names(self) -> list[str]:
+        return self.attrs.get("class", "").split()
+
+
+def parse_attrs(raw: str) -> dict[str, str]:
+    """Parse an attribute string tolerantly (unquoted values allowed).
+
+    On duplicate attributes the first occurrence wins, matching common
+    browser behaviour.
+    """
+    attrs: dict[str, str] = {}
+    for match in _ATTR_RE.finditer(raw):
+        name = match.group("name").lower()
+        value = match.group("value") or ""
+        if value[:1] in ("'", '"') and value[-1:] == value[:1]:
+            value = value[1:-1]
+        if name not in attrs:
+            attrs[name] = unescape(value)
+    return attrs
+
+
+def parse_html(html: str) -> HtmlNode:
+    """Parse HTML into a tree rooted at a synthetic ``#root`` node.
+
+    Never raises on malformed input: unknown closers are ignored,
+    unclosed elements are closed at end of input, and mis-nested
+    closers close up to the nearest matching ancestor.
+    """
+    html = _COMMENT_RE.sub("", html)
+    html = _DOCTYPE_RE.sub("", html)
+    root = HtmlNode("#root")
+    stack = [root]
+    position = 0
+    raw_until: str | None = None
+    while position < len(html):
+        if raw_until is not None:
+            # Opaque script/style content: scan for the closer only.
+            closer = html.lower().find(f"</{raw_until}", position)
+            if closer < 0:
+                closer = len(html)
+            text = html[position:closer]
+            if text:
+                stack[-1].append(HtmlNode("#text", text=text))
+            end = html.find(">", closer)
+            position = (end + 1) if end >= 0 else len(html)
+            if stack[-1].tag == raw_until and len(stack) > 1:
+                stack.pop()
+            raw_until = None
+            continue
+        lt = html.find("<", position)
+        if lt < 0:
+            _append_text(stack[-1], html[position:])
+            break
+        if lt > position:
+            _append_text(stack[-1], html[position:lt])
+        match = _TAG_RE.match(html, lt)
+        if match is None:
+            # A stray '<' that is not a tag: treat as text.
+            _append_text(stack[-1], "<")
+            position = lt + 1
+            continue
+        position = match.end()
+        name = match.group("name").lower()
+        if match.group("close"):
+            _close_tag(stack, name)
+            continue
+        node = HtmlNode(name, attrs=parse_attrs(match.group("attrs") or ""))
+        _implicit_close(stack, name)
+        stack[-1].append(node)
+        if name in RAW_TEXT_ELEMENTS:
+            stack.append(node)
+            raw_until = name
+        elif name not in VOID_ELEMENTS and not match.group("self"):
+            stack.append(node)
+    return root
+
+
+def _append_text(parent: HtmlNode, raw: str) -> None:
+    text = unescape(raw)
+    if text.strip():
+        parent.append(HtmlNode("#text", text=text))
+
+
+def _close_tag(stack: list[HtmlNode], name: str) -> None:
+    """Close ``name``: pop to the matching ancestor, or ignore."""
+    for depth in range(len(stack) - 1, 0, -1):
+        if stack[depth].tag == name:
+            del stack[depth:]
+            return
+    # No matching open element: stray closer, ignored (tolerance).
+
+
+def _implicit_close(stack: list[HtmlNode], name: str) -> None:
+    """HTML5-style implied end tags (``<p>`` closes an open ``<p>``,
+    ``<li>`` closes an open ``<li>``, table cells close cells)."""
+    auto_close = {
+        "p": {"p"},
+        "li": {"li"},
+        "tr": {"tr", "td", "th"},
+        "td": {"td", "th"},
+        "th": {"td", "th"},
+        "option": {"option"},
+    }
+    closes = auto_close.get(name)
+    if not closes:
+        return
+    if len(stack) > 1 and stack[-1].tag in closes:
+        stack.pop()
+
+
+def iter_text(root: HtmlNode) -> Iterator[str]:
+    """Yield stripped text-node contents in document order."""
+    for node in root.walk():
+        if node.is_text:
+            stripped = node.text.strip()
+            if stripped:
+                yield stripped
+
+
+def serialize(node: HtmlNode) -> str:
+    """Serialize a tree back to well-formed HTML."""
+    if node.is_text:
+        return _escape_text(node.text)
+    inner = "".join(serialize(child) for child in node.children)
+    if node.tag == "#root":
+        return inner
+    attrs = "".join(f' {k}="{_escape_attr(v)}"' for k, v in node.attrs.items())
+    if node.tag in VOID_ELEMENTS:
+        return f"<{node.tag}{attrs}>"
+    return f"<{node.tag}{attrs}>{inner}</{node.tag}>"
+
+
+def _escape_text(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attr(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")

@@ -1,0 +1,82 @@
+"""MIME-type detection (Tika analog).
+
+The paper's pitfall list calls out unreliable MIME detection: servers
+mislabel binary payloads as ``text/html``, and practical detectors only
+know a handful of types, sniffing file-name extensions and the first
+*n* bytes.  This module reproduces exactly that approach — a magic-byte
+table plus an extension map — including its limits (unknown types fall
+back to the server-declared type).
+"""
+
+from __future__ import annotations
+
+#: Magic-byte signatures checked against the first bytes of a payload.
+MAGIC_SIGNATURES: list[tuple[str, str]] = [
+    ("%PDF", "application/pdf"),
+    ("\xd0\xcf\x11\xe0", "application/vnd.ms-powerpoint"),
+    ("PK\x03\x04", "application/zip"),
+    ("GIF8", "image/gif"),
+    ("\x89PNG", "image/png"),
+    ("\xff\xd8\xff", "image/jpeg"),
+    ("%!PS", "application/postscript"),
+    ("{\\rtf", "application/rtf"),
+]
+
+_HTML_MARKERS = ("<!doctype html", "<html", "<head", "<body", "<div", "<p>")
+
+EXTENSION_MAP: dict[str, str] = {
+    "html": "text/html", "htm": "text/html", "xhtml": "text/html",
+    "txt": "text/plain", "pdf": "application/pdf",
+    "ppt": "application/vnd.ms-powerpoint",
+    "doc": "application/msword", "zip": "application/zip",
+    "gif": "image/gif", "png": "image/png", "jpg": "image/jpeg",
+    "jpeg": "image/jpeg", "css": "text/css",
+    "js": "application/javascript", "xml": "text/xml",
+    "json": "application/json",
+}
+
+TEXTUAL_TYPES = frozenset({"text/html", "text/plain", "text/xml"})
+
+
+def sniff_mime(body: str, url: str = "", declared: str = "",
+               sniff_bytes: int = 512) -> str:
+    """Detect the MIME type of a payload.
+
+    Order of evidence: magic bytes > HTML markers > URL extension >
+    server-declared type > ``application/octet-stream``.
+    """
+    head = body[:sniff_bytes]
+    for magic, mime in MAGIC_SIGNATURES:
+        if head.startswith(magic):
+            return mime
+    lowered = head.lstrip().lower()
+    if any(marker in lowered for marker in _HTML_MARKERS):
+        return "text/html"
+    extension = _extension(url)
+    if extension in EXTENSION_MAP:
+        return EXTENSION_MAP[extension]
+    if declared:
+        return declared.split(";")[0].strip().lower()
+    if _looks_textual(head):
+        return "text/plain"
+    return "application/octet-stream"
+
+
+def is_textual(mime: str) -> bool:
+    """Whether the pipeline should treat the payload as analyzable text."""
+    return mime in TEXTUAL_TYPES or mime.startswith("text/")
+
+
+def _extension(url: str) -> str:
+    path = url.split("?", 1)[0].split("#", 1)[0]
+    name = path.rsplit("/", 1)[-1]
+    if "." not in name:
+        return ""
+    return name.rsplit(".", 1)[-1].lower()
+
+
+def _looks_textual(head: str, threshold: float = 0.85) -> bool:
+    if not head:
+        return False
+    printable = sum(1 for c in head if c.isprintable() or c in "\n\r\t ")
+    return printable / len(head) >= threshold

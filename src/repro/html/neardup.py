@@ -1,0 +1,124 @@
+"""Near-duplicate detection via shingling + MinHash.
+
+Web corpora are highly redundant (mirrors, reposts, boilerplate-only
+variants); exact content hashing (the DC package's ``dedup_content``)
+misses near-copies.  This module implements the standard w-shingling /
+MinHash estimator of Jaccard similarity and a corpus-level
+near-duplicate filter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from collections.abc import Iterable
+
+from repro.annotations import Document
+
+_PRIME = (1 << 61) - 1
+
+
+def shingles(text: str, width: int = 4) -> set[int]:
+    """Hashed word w-shingles of a text."""
+    words = text.lower().split()
+    if len(words) < width:
+        if not words:
+            return set()
+        return {_hash_shingle(" ".join(words))}
+    return {_hash_shingle(" ".join(words[i:i + width]))
+            for i in range(len(words) - width + 1)}
+
+
+def _hash_shingle(shingle: str) -> int:
+    digest = hashlib.blake2b(shingle.encode(), digest_size=8).digest()
+    return struct.unpack(">Q", digest)[0]
+
+
+class MinHasher:
+    """MinHash signatures with ``n_hashes`` universal hash functions."""
+
+    def __init__(self, n_hashes: int = 64, seed: int = 1) -> None:
+        self.n_hashes = n_hashes
+        from repro.util import seeded_rng
+
+        rng = seeded_rng("minhash", seed)
+        self._coefficients = [(rng.randrange(1, _PRIME),
+                               rng.randrange(0, _PRIME))
+                              for _ in range(n_hashes)]
+
+    def signature(self, shingle_set: set[int]) -> tuple[int, ...]:
+        if not shingle_set:
+            return tuple([_PRIME] * self.n_hashes)
+        return tuple(
+            min((a * shingle + b) % _PRIME for shingle in shingle_set)
+            for a, b in self._coefficients)
+
+    @staticmethod
+    def estimated_jaccard(signature_a: tuple[int, ...],
+                          signature_b: tuple[int, ...]) -> float:
+        if len(signature_a) != len(signature_b):
+            raise ValueError("signatures have different lengths")
+        matches = sum(1 for a, b in zip(signature_a, signature_b)
+                      if a == b)
+        return matches / len(signature_a)
+
+
+def jaccard(a: set[int], b: set[int]) -> float:
+    """Exact Jaccard similarity of two shingle sets."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+class NearDuplicateFilter:
+    """Streaming near-duplicate filter over documents.
+
+    Keeps the first of each near-duplicate cluster; a document is a
+    near-duplicate when its estimated Jaccard similarity to any kept
+    document exceeds ``threshold``.  Banding (LSH) keeps candidate
+    lookups sub-linear.
+    """
+
+    def __init__(self, threshold: float = 0.8, n_hashes: int = 64,
+                 bands: int = 16, seed: int = 1) -> None:
+        if n_hashes % bands:
+            raise ValueError("bands must divide n_hashes")
+        self.threshold = threshold
+        self.bands = bands
+        self.rows = n_hashes // bands
+        self._hasher = MinHasher(n_hashes=n_hashes, seed=seed)
+        self._buckets: dict[tuple[int, tuple[int, ...]], list[int]] = {}
+        self._signatures: list[tuple[int, ...]] = []
+        self.dropped = 0
+
+    def is_duplicate(self, text: str) -> bool:
+        """Check and register a text; True if it near-duplicates a
+        previously seen one."""
+        signature = self._hasher.signature(shingles(text))
+        candidates: set[int] = set()
+        keys = []
+        for band in range(self.bands):
+            chunk = signature[band * self.rows:(band + 1) * self.rows]
+            key = (band, chunk)
+            keys.append(key)
+            candidates.update(self._buckets.get(key, ()))
+        for candidate in candidates:
+            similarity = MinHasher.estimated_jaccard(
+                signature, self._signatures[candidate])
+            if similarity >= self.threshold:
+                self.dropped += 1
+                return True
+        index = len(self._signatures)
+        self._signatures.append(signature)
+        for key in keys:
+            self._buckets.setdefault(key, []).append(index)
+        return False
+
+    def filter(self, documents: Iterable[Document]) -> list[Document]:
+        """Keep only the first member of each near-duplicate cluster."""
+        kept = []
+        for document in documents:
+            if not self.is_duplicate(document.text):
+                kept.append(document)
+        return kept

@@ -1,0 +1,159 @@
+"""Persistence: JSONL document store and fact-database export.
+
+The point of the paper's pipeline is "structured fact databases" from
+unstructured text.  This module round-trips annotated documents
+through JSONL and exports the extracted facts (entity mentions, name
+frequencies, relations) in machine-readable form.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.annotations import (
+    Document, EntityMention, LinguisticMention, Sentence, Token,
+)
+
+
+def document_to_dict(document: Document, include_raw: bool = False) -> dict:
+    """JSON-serializable form of a document and its annotations."""
+    payload = {
+        "doc_id": document.doc_id,
+        "text": document.text,
+        "meta": document.meta,
+        "sentences": [{
+            "start": s.start, "end": s.end, "text": s.text,
+            "tokens": [[t.text, t.start, t.end, t.pos]
+                       for t in s.tokens],
+        } for s in document.sentences],
+        "entities": [{
+            "text": m.text, "start": m.start, "end": m.end,
+            "entity_type": m.entity_type, "method": m.method,
+            "term_id": m.term_id, "score": m.score,
+        } for m in document.entities],
+        "linguistics": [{
+            "text": m.text, "start": m.start, "end": m.end,
+            "category": m.category, "subtype": m.subtype,
+        } for m in document.linguistics],
+    }
+    if include_raw:
+        payload["raw"] = document.raw
+    return payload
+
+
+def document_from_dict(payload: dict) -> Document:
+    """Inverse of :func:`document_to_dict`."""
+    document = Document(
+        doc_id=payload["doc_id"], text=payload["text"],
+        raw=payload.get("raw", ""), meta=dict(payload.get("meta", {})))
+    for s in payload.get("sentences", []):
+        sentence = Sentence(start=s["start"], end=s["end"], text=s["text"])
+        sentence.tokens = [Token(text, start, end, pos)
+                           for text, start, end, pos in s.get("tokens", [])]
+        document.sentences.append(sentence)
+    document.entities = [
+        EntityMention(text=e["text"], start=e["start"], end=e["end"],
+                      entity_type=e["entity_type"],
+                      method=e.get("method", ""),
+                      term_id=e.get("term_id", ""),
+                      score=e.get("score", 1.0))
+        for e in payload.get("entities", [])
+    ]
+    document.linguistics = [
+        LinguisticMention(text=m["text"], start=m["start"], end=m["end"],
+                          category=m["category"],
+                          subtype=m.get("subtype", ""))
+        for m in payload.get("linguistics", [])
+    ]
+    return document
+
+
+def write_documents(path: str | Path, documents: Iterable[Document],
+                    include_raw: bool = False) -> int:
+    """Write documents as JSONL; returns the count written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for document in documents:
+            handle.write(json.dumps(
+                document_to_dict(document, include_raw=include_raw),
+                ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_documents(path: str | Path) -> Iterator[Document]:
+    """Stream documents back from a JSONL file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield document_from_dict(json.loads(line))
+
+
+class FactDatabase:
+    """Accumulates extraction results and exports them.
+
+    * ``entities.jsonl`` — one record per entity mention;
+    * ``relations.jsonl`` — one record per extracted relation;
+    * ``name_frequencies.csv`` — (entity_type, method, name, frequency).
+    """
+
+    def __init__(self) -> None:
+        self.entity_records: list[dict] = []
+        self.relation_records: list[dict] = []
+        self._frequencies: Counter = Counter()
+
+    def add_document(self, document: Document) -> None:
+        for mention in document.entities:
+            self.entity_records.append({
+                "doc_id": document.doc_id, "text": mention.text,
+                "start": mention.start, "end": mention.end,
+                "entity_type": mention.entity_type,
+                "method": mention.method, "term_id": mention.term_id,
+            })
+            self._frequencies[(mention.entity_type, mention.method,
+                               mention.text.lower())] += 1
+
+    def add_relations(self, records: Iterable[dict]) -> None:
+        self.relation_records.extend(records)
+
+    @property
+    def n_distinct_names(self) -> int:
+        return len({(t, name) for (t, _m, name) in self._frequencies})
+
+    def name_frequency_rows(self) -> list[tuple[str, str, str, int]]:
+        return sorted(
+            ((etype, method, name, count)
+             for (etype, method, name), count in self._frequencies.items()),
+            key=lambda row: (-row[3], row[0], row[2]))
+
+    def export(self, directory: str | Path) -> dict[str, Path]:
+        """Write all artifacts; returns {artifact: path}."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: dict[str, Path] = {}
+        entities_path = directory / "entities.jsonl"
+        with entities_path.open("w", encoding="utf-8") as handle:
+            for record in self.entity_records:
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        paths["entities"] = entities_path
+        relations_path = directory / "relations.jsonl"
+        with relations_path.open("w", encoding="utf-8") as handle:
+            for record in self.relation_records:
+                handle.write(json.dumps(record, ensure_ascii=False) + "\n")
+        paths["relations"] = relations_path
+        frequencies_path = directory / "name_frequencies.csv"
+        with frequencies_path.open("w", encoding="utf-8",
+                                   newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["entity_type", "method", "name", "frequency"])
+            writer.writerows(self.name_frequency_rows())
+        paths["name_frequencies"] = frequencies_path
+        return paths

@@ -1,0 +1,280 @@
+"""Linear-chain Conditional Random Fields.
+
+A from-scratch CRF with BIO labels: log-space forward-backward for the
+partition function and marginals, exact gradients, L2-regularized
+L-BFGS training (scipy), and Viterbi decoding.  This is the Mallet
+analog under all three ML entity taggers (BANNER, ChemSpot, and the
+authors' disease tagger all build on Mallet CRFs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize
+
+LABELS = ("O", "B", "I")
+_LABEL_INDEX = {label: i for i, label in enumerate(LABELS)}
+
+
+@dataclass
+class _EncodedSentence:
+    """Feature ids per position plus gold label ids."""
+
+    features: list[list[int]]
+    labels: list[int]
+
+
+class LinearChainCrf:
+    """BIO linear-chain CRF over string features.
+
+    ``feature_cutoff`` drops features seen fewer times in training;
+    ``l2`` is the Gaussian prior strength.  Unknown features at
+    prediction time are ignored.
+    """
+
+    def __init__(self, l2: float = 1.0, feature_cutoff: int = 1,
+                 max_iterations: int = 60) -> None:
+        self.l2 = l2
+        self.feature_cutoff = feature_cutoff
+        self.max_iterations = max_iterations
+        self.feature_index: dict[str, int] = {}
+        self.state_weights: np.ndarray | None = None  # (L, F)
+        self.transitions: np.ndarray | None = None    # (L, L)
+
+    @property
+    def n_labels(self) -> int:
+        return len(LABELS)
+
+    @property
+    def n_features(self) -> int:
+        return len(self.feature_index)
+
+    @property
+    def trained(self) -> bool:
+        return self.state_weights is not None
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self, sentences: Sequence[tuple[Sequence[Sequence[str]],
+                                            Sequence[str]]]) -> "LinearChainCrf":
+        """Train on (features_per_position, bio_labels) pairs."""
+        self._build_feature_index(sentences)
+        encoded = [self._encode(features, labels)
+                   for features, labels in sentences]
+        encoded = [e for e in encoded if e.labels]
+        n_labels, n_features = self.n_labels, self.n_features
+        n_params = n_labels * n_features + n_labels * n_labels
+
+        def objective(theta: np.ndarray) -> tuple[float, np.ndarray]:
+            weights = theta[:n_labels * n_features].reshape(
+                n_labels, n_features)
+            transitions = theta[n_labels * n_features:].reshape(
+                n_labels, n_labels)
+            loss = 0.0
+            grad_w = np.zeros_like(weights)
+            grad_t = np.zeros_like(transitions)
+            for sentence in encoded:
+                loss += self._accumulate(sentence, weights, transitions,
+                                         grad_w, grad_t)
+            loss += 0.5 * self.l2 * float(theta @ theta)
+            gradient = np.concatenate([grad_w.ravel(), grad_t.ravel()])
+            gradient += self.l2 * theta
+            return loss, gradient
+
+        result = minimize(objective, np.zeros(n_params), jac=True,
+                          method="L-BFGS-B",
+                          options={"maxiter": self.max_iterations})
+        theta = result.x
+        self.state_weights = theta[:n_labels * n_features].reshape(
+            n_labels, n_features)
+        self.transitions = theta[n_labels * n_features:].reshape(
+            n_labels, n_labels)
+        return self
+
+    def _build_feature_index(self, sentences) -> None:
+        from collections import Counter
+
+        counts: Counter = Counter()
+        for features, _labels in sentences:
+            for position_features in features:
+                counts.update(position_features)
+        self.feature_index = {
+            feature: index for index, (feature, count) in enumerate(
+                sorted(counts.items()))
+            if count >= self.feature_cutoff
+        }
+        # Re-number densely after the cutoff filter.
+        self.feature_index = {f: i for i, f in
+                              enumerate(sorted(self.feature_index))}
+
+    def _encode(self, features: Sequence[Sequence[str]],
+                labels: Sequence[str] | None) -> _EncodedSentence:
+        # Deduplicate per position (binary features): quadratic-context
+        # templates can emit the same string several times.
+        encoded_features = [
+            sorted({self.feature_index[f] for f in position
+                    if f in self.feature_index})
+            for position in features
+        ]
+        encoded_labels = ([_LABEL_INDEX[label] for label in labels]
+                          if labels is not None else [])
+        return _EncodedSentence(encoded_features, encoded_labels)
+
+    # -- inference core ---------------------------------------------------------
+
+    def _emissions(self, sentence: _EncodedSentence,
+                   weights: np.ndarray) -> np.ndarray:
+        n = len(sentence.features)
+        emissions = np.zeros((n, self.n_labels))
+        for t, active in enumerate(sentence.features):
+            if active:
+                emissions[t] = weights[:, active].sum(axis=1)
+        return emissions
+
+    def _accumulate(self, sentence: _EncodedSentence, weights: np.ndarray,
+                    transitions: np.ndarray, grad_w: np.ndarray,
+                    grad_t: np.ndarray) -> float:
+        """Add one sentence's negative log-likelihood and gradients."""
+        emissions = self._emissions(sentence, weights)
+        n = emissions.shape[0]
+        alpha, log_z = self._forward(emissions, transitions)
+        beta = self._backward(emissions, transitions)
+        # State marginals P(y_t = l | x).
+        state_marginals = np.exp(alpha + beta - log_z)
+        # Empirical counts.
+        gold_score = 0.0
+        previous = None
+        for t, label in enumerate(sentence.labels):
+            gold_score += emissions[t, label]
+            active = sentence.features[t]
+            if active:
+                grad_w[label, active] -= 1.0
+            if previous is not None:
+                gold_score += transitions[previous, label]
+                grad_t[previous, label] -= 1.0
+            previous = label
+        # Expected state-feature counts (feature ids are unique within
+        # a position, so fancy-index accumulation is exact).
+        for t, active in enumerate(sentence.features):
+            if active:
+                grad_w[:, active] += state_marginals[t][:, None]
+        # Expected transition counts.
+        for t in range(1, n):
+            pairwise = (alpha[t - 1][:, None] + transitions
+                        + emissions[t][None, :] + beta[t][None, :] - log_z)
+            grad_t += np.exp(pairwise)
+        return log_z - gold_score
+
+    def _forward(self, emissions: np.ndarray,
+                 transitions: np.ndarray) -> tuple[np.ndarray, float]:
+        n = emissions.shape[0]
+        alpha = np.empty_like(emissions)
+        alpha[0] = emissions[0]
+        for t in range(1, n):
+            scores = alpha[t - 1][:, None] + transitions
+            alpha[t] = _logsumexp_axis0(scores) + emissions[t]
+        return alpha, float(_logsumexp(alpha[-1]))
+
+    def _backward(self, emissions: np.ndarray,
+                  transitions: np.ndarray) -> np.ndarray:
+        n = emissions.shape[0]
+        beta = np.zeros_like(emissions)
+        for t in range(n - 2, -1, -1):
+            scores = transitions + (emissions[t + 1] + beta[t + 1])[None, :]
+            beta[t] = _logsumexp_axis1(scores)
+        return beta
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict(self, features: Sequence[Sequence[str]]) -> list[str]:
+        """Viterbi-decode BIO labels for one sentence's features."""
+        if not self.trained:
+            raise RuntimeError("CRF has not been trained")
+        if not features:
+            return []
+        sentence = self._encode(features, None)
+        emissions = self._emissions(sentence, self.state_weights)
+        transitions = self.transitions
+        n = emissions.shape[0]
+        scores = emissions[0].copy()
+        pointers = np.zeros((n, self.n_labels), dtype=np.int64)
+        for t in range(1, n):
+            candidate = scores[:, None] + transitions
+            pointers[t] = candidate.argmax(axis=0)
+            scores = candidate.max(axis=0) + emissions[t]
+        best = int(scores.argmax())
+        path = [best]
+        for t in range(n - 1, 0, -1):
+            best = int(pointers[t, best])
+            path.append(best)
+        path.reverse()
+        return [LABELS[i] for i in path]
+
+    def log_likelihood(self, features: Sequence[Sequence[str]],
+                       labels: Sequence[str]) -> float:
+        """log P(labels | features) under the trained model."""
+        if not self.trained:
+            raise RuntimeError("CRF has not been trained")
+        sentence = self._encode(features, labels)
+        emissions = self._emissions(sentence, self.state_weights)
+        _alpha, log_z = self._forward(emissions, self.transitions)
+        score = 0.0
+        previous = None
+        for t, label in enumerate(sentence.labels):
+            score += emissions[t, label]
+            if previous is not None:
+                score += self.transitions[previous, label]
+            previous = label
+        return score - log_z
+
+
+def bio_to_spans(labels: Sequence[str]) -> list[tuple[int, int]]:
+    """Token-index spans ``[start, end)`` of B/I runs."""
+    spans = []
+    start = None
+    for i, label in enumerate(labels):
+        if label == "B":
+            if start is not None:
+                spans.append((start, i))
+            start = i
+        elif label == "I":
+            if start is None:
+                start = i  # tolerate I-without-B
+        else:
+            if start is not None:
+                spans.append((start, i))
+                start = None
+    if start is not None:
+        spans.append((start, len(labels)))
+    return spans
+
+
+def spans_to_bio(n_tokens: int,
+                 spans: Sequence[tuple[int, int]]) -> list[str]:
+    """Inverse of :func:`bio_to_spans`."""
+    labels = ["O"] * n_tokens
+    for start, end in spans:
+        if start < 0 or end > n_tokens or start >= end:
+            raise ValueError(f"invalid span ({start}, {end})")
+        labels[start] = "B"
+        for i in range(start + 1, end):
+            labels[i] = "I"
+    return labels
+
+
+def _logsumexp(values: np.ndarray) -> np.ndarray:
+    peak = values.max()
+    return peak + np.log(np.exp(values - peak).sum())
+
+
+def _logsumexp_axis0(matrix: np.ndarray) -> np.ndarray:
+    peak = matrix.max(axis=0)
+    return peak + np.log(np.exp(matrix - peak[None, :]).sum(axis=0))
+
+
+def _logsumexp_axis1(matrix: np.ndarray) -> np.ndarray:
+    peak = matrix.max(axis=1)
+    return peak + np.log(np.exp(matrix - peak[:, None]).sum(axis=1))

@@ -1,0 +1,164 @@
+"""Fuzzy dictionary-based entity tagging (LINNAEUS analog).
+
+Each dictionary term is expanded into a small set of surface variants
+— the equivalent of the paper's "transform each dictionary term into a
+regular expression" step (which "almost only affects very short word
+suffixes"): case folding, hyphen/space alternation, and an optional
+plural *s*.  All variants go into one Aho-Corasick automaton, so
+matching stays linear in the text length regardless of dictionary
+size, at the price of automaton build time and memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.annotations import Document, EntityMention
+from repro.ner.automaton import AhoCorasickAutomaton, Match
+from repro.corpora.vocabulary import TermEntry
+
+_BOUNDARY_CHARS = frozenset(" \t\n\r.,;:!?()[]{}<>\"'`/\\|")
+
+
+def _default_stopwords() -> frozenset[str]:
+    """Common-English exclusion list.
+
+    Short gene symbols collide with ordinary words once case-folded
+    ("IT", "WAS", "CAN" — Leser & Hakenberg's "What makes a gene
+    name?" problem); curated dictionaries drop such patterns, and so
+    do we.
+    """
+    from repro.classify.features import STOPWORDS
+    from repro.corpora import textgen
+
+    words = set(STOPWORDS)
+    for inventory in (textgen.NOUNS_BIO, textgen.NOUNS_GENERAL,
+                      textgen.VERBS_3SG, textgen.VERBS_PAST,
+                      textgen.VERBS_PLURAL, textgen.ADJECTIVES,
+                      textgen.ADJECTIVES_GENERAL, textgen.ADVERBS,
+                      textgen.PREPOSITIONS, textgen.DETERMINERS,
+                      textgen.CONJUNCTIONS):
+        words.update(word.lower() for word in inventory)
+    return frozenset(words)
+
+
+DEFAULT_STOPWORDS = _default_stopwords()
+
+
+def expand_term(term: str) -> set[str]:
+    """Surface variants of one dictionary term (all lower-cased)."""
+    lowered = term.lower()
+    variants = {lowered}
+    if "-" in lowered:
+        variants.add(lowered.replace("-", " "))
+        variants.add(lowered.replace("-", ""))
+    if " " in lowered:
+        variants.add(lowered.replace(" ", "-"))
+    for variant in list(variants):
+        if not variant.endswith("s"):
+            variants.add(variant + "s")
+    return variants
+
+
+@dataclass
+class _PatternInfo:
+    term_id: str
+    canonical: str
+
+
+class EntityDictionary:
+    """A built automaton over the expanded terms of one entity type."""
+
+    def __init__(self, entity_type: str, entries: list[TermEntry],
+                 fuzzy: bool = True,
+                 stopwords: frozenset[str] = DEFAULT_STOPWORDS,
+                 min_pattern_length: int = 3) -> None:
+        self.entity_type = entity_type
+        self.fuzzy = fuzzy
+        self.n_entries = len(entries)
+        started = time.perf_counter()
+        self._automaton = AhoCorasickAutomaton()
+        self._info: list[_PatternInfo] = []
+        seen: set[str] = set()
+        for entry in entries:
+            for name in entry.all_names():
+                surfaces = expand_term(name) if fuzzy else {name.lower()}
+                for surface in surfaces:
+                    if surface in seen or len(surface) < min_pattern_length:
+                        continue
+                    if surface in stopwords:
+                        continue
+                    seen.add(surface)
+                    self._automaton.add(surface)
+                    self._info.append(_PatternInfo(entry.term_id,
+                                                   entry.canonical))
+        self._automaton.build()
+        #: Wall-clock automaton construction time — the "dictionary
+        #: load" cost that lower-bounds task runtime in Section 4.2.
+        self.build_seconds = time.perf_counter() - started
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self._automaton)
+
+    def approx_memory_bytes(self) -> int:
+        return self._automaton.approx_memory_bytes()
+
+    def match(self, text: str) -> list[Match]:
+        """All boundary-aligned matches in ``text`` (case-folded)."""
+        lowered = text.lower()
+        matches = []
+        for match in self._automaton.iter_matches(lowered):
+            if _is_word_aligned(lowered, match.start, match.end):
+                matches.append(match)
+        return matches
+
+    def annotate(self, document: Document) -> list[EntityMention]:
+        """Tag a document; extends ``document.entities`` in place."""
+        mentions = []
+        for match in _longest_non_overlapping(self.match(document.text)):
+            info = self._info[match.pattern_id]
+            mentions.append(EntityMention(
+                text=document.text[match.start:match.end],
+                start=match.start, end=match.end,
+                entity_type=self.entity_type, method="dictionary",
+                term_id=info.term_id))
+        document.entities.extend(mentions)
+        return mentions
+
+
+class DictionaryTagger:
+    """Thin tagger facade over :class:`EntityDictionary` (one type)."""
+
+    method = "dictionary"
+
+    def __init__(self, dictionary: EntityDictionary) -> None:
+        self.dictionary = dictionary
+        self.entity_type = dictionary.entity_type
+
+    def annotate(self, document: Document) -> list[EntityMention]:
+        return self.dictionary.annotate(document)
+
+    def startup_seconds(self) -> float:
+        return self.dictionary.build_seconds
+
+
+def _is_word_aligned(text: str, start: int, end: int) -> bool:
+    before_ok = start == 0 or text[start - 1] in _BOUNDARY_CHARS
+    after_ok = end >= len(text) or text[end] in _BOUNDARY_CHARS
+    return before_ok and after_ok
+
+
+def _longest_non_overlapping(matches: list[Match]) -> list[Match]:
+    """Greedy longest-match-wins overlap resolution."""
+    ordered = sorted(matches, key=lambda m: (-(m.end - m.start), m.start))
+    chosen: list[Match] = []
+    occupied: list[tuple[int, int]] = []
+    for match in ordered:
+        if any(match.start < e and s < match.end for s, e in occupied):
+            continue
+        chosen.append(match)
+        occupied.append((match.start, match.end))
+    chosen.sort(key=lambda m: m.start)
+    return chosen

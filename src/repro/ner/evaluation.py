@@ -1,0 +1,143 @@
+"""NER evaluation: span-based precision/recall/F1.
+
+Exact-span and overlap ("partial") matching against gold documents —
+the methodology behind the BioCreative-style numbers the paper's tool
+choices rest on ("as shown in many recent studies and international
+competitions [25]").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence
+
+from repro.annotations import EntityMention
+from repro.corpora.textgen import GoldDocument
+
+
+class _Tagger(Protocol):
+    entity_type: str
+
+    def annotate(self, document) -> list[EntityMention]: ...
+
+
+@dataclass
+class NerReport:
+    """Span-level counts with derived metrics."""
+
+    entity_type: str
+    mode: str = "exact"
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    #: Gold mentions missed, grouped by provenance flags.
+    missed_in_dictionary: int = 0
+    missed_novel: int = 0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.entity_type} ({self.mode}): "
+                f"P={self.precision:.2f} R={self.recall:.2f} "
+                f"F1={self.f1:.2f} "
+                f"(tp={self.true_positives} fp={self.false_positives} "
+                f"fn={self.false_negatives})")
+
+
+def _spans_match(predicted: tuple[int, int],
+                 gold: tuple[int, int], mode: str) -> bool:
+    if mode == "exact":
+        return predicted == gold
+    if mode == "overlap":
+        return predicted[0] < gold[1] and gold[0] < predicted[1]
+    raise ValueError(f"unknown matching mode: {mode!r}")
+
+
+def evaluate_mentions(predicted: Sequence[EntityMention],
+                      gold: GoldDocument, entity_type: str,
+                      mode: str = "exact",
+                      report: NerReport | None = None) -> NerReport:
+    """Score predictions for one document against its gold mentions."""
+    if mode not in ("exact", "overlap"):
+        raise ValueError(f"unknown matching mode: {mode!r}")
+    report = report or NerReport(entity_type=entity_type, mode=mode)
+    gold_entities = [g for g in gold.entities
+                     if g.mention.entity_type == entity_type]
+    gold_spans = [(g.mention.start, g.mention.end) for g in gold_entities]
+    predicted_spans = [(m.start, m.end) for m in predicted
+                       if m.entity_type == entity_type]
+    matched_gold: set[int] = set()
+    for span in predicted_spans:
+        hit = None
+        for index, gold_span in enumerate(gold_spans):
+            if index in matched_gold:
+                continue
+            if _spans_match(span, gold_span, mode):
+                hit = index
+                break
+        if hit is None:
+            report.false_positives += 1
+        else:
+            matched_gold.add(hit)
+            report.true_positives += 1
+    for index, entity in enumerate(gold_entities):
+        if index in matched_gold:
+            continue
+        report.false_negatives += 1
+        if entity.in_dictionary:
+            report.missed_in_dictionary += 1
+        else:
+            report.missed_novel += 1
+    return report
+
+
+def evaluate_tagger(tagger: _Tagger, gold_documents: Iterable[GoldDocument],
+                    mode: str = "exact") -> NerReport:
+    """Annotate fresh copies of the gold documents and score them."""
+    report = NerReport(entity_type=tagger.entity_type, mode=mode)
+    for gold in gold_documents:
+        document = gold.document.copy_shallow()
+        predicted = tagger.annotate(document)
+        evaluate_mentions(predicted, gold, tagger.entity_type,
+                          mode=mode, report=report)
+    return report
+
+
+@dataclass
+class TaggerComparison:
+    """Dictionary-vs-ML comparison over one gold corpus."""
+
+    dictionary: NerReport
+    ml: NerReport
+    entity_type: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.entity_type = self.dictionary.entity_type
+
+    def rows(self) -> list[list[str]]:
+        return [[self.entity_type, method, f"{r.precision:.2f}",
+                 f"{r.recall:.2f}", f"{r.f1:.2f}"]
+                for method, r in (("dictionary", self.dictionary),
+                                  ("ml", self.ml))]
+
+
+def compare_taggers(dictionary_tagger: _Tagger, ml_tagger: _Tagger,
+                    gold_documents: Sequence[GoldDocument],
+                    mode: str = "exact") -> TaggerComparison:
+    return TaggerComparison(
+        dictionary=evaluate_tagger(dictionary_tagger, gold_documents,
+                                   mode),
+        ml=evaluate_tagger(ml_tagger, gold_documents, mode))

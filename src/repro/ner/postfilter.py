@@ -1,0 +1,40 @@
+"""Annotation post-filters.
+
+The paper finds that the ML gene tagger labels almost every three-
+letter acronym (TLA) as a gene on web text — correct on its Medline
+training data, catastrophic elsewhere — and therefore filters all TLAs
+from the ML gene annotations before analysis (reducing distinct gene
+names in the relevant crawl from 5.5 M to 2.3 M).  This module is that
+filter, plus small helpers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.annotations import EntityMention
+
+
+def is_tla(text: str) -> bool:
+    """True for a bare three-letter all-caps acronym."""
+    return len(text) == 3 and text.isalpha() and text.isupper()
+
+
+def filter_tla_mentions(mentions: Iterable[EntityMention],
+                        entity_type: str = "gene",
+                        method: str = "ml") -> list[EntityMention]:
+    """Drop TLA-shaped mentions of the given type/method; everything
+    else passes through unchanged."""
+    kept = []
+    for mention in mentions:
+        if (mention.entity_type == entity_type
+                and mention.method == method and is_tla(mention.text)):
+            continue
+        kept.append(mention)
+    return kept
+
+
+def filter_short_mentions(mentions: Iterable[EntityMention],
+                          min_length: int = 2) -> list[EntityMention]:
+    """Drop mentions shorter than ``min_length`` characters."""
+    return [m for m in mentions if len(m.text) >= min_length]

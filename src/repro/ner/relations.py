@@ -1,0 +1,157 @@
+"""Sentence-level entity relation extraction.
+
+The Sopremo IE package includes operators for "relationships between
+entities"; this module provides the co-occurrence relation extractor:
+two entity mentions in the same sentence form a candidate relation,
+scored by surface evidence (connecting verb, distance, negation).
+
+This is deliberately the simple, robust end of the relation-extraction
+spectrum (the paper cites kernel methods [27] as the heavy end); it is
+what large-scale systems actually run first.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.annotations import Document, EntityMention, Sentence
+
+#: Verbs that signal a directed biomedical interaction.
+INTERACTION_VERBS = frozenset("""
+inhibits inhibited induces induced activates activated regulates
+regulated targets targeted mediates mediated affects affected reduces
+reduced increases increased treats treated causes caused
+""".split())
+
+_NEGATION_RE = re.compile(r"\b(not|nor|neither|n't)\b", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class EntityRelation:
+    """A co-occurrence relation between two mentions in one sentence."""
+
+    doc_id: str
+    sentence_index: int
+    subject: EntityMention
+    object: EntityMention
+    verb: str = ""
+    negated: bool = False
+    token_distance: int = 0
+
+    @property
+    def relation_type(self) -> str:
+        return f"{self.subject.entity_type}-{self.object.entity_type}"
+
+    @property
+    def confidence(self) -> float:
+        """Heuristic confidence: verb evidence, proximity, negation."""
+        score = 0.3
+        if self.verb:
+            score += 0.4
+        score += max(0.0, 0.3 - 0.02 * self.token_distance)
+        if self.negated:
+            score *= 0.5
+        return min(1.0, score)
+
+
+class RelationExtractor:
+    """Pairs same-sentence entity mentions into scored relations.
+
+    ``type_pairs`` restricts which (subject_type, object_type)
+    combinations are emitted; default: drug-disease, gene-disease,
+    drug-gene — the paper's "genetic facts about diseases" focus.
+    """
+
+    def __init__(self, type_pairs: frozenset[tuple[str, str]] = frozenset({
+            ("drug", "disease"), ("gene", "disease"), ("drug", "gene")}),
+            max_token_distance: int = 30) -> None:
+        self.type_pairs = type_pairs
+        self.max_token_distance = max_token_distance
+
+    def extract(self, document: Document) -> list[EntityRelation]:
+        """Relations from an annotated document (needs sentences and
+        entities)."""
+        relations: list[EntityRelation] = []
+        for index, sentence in enumerate(document.sentences):
+            mentions = [m for m in document.entities
+                        if sentence.start <= m.start
+                        and m.end <= sentence.end]
+            mentions = _dedup_spans(mentions)
+            for a, b in combinations(mentions, 2):
+                pair = self._orient(a, b)
+                if pair is None:
+                    continue
+                subject, object_ = pair
+                verb = self._connecting_verb(document, sentence,
+                                             subject, object_)
+                distance = self._token_distance(sentence, subject,
+                                                object_)
+                if distance > self.max_token_distance:
+                    continue
+                between = document.text[min(subject.end, object_.end):
+                                        max(subject.start, object_.start)]
+                relations.append(EntityRelation(
+                    doc_id=document.doc_id, sentence_index=index,
+                    subject=subject, object=object_, verb=verb,
+                    negated=bool(_NEGATION_RE.search(between)),
+                    token_distance=distance))
+        return relations
+
+    def _orient(self, a: EntityMention, b: EntityMention,
+                ) -> tuple[EntityMention, EntityMention] | None:
+        if (a.entity_type, b.entity_type) in self.type_pairs:
+            return a, b
+        if (b.entity_type, a.entity_type) in self.type_pairs:
+            return b, a
+        return None
+
+    @staticmethod
+    def _connecting_verb(document: Document, sentence: Sentence,
+                         a: EntityMention, b: EntityMention) -> str:
+        left = min(a.end, b.end)
+        right = max(a.start, b.start)
+        between = document.text[left:right].lower()
+        for word in re.findall(r"[a-z']+", between):
+            if word in INTERACTION_VERBS:
+                return word
+        return ""
+
+    @staticmethod
+    def _token_distance(sentence: Sentence, a: EntityMention,
+                        b: EntityMention) -> int:
+        if not sentence.tokens:
+            return abs(a.start - b.start) // 6  # chars-to-tokens guess
+        left = min(a.end, b.end)
+        right = max(a.start, b.start)
+        return sum(1 for t in sentence.tokens
+                   if left <= t.start and t.end <= right)
+
+
+def relations_to_records(relations: list[EntityRelation]) -> list[dict]:
+    """Flat dict records (for the dataflow and fact-database export)."""
+    return [{
+        "doc_id": r.doc_id,
+        "sentence": r.sentence_index,
+        "relation_type": r.relation_type,
+        "subject": r.subject.text,
+        "subject_type": r.subject.entity_type,
+        "object": r.object.text,
+        "object_type": r.object.entity_type,
+        "verb": r.verb,
+        "negated": r.negated,
+        "confidence": round(r.confidence, 3),
+    } for r in relations]
+
+
+def _dedup_spans(mentions: list[EntityMention]) -> list[EntityMention]:
+    """One mention per (span, type): prefer dictionary evidence."""
+    chosen: dict[tuple[int, int, str], EntityMention] = {}
+    for mention in mentions:
+        key = (mention.start, mention.end, mention.entity_type)
+        current = chosen.get(key)
+        if current is None or (current.method != "dictionary"
+                               and mention.method == "dictionary"):
+            chosen[key] = mention
+    return sorted(chosen.values(), key=lambda m: m.start)

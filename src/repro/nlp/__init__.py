@@ -1,0 +1,38 @@
+"""Statistical NLP substrate.
+
+Tokenization, sentence detection, HMM part-of-speech tagging (MedPost
+analog), character-n-gram language identification, regex linguistic
+analysis (negation / pronouns / parentheses), and the statistics used
+by the paper's content analysis (Mann-Whitney U, Jensen-Shannon
+divergence).
+"""
+
+from repro.nlp.tokenize import tokenize, Tokenizer
+from repro.nlp.sentence import SentenceSplitter, split_sentences
+from repro.nlp.pos_hmm import HmmPosTagger, TaggerCrash
+from repro.nlp.language import LanguageIdentifier, default_identifier
+from repro.nlp.linguistics import LinguisticAnalyzer
+from repro.nlp.stats import (
+    mann_whitney_u, jensen_shannon_divergence, kl_divergence,
+)
+from repro.nlp.abbreviations import (
+    AbbreviationDefinition, annotate_abbreviations, find_abbreviations,
+)
+
+__all__ = [
+    "AbbreviationDefinition",
+    "annotate_abbreviations",
+    "find_abbreviations",
+    "tokenize",
+    "Tokenizer",
+    "SentenceSplitter",
+    "split_sentences",
+    "HmmPosTagger",
+    "TaggerCrash",
+    "LanguageIdentifier",
+    "default_identifier",
+    "LinguisticAnalyzer",
+    "mann_whitney_u",
+    "jensen_shannon_divergence",
+    "kl_divergence",
+]

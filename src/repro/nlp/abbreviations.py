@@ -1,0 +1,115 @@
+"""Abbreviation detection (Schwartz-Hearst).
+
+Section 4.3.1 notes that parentheses "can hint to abbreviations …
+which are very important during NLP processing".  This module
+implements the classic Schwartz-Hearst algorithm (A simple algorithm
+for identifying abbreviation definitions in biomedical text, PSB 2003):
+find ``long form (SF)`` patterns and validate the short form against
+the preceding text.
+
+Detected definitions feed two consumers: the TLA post-filter (an
+acronym *defined* in the document is a legitimate mention, not a
+false positive) and the content analysis.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.annotations import Document
+
+_CANDIDATE_RE = re.compile(r"\(([^()]{1,60})\)")
+
+
+@dataclass(frozen=True)
+class AbbreviationDefinition:
+    """A (short form, long form) definition found in text."""
+
+    short_form: str
+    long_form: str
+    short_start: int
+    short_end: int
+    long_start: int
+    long_end: int
+
+
+def _is_valid_short_form(candidate: str) -> bool:
+    """Schwartz-Hearst validity: 2-10 chars, starts alphanumeric,
+    contains a letter, not all lower-case words."""
+    if not 2 <= len(candidate) <= 10:
+        return False
+    if not candidate[0].isalnum():
+        return False
+    if not any(c.isalpha() for c in candidate):
+        return False
+    if " " in candidate and len(candidate.split()) > 2:
+        return False
+    return True
+
+
+def _find_best_long_form(short: str, long_candidate: str) -> int:
+    """Return the start index of the long form inside ``long_candidate``
+    or -1 — the Schwartz-Hearst right-to-left character match."""
+    s_index = len(short) - 1
+    l_index = len(long_candidate) - 1
+    while s_index >= 0:
+        char = short[s_index].lower()
+        if not char.isalnum():
+            s_index -= 1
+            continue
+        while l_index >= 0 and (long_candidate[l_index].lower() != char
+                                or (s_index == 0 and l_index > 0
+                                    and long_candidate[l_index - 1]
+                                    .isalnum())):
+            l_index -= 1
+        if l_index < 0:
+            return -1
+        s_index -= 1
+        l_index -= 1
+    return long_candidate.rindex(" ", 0, l_index + 2) + 1 \
+        if " " in long_candidate[:l_index + 2] else 0
+
+
+def find_abbreviations(text: str) -> list[AbbreviationDefinition]:
+    """All Schwartz-Hearst abbreviation definitions in ``text``."""
+    definitions: list[AbbreviationDefinition] = []
+    for match in _CANDIDATE_RE.finditer(text):
+        inner = match.group(1).strip()
+        if not _is_valid_short_form(inner):
+            continue
+        # Long form: up to min(|A|+5, |A|*2) words before the paren.
+        max_words = min(len(inner) + 5, len(inner) * 2)
+        prefix = text[:match.start()].rstrip()
+        words = prefix.split(" ")
+        window = " ".join(words[-max_words:])
+        start_in_window = _find_best_long_form(inner, window)
+        if start_in_window < 0:
+            continue
+        long_form = window[start_in_window:].strip()
+        if not long_form or len(long_form) <= len(inner):
+            continue
+        long_start = len(prefix) - len(window) + start_in_window
+        # Guard against degenerate matches (long form = short form).
+        if long_form.lower() == inner.lower():
+            continue
+        definitions.append(AbbreviationDefinition(
+            short_form=inner, long_form=long_form,
+            short_start=match.start(1), short_end=match.end(1),
+            long_start=long_start, long_end=long_start + len(long_form)))
+    return definitions
+
+
+def annotate_abbreviations(document: Document) -> list[AbbreviationDefinition]:
+    """Find definitions and stash them in ``document.meta``."""
+    definitions = find_abbreviations(document.text)
+    document.meta["abbreviations"] = [
+        (d.short_form, d.long_form) for d in definitions]
+    return definitions
+
+
+def defined_short_forms(document: Document) -> set[str]:
+    """Short forms defined in this document (detecting if needed)."""
+    if "abbreviations" not in document.meta:
+        annotate_abbreviations(document)
+    return {short for short, _long in document.meta["abbreviations"]}

@@ -1,0 +1,93 @@
+"""Character-n-gram language identification (Cavnar-Trenkle).
+
+The crawler's language filter: builds rank-ordered character trigram
+profiles per language and classifies text by out-of-place distance to
+each profile.  A default identifier pre-trained on the synthetic
+English generator and the foreign word inventories ships with the
+package.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+_PROFILE_SIZE = 300
+
+
+def _ngrams(text: str, n: int = 3) -> Counter:
+    padded = f" {' '.join(text.lower().split())} "
+    counts: Counter = Counter()
+    for i in range(len(padded) - n + 1):
+        gram = padded[i:i + n]
+        counts[gram] += 1
+    return counts
+
+
+def _rank_profile(counts: Counter, size: int = _PROFILE_SIZE) -> dict[str, int]:
+    ranked = [g for g, _c in counts.most_common(size)]
+    return {gram: rank for rank, gram in enumerate(ranked)}
+
+
+class LanguageIdentifier:
+    """Rank-order trigram profile classifier."""
+
+    def __init__(self, profile_size: int = _PROFILE_SIZE) -> None:
+        self.profile_size = profile_size
+        self._profiles: dict[str, dict[str, int]] = {}
+
+    def train(self, language: str, text: str) -> None:
+        self._profiles[language] = _rank_profile(
+            _ngrams(text), self.profile_size)
+
+    @property
+    def languages(self) -> list[str]:
+        return sorted(self._profiles)
+
+    def detect(self, text: str) -> str:
+        """Return the closest language ('' when untrained or empty text)."""
+        if not self._profiles or not text.strip():
+            return ""
+        document_profile = _rank_profile(_ngrams(text), self.profile_size)
+        best_language = ""
+        best_distance = float("inf")
+        for language, profile in self._profiles.items():
+            distance = self._out_of_place(document_profile, profile)
+            if distance < best_distance:
+                best_distance = distance
+                best_language = language
+        return best_language
+
+    def is_english(self, text: str) -> bool:
+        return self.detect(text) == "en"
+
+    def _out_of_place(self, document: dict[str, int],
+                      profile: dict[str, int]) -> float:
+        penalty = self.profile_size
+        distance = 0
+        for gram, rank in document.items():
+            distance += abs(profile.get(gram, penalty) - rank)
+        return distance / max(1, len(document))
+
+
+def default_identifier(seed: int = 3) -> LanguageIdentifier:
+    """Identifier trained on synthetic English and the foreign pools."""
+    import random
+
+    from repro.corpora.foreign import FOREIGN_WORDS, generate_foreign_text
+    from repro.corpora.profiles import IRRELEVANT, RELEVANT
+    from repro.corpora.textgen import DocumentGenerator
+    from repro.corpora.vocabulary import BiomedicalVocabulary
+
+    identifier = LanguageIdentifier()
+    vocabulary = BiomedicalVocabulary(seed=seed, n_genes=60, n_diseases=50,
+                                      n_drugs=50)
+    english_parts = []
+    for profile in (RELEVANT, IRRELEVANT):
+        generator = DocumentGenerator(vocabulary, profile, seed=seed)
+        english_parts.extend(generator.document(i).text for i in range(8))
+    identifier.train("en", " ".join(english_parts))
+    rng = random.Random(seed)
+    for language in FOREIGN_WORDS:
+        identifier.train(language,
+                         generate_foreign_text(language, 20_000, rng))
+    return identifier

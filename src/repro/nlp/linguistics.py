@@ -1,0 +1,85 @@
+"""Regex linguistic analysis: negation, pronouns, parentheses.
+
+The paper's linguistic data flow finds mentions of the words *not*,
+*nor*, *neither* (negation), six classes of pronouns, and
+parenthesized text using sets of regular expressions, emitting each
+match with document/sentence IDs and start/end positions (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.annotations import Document, LinguisticMention
+from repro.corpora.textgen import COREFERENCE_CLASSES, PRONOUN_CLASSES
+
+_NEGATION_RE = re.compile(r"\b(not|nor|neither|n't)\b", re.IGNORECASE)
+_PARENTHESIS_RE = re.compile(r"\(([^()]{0,400})\)")
+
+_PRONOUN_RES: dict[str, re.Pattern[str]] = {
+    cls: re.compile(r"\b(" + "|".join(map(re.escape, words)) + r")\b",
+                    re.IGNORECASE)
+    for cls, words in PRONOUN_CLASSES.items()
+}
+
+
+@dataclass
+class LinguisticSummary:
+    """Per-document incidence counts produced by the analyzer."""
+
+    doc_id: str
+    doc_chars: int
+    n_sentences: int
+    negations: int = 0
+    parentheses: int = 0
+    pronouns: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def coreference_pronouns(self) -> int:
+        return sum(self.pronouns.get(c, 0) for c in COREFERENCE_CLASSES)
+
+    def per_1000_chars(self, count: int) -> float:
+        return 1000.0 * count / self.doc_chars if self.doc_chars else 0.0
+
+
+class LinguisticAnalyzer:
+    """Finds negation cues, pronouns, and parenthesized text."""
+
+    def analyze(self, document: Document) -> list[LinguisticMention]:
+        """Annotate ``document.linguistics`` in place and return it."""
+        mentions: list[LinguisticMention] = []
+        text = document.text
+        for match in _NEGATION_RE.finditer(text):
+            mentions.append(LinguisticMention(
+                text=match.group(), start=match.start(), end=match.end(),
+                category="negation"))
+        for cls, pattern in _PRONOUN_RES.items():
+            for match in pattern.finditer(text):
+                mentions.append(LinguisticMention(
+                    text=match.group(), start=match.start(),
+                    end=match.end(), category="pronoun", subtype=cls))
+        for match in _PARENTHESIS_RE.finditer(text):
+            mentions.append(LinguisticMention(
+                text=match.group(), start=match.start(), end=match.end(),
+                category="parenthesis"))
+        mentions.sort(key=lambda m: (m.start, m.end))
+        document.linguistics = mentions
+        return mentions
+
+    def summarize(self, document: Document) -> LinguisticSummary:
+        """Analyze (if needed) and aggregate counts for one document."""
+        if not document.linguistics:
+            self.analyze(document)
+        summary = LinguisticSummary(
+            doc_id=document.doc_id, doc_chars=len(document.text),
+            n_sentences=len(document.sentences))
+        for mention in document.linguistics:
+            if mention.category == "negation":
+                summary.negations += 1
+            elif mention.category == "parenthesis":
+                summary.parentheses += 1
+            elif mention.category == "pronoun":
+                summary.pronouns[mention.subtype] = (
+                    summary.pronouns.get(mention.subtype, 0) + 1)
+        return summary

@@ -1,0 +1,219 @@
+"""Hidden-Markov-Model part-of-speech tagger (MedPost analog).
+
+A trigram (order-3, like MedPost) HMM: transitions
+``P(t_i | t_{i-2}, t_{i-1})`` with deleted-interpolation backoff to
+bigram and unigram, add-k smoothed emissions, and shape/suffix-based
+unknown-word handling.  Decoding is Viterbi over tag-pair states.
+
+Operational quirks of the original are modelled explicitly: runtime is
+linear in sentence length but fluctuates, and sentences beyond
+``crash_token_limit`` raise :class:`TaggerCrash` — the behaviour the
+paper observed on >2000-character pseudo-sentences from web pages.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Sequence
+
+_START = "<S>"
+_UNK_SHAPES = (
+    "suffix_ing", "suffix_ed", "suffix_s", "suffix_ly", "suffix_tion",
+    "shape_allcaps", "shape_capitalized", "shape_number", "shape_mixed",
+    "shape_punct", "shape_other",
+)
+
+
+class TaggerCrash(RuntimeError):
+    """Raised when the tagger hits an input it cannot process
+    (pathologically long sentences, like the original MedPost)."""
+
+
+def _shape(word: str) -> str:
+    if all(c in ".,;:!?()[]{}<>%&=+/*-'\"" for c in word):
+        return "shape_punct"
+    if word.isdigit() or word.replace(".", "").isdigit():
+        return "shape_number"
+    for suffix in ("ing", "tion", "ed", "ly", "s"):
+        if word.endswith(suffix) and len(word) > len(suffix) + 2:
+            return f"suffix_{suffix}"
+    if word.isupper() and len(word) > 1:
+        return "shape_allcaps"
+    if word[:1].isupper():
+        return "shape_capitalized"
+    if any(c.isdigit() for c in word):
+        return "shape_mixed"
+    return "shape_other"
+
+
+class HmmPosTagger:
+    """Trainable trigram HMM tagger.
+
+    Train with :meth:`train` on gold (word, tag) sequences, then tag
+    token lists with :meth:`tag`.
+    """
+
+    def __init__(self, emission_k: float = 0.05,
+                 interpolation: tuple[float, float, float] = (0.6, 0.3, 0.1),
+                 crash_token_limit: int | None = 600) -> None:
+        self.emission_k = emission_k
+        self.interpolation = interpolation
+        self.crash_token_limit = crash_token_limit
+        self.tags: list[str] = []
+        self._trigram: dict[tuple[str, str], Counter] = defaultdict(Counter)
+        self._bigram: dict[str, Counter] = defaultdict(Counter)
+        self._unigram: Counter = Counter()
+        self._emissions: dict[str, Counter] = defaultdict(Counter)
+        self._shape_emissions: dict[str, Counter] = defaultdict(Counter)
+        self._vocabulary: set[str] = set()
+        self._word_tags: dict[str, list[str]] = {}
+        self._transition_rows: dict[tuple[str, str], dict[str, float]] = {}
+        self._emission_totals: dict[str, int] = {}
+        self._shape_totals: dict[str, int] = {}
+        self._trained = False
+
+    # -- training -----------------------------------------------------------
+
+    def train(self, tagged_sentences: Iterable[Sequence[tuple[str, str]]]) -> None:
+        """Accumulate counts from (word, tag) sequences (incremental)."""
+        for sentence in tagged_sentences:
+            t2, t1 = _START, _START
+            for word, tag in sentence:
+                self._trigram[(t2, t1)][tag] += 1
+                self._bigram[t1][tag] += 1
+                self._unigram[tag] += 1
+                self._emissions[tag][word.lower()] += 1
+                self._shape_emissions[tag][_shape(word)] += 1
+                self._vocabulary.add(word.lower())
+                t2, t1 = t1, tag
+        self.tags = sorted(self._unigram)
+        self._finalize()
+        self._trained = True
+
+    def _finalize(self) -> None:
+        """Precompute totals and candidate-tag lists (called after
+        every training round; training stays incremental)."""
+        self._transition_rows.clear()
+        self._emission_totals = {tag: sum(c.values())
+                                 for tag, c in self._emissions.items()}
+        self._shape_totals = {tag: sum(c.values())
+                              for tag, c in self._shape_emissions.items()}
+        word_tags: dict[str, set[str]] = defaultdict(set)
+        for tag, counts in self._emissions.items():
+            for word in counts:
+                word_tags[word].add(tag)
+        self._word_tags = {w: sorted(tags) for w, tags in word_tags.items()}
+
+    # -- probabilities -----------------------------------------------------
+
+    def _transition_row(self, t2: str, t1: str) -> dict[str, float]:
+        """Cached log P(tag | t2, t1) for all tags, interpolated."""
+        row = self._transition_rows.get((t2, t1))
+        if row is not None:
+            return row
+        l3, l2, l1 = self.interpolation
+        tri = self._trigram.get((t2, t1))
+        tri_total = sum(tri.values()) if tri else 0
+        bi = self._bigram.get(t1)
+        bi_total = sum(bi.values()) if bi else 0
+        uni_total = sum(self._unigram.values())
+        row = {}
+        for tag in self.tags:
+            p = 0.0
+            if tri_total:
+                p += l3 * tri[tag] / tri_total
+            if bi_total:
+                p += l2 * bi[tag] / bi_total
+            if uni_total:
+                p += l1 * self._unigram[tag] / uni_total
+            row[tag] = math.log(p) if p > 0 else -50.0
+        self._transition_rows[(t2, t1)] = row
+        return row
+
+    def _log_emission(self, tag: str, word: str) -> float:
+        lowered = word.lower()
+        vocab_size = max(1, len(self._vocabulary))
+        if lowered in self._vocabulary:
+            counts = self._emissions[tag]
+            total = self._emission_totals.get(tag, 0)
+            p = (counts[lowered] + self.emission_k) / (
+                total + self.emission_k * vocab_size)
+            return math.log(p)
+        # Unknown word: back off to shape/suffix emission.
+        shape_counts = self._shape_emissions[tag]
+        shape_total = self._shape_totals.get(tag, 0)
+        p = (shape_counts[_shape(word)] + self.emission_k) / (
+            shape_total + self.emission_k * len(_UNK_SHAPES))
+        return math.log(p)
+
+    def _candidate_tags(self, word: str) -> list[str]:
+        """Tags worth considering for a word: observed tags for known
+        words, the full tagset for unknown ones."""
+        known = self._word_tags.get(word.lower())
+        return known if known else self.tags
+
+    # -- decoding ------------------------------------------------------------
+
+    def tag(self, words: Sequence[str]) -> list[str]:
+        """Viterbi-decode the most likely tag sequence for ``words``."""
+        if not self._trained:
+            raise RuntimeError("tagger has not been trained")
+        if not words:
+            return []
+        if (self.crash_token_limit is not None
+                and len(words) > self.crash_token_limit):
+            raise TaggerCrash(
+                f"sentence of {len(words)} tokens exceeds the tagger's "
+                f"operational limit of {self.crash_token_limit}")
+        # State = (t_prev2, t_prev1); start state collapses to (_S, _S).
+        scores: dict[tuple[str, str], float] = {(_START, _START): 0.0}
+        backpointers: list[dict[tuple[str, str], tuple[str, str]]] = []
+        for word in words:
+            candidates = self._candidate_tags(word)
+            emissions = {tag: self._log_emission(tag, word)
+                         for tag in candidates}
+            next_scores: dict[tuple[str, str], float] = {}
+            pointers: dict[tuple[str, str], tuple[str, str]] = {}
+            for (t2, t1), score in scores.items():
+                row = self._transition_row(t2, t1)
+                for tag in candidates:
+                    candidate = score + row[tag] + emissions[tag]
+                    state = (t1, tag)
+                    if candidate > next_scores.get(state, -math.inf):
+                        next_scores[state] = candidate
+                        pointers[state] = (t2, t1)
+            if not next_scores:
+                raise TaggerCrash("no viable tag path (empty model?)")
+            scores = next_scores
+            backpointers.append(pointers)
+        best_state = max(scores, key=scores.get)
+        sequence = [best_state[1]]
+        state = best_state
+        for pointers in reversed(backpointers[1:]):
+            state = pointers[state]
+            sequence.append(state[1])
+        sequence.reverse()
+        return sequence
+
+    def tag_tokens(self, tokens: Sequence) -> list:
+        """Tag :class:`~repro.annotations.Token` objects, returning
+        copies with ``pos`` filled."""
+        tags = self.tag([t.text for t in tokens])
+        return [tok.with_pos(tag) for tok, tag in zip(tokens, tags)]
+
+    def accuracy(self, tagged_sentences: Iterable[Sequence[tuple[str, str]]],
+                 ) -> float:
+        """Token-level tagging accuracy against gold sequences."""
+        correct = total = 0
+        for sentence in tagged_sentences:
+            words = [w for w, _t in sentence]
+            gold = [t for _w, t in sentence]
+            try:
+                predicted = self.tag(words)
+            except TaggerCrash:
+                total += len(gold)
+                continue
+            correct += sum(1 for p, g in zip(predicted, gold) if p == g)
+            total += len(gold)
+        return correct / total if total else 0.0

@@ -1,0 +1,168 @@
+"""Statistics for the content analysis.
+
+Implements the two measures the paper's evaluation relies on:
+
+* the Mann-Whitney-Wilcoxon rank-sum test (normal approximation with
+  tie correction), used for all "significantly different (P < 0.01)"
+  claims in Section 4.3; and
+* the Jensen-Shannon divergence over entity-name frequency
+  distributions (Section 4.3.2), bounded in [0, 1] when computed with
+  log base 2.
+
+Implemented from first principles (no scipy dependency) so their
+behaviour is fully inspectable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def _rank(values: Sequence[float]) -> tuple[list[float], list[int]]:
+    """Average ranks (1-based) and tie-group sizes."""
+    order = sorted(range(len(values)), key=values.__getitem__)
+    ranks = [0.0] * len(values)
+    tie_sizes: list[int] = []
+    i = 0
+    while i < len(order):
+        j = i
+        while (j + 1 < len(order)
+               and values[order[j + 1]] == values[order[i]]):
+            j += 1
+        average = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        tie_sizes.append(j - i + 1)
+        i = j + 1
+    return ranks, tie_sizes
+
+
+def mann_whitney_u(sample_a: Sequence[float],
+                   sample_b: Sequence[float]) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test.
+
+    Returns ``(U, p_value)`` using the normal approximation with tie
+    correction; requires both samples non-empty.
+    """
+    n_a, n_b = len(sample_a), len(sample_b)
+    if n_a == 0 or n_b == 0:
+        raise ValueError("both samples must be non-empty")
+    combined = list(sample_a) + list(sample_b)
+    ranks, tie_sizes = _rank(combined)
+    rank_sum_a = sum(ranks[:n_a])
+    u_a = rank_sum_a - n_a * (n_a + 1) / 2
+    u = min(u_a, n_a * n_b - u_a)
+    mean_u = n_a * n_b / 2
+    n = n_a + n_b
+    tie_term = sum(t ** 3 - t for t in tie_sizes)
+    variance = (n_a * n_b / 12) * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0:
+        return u, 1.0
+    z = (u - mean_u + 0.5) / math.sqrt(variance)  # continuity correction
+    p = 2 * _normal_sf(abs(z))
+    return u, min(1.0, p)
+
+
+def _normal_sf(z: float) -> float:
+    """Standard normal survival function via erfc."""
+    return 0.5 * math.erfc(z / math.sqrt(2))
+
+
+def _normalize(distribution: Mapping[str, float]) -> dict[str, float]:
+    total = sum(distribution.values())
+    if total <= 0:
+        raise ValueError("distribution has no mass")
+    return {k: v / total for k, v in distribution.items() if v > 0}
+
+
+def kl_divergence(p: Mapping[str, float], q: Mapping[str, float],
+                  base: float = 2.0) -> float:
+    """Kullback-Leibler divergence D(P || Q); infinite if Q misses
+    support of P."""
+    p = _normalize(p)
+    q = _normalize(q)
+    total = 0.0
+    for key, p_k in p.items():
+        q_k = q.get(key, 0.0)
+        if q_k == 0.0:
+            return math.inf
+        total += p_k * math.log(p_k / q_k, base)
+    return total
+
+
+def jensen_shannon_divergence(p: Mapping[str, float],
+                              q: Mapping[str, float],
+                              base: float = 2.0) -> float:
+    """JSD(P, Q) in [0, 1] for base 2: symmetric, finite, zero iff
+    the distributions coincide."""
+    p = _normalize(p)
+    q = _normalize(q)
+    mixture = {k: (p.get(k, 0.0) + q.get(k, 0.0)) / 2
+               for k in set(p) | set(q)}
+    return (kl_divergence(p, mixture, base)
+            + kl_divergence(q, mixture, base)) / 2
+
+
+def frequency_distribution(names: Iterable[str]) -> dict[str, float]:
+    """Relative frequency distribution of an iterable of names."""
+    counts = Counter(names)
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {name: count / total for name, count in counts.items()}
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def median(values: Sequence[float]) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def bootstrap_ci(values: Sequence[float], statistic=mean,
+                 n_resamples: int = 1000, confidence: float = 0.95,
+                 seed: int = 0) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for a statistic.
+
+    Used to put uncertainty bands on the per-corpus means reported in
+    the content analysis.
+    """
+    if not values:
+        raise ValueError("empty sample")
+    from repro.util import seeded_rng
+
+    rng = seeded_rng("bootstrap", seed, len(values))
+    estimates = sorted(
+        statistic([values[rng.randrange(len(values))]
+                   for _ in range(len(values))])
+        for _ in range(n_resamples))
+    alpha = (1 - confidence) / 2
+    low_index = int(alpha * (n_resamples - 1))
+    high_index = int((1 - alpha) * (n_resamples - 1))
+    return estimates[low_index], estimates[high_index]
+
+
+def quantiles(values: Sequence[float],
+              points: Sequence[float] = (0.25, 0.5, 0.75)) -> list[float]:
+    """Linear-interpolated quantiles of a sample."""
+    if not values:
+        return [0.0] * len(points)
+    ordered = sorted(values)
+    results = []
+    for q in points:
+        position = q * (len(ordered) - 1)
+        low = int(math.floor(position))
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        results.append(ordered[low] * (1 - fraction)
+                       + ordered[high] * fraction)
+    return results

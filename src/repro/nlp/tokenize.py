@@ -1,0 +1,52 @@
+"""Offset-preserving tokenization.
+
+Biomedical text needs tokenization that keeps hyphenated gene symbols
+("GAD-67"), Greek-letter suffixes ("TNF-alpha"), decimal numbers, and
+abbreviations intact, while splitting off sentence punctuation and
+parentheses.  Tokens carry exact character offsets into the input so
+downstream annotations compose.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.annotations import Token
+
+#: Order matters: longer, more specific patterns first.
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-z]+\.(?:[A-Za-z]+\.)+        # dotted abbreviations: e.g., i.v.
+  | \d+(?:\.\d+)+                      # decimals / versions: 0.01, 1.4.2
+  | [A-Za-z][A-Za-z0-9]*(?:-[A-Za-z0-9]+)+  # hyphen compounds: GAD-67
+  | [A-Za-z]+'[a-z]+                   # contractions: don't
+  | [A-Za-z][A-Za-z0-9]*               # plain words / alphanumerics
+  | \d+                                # integers
+  | [()\[\]{}]                         # brackets (kept individually)
+  | [.,;:!?%&<>=+/*-]                  # punctuation and operators
+  | \S                                 # anything else, one char at a time
+    """,
+    re.VERBOSE,
+)
+
+
+class Tokenizer:
+    """Regex tokenizer with configurable token pattern."""
+
+    def __init__(self, pattern: re.Pattern[str] = _TOKEN_RE) -> None:
+        self.pattern = pattern
+
+    def tokenize(self, text: str, base_offset: int = 0) -> list[Token]:
+        """Tokenize ``text``; offsets are shifted by ``base_offset``."""
+        return [
+            Token(m.group(), base_offset + m.start(), base_offset + m.end())
+            for m in self.pattern.finditer(text)
+        ]
+
+
+_DEFAULT = Tokenizer()
+
+
+def tokenize(text: str, base_offset: int = 0) -> list[Token]:
+    """Tokenize with the default tokenizer."""
+    return _DEFAULT.tokenize(text, base_offset)

@@ -1,0 +1,16 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import random
+
+
+def seeded_rng(*parts: object) -> random.Random:
+    """A deterministic RNG keyed by an arbitrary tuple of parts.
+
+    ``random.Random`` seeds strings via SHA-512, which is stable across
+    processes (unlike ``hash()``), so the same parts always yield the
+    same stream.
+    """
+    key = "\x1f".join(str(p) for p in parts)
+    return random.Random(key)

@@ -1,0 +1,227 @@
+"""HTML page renderer with realistic defects and boilerplate.
+
+Wraps article text in the clutter real pages carry — navigation bars,
+ad blocks, cookie banners, footers, comment teasers — and injects the
+markup-defect classes reported for the real web (per the paper's
+reference [19], ~95 % of pages violate the HTML standard): unclosed
+tags, unquoted attributes, mis-nesting, raw ampersands, deprecated
+tags, and truncated documents.
+
+The split between boilerplate and content blocks is what the
+Boilerpipe-style detector in :mod:`repro.html.boilerplate` must
+recover: boilerplate blocks are short and link-dense, content blocks
+long and link-poor.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.corpora.markov import default_filler_model
+from repro.util import seeded_rng
+
+_AD_SLOGANS = [
+    "Best supplement deals!",
+    "Lose weight fast",
+    "Advertise here today",
+    "Get our app",
+    "Premium 50% off",
+]
+
+_NAV_LABELS = ["Home", "About", "News", "Contact", "Archive",
+               "Login", "Register", "Search", "Sitemap", "Help"]
+
+#: Defect classes; each is a post-processing function on the HTML.
+DEFECT_CLASSES = (
+    "unclosed_tag", "unquoted_attr", "misnesting", "raw_ampersand",
+    "deprecated_tag", "truncated", "duplicate_attr",
+)
+
+
+class PageRenderer:
+    """Deterministic HTML renderer.
+
+    ``defect_rate`` is the probability that a page carries at least one
+    markup defect (default 0.95, matching [19]); a defective page gets
+    1-3 defects drawn from :data:`DEFECT_CLASSES`.
+    """
+
+    def __init__(self, seed: int = 41, defect_rate: float = 0.95,
+                 severe_defect_rate: float = 0.13) -> None:
+        self.seed = seed
+        self.defect_rate = defect_rate
+        #: Fraction of pages so broken they cannot be transcoded
+        #: (paper cites 13 %); these get the ``truncated`` defect.
+        self.severe_defect_rate = severe_defect_rate
+        self._filler = default_filler_model(seed)
+
+    def render(self, url: str, title: str, body_text: str,
+               outlinks: list[str], page_index: int = 0,
+               nav_links: list[str] | None = None) -> str:
+        """Render one page. ``outlinks`` appear as content links,
+        ``nav_links`` (default: outlinks) as navigation chrome."""
+        rng = seeded_rng(self.seed, url, page_index)
+        nav_links = nav_links if nav_links is not None else outlinks
+        html = self._assemble(rng, url, title, body_text, outlinks, nav_links)
+        return self._corrupt(rng, html)
+
+    # -- assembly -------------------------------------------------------
+
+    def _assemble(self, rng: random.Random, url: str, title: str,
+                  body_text: str, outlinks: list[str],
+                  nav_links: list[str]) -> str:
+        parts: list[str] = [
+            "<!DOCTYPE html>",
+            "<html>",
+            f"<head><title>{title}</title>",
+            '<meta charset="utf-8">',
+            '<script>var tracker = "analytics";</script>',
+            '<style>.ad { color: red; }</style>',
+            "</head>",
+            "<body>",
+        ]
+        # Header navigation: short, link-dense boilerplate.
+        parts.append('<div class="nav"><ul>')
+        labels = rng.sample(_NAV_LABELS, k=min(6, len(_NAV_LABELS)))
+        for label, link in zip(labels, nav_links[:6]):
+            parts.append(f'<li><a href="{link}">{label}</a></li>')
+        for label in labels[len(nav_links):]:
+            parts.append(f'<li><a href="/{label.lower()}.html">{label}</a></li>')
+        parts.append("</ul></div>")
+        # Cookie banner: short and link-bearing.
+        parts.append('<div class="banner">'
+                     f'{self._filler.text(1, max_words=6)}'
+                     '<a href="/privacy.html">privacy policy</a> '
+                     '<a href="/accept">accept</a></div>')
+        # Sidebar with ads and teasers (short, link-dense).
+        parts.append('<div class="sidebar">')
+        for _ in range(rng.randint(1, 3)):
+            parts.append(f'<div class="ad">{rng.choice(_AD_SLOGANS)}'
+                         '<a href="http://ads.example.com/click">more</a></div>')
+        parts.append(f'<div class="teaser">'
+                     f'{self._filler.text(1, max_words=6)}'
+                     '<a href="/archive.html">read more stories</a> '
+                     '<a href="/subscribe.html">subscribe now</a></div>')
+        parts.append("</div>")
+        # Main content: long paragraphs, few links.  A share of the
+        # content is rendered as fact lists — real pages put valuable
+        # facts into <ul>/<table> structures, which shallow boilerplate
+        # detection systematically misses (the paper's recall loss).
+        parts.append('<div id="content">')
+        parts.append(f"<h1>{title}</h1>")
+        for paragraph in _paragraphs(body_text, rng):
+            if rng.random() < 0.22:
+                words = paragraph.split(" ")
+                parts.append("<ul>")
+                for i in range(0, len(words), 4):
+                    parts.append(f"<li>{' '.join(words[i:i + 4])}</li>")
+                parts.append("</ul>")
+            else:
+                parts.append(f"<p>{paragraph}</p>")
+        if outlinks:
+            parts.append('<div class="related"><h2>Related</h2><ul>')
+            for link in outlinks:
+                parts.append(f'<li><a href="{link}">related article</a></li>')
+            parts.append("</ul></div>")
+        parts.append("</div>")
+        # Footer boilerplate.
+        parts.append('<div class="footer">'
+                     f'{self._filler.text(1, max_words=7)}'
+                     f'<a href="{url}">permalink</a> '
+                     '<a href="/terms.html">terms</a></div>')
+        parts.append("</body></html>")
+        return "\n".join(parts)
+
+    # -- defect injection -------------------------------------------------
+
+    def _corrupt(self, rng: random.Random, html: str) -> str:
+        if rng.random() >= self.defect_rate:
+            return html
+        defects = rng.sample(DEFECT_CLASSES, k=rng.randint(1, 3))
+        if rng.random() < self.severe_defect_rate and "truncated" not in defects:
+            defects.append("truncated")
+        for defect in defects:
+            html = _APPLY[defect](html, rng)
+        return html
+
+
+def _paragraphs(text: str, rng: random.Random) -> list[str]:
+    """Split article text into 1-6 paragraphs at sentence boundaries."""
+    sentences = text.split(". ")
+    if len(sentences) <= 2:
+        return [text]
+    n_paragraphs = min(rng.randint(2, 6), len(sentences))
+    size = max(1, len(sentences) // n_paragraphs)
+    paragraphs = []
+    for i in range(0, len(sentences), size):
+        chunk = ". ".join(sentences[i:i + size])
+        if not chunk.endswith((".", "!", "?", ")")):
+            chunk += "."
+        paragraphs.append(chunk)
+    return paragraphs
+
+
+# -- individual defect transformations ----------------------------------
+
+def _unclosed_tag(html: str, rng: random.Random) -> str:
+    for closer in ("</li>", "</p>", "</div>"):
+        if closer in html:
+            return html.replace(closer, "", rng.randint(1, 3))
+    return html
+
+
+def _unquoted_attr(html: str, rng: random.Random) -> str:
+    marker = 'href="'
+    index = html.find(marker)
+    if index < 0:
+        return html
+    end = html.find('"', index + len(marker))
+    if end < 0:
+        return html
+    return (html[:index] + "href=" + html[index + len(marker):end]
+            + html[end + 1:])
+
+
+def _misnesting(html: str, rng: random.Random) -> str:
+    if "</ul></div>" in html:
+        return html.replace("</ul></div>", "</div></ul>", 1)
+    if "<p>" in html:
+        return html.replace("<p>", "<p><b>", 1)
+    return html
+
+
+def _raw_ampersand(html: str, rng: random.Random) -> str:
+    sentinel = " and "
+    if sentinel in html:
+        return html.replace(sentinel, " & ", 1)
+    return html + "&"
+
+
+def _deprecated_tag(html: str, rng: random.Random) -> str:
+    if "<h1>" in html:
+        return html.replace("<h1>", "<center><font size=5>", 1).replace(
+            "</h1>", "</font></center>", 1)
+    return html
+
+
+def _truncated(html: str, rng: random.Random) -> str:
+    cut = rng.randint(int(len(html) * 0.7), len(html) - 1)
+    return html[:cut]
+
+
+def _duplicate_attr(html: str, rng: random.Random) -> str:
+    marker = '<div class="sidebar">'
+    if marker in html:
+        return html.replace(marker, '<div class="sidebar" class="side">', 1)
+    return html
+
+
+_APPLY = {
+    "unclosed_tag": _unclosed_tag,
+    "unquoted_attr": _unquoted_attr,
+    "misnesting": _misnesting,
+    "raw_ampersand": _raw_ampersand,
+    "deprecated_tag": _deprecated_tag,
+    "truncated": _truncated,
+    "duplicate_attr": _duplicate_attr,
+}

@@ -1,0 +1,90 @@
+"""Minimal robots.txt model.
+
+Supports the subset of the robots exclusion protocol the paper's
+crawler respects: ``User-agent`` groups with ``Disallow``/``Allow``
+prefix rules and ``Crawl-delay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.web.urls import path_of
+
+
+@dataclass
+class RobotsPolicy:
+    """Parsed robots rules for one host (single-agent view)."""
+
+    disallow: list[str] = field(default_factory=list)
+    allow: list[str] = field(default_factory=list)
+    crawl_delay: float = 0.0
+
+    def allows(self, url: str) -> bool:
+        """Longest-prefix-match semantics, Allow wins ties."""
+        path = path_of(url)
+        best_allow = _longest_prefix(path, self.allow)
+        best_disallow = _longest_prefix(path, self.disallow)
+        if best_disallow < 0:
+            return True
+        return best_allow >= best_disallow
+
+
+def _longest_prefix(path: str, prefixes: list[str]) -> int:
+    best = -1
+    for prefix in prefixes:
+        if prefix and path.startswith(prefix):
+            best = max(best, len(prefix))
+    return best
+
+
+def parse_robots(text: str, agent: str = "*") -> RobotsPolicy:
+    """Parse robots.txt for the given agent (falls back to ``*``).
+
+    Unknown directives are ignored; a missing or empty file allows
+    everything.
+    """
+    groups: dict[str, RobotsPolicy] = {}
+    current_agents: list[str] = []
+    expecting_agents = True
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line or ":" not in line:
+            continue
+        key, _sep, value = line.partition(":")
+        key = key.strip().lower()
+        value = value.strip()
+        if key == "user-agent":
+            if not expecting_agents:
+                current_agents = []
+            expecting_agents = True
+            current_agents.append(value.lower())
+            for name in current_agents:
+                groups.setdefault(name, RobotsPolicy())
+            continue
+        expecting_agents = False
+        for name in current_agents:
+            policy = groups.setdefault(name, RobotsPolicy())
+            if key == "disallow" and value:
+                policy.disallow.append(value)
+            elif key == "allow" and value:
+                policy.allow.append(value)
+            elif key == "crawl-delay":
+                try:
+                    policy.crawl_delay = float(value)
+                except ValueError:
+                    pass
+    agent = agent.lower()
+    if agent in groups:
+        return groups[agent]
+    return groups.get("*", RobotsPolicy())
+
+
+def render_robots(policy: RobotsPolicy, agent: str = "*") -> str:
+    """Serialize a policy back to robots.txt text."""
+    lines = [f"User-agent: {agent}"]
+    lines.extend(f"Disallow: {p}" for p in policy.disallow)
+    lines.extend(f"Allow: {p}" for p in policy.allow)
+    if policy.crawl_delay:
+        lines.append(f"Crawl-delay: {policy.crawl_delay:g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,147 @@
+"""Simulated HTTP layer over the synthetic web graph.
+
+Serves rendered HTML (with boilerplate and markup defects), binary
+payloads, robots.txt, redirects, errors, and unbounded spider-trap
+pages.  Latency is modelled with a deterministic per-URL pseudo-random
+draw and accumulated on a :class:`SimulatedClock`, so crawl experiments
+measure politeness and throughput without real sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.web.htmlgen import PageRenderer
+from repro.util import seeded_rng
+from repro.web.robots import render_robots
+from repro.web.urls import host_of, normalize
+from repro.web.webgraph import PageSpec, WebGraph, _next_trap_url, is_trap_url
+
+
+class SimulatedClock:
+    """A manually-advanced wall clock for politeness accounting."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now += seconds
+        return self.now
+
+
+@dataclass
+class FetchResult:
+    """Outcome of one simulated HTTP GET.
+
+    ``status`` 0 denotes a network timeout.  Binary payloads are
+    returned as latin-1 decodable strings carrying their magic bytes.
+    """
+
+    url: str
+    status: int
+    content_type: str
+    body: str
+    elapsed: float
+    redirected_from: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+
+class SimulatedWeb:
+    """Fetch interface over a :class:`WebGraph`."""
+
+    def __init__(self, graph: WebGraph, seed: int = 53,
+                 error_rate: float = 0.02, timeout_rate: float = 0.01,
+                 redirect_rate: float = 0.03,
+                 base_latency: float = 0.15) -> None:
+        self.graph = graph
+        self.seed = seed
+        self.error_rate = error_rate
+        self.timeout_rate = timeout_rate
+        self.redirect_rate = redirect_rate
+        self.base_latency = base_latency
+        self.renderer = PageRenderer(seed=seed + 7)
+        self.fetch_count = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def robots_txt(self, host: str) -> str:
+        return render_robots(self.graph.host_robots(host))
+
+    def fetch(self, url: str) -> FetchResult:
+        """Simulate one GET; follows at most one internal redirect."""
+        self.fetch_count += 1
+        url = normalize(url)
+        rng = seeded_rng(self.seed, url)
+        elapsed = self.base_latency + rng.expovariate(1 / 0.1)
+        if url.endswith("/robots.txt"):
+            body = self.robots_txt(host_of(url))
+            return FetchResult(url, 200, "text/plain", body, elapsed)
+        roll = rng.random()
+        if roll < self.timeout_rate:
+            return FetchResult(url, 0, "", "", elapsed + 30.0)
+        if roll < self.timeout_rate + self.error_rate:
+            return FetchResult(url, 500, "text/html",
+                               "<html>Internal Server Error</html>", elapsed)
+        page = self._resolve_page(url)
+        if page is None:
+            return FetchResult(url, 404, "text/html",
+                               "<html>Not Found</html>", elapsed)
+        if (page.kind == "article" and rng.random() < self.redirect_rate
+                and not url.endswith("/") and "?ref=r" not in url):
+            # Canonicalizing redirect: …/itemN.html -> …/itemN.html?ref=r
+            target = url + "?ref=r"
+            if url != normalize(target):
+                inner = self.fetch(target)
+                inner.redirected_from = url
+                inner.elapsed += elapsed
+                return inner
+        body, content_type = self._render(page, url)
+        size_penalty = len(body) / 2_000_000  # 2 MB/s effective bandwidth
+        return FetchResult(url, 200, content_type, body,
+                           elapsed + size_penalty)
+
+    # -- internals ------------------------------------------------------------
+
+    def _resolve_page(self, url: str) -> PageSpec | None:
+        stripped = url.split("?ref=r")[0]
+        page = self.graph.page(stripped)
+        if page is not None:
+            return page
+        # Spider-trap URLs are generated on demand, unboundedly.
+        if is_trap_url(stripped):
+            host = host_of(stripped)
+            if host in self.graph.hosts and self.graph.hosts[host].kind == "trap":
+                return PageSpec(url=stripped, host=host,
+                                biomedical=self.graph.hosts[host].biomedical,
+                                kind="trap", doc_index=0)
+        return None
+
+    def _render(self, page: PageSpec, url: str) -> tuple[str, str]:
+        if page.content_type.startswith("application/"):
+            magic = ("%PDF-1.4" if "pdf" in page.content_type else
+                     "\xd0\xcf\x11\xe0")
+            rng = seeded_rng(self.seed, "bin", page.url)
+            payload = magic + "".join(
+                chr(rng.randint(32, 255)) for _ in range(2000))
+            # Some servers mislabel binaries as HTML (the paper's
+            # unreliable-MIME-detection pitfall).
+            mislabeled = rng.random() < 0.4
+            return payload, ("text/html" if mislabeled else page.content_type)
+        if page.kind == "trap":
+            next_url = _next_trap_url(page.url)
+            body = (f"<html><head><title>Calendar</title></head><body>"
+                    f"<p>Calendar of events.</p>"
+                    f'<a href="{next_url}">next</a></body></html>')
+            return body, "text/html"
+        text = self.graph.body_text(page.url)
+        html = self.renderer.render(
+            url=page.url, title=self.graph.title_of(page.url),
+            body_text=text, outlinks=page.outlinks,
+            nav_links=page.nav_links, page_index=page.doc_index)
+        return html, "text/html"

@@ -1,0 +1,67 @@
+"""URL helpers: parsing, normalization, resolution.
+
+A deliberately small, dependency-free subset of URL handling — enough
+for the crawler's needs (host extraction, relative-link resolution,
+normalization for deduplication).
+"""
+
+from __future__ import annotations
+
+from urllib.parse import urljoin, urlsplit, urlunsplit
+
+
+def host_of(url: str) -> str:
+    """Lower-cased host part of a URL ('' if not parseable)."""
+    return urlsplit(url).netloc.lower()
+
+
+def domain_of(url: str) -> str:
+    """Registered-domain approximation: last two host labels.
+
+    The synthetic web uses ``<name>.example.<tld>`` hosts, where
+    ``example`` acts as a public suffix — three labels are kept there
+    so each synthetic site is its own domain.
+    """
+    host = host_of(url)
+    labels = host.split(".")
+    if len(labels) <= 2:
+        return host
+    if labels[-2] == "example" and len(labels) >= 3:
+        return ".".join(labels[-3:])
+    return ".".join(labels[-2:])
+
+
+def normalize(url: str) -> str:
+    """Canonical form for deduplication.
+
+    Lower-cases scheme and host, drops fragments, removes default
+    ports, and collapses a lone trailing slash on the root path.
+    """
+    scheme, netloc, path, query, _fragment = urlsplit(url)
+    scheme = scheme.lower()
+    netloc = netloc.lower()
+    if netloc.endswith(":80") and scheme == "http":
+        netloc = netloc[:-3]
+    if netloc.endswith(":443") and scheme == "https":
+        netloc = netloc[:-4]
+    if path == "":
+        path = "/"
+    return urlunsplit((scheme, netloc, path, query, ""))
+
+
+def resolve(base: str, link: str) -> str:
+    """Resolve a (possibly relative) link against a base URL."""
+    return normalize(urljoin(base, link))
+
+
+def path_of(url: str) -> str:
+    return urlsplit(url).path or "/"
+
+
+def extension_of(url: str) -> str:
+    """File-name extension of the URL path ('' if none)."""
+    path = path_of(url)
+    name = path.rsplit("/", 1)[-1]
+    if "." not in name:
+        return ""
+    return name.rsplit(".", 1)[-1].lower()

@@ -1,0 +1,140 @@
+"""Minimal WARC-style archive reader/writer.
+
+Production crawlers persist fetched pages as WARC (the format
+CommonCrawl — the paper's negative-class training source — publishes).
+This is a small, self-contained implementation of the subset needed to
+archive and replay simulated crawls: ``response`` records with URL,
+timestamp, content type, status, and payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.web.server import FetchResult
+
+_HEADER_END = "\r\n\r\n"
+
+
+@dataclass(frozen=True)
+class WarcRecord:
+    """One archived fetch."""
+
+    url: str
+    status: int
+    content_type: str
+    payload: str
+    timestamp: float = 0.0
+
+    @classmethod
+    def from_fetch(cls, fetch: FetchResult,
+                   timestamp: float = 0.0) -> "WarcRecord":
+        return cls(url=fetch.url, status=fetch.status,
+                   content_type=fetch.content_type, payload=fetch.body,
+                   timestamp=timestamp)
+
+    def to_fetch_result(self) -> FetchResult:
+        return FetchResult(url=self.url, status=self.status,
+                           content_type=self.content_type,
+                           body=self.payload, elapsed=0.0)
+
+
+def _render_record(record: WarcRecord) -> str:
+    payload_bytes = record.payload.encode("utf-8")
+    headers = [
+        "WARC/1.0",
+        "WARC-Type: response",
+        f"WARC-Target-URI: {record.url}",
+        f"WARC-Date: {record.timestamp:.3f}",
+        f"X-Status: {record.status}",
+        f"Content-Type: {record.content_type or 'application/octet-stream'}",
+        f"Content-Length: {len(payload_bytes)}",
+    ]
+    return "\r\n".join(headers) + _HEADER_END + record.payload + "\r\n\r\n"
+
+
+class WarcWriter:
+    """Appends response records to a WARC-style file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8", newline="")
+        self.records_written = 0
+
+    def write(self, record: WarcRecord) -> None:
+        self._handle.write(_render_record(record))
+        self.records_written += 1
+
+    def write_fetch(self, fetch: FetchResult,
+                    timestamp: float = 0.0) -> None:
+        self.write(WarcRecord.from_fetch(fetch, timestamp))
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "WarcWriter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def read_warc(path: str | Path) -> Iterator[WarcRecord]:
+    """Stream records back from a WARC-style file."""
+    # newline='' disables universal-newline translation: the record
+    # framing is CRLF and must survive the read byte-for-byte.
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        text = handle.read()
+    position = 0
+    while position < len(text):
+        header_end = text.find(_HEADER_END, position)
+        if header_end < 0:
+            break
+        header_block = text[position:header_end]
+        headers: dict[str, str] = {}
+        lines = header_block.split("\r\n")
+        if not lines or not lines[0].startswith("WARC/"):
+            raise ValueError(f"malformed WARC record at byte {position}")
+        for line in lines[1:]:
+            key, _sep, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        payload_start = header_end + len(_HEADER_END)
+        payload_bytes = text[payload_start:].encode("utf-8")[:length]
+        payload = payload_bytes.decode("utf-8")
+        yield WarcRecord(
+            url=headers.get("warc-target-uri", ""),
+            status=int(headers.get("x-status", "0")),
+            content_type=headers.get("content-type", ""),
+            payload=payload,
+            timestamp=float(headers.get("warc-date", "0")))
+        position = payload_start + len(payload) + len("\r\n\r\n")
+
+
+class ArchivedWeb:
+    """Replay a WARC archive through the SimulatedWeb fetch interface.
+
+    Lets analyses re-run against an archived crawl without the original
+    web graph — the "existing (open) large web crawl" option from the
+    paper's introduction.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._records = {record.url: record for record in read_warc(path)}
+        self.fetch_count = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def fetch(self, url: str) -> FetchResult:
+        self.fetch_count += 1
+        record = self._records.get(url)
+        if record is None:
+            return FetchResult(url, 404, "text/html", "", 0.0)
+        return record.to_fetch_result()
+
+    def urls(self) -> list[str]:
+        return list(self._records)

@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+Expensive artifacts (trained pipeline, web graph, analyzed corpora)
+are session-scoped: they are built once and shared read-mostly across
+the suite.  Tests that mutate documents must copy them first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ReproductionContext, default_context
+from repro.corpora.profiles import MEDLINE, RELEVANT
+from repro.corpora.textgen import DocumentGenerator
+from repro.corpora.vocabulary import BiomedicalVocabulary
+from repro.web.server import SimulatedWeb
+from repro.web.webgraph import WebGraph, WebGraphConfig
+
+
+@pytest.fixture(scope="session")
+def vocabulary() -> BiomedicalVocabulary:
+    return BiomedicalVocabulary(seed=7, n_genes=150, n_diseases=80,
+                                n_drugs=80)
+
+
+@pytest.fixture(scope="session")
+def medline_generator(vocabulary) -> DocumentGenerator:
+    return DocumentGenerator(vocabulary, MEDLINE, seed=3)
+
+
+@pytest.fixture(scope="session")
+def relevant_generator(vocabulary) -> DocumentGenerator:
+    return DocumentGenerator(vocabulary, RELEVANT, seed=4)
+
+
+@pytest.fixture(scope="session")
+def webgraph() -> WebGraph:
+    return WebGraph(WebGraphConfig(n_hosts=40, seed=5))
+
+
+@pytest.fixture(scope="session")
+def web(webgraph) -> SimulatedWeb:
+    return SimulatedWeb(webgraph, seed=6)
+
+
+@pytest.fixture(scope="session")
+def context() -> ReproductionContext:
+    """Small shared experiment context (trains the full pipeline once)."""
+    return default_context(corpus_docs=8, n_training_docs=40,
+                           crf_iterations=40, n_hosts=40, crawl_pages=300)
+
+
+@pytest.fixture(scope="session")
+def pipeline(context):
+    return context.pipeline

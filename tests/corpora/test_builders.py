@@ -1,0 +1,127 @@
+"""Tests for the Medline/PMC builders, gold standards, and helpers."""
+
+import pytest
+
+from repro.corpora.foreign import FOREIGN_WORDS, generate_foreign_text
+from repro.corpora.goldstandard import (
+    build_boilerplate_gold, build_classifier_gold, build_ner_gold,
+)
+from repro.corpora.markov import MarkovTextModel, default_filler_model
+from repro.corpora.medline import MedlineCorpusBuilder
+from repro.corpora.pmc import SECTIONS, PmcCorpusBuilder, concat_gold_documents
+from repro.corpora.profiles import MEDLINE
+import random
+
+
+class TestMedlineBuilder:
+    def test_metadata(self, vocabulary):
+        builder = MedlineCorpusBuilder(vocabulary)
+        abstract = builder.abstract(3)
+        assert abstract.document.meta["source"] == "medline"
+        assert abstract.document.meta["pmid"] == "10000003"
+        assert abstract.document.meta["year"] <= 2013
+
+    def test_build_count(self, vocabulary):
+        builder = MedlineCorpusBuilder(vocabulary)
+        assert len(builder.build(5)) == 5
+
+    def test_abstracts_are_short(self, vocabulary):
+        builder = MedlineCorpusBuilder(vocabulary)
+        lengths = [len(a.text) for a in builder.build(20)]
+        assert sum(lengths) / len(lengths) < 2500
+
+
+class TestPmcBuilder:
+    def test_article_has_sections_meta(self, vocabulary):
+        builder = PmcCorpusBuilder(vocabulary)
+        article = builder.article(0)
+        assert article.document.meta["sections"] == list(SECTIONS)
+        assert article.document.meta["pmcid"].startswith("PMC")
+
+    def test_articles_longer_than_abstracts(self, vocabulary):
+        pmc = PmcCorpusBuilder(vocabulary).build(5)
+        medline = MedlineCorpusBuilder(vocabulary).build(5)
+        assert (sum(len(a.text) for a in pmc)
+                > 2 * sum(len(a.text) for a in medline))
+
+    def test_offsets_survive_concatenation(self, vocabulary):
+        article = PmcCorpusBuilder(vocabulary).article(1)
+        for sentence in article.sentences:
+            assert article.text[sentence.start:sentence.end] == sentence.text
+            for token in sentence.tokens:
+                assert article.text[token.start:token.end] == token.text
+        for entity in article.entities:
+            mention = entity.mention
+            assert article.text[mention.start:mention.end] == mention.text
+
+
+class TestConcatGoldDocuments:
+    def test_empty_parts_rejected_by_usage(self, medline_generator):
+        parts = [medline_generator.document(i) for i in range(3)]
+        merged = concat_gold_documents(parts, doc_id="merged")
+        assert merged.doc_id == "merged"
+        assert len(merged.text) == (sum(len(p.text) for p in parts)
+                                    + 2 * len("\n\n"))
+
+    def test_entity_counts_preserved(self, medline_generator):
+        parts = [medline_generator.document(i) for i in range(3)]
+        merged = concat_gold_documents(parts, doc_id="m")
+        assert len(merged.entities) == sum(len(p.entities) for p in parts)
+
+
+class TestGoldStandards:
+    def test_classifier_gold_balanced(self, vocabulary):
+        gold = build_classifier_gold(vocabulary, 10)
+        labels = [label for _t, label in gold]
+        assert labels.count(True) == labels.count(False) == 10
+
+    def test_classifier_gold_deterministic(self, vocabulary):
+        assert (build_classifier_gold(vocabulary, 5)
+                == build_classifier_gold(vocabulary, 5))
+
+    def test_boilerplate_gold_pairs(self):
+        pairs = build_boilerplate_gold(4, seed=1)
+        for html, net_text in pairs:
+            assert "<" in html
+            assert net_text
+            assert net_text not in ("", html)
+
+    def test_ner_gold_is_gold_documents(self, vocabulary):
+        docs = build_ner_gold(vocabulary, MEDLINE, 3)
+        assert len(docs) == 3
+        assert all(d.sentences for d in docs)
+
+
+class TestForeignText:
+    def test_languages_available(self):
+        assert {"de", "fr", "es"} <= set(FOREIGN_WORDS)
+
+    def test_generates_requested_length(self):
+        text = generate_foreign_text("de", 500, random.Random(1))
+        assert len(text) >= 500
+
+    def test_unknown_language(self):
+        with pytest.raises(ValueError):
+            generate_foreign_text("xx", 100, random.Random(1))
+
+
+class TestMarkov:
+    def test_untrained_raises(self):
+        with pytest.raises(ValueError):
+            MarkovTextModel().sentence()
+
+    def test_trained_generates(self):
+        model = MarkovTextModel(seed=1)
+        model.train([["hello", "world"], ["hello", "there"]])
+        words = model.sentence()
+        assert words[0] == "hello"
+
+    def test_default_filler_text(self):
+        model = default_filler_model(seed=2)
+        text = model.text(3)
+        assert text.count(".") >= 1
+
+    def test_deterministic(self):
+        a = default_filler_model(seed=3).text(5)
+        b = default_filler_model(seed=3).text(5)
+        assert a == b

@@ -1,0 +1,64 @@
+"""Tests for corpus profiles and their calibration targets."""
+
+import pytest
+
+from repro.corpora.profiles import IRRELEVANT, MEDLINE, PMC, PROFILES, RELEVANT
+
+
+def test_all_four_corpora_present():
+    assert set(PROFILES) == {"relevant", "irrelevant", "medline", "pmc"}
+
+
+def test_doc_length_ordering_matches_paper():
+    # Table 3: relevant (88K) > PMC (56K) > irrelevant (38K) > Medline
+    # (865).  The PMC profile is per IMRaD *section*; full texts are
+    # four sections long.
+    pmc_article_chars = 4 * PMC.mean_doc_chars
+    assert (RELEVANT.mean_doc_chars > pmc_article_chars
+            > IRRELEVANT.mean_doc_chars > MEDLINE.mean_doc_chars)
+
+
+def test_sentence_length_ordering():
+    assert (PMC.mean_sentence_tokens > RELEVANT.mean_sentence_tokens
+            > MEDLINE.mean_sentence_tokens > IRRELEVANT.mean_sentence_tokens)
+
+
+def test_negation_ordering():
+    # Fig 6c: PMC and irrelevant above relevant, relevant above Medline.
+    assert PMC.negation_per_sentence > RELEVANT.negation_per_sentence
+    assert IRRELEVANT.negation_per_sentence > RELEVANT.negation_per_sentence
+    assert RELEVANT.negation_per_sentence > MEDLINE.negation_per_sentence
+
+
+def test_parenthesis_ordering():
+    assert (PMC.parenthesis_per_sentence > RELEVANT.parenthesis_per_sentence
+            > MEDLINE.parenthesis_per_sentence
+            > IRRELEVANT.parenthesis_per_sentence)
+
+
+def test_pronoun_pmc_highest():
+    assert PMC.pronoun_per_sentence > RELEVANT.pronoun_per_sentence
+    assert PMC.pronoun_per_sentence > IRRELEVANT.pronoun_per_sentence
+
+
+def test_entity_rates_match_paper_table():
+    assert MEDLINE.gene_per_1000_sentences == pytest.approx(415.6)
+    assert RELEVANT.disease_per_1000_sentences == pytest.approx(128.5)
+    assert IRRELEVANT.drug_per_1000_sentences == pytest.approx(6.85)
+
+
+def test_entity_rate_accessor():
+    assert RELEVANT.entity_rate("gene") == pytest.approx(0.1282)
+    with pytest.raises(KeyError):
+        RELEVANT.entity_rate("protein")
+
+
+def test_paper_reference_values_attached():
+    for profile in PROFILES.values():
+        assert profile.paper["n_docs"] > 0
+        assert profile.paper["mean_chars"] > 0
+
+
+def test_irrelevant_is_not_biomedical():
+    assert not IRRELEVANT.biomedical
+    assert RELEVANT.biomedical and MEDLINE.biomedical and PMC.biomedical

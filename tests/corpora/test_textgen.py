@@ -1,0 +1,175 @@
+"""Tests for the gold-annotated document generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpora.profiles import IRRELEVANT, MEDLINE, PMC, RELEVANT
+from repro.corpora.textgen import (
+    DocumentGenerator, PRONOUN_CLASSES, _vary_surface,
+)
+import random
+
+
+@pytest.fixture(scope="module")
+def gold_docs(medline_generator):
+    return medline_generator.documents(12)
+
+
+class TestDeterminism:
+    def test_same_index_same_document(self, medline_generator):
+        assert (medline_generator.document(5).text
+                == medline_generator.document(5).text)
+
+    def test_different_indices_differ(self, medline_generator):
+        assert (medline_generator.document(1).text
+                != medline_generator.document(2).text)
+
+
+class TestGoldOffsets:
+    def test_sentence_spans_match_text(self, gold_docs):
+        for gold in gold_docs:
+            for sentence in gold.sentences:
+                assert gold.text[sentence.start:sentence.end] == sentence.text
+
+    def test_token_spans_match_text(self, gold_docs):
+        for gold in gold_docs:
+            for sentence in gold.sentences:
+                for token in sentence.tokens:
+                    assert gold.text[token.start:token.end] == token.text
+
+    def test_entity_spans_match_text(self, gold_docs):
+        for gold in gold_docs:
+            for entity in gold.entities:
+                mention = entity.mention
+                assert gold.text[mention.start:mention.end] == mention.text
+
+    def test_every_token_has_pos(self, gold_docs):
+        for gold in gold_docs:
+            for sentence in gold.sentences:
+                for token in sentence.tokens:
+                    assert token.pos
+
+    def test_sentences_are_ordered_and_disjoint(self, gold_docs):
+        for gold in gold_docs:
+            previous_end = -1
+            for sentence in gold.sentences:
+                assert sentence.start > previous_end
+                previous_end = sentence.end
+
+    def test_entities_inside_some_sentence(self, gold_docs):
+        for gold in gold_docs:
+            for entity in gold.entities:
+                assert any(s.start <= entity.mention.start
+                           and entity.mention.end <= s.end
+                           for s in gold.sentences)
+
+
+class TestProfiles:
+    def test_document_length_ordering(self, vocabulary):
+        from repro.corpora.pmc import PmcCorpusBuilder
+
+        means = {}
+        for profile in (RELEVANT, IRRELEVANT, MEDLINE):
+            generator = DocumentGenerator(vocabulary, profile, seed=11)
+            docs = generator.documents(30)
+            means[profile.name] = sum(len(d.text) for d in docs) / len(docs)
+        pmc_docs = PmcCorpusBuilder(vocabulary, seed=11).build(15)
+        means["pmc"] = sum(len(d.text) for d in pmc_docs) / len(pmc_docs)
+        assert means["relevant"] > means["pmc"] > means["irrelevant"] \
+            > means["medline"]
+
+    def test_sentence_length_ordering(self, vocabulary):
+        means = {}
+        for profile in (RELEVANT, IRRELEVANT, MEDLINE, PMC):
+            generator = DocumentGenerator(vocabulary, profile, seed=11)
+            lengths = [len(s.tokens) for d in generator.documents(20)
+                       for s in d.sentences]
+            means[profile.name] = sum(lengths) / len(lengths)
+        assert means["pmc"] > means["relevant"] > means["medline"] \
+            > means["irrelevant"]
+
+    def test_entity_density_medline_exceeds_irrelevant(self, vocabulary):
+        def density(profile):
+            generator = DocumentGenerator(vocabulary, profile, seed=12)
+            docs = generator.documents(20)
+            mentions = sum(len(d.entities) for d in docs)
+            sentences = sum(len(d.sentences) for d in docs)
+            return mentions / max(1, sentences)
+        assert density(MEDLINE) > 10 * density(IRRELEVANT)
+
+    def test_tagged_sentences_format(self, medline_generator):
+        tagged = medline_generator.document(0).tagged_sentences()
+        assert tagged
+        for sentence in tagged:
+            for word, tag in sentence:
+                assert isinstance(word, str) and isinstance(tag, str)
+
+    def test_novel_entities_marked(self, vocabulary):
+        generator = DocumentGenerator(vocabulary, RELEVANT, seed=13)
+        entities = [e for d in generator.documents(25) for e in d.entities]
+        assert any(not e.in_dictionary for e in entities)
+        assert any(e.in_dictionary for e in entities)
+
+    def test_novel_entities_not_in_dictionary(self, vocabulary):
+        generator = DocumentGenerator(vocabulary, RELEVANT, seed=13)
+        known = {n.lower() for n in (vocabulary.gene_names()
+                                     + vocabulary.disease_names()
+                                     + vocabulary.drug_names())}
+        for doc in generator.documents(15):
+            for entity in doc.entities:
+                if not entity.in_dictionary and not entity.variant:
+                    assert entity.mention.text.lower() not in known
+
+    def test_biomedical_flag_in_meta(self, vocabulary):
+        relevant = DocumentGenerator(vocabulary, RELEVANT, seed=1)
+        irrelevant = DocumentGenerator(vocabulary, IRRELEVANT, seed=1)
+        assert relevant.document(0).document.meta["biomedical"] is True
+        assert irrelevant.document(0).document.meta["biomedical"] is False
+
+
+class TestPathologicalDocuments:
+    def test_pathological_fraction_produces_runons(self, vocabulary):
+        generator = DocumentGenerator(vocabulary, RELEVANT, seed=9,
+                                      pathological_fraction=1.0)
+        gold = generator.document(0)
+        assert gold.document.meta.get("pathological")
+        assert "." not in gold.text
+        assert len(gold.text) > 2000
+
+    def test_zero_fraction_never_pathological(self, vocabulary):
+        generator = DocumentGenerator(vocabulary, RELEVANT, seed=9)
+        for i in range(10):
+            assert not generator.document(i).document.meta.get(
+                "pathological")
+
+
+class TestSurfaceVariants:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_variant_is_nonempty_string(self, seed):
+        rng = random.Random(seed)
+        variant = _vary_surface(rng, "BRCA-1 alpha")
+        assert variant and isinstance(variant, str)
+
+    def test_variant_differs_usually(self):
+        rng = random.Random(1)
+        variants = {_vary_surface(rng, "Aspirin") for _ in range(50)}
+        assert len(variants) > 1
+
+
+def test_pronoun_classes_cover_six():
+    assert len(PRONOUN_CLASSES) == 6
+
+
+@given(st.integers(min_value=0, max_value=200))
+@settings(max_examples=20, deadline=None)
+def test_property_gold_offsets_always_consistent(vocabulary, index):
+    generator = DocumentGenerator(vocabulary, MEDLINE, seed=21)
+    gold = generator.document(index)
+    for sentence in gold.sentences:
+        assert gold.text[sentence.start:sentence.end] == sentence.text
+        for token in sentence.tokens:
+            assert gold.text[token.start:token.end] == token.text
+    for entity in gold.entities:
+        assert gold.text[entity.mention.start:entity.mention.end] \
+            == entity.mention.text

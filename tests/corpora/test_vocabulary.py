@@ -1,0 +1,135 @@
+"""Tests for the synthetic biomedical nomenclature."""
+
+import pytest
+
+from repro.corpora.vocabulary import (
+    BiomedicalVocabulary, TermEntry, _gene_symbol,
+)
+import random
+
+
+class TestTermEntry:
+    def test_all_names_includes_canonical_first(self):
+        entry = TermEntry("BRCA1", ("BRCA1-alpha", "BRCA1 protein"))
+        assert entry.all_names()[0] == "BRCA1"
+        assert len(entry.all_names()) == 3
+
+    def test_no_synonyms(self):
+        assert TermEntry("aspirin").all_names() == ("aspirin",)
+
+
+class TestBiomedicalVocabulary:
+    def test_deterministic_given_seed(self):
+        a = BiomedicalVocabulary(seed=42, n_genes=50, n_diseases=30,
+                                 n_drugs=30)
+        b = BiomedicalVocabulary(seed=42, n_genes=50, n_diseases=30,
+                                 n_drugs=30)
+        assert a.gene_names() == b.gene_names()
+        assert a.disease_names() == b.disease_names()
+        assert a.drug_names() == b.drug_names()
+
+    def test_different_seeds_differ(self):
+        a = BiomedicalVocabulary(seed=1, n_genes=50, n_diseases=30,
+                                 n_drugs=30)
+        b = BiomedicalVocabulary(seed=2, n_genes=50, n_diseases=30,
+                                 n_drugs=30)
+        assert a.gene_names() != b.gene_names()
+
+    def test_requested_entry_counts(self):
+        vocab = BiomedicalVocabulary(seed=3, n_genes=77, n_diseases=44,
+                                     n_drugs=33)
+        assert len(vocab.genes) == 77
+        assert len(vocab.diseases) == 44
+        assert len(vocab.drugs) == 33
+
+    def test_default_scale_matches_paper_ratios(self):
+        vocab = BiomedicalVocabulary(seed=3, scale=100)
+        # Gene inventory is the largest, as in the paper (700K vs ~60K).
+        assert len(vocab.gene_names()) > len(vocab.disease_names())
+        assert len(vocab.gene_names()) > len(vocab.drug_names())
+
+    def test_gene_names_unique(self, vocabulary):
+        names = vocabulary.gene_names()
+        assert len(names) == len(set(names))
+
+    def test_gene_synonyms_present(self, vocabulary):
+        # Paper: gene dictionary includes synonyms (~900K distinct names).
+        assert any(e.synonyms for e in vocabulary.genes)
+
+    def test_gene_shape_is_acronym_like(self, vocabulary):
+        for entry in vocabulary.genes[:50]:
+            symbol = entry.canonical
+            head = symbol.split("-")[0]
+            assert head[:2].isupper(), symbol
+
+    def test_tla_genes_exist(self, vocabulary):
+        # Three-letter all-caps symbols drive the BANNER FP pathology.
+        tlas = [e.canonical for e in vocabulary.genes
+                if len(e.canonical) == 3 and e.canonical.isalpha()]
+        assert tlas
+
+    def test_disease_morphology(self, vocabulary):
+        suffixes = ("itis", "oma", "osis", "opathy", "emia", "algia",
+                    "iasis", "ectasia", "omegaly", "plasia", "penia",
+                    "rrhea", "syndrome", "disease", "disorder",
+                    "deficiency", "dystrophy", "fever", "failure",
+                    "infection", "lesion", "palsy")
+        for entry in vocabulary.diseases[:50]:
+            assert entry.canonical.endswith(suffixes), entry.canonical
+
+    def test_drug_names_nonempty_and_unique(self, vocabulary):
+        names = [e.canonical.lower() for e in vocabulary.drugs]
+        assert len(names) == len(set(names))
+
+    def test_entries_accessor(self, vocabulary):
+        assert vocabulary.entries("gene") is vocabulary.genes
+        assert vocabulary.entries("disease") is vocabulary.diseases
+        assert vocabulary.entries("drug") is vocabulary.drugs
+
+    def test_entries_rejects_unknown_type(self, vocabulary):
+        with pytest.raises(ValueError, match="unknown entity type"):
+            vocabulary.entries("protein")
+
+    def test_term_ids_are_stable_and_typed(self, vocabulary):
+        assert vocabulary.genes[0].term_id.startswith("GENE:")
+        assert vocabulary.diseases[0].term_id.startswith("DIS:")
+        assert vocabulary.drugs[0].term_id.startswith("DRUG:")
+
+
+class TestSeedKeywords:
+    def test_categories(self, vocabulary):
+        for category in ("general", "disease", "drug", "gene"):
+            terms = vocabulary.seed_keywords(category, 10)
+            assert len(terms) == 10
+
+    def test_deterministic(self, vocabulary):
+        a = vocabulary.seed_keywords("disease", 15, seed=1)
+        b = vocabulary.seed_keywords("disease", 15, seed=1)
+        assert a == b
+
+    def test_different_sample_seed_differs(self, vocabulary):
+        a = vocabulary.seed_keywords("gene", 20, seed=1)
+        b = vocabulary.seed_keywords("gene", 20, seed=2)
+        assert a != b
+
+    def test_count_capped_at_pool(self, vocabulary):
+        terms = vocabulary.seed_keywords("drug", 10_000)
+        assert len(terms) == len(vocabulary.drugs)
+
+    def test_unknown_category(self, vocabulary):
+        with pytest.raises(ValueError, match="unknown keyword category"):
+            vocabulary.seed_keywords("animal", 5)
+
+    def test_specific_terms_come_from_dictionary(self, vocabulary):
+        canonical = {e.canonical for e in vocabulary.diseases}
+        for term in vocabulary.seed_keywords("disease", 20):
+            assert term in canonical
+
+
+def test_gene_symbol_generator_shapes():
+    rng = random.Random(0)
+    for _ in range(200):
+        symbol = _gene_symbol(rng)
+        head = symbol.replace("-", "")
+        assert 2 <= len(symbol) <= 9
+        assert head[0].isupper()

@@ -1,0 +1,91 @@
+"""Tests for post-crawl analytics and online learning."""
+
+import pytest
+
+from repro.annotations import Document
+from repro.crawler.analytics import CrawlAnalytics, analyze_crawl
+from repro.crawler.crawl import CrawlConfig, CrawlResult, FocusedCrawler
+
+
+def _result():
+    result = CrawlResult()
+    for i in range(6):
+        result.relevant.append(Document(
+            f"http://bio.example.org/a{i}", "text",
+            meta={"url": f"http://bio.example.org/a{i}", "depth": i % 3}))
+    for i in range(4):
+        result.irrelevant.append(Document(
+            f"http://gen.example.com/b{i}", "text",
+            meta={"url": f"http://gen.example.com/b{i}", "depth": 1}))
+    result.relevant.append(Document(
+        "http://gen.example.com/fringe", "text",
+        meta={"url": "http://gen.example.com/fringe", "depth": 2}))
+    return result
+
+
+class TestAnalytics:
+    def test_host_yields(self):
+        analytics = analyze_crawl(_result())
+        assert analytics.n_hosts == 2
+        bio = analytics.host_yields["bio.example.org"]
+        assert bio.relevant == 6 and bio.irrelevant == 0
+        assert bio.harvest_rate == 1.0
+        gen = analytics.host_yields["gen.example.com"]
+        assert gen.harvest_rate == pytest.approx(1 / 5)
+
+    def test_top_hosts_ranked(self):
+        analytics = analyze_crawl(_result())
+        top = analytics.top_hosts(k=2, min_fetched=1)
+        assert top[0].host == "bio.example.org"
+
+    def test_concentration(self):
+        analytics = analyze_crawl(_result())
+        assert analytics.single_host_concentration() == pytest.approx(6 / 7)
+
+    def test_depth_histograms(self):
+        analytics = analyze_crawl(_result())
+        assert sum(analytics.depth_histogram.values()) == 11
+        assert analytics.mean_relevant_depth() > 0
+
+    def test_yield_by_depth(self):
+        analytics = analyze_crawl(_result())
+        rates = analytics.yield_by_depth()
+        assert set(rates) == {0, 1, 2}
+        assert all(0 <= v <= 1 for v in rates.values())
+
+    def test_empty_result(self):
+        analytics = analyze_crawl(CrawlResult())
+        assert analytics.n_hosts == 0
+        assert analytics.single_host_concentration() == 0.0
+        assert analytics.mean_relevant_depth() == 0.0
+
+    def test_on_real_crawl(self, context):
+        analytics = analyze_crawl(context.crawl())
+        assert analytics.n_hosts > 5
+        # No single host dominates a healthy focused crawl.
+        assert analytics.single_host_concentration() < 0.6
+
+
+class TestOnlineLearning:
+    def test_online_learning_updates_model(self, context):
+        import copy
+
+        classifier = copy.deepcopy(context.pipeline.classifier)
+        vocab_before = len(classifier._vocabulary)
+        crawler = FocusedCrawler(
+            context.web, classifier, context.build_filter_chain(),
+            CrawlConfig(max_pages=120, online_learning=True,
+                        online_confidence=0.9))
+        crawler.crawl(context.seed_batch("second").urls)
+        assert len(classifier._vocabulary) > vocab_before
+
+    def test_disabled_by_default(self, context):
+        import copy
+
+        classifier = copy.deepcopy(context.pipeline.classifier)
+        counts_before = dict(classifier._class_docs)
+        crawler = FocusedCrawler(
+            context.web, classifier, context.build_filter_chain(),
+            CrawlConfig(max_pages=60))
+        crawler.crawl(context.seed_batch("second").urls)
+        assert dict(classifier._class_docs) == counts_before

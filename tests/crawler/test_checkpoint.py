@@ -1,0 +1,88 @@
+"""Tests for crawl checkpointing and resumption."""
+
+import pytest
+
+from repro.crawler.checkpoint import (
+    ResumableCrawl, frontier_from_dict, frontier_to_dict,
+    load_checkpoint, save_checkpoint,
+)
+from repro.crawler.crawl import CrawlConfig, CrawlResult, FocusedCrawler
+from repro.crawler.frontier import CrawlDb
+
+
+class TestFrontierSerialization:
+    def test_round_trip(self):
+        frontier = CrawlDb(host_fetch_list_cap=7, max_urls_per_host=9)
+        frontier.add("http://a.com/1", depth=1)
+        frontier.add("http://b.com/2", depth=2, irrelevant_steps=1)
+        frontier.mark_seen("http://c.com/seen")
+        restored = frontier_from_dict(frontier_to_dict(frontier))
+        assert len(restored) == len(frontier)
+        assert restored.host_fetch_list_cap == 7
+        assert not restored.add("http://c.com/seen")  # seen preserved
+        entries = restored.next_batch(10)
+        assert {e.url for e in entries} == {"http://a.com/1",
+                                            "http://b.com/2"}
+        by_url = {e.url: e for e in entries}
+        assert by_url["http://b.com/2"].irrelevant_steps == 1
+
+
+class TestCheckpointFile:
+    def test_save_and_load(self, tmp_path):
+        frontier = CrawlDb()
+        frontier.add("http://a.com/1")
+        result = CrawlResult(pages_fetched=5, stop_reason="leg_budget")
+        result.linkdb.add_edges("http://a.com/1", ["http://b.com/2"])
+        path = save_checkpoint(tmp_path / "cp.json", frontier, result,
+                               clock_now=12.5)
+        restored_frontier, restored_result, clock = load_checkpoint(path)
+        assert clock == 12.5
+        assert len(restored_frontier) == 1
+        assert restored_result.pages_fetched == 5
+        assert restored_result.linkdb.n_edges == 1
+
+    def test_version_guard(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)
+
+
+class TestResumableCrawl:
+    def _crawler(self, context):
+        return FocusedCrawler(context.web, context.pipeline.classifier,
+                              context.build_filter_chain(),
+                              CrawlConfig(max_pages=10_000))
+
+    def test_legs_accumulate(self, context, tmp_path):
+        seeds = context.seed_batch("second").urls
+        resumable = ResumableCrawl(self._crawler(context),
+                                   tmp_path / "crawl.json")
+        leg1 = resumable.run_leg(seeds, leg_pages=60)
+        assert leg1.pages_fetched >= 50
+        leg2 = resumable.run_leg(None, leg_pages=60)
+        assert leg2.pages_fetched > leg1.pages_fetched
+        # Counters continue, documents accumulate, clock advances.
+        assert len(leg2.relevant) >= len(leg1.relevant)
+        assert leg2.clock_seconds > leg1.clock_seconds
+
+    def test_resume_equals_uninterrupted(self, context, tmp_path):
+        """Two 60-page legs visit the same pages as one 120-page run."""
+        seeds = context.seed_batch("second").urls
+        resumable = ResumableCrawl(self._crawler(context),
+                                   tmp_path / "cp.json")
+        resumable.run_leg(seeds, leg_pages=60)
+        legged = resumable.run_leg(None, leg_pages=60)
+        straight = self._crawler(context)
+        straight.config.max_pages = 120
+        uninterrupted = straight.crawl(seeds)
+        legged_urls = {d.doc_id for d in legged.relevant}
+        straight_urls = {d.doc_id for d in uninterrupted.relevant}
+        overlap = len(legged_urls & straight_urls)
+        assert overlap >= 0.8 * min(len(legged_urls), len(straight_urls))
+
+    def test_first_leg_requires_seeds(self, context, tmp_path):
+        resumable = ResumableCrawl(self._crawler(context),
+                                   tmp_path / "missing.json")
+        with pytest.raises(ValueError, match="seeds"):
+            resumable.run_leg(None, leg_pages=10)

@@ -1,0 +1,82 @@
+"""Tests for consolidated crawling+IE and two-phase classification."""
+
+import pytest
+
+from repro.crawler.consolidated import (
+    EntityAwareClassifier, TwoPhaseClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def entity_aware(pipeline):
+    return EntityAwareClassifier(pipeline.classifier,
+                                 pipeline.dictionary_taggers,
+                                 entity_weight=2.0)
+
+
+class TestEntityAwareClassifier:
+    def test_evidence_measures_density(self, entity_aware, pipeline):
+        drug = pipeline.vocabulary.drugs[0].canonical
+        disease = pipeline.vocabulary.diseases[0].canonical
+        text = f"Patients took {drug} against {disease} yesterday."
+        evidence = entity_aware.evidence(text)
+        assert evidence.total > 0
+        assert evidence.mentions_per_100_words["drug"] > 0
+
+    def test_entity_evidence_raises_relevance(self, entity_aware,
+                                              pipeline):
+        fringe = ("The new big market improves each cheap game with "
+                  "some local team in the sunny city.")
+        drug = pipeline.vocabulary.drugs[1].canonical
+        disease = pipeline.vocabulary.diseases[1].canonical
+        enriched = fringe + f" {drug} treats {disease}."
+        assert entity_aware.log_odds(enriched) > \
+            entity_aware.log_odds(fringe)
+        # The boost exceeds the base classifier's own shift.
+        base_gain = (pipeline.classifier.log_odds(enriched)
+                     - pipeline.classifier.log_odds(fringe))
+        aware_gain = (entity_aware.log_odds(enriched)
+                      - entity_aware.log_odds(fringe))
+        assert aware_gain > base_gain
+
+    def test_predict_interface(self, entity_aware, context):
+        document = context.corpus_documents("medline")[0]
+        assert entity_aware.predict(document.text) in (True, False)
+        assert 0.0 <= entity_aware.probability(document.text) <= 1.0
+
+    def test_pluggable_into_crawler(self, context, entity_aware):
+        """A consolidated crawl is just a focused crawl with the
+        entity-aware relevance function (the paper's single-framework
+        vision)."""
+        from repro.crawler.crawl import CrawlConfig, FocusedCrawler
+
+        crawler = FocusedCrawler(context.web, entity_aware,
+                                 context.build_filter_chain(),
+                                 CrawlConfig(max_pages=120))
+        result = crawler.crawl(context.seed_batch("second").urls)
+        assert result.pages_fetched > 0
+        assert result.relevant or result.irrelevant
+
+
+class TestTwoPhaseClassifier:
+    def test_crawl_phase_accepts_more(self, pipeline, context):
+        two_phase = TwoPhaseClassifier(pipeline.classifier,
+                                       crawl_threshold=0.1,
+                                       corpus_threshold=0.95)
+        texts = [d.text for d in context.corpus_documents("relevant")]
+        texts += [d.text for d in context.corpus_documents("irrelevant")]
+        accepted_phase1 = sum(two_phase.predict(t) for t in texts)
+        accepted_strict = sum(
+            pipeline.classifier.probability(t) >= 0.95 for t in texts)
+        assert accepted_phase1 >= accepted_strict
+
+    def test_reclassify_partitions(self, pipeline, context):
+        two_phase = TwoPhaseClassifier(pipeline.classifier)
+        documents = (context.corpus_documents("medline")[:5]
+                     + context.corpus_documents("irrelevant")[:5])
+        kept, demoted = two_phase.reclassify(documents)
+        assert len(kept) + len(demoted) == len(documents)
+        # Strict phase keeps mostly the biomedical documents.
+        kept_biomedical = sum(d.meta.get("biomedical", False)
+                              for d in kept)
+        assert kept_biomedical >= len(kept) - 1

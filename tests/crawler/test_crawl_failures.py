@@ -1,0 +1,70 @@
+"""Failure-path tests for the crawl loop."""
+
+import pytest
+
+from repro.crawler.crawl import CrawlConfig, FocusedCrawler
+from repro.web.server import SimulatedWeb
+
+
+@pytest.fixture(scope="module")
+def flaky_web(webgraph):
+    """A web with heavy error injection."""
+    return SimulatedWeb(webgraph, seed=99, error_rate=0.25,
+                        timeout_rate=0.10, redirect_rate=0.10)
+
+
+class TestFetchFailures:
+    def test_failures_counted_not_fatal(self, flaky_web, context):
+        crawler = FocusedCrawler(flaky_web, context.pipeline.classifier,
+                                 context.build_filter_chain(),
+                                 CrawlConfig(max_pages=150))
+        result = crawler.crawl(context.seed_batch("second").urls)
+        assert result.pages_fetched > 0
+        assert result.fetch_failures > 0
+        # Failed fetches never become corpus documents.
+        assert (len(result.relevant) + len(result.irrelevant)
+                + result.filtered_out + result.fetch_failures
+                + result.robots_denied) <= result.pages_fetched + \
+            result.robots_denied
+
+    def test_redirect_targets_marked_seen(self, webgraph, context):
+        always_redirect = SimulatedWeb(webgraph, seed=3, error_rate=0.0,
+                                       timeout_rate=0.0,
+                                       redirect_rate=1.0)
+        crawler = FocusedCrawler(always_redirect,
+                                 context.pipeline.classifier,
+                                 context.build_filter_chain(),
+                                 CrawlConfig(max_pages=60))
+        result = crawler.crawl(context.seed_batch("second").urls)
+        # Redirected documents carry their final (?ref=r) URL.
+        assert any("?ref=r" in d.doc_id
+                   for d in result.relevant + result.irrelevant)
+
+    def test_clock_monotone_under_failures(self, flaky_web, context):
+        crawler = FocusedCrawler(flaky_web, context.pipeline.classifier,
+                                 context.build_filter_chain(),
+                                 CrawlConfig(max_pages=80))
+        result = crawler.crawl(context.seed_batch("second").urls)
+        assert result.clock_seconds > 0
+
+    def test_politeness_delay_spacing(self, context):
+        """Two requests to the same host are spaced by at least the
+        politeness delay on the simulated clock."""
+        from repro.web.server import SimulatedClock
+
+        clock = SimulatedClock()
+        crawler = FocusedCrawler(context.web,
+                                 context.pipeline.classifier,
+                                 context.build_filter_chain(),
+                                 CrawlConfig(max_pages=5,
+                                             politeness_delay=2.0,
+                                             batch_size=30),
+                                 clock=clock)
+        host = next(h for h, s in context.webgraph.hosts.items()
+                    if s.n_pages >= 5 and s.kind == "site")
+        urls = [u for u in context.webgraph.pages
+                if u.startswith(f"http://{host}/articles")][:5]
+        result = crawler.crawl(urls)
+        # 5 same-host fetches with 2 s politeness => >= ~8 s clock.
+        assert result.clock_seconds >= 2.0 * (result.pages_fetched - 1) \
+            * 0.9

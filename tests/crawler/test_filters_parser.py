@@ -1,0 +1,88 @@
+"""Tests for the filter chain and page parsing."""
+
+import pytest
+
+from repro.crawler.filters import (
+    FilterChain, FilterStats, LanguageFilter, LengthFilter, MimeFilter,
+)
+from repro.crawler.parser import extract_links, extract_title
+from repro.nlp.language import default_identifier
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return FilterChain(MimeFilter(), LanguageFilter(default_identifier()),
+                       LengthFilter(min_chars=50, max_chars=5000))
+
+
+class TestFilters:
+    def test_mime_accepts_html(self, chain):
+        assert chain.mime.accept("<html><body>x</body></html>",
+                                 "http://h/a.html", "text/html")
+
+    def test_mime_rejects_mislabeled_pdf(self, chain):
+        # Server says text/html, magic bytes say PDF.
+        assert not chain.mime.accept("%PDF-1.4 ...", "http://h/a.html",
+                                     "text/html")
+
+    def test_language_filter(self, chain, medline_generator):
+        assert chain.language.accept(medline_generator.document(0).text)
+        assert not chain.language.accept(
+            "Der Patient wurde nicht durch die Behandlung geheilt und "
+            "die Ärzte waren jedoch zwischen den Untersuchungen müde.")
+
+    def test_length_filter(self, chain):
+        assert not chain.length.accept("too short")
+        assert chain.length.accept("x" * 100)
+        assert not chain.length.accept("x" * 10_000)
+
+    def test_chain_accept_text_order(self, chain):
+        ok, which = chain.accept_text("short english text but too short?")
+        # Accepted by language, rejected by length.
+        assert not ok and which == "length"
+
+    def test_stats_accumulate(self):
+        stats = FilterStats("mime")
+        stats.record(True)
+        stats.record(False)
+        stats.record(False)
+        assert stats.seen == 3
+        assert stats.rejection_rate == pytest.approx(2 / 3)
+
+    def test_attrition_report_keys(self, chain):
+        report = chain.attrition_report()
+        assert set(report) == {"mime", "language", "length"}
+
+
+class TestParser:
+    def test_extract_links_resolves_relative(self):
+        html = '<html><body><a href="/x.html">x</a></body></html>'
+        assert extract_links(html, "http://h.com/dir/page.html") == \
+            ["http://h.com/x.html"]
+
+    def test_extract_links_skips_schemes(self):
+        html = ('<a href="javascript:void(0)">j</a>'
+                '<a href="mailto:a@b.c">m</a>'
+                '<a href="#top">t</a>'
+                '<a href="http://ok.com/x">ok</a>')
+        assert extract_links(html, "http://h.com/") == ["http://ok.com/x"]
+
+    def test_extract_links_dedup(self):
+        html = '<a href="http://x.com/a">1</a><a href="http://x.com/a">2</a>'
+        assert len(extract_links(html, "http://h.com/")) == 1
+
+    def test_extract_links_skips_self(self):
+        html = '<a href="http://h.com/">self</a>'
+        assert extract_links(html, "http://h.com/") == []
+
+    def test_extract_title(self):
+        assert extract_title(
+            "<html><head><title> My Page </title></head></html>") == \
+            "My Page"
+
+    def test_extract_title_missing(self):
+        assert extract_title("<html><body>x</body></html>") == ""
+
+    def test_extract_links_from_malformed(self):
+        html = "<html><body><a href=http://x.com/a>unquoted"
+        assert extract_links(html, "http://h.com/") == ["http://x.com/a"]

@@ -1,0 +1,78 @@
+"""Tests for the CrawlDB frontier."""
+
+from repro.crawler.frontier import CrawlDb
+
+
+class TestAdd:
+    def test_add_and_dequeue(self):
+        frontier = CrawlDb()
+        assert frontier.add("http://a.com/x")
+        assert len(frontier) == 1
+        batch = frontier.next_batch(10)
+        assert [e.url for e in batch] == ["http://a.com/x"]
+        assert frontier.is_empty()
+
+    def test_dedup(self):
+        frontier = CrawlDb()
+        assert frontier.add("http://a.com/x")
+        assert not frontier.add("http://a.com/x")
+        assert not frontier.add("http://A.com/x#frag")  # normalizes equal
+        assert len(frontier) == 1
+
+    def test_seen_survives_dequeue(self):
+        frontier = CrawlDb()
+        frontier.add("http://a.com/x")
+        frontier.next_batch(1)
+        assert not frontier.add("http://a.com/x")
+
+    def test_mark_seen(self):
+        frontier = CrawlDb()
+        frontier.mark_seen("http://a.com/redirected")
+        assert not frontier.add("http://a.com/redirected")
+
+    def test_invalid_url_rejected(self):
+        assert not CrawlDb().add("not-a-url")
+
+    def test_add_seeds_counts(self):
+        frontier = CrawlDb()
+        accepted = frontier.add_seeds(["http://a.com/1", "http://a.com/1",
+                                       "http://b.com/2"])
+        assert accepted == 2
+
+    def test_depth_and_steps_stored(self):
+        frontier = CrawlDb()
+        frontier.add("http://a.com/x", depth=3, irrelevant_steps=1)
+        entry = frontier.next_batch(1)[0]
+        assert entry.depth == 3
+        assert entry.irrelevant_steps == 1
+
+
+class TestHostBudget:
+    def test_per_host_url_cap_bounds_traps(self):
+        frontier = CrawlDb(max_urls_per_host=5)
+        for i in range(20):
+            frontier.add(f"http://trap.com/calendar?page={i}")
+        assert len(frontier) == 5
+        assert frontier.dropped_host_cap == 15
+
+    def test_batch_host_fetch_cap(self):
+        frontier = CrawlDb(host_fetch_list_cap=3)
+        for i in range(10):
+            frontier.add(f"http://one.com/{i}")
+        batch = frontier.next_batch(10)
+        assert len(batch) == 3  # only 3 per host per batch
+
+    def test_round_robin_over_hosts(self):
+        frontier = CrawlDb(host_fetch_list_cap=2)
+        for host in ("a.com", "b.com", "c.com"):
+            for i in range(5):
+                frontier.add(f"http://{host}/{i}")
+        batch = frontier.next_batch(6)
+        hosts = {e.url.split("/")[2] for e in batch}
+        assert hosts == {"a.com", "b.com", "c.com"}
+
+    def test_hosts_listing(self):
+        frontier = CrawlDb()
+        frontier.add("http://a.com/1")
+        frontier.add("http://b.com/2")
+        assert set(frontier.hosts()) == {"a.com", "b.com"}

@@ -1,0 +1,92 @@
+"""Tests for LinkDB and PageRank."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crawler.linkdb import LinkDb
+from repro.crawler.pagerank import pagerank, top_ranked
+
+
+class TestLinkDb:
+    def test_edges_and_counts(self):
+        db = LinkDb()
+        db.add_edges("http://a.com/1", ["http://b.com/1", "http://a.com/2"])
+        assert db.n_edges == 2
+        assert db.n_pages == 3
+        assert db.inlink_counts["http://b.com/1"] == 1
+
+    def test_navigational_fraction(self):
+        db = LinkDb()
+        db.add_edges("http://a.com/1", ["http://a.com/2", "http://a.com/3",
+                                        "http://b.com/1"])
+        assert db.navigational_fraction() == pytest.approx(2 / 3)
+
+    def test_navigational_fraction_filter(self):
+        db = LinkDb()
+        db.add_edges("http://bio.com/1", ["http://bio.com/2"])
+        db.add_edges("http://gen.com/1", ["http://other.com/1"])
+        fraction = db.navigational_fraction(
+            source_filter=lambda url: "bio" in url)
+        assert fraction == 1.0
+
+    def test_domain_graph_aggregates(self):
+        db = LinkDb()
+        db.add_edges("http://x.a.com/1", ["http://y.b.com/1",
+                                          "http://z.b.com/2"])
+        graph = db.domain_graph()
+        assert graph["a.com"]["b.com"] == 2
+
+    def test_out_degree_distribution(self):
+        db = LinkDb()
+        db.add_edges("s1", ["t1", "t2", "t3"])
+        db.add_edges("s2", ["t1"])
+        assert db.out_degree_distribution() == [3, 1]
+
+
+class TestPageRank:
+    def test_empty_graph(self):
+        assert pagerank({}) == {}
+
+    def test_ranks_sum_to_one(self):
+        graph = {"a": {"b": 1}, "b": {"c": 1}, "c": {"a": 1}}
+        ranks = pagerank(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_symmetric_cycle_uniform(self):
+        graph = {"a": {"b": 1}, "b": {"c": 1}, "c": {"a": 1}}
+        ranks = pagerank(graph)
+        for value in ranks.values():
+            assert value == pytest.approx(1 / 3)
+
+    def test_authority_ranks_highest(self):
+        graph = {"a": {"hub": 1}, "b": {"hub": 1}, "c": {"hub": 1},
+                 "hub": {"a": 1}}
+        ranks = pagerank(graph)
+        assert ranks["hub"] == max(ranks.values())
+
+    def test_dangling_mass_redistributed(self):
+        graph = {"a": {"sink": 1}, "sink": {}}
+        ranks = pagerank(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0)
+
+    def test_weights_matter(self):
+        graph = {"s": {"heavy": 9, "light": 1}}
+        ranks = pagerank(graph)
+        assert ranks["heavy"] > ranks["light"]
+
+    def test_top_ranked_order_and_size(self):
+        graph = {"a": {"b": 5}, "c": {"b": 5}, "b": {"a": 1}}
+        top = top_ranked(graph, k=2)
+        assert len(top) == 2
+        assert top[0][0] == "b"
+
+    @given(st.dictionaries(
+        st.sampled_from("abcdef"),
+        st.dictionaries(st.sampled_from("abcdef"),
+                        st.integers(min_value=1, max_value=5), max_size=4),
+        min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_property_ranks_form_distribution(self, graph):
+        ranks = pagerank(graph)
+        assert sum(ranks.values()) == pytest.approx(1.0, abs=1e-6)
+        assert all(value > 0 for value in ranks.values())

@@ -1,0 +1,95 @@
+"""Tests for simulated search engines and seed generation."""
+
+import pytest
+
+from repro.crawler.search import (
+    QueryQuotaExceeded, SimulatedSearchEngine, build_search_engines,
+)
+from repro.crawler.seeds import PAPER_TERM_COUNTS, SeedGenerator
+
+
+@pytest.fixture(scope="module")
+def engines(webgraph):
+    return build_search_engines(webgraph, result_limit=15)
+
+
+@pytest.fixture(scope="module")
+def generator(engines, webgraph):
+    return SeedGenerator(engines, webgraph.vocabulary)
+
+
+class TestSearchEngine:
+    def test_specific_term_returns_articles(self, engines, webgraph):
+        term = webgraph.vocabulary.diseases[0].canonical
+        results = engines[0].query(term)
+        if results:  # term must occur somewhere in the graph
+            kinds = {webgraph.pages[u].kind for u in results}
+            assert "article" in kinds
+
+    def test_general_term_prefers_portals(self, engines, webgraph):
+        results = engines[0].query("cancer")
+        assert results
+        top = webgraph.pages[results[0]]
+        host = webgraph.hosts[top.host]
+        assert top.kind == "front"
+        assert host.kind in ("authority", "portal")
+
+    def test_result_limit_respected(self, engines):
+        for term in ("cancer", "therapy", "treatment"):
+            assert len(engines[0].query(term)) <= engines[0].result_limit
+
+    def test_multiword_query_requires_all_words(self, engines):
+        results = engines[0].query("zzzz cancer")
+        assert results == []
+
+    def test_publisher_engine_restricted_to_its_hosts(self, engines,
+                                                      webgraph):
+        arxiv = next(e for e in engines if e.name == "arxiv")
+        for term in ("cancer", "treatment"):
+            for url in arxiv.query(term):
+                assert "arxiv" in url
+
+    def test_quota_enforced(self, webgraph):
+        engine = SimulatedSearchEngine("tiny", webgraph, query_quota=2)
+        engine.query("a")
+        engine.query("b")
+        with pytest.raises(QueryQuotaExceeded):
+            engine.query("c")
+
+    def test_five_engines(self, engines):
+        assert len(engines) == 5
+        assert {e.name for e in engines} == {
+            "bing", "google", "arxiv", "nature", "nature-blogs"}
+
+
+class TestSeedGeneration:
+    def test_four_categories(self, generator):
+        batch = generator.generate({"general": 3, "disease": 4,
+                                    "drug": 4, "gene": 4})
+        assert set(batch.terms_by_category) == {"general", "disease",
+                                                "drug", "gene"}
+
+    def test_urls_deduplicated(self, generator):
+        batch = generator.generate({"disease": 10})
+        assert len(batch.urls) == len(set(batch.urls))
+
+    def test_second_round_larger_than_first(self, generator):
+        first = generator.first_round(scale=20)
+        second = generator.second_round(scale=20)
+        total_first = sum(len(t) for t in first.terms_by_category.values())
+        total_second = sum(len(t) for t in second.terms_by_category.values())
+        assert total_second > total_first
+        assert second.n_seeds >= first.n_seeds
+
+    def test_table1_rows(self, generator):
+        batch = generator.generate({"general": 3, "disease": 4,
+                                    "drug": 2, "gene": 2})
+        rows = batch.table1_rows()
+        assert len(rows) == 4
+        for _category, count, examples in rows:
+            assert count >= 2
+            assert examples
+
+    def test_paper_term_counts_recorded(self):
+        assert PAPER_TERM_COUNTS["gene"] == (6500, 246)
+        assert PAPER_TERM_COUNTS["general"] == (500, 166)

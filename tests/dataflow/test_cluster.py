@@ -1,0 +1,175 @@
+"""Tests for the simulated cluster (scalability + war story)."""
+
+import pytest
+
+from repro.dataflow.cluster import (
+    DEFAULT_COSTS, ENTITY_OPS, LINGUISTIC_OPS, PREPROCESSING_OPS,
+    ClusterSpec, NodeSpec, SimulatedCluster, complete_flow, split_flow_plan,
+    with_cost_override,
+)
+
+LING = PREPROCESSING_OPS + LINGUISTIC_OPS
+ENTITY = PREPROCESSING_OPS + ENTITY_OPS
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return SimulatedCluster()
+
+
+class TestBasics:
+    def test_paper_cluster_spec(self):
+        spec = ClusterSpec()
+        assert spec.n_nodes == 28
+        assert spec.node.cores == 6
+        assert spec.node.ram_gb == 24.0
+        assert spec.max_dop == 168
+
+    def test_invalid_dop(self, cluster):
+        assert not cluster.run_flow(LING, 1, 0).feasible
+        assert not cluster.run_flow(LING, 1, 9999).feasible
+
+    def test_deterministic(self, cluster):
+        a = cluster.run_flow(LING, 20, 8, colocated=False)
+        b = cluster.run_flow(LING, 20, 8, colocated=False)
+        assert a.seconds == b.seconds
+
+
+class TestScaleOut:
+    def test_linguistic_scales_to_full_cluster(self, cluster):
+        assert cluster.max_feasible_dop(LING) == 168
+
+    def test_entity_flow_memory_capped_at_28(self, cluster):
+        """Dictionary taggers (6-20 GB/worker) permit one worker per
+        24 GB node: DoP <= 28."""
+        assert cluster.max_feasible_dop(ENTITY) == 28
+        assert not cluster.run_flow(ENTITY, 20, 56, colocated=False).feasible
+
+    def test_entity_flow_infeasible_below_dop4(self, cluster):
+        """Excessive runtimes below DoP 4 (Section 4.2)."""
+        assert not cluster.run_flow(ENTITY, 20, 1, colocated=False).feasible
+        assert not cluster.run_flow(ENTITY, 20, 2, colocated=False).feasible
+        assert cluster.run_flow(ENTITY, 20, 4, colocated=False).feasible
+
+    def test_scale_out_monotone_then_plateau(self, cluster):
+        reports = cluster.scale_out(LING, 20, [1, 2, 4, 8, 12, 16, 28])
+        seconds = [r.seconds for r in reports]
+        assert seconds[0] > seconds[1] > seconds[2]
+        # Improvement from 16 to 28 is marginal vs 1 to 12.
+        early_gain = seconds[0] - seconds[4]
+        late_gain = seconds[5] - seconds[6]
+        assert early_gain > 10 * late_gain
+
+    def test_linguistic_decrease_band(self, cluster):
+        """Paper: up to 95 % runtime decrease until DoP 12."""
+        reports = cluster.scale_out(LING, 20, [1, 12])
+        decrease = 1 - reports[1].seconds / reports[0].seconds
+        assert decrease > 0.85
+
+    def test_entity_decrease_band(self, cluster):
+        """Paper: up to 72 % decrease until DoP 16."""
+        reports = cluster.scale_out(ENTITY, 20, [4, 16])
+        decrease = 1 - reports[1].seconds / reports[0].seconds
+        assert 0.4 < decrease < 0.9
+
+    def test_startup_is_hard_lower_bound(self, cluster):
+        report = cluster.run_flow(ENTITY, 20, 28, colocated=False)
+        gene_startup = DEFAULT_COSTS["dict_gene_tagger"].startup_seconds
+        assert report.seconds > gene_startup
+
+
+class TestScaleUp:
+    def test_linguistic_near_ideal(self, cluster):
+        reports = cluster.scale_up(LING, 1.0, [1, 8, 16, 28])
+        assert reports[-1].seconds < 1.4 * reports[0].seconds
+
+    def test_entity_sublinear(self, cluster):
+        reports = cluster.scale_up(ENTITY, 1.0, [4, 16, 28])
+        # grows, but stays bounded (sub-linear degradation).
+        assert reports[-1].seconds > reports[0].seconds
+        assert reports[-1].seconds < 2.0 * reports[0].seconds
+
+
+class TestWarStory:
+    def test_complete_flow_colocated_fails(self, cluster):
+        report = cluster.run_flow(complete_flow(), 1024, 28, colocated=True)
+        assert not report.feasible
+        assert "version conflict" in report.reason
+
+    def test_memory_failure_without_version_conflict(self, cluster):
+        ops = [name for name in complete_flow()
+               if name != "ml_disease_tagger"]
+        report = cluster.run_flow(ops, 1024, 28, colocated=True)
+        assert not report.feasible
+        assert "GB per worker" in report.reason
+
+    def test_complete_flow_memory_roughly_60gb(self):
+        memory = sum(DEFAULT_COSTS[name].memory_gb
+                     for name in complete_flow())
+        assert 45 <= memory <= 65
+
+    def test_split_flows_run(self, cluster):
+        for name, ops in split_flow_plan().items():
+            dop = cluster.max_feasible_dop(ops)
+            assert dop > 0, name
+            report = cluster.run_flow(ops, 50, dop, colocated=False,
+                                      enforce_runtime_limit=False)
+            assert report.feasible, name
+
+    def test_disease_split_avoids_version_conflict(self, cluster):
+        ops = split_flow_plan()["disease"]
+        report = cluster.run_flow(ops, 50, 28, colocated=True,
+                                  enforce_runtime_limit=False)
+        assert report.feasible or "version" not in report.reason
+
+    def test_network_congestion_crashes_big_runs(self, cluster):
+        ops = split_flow_plan()["drug"]
+        dop = cluster.max_feasible_dop(ops)
+        whole = cluster.run_flow(ops, 1024, dop, colocated=False,
+                                 enforce_runtime_limit=False)
+        assert whole.crashed
+        assert "congestion" in whole.crash_reason
+
+    def test_chunking_mitigates_crashes(self, cluster):
+        ops = split_flow_plan()["drug"]
+        dop = cluster.max_feasible_dop(ops)
+        chunked = cluster.run_flow(ops, 1024, dop, colocated=False,
+                                   enforce_runtime_limit=False, chunk_gb=50)
+        assert chunked.feasible and not chunked.crashed
+        whole = cluster.run_flow(ops, 1024, dop, colocated=False,
+                                 enforce_runtime_limit=False)
+        # Chunking pays repeated startup: slower but safe.
+        assert chunked.seconds > whole.seconds
+
+    def test_big_memory_server_hosts_gene_flow(self):
+        big = SimulatedCluster(ClusterSpec().big_memory_variant())
+        report = big.run_flow(split_flow_plan()["gene"], 1024, 40,
+                              colocated=False,
+                              enforce_runtime_limit=False, chunk_gb=50)
+        assert report.feasible and not report.crashed
+
+    def test_cost_override(self):
+        table = with_cost_override(DEFAULT_COSTS,
+                                   ml_gene_tagger={"memory_gb": 1.0})
+        assert table["ml_gene_tagger"].memory_gb == 1.0
+        assert DEFAULT_COSTS["ml_gene_tagger"].memory_gb != 1.0
+
+
+class TestCostCalibration:
+    def test_entity_share_near_70_percent(self):
+        total = sum(DEFAULT_COSTS[name].seconds_per_mb
+                    for name in complete_flow())
+        entity = sum(DEFAULT_COSTS[name].seconds_per_mb
+                     for name in ENTITY_OPS if name != "annotate_pos")
+        pos = DEFAULT_COSTS["annotate_pos"].seconds_per_mb
+        assert 0.6 < entity / total < 0.8
+        assert 0.08 < pos / total < 0.18
+
+    def test_dictionary_memory_band(self):
+        """Paper: dictionary taggers need 6-20 GB per worker."""
+        for name in ("dict_gene_tagger", "dict_drug_tagger",
+                     "dict_disease_tagger"):
+            assert 6 <= DEFAULT_COSTS[name].memory_gb <= 20
+
+    def test_gene_dictionary_startup_20_minutes(self):
+        assert DEFAULT_COSTS["dict_gene_tagger"].startup_seconds == 1200

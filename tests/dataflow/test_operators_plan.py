@@ -1,0 +1,118 @@
+"""Tests for the operator model and logical plans."""
+
+import pytest
+
+from repro.dataflow.operators import (
+    FilterOperator, FlatMapOperator, MapOperator, Operator, UdfOperator,
+)
+from repro.dataflow.plan import LogicalPlan
+
+
+class TestOperatorModel:
+    def test_map(self):
+        operator = MapOperator("double", lambda x: x * 2)
+        assert list(operator.process([1, 2, 3])) == [2, 4, 6]
+        assert operator.records_in == 3
+        assert operator.records_out == 3
+
+    def test_filter(self):
+        operator = FilterOperator("evens", lambda x: x % 2 == 0)
+        assert list(operator.process(range(6))) == [0, 2, 4]
+        assert operator.records_out == 3
+
+    def test_flatmap(self):
+        operator = FlatMapOperator("expand", lambda x: [x, x])
+        assert list(operator.process([1, 2])) == [1, 1, 2, 2]
+
+    def test_udf_stream_level(self):
+        operator = UdfOperator("reverse", lambda records:
+                               reversed(list(records)))
+        assert list(operator.process([1, 2, 3])) == [3, 2, 1]
+        assert not operator.parallelizable
+
+    def test_reset_counters(self):
+        operator = MapOperator("id", lambda x: x)
+        list(operator.process([1]))
+        operator.reset_counters()
+        assert operator.records_in == 0
+
+    def test_commutes_without_conflicts(self):
+        a = Operator("a", reads={"x"}, writes={"y"})
+        b = Operator("b", reads={"z"}, writes={"w"})
+        assert a.commutes_with(b) and b.commutes_with(a)
+
+    def test_write_read_conflict_blocks(self):
+        a = Operator("a", writes={"text"})
+        b = Operator("b", reads={"text"})
+        assert not a.commutes_with(b)
+
+    def test_write_write_conflict_blocks(self):
+        a = Operator("a", writes={"text"})
+        b = Operator("b", writes={"text"})
+        assert not a.commutes_with(b)
+
+    def test_non_reorderable_blocks(self):
+        a = Operator("a", reorderable=False)
+        b = Operator("b")
+        assert not a.commutes_with(b)
+
+    def test_rank_prefers_cheap_selective(self):
+        cheap_filter = Operator("f", selectivity=0.1, cost_per_record=1)
+        costly_map = Operator("m", selectivity=1.0, cost_per_record=50)
+        assert cheap_filter.rank() < costly_map.rank()
+
+
+class TestLogicalPlan:
+    def _chain_plan(self):
+        plan = LogicalPlan()
+        tail = plan.chain([Operator("a"), Operator("b"), Operator("c")])
+        plan.mark_sink("out", tail)
+        return plan
+
+    def test_chain_and_sinks(self):
+        plan = self._chain_plan()
+        assert len(plan) == 3
+        assert "out" in plan.sinks
+
+    def test_topological_order(self):
+        plan = self._chain_plan()
+        assert [n.name for n in plan.topological_order()] == ["a", "b", "c"]
+
+    def test_branching(self):
+        plan = LogicalPlan()
+        root = plan.add(Operator("root"))
+        left = plan.add(Operator("left"), root)
+        right = plan.add(Operator("right"), root)
+        order = [n.name for n in plan.topological_order()]
+        assert order.index("root") < order.index("left")
+        assert order.index("root") < order.index("right")
+
+    def test_cycle_detection(self):
+        plan = LogicalPlan()
+        a = plan.add(Operator("a"))
+        b = plan.add(Operator("b"), a)
+        a.inputs.append(b)
+        with pytest.raises(ValueError, match="cycle"):
+            plan.topological_order()
+
+    def test_linear_segments_on_chain(self):
+        plan = self._chain_plan()
+        segments = plan.linear_segments()
+        assert len(segments) == 1
+        assert [n.name for n in segments[0]] == ["a", "b", "c"]
+
+    def test_linear_segments_split_at_branch(self):
+        plan = LogicalPlan()
+        root = plan.chain([Operator("a"), Operator("b")])
+        plan.add(Operator("left"), root)
+        plan.add(Operator("right"), root)
+        segments = {tuple(n.name for n in s) for s in plan.linear_segments()}
+        assert ("a", "b") in segments
+
+    def test_describe_lists_all_nodes(self):
+        description = self._chain_plan().describe()
+        assert "a" in description and "<source>" in description
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalPlan().chain([])

@@ -1,0 +1,96 @@
+"""Tests for physical plan compilation and pipelined execution."""
+
+import pytest
+
+from repro.dataflow.executor import LocalExecutor
+from repro.dataflow.operators import (
+    FilterOperator, MapOperator, UdfOperator,
+)
+from repro.dataflow.physical import (
+    PhysicalExecutor, compile_chain, compile_physical,
+)
+from repro.dataflow.plan import LogicalPlan
+
+
+def _inc():
+    return MapOperator("inc", lambda x: x + 1)
+
+
+def _evens():
+    return FilterOperator("evens", lambda x: x % 2 == 0,
+                          selectivity=0.5)
+
+
+def _sort():
+    return UdfOperator("sort", lambda records: sorted(records))
+
+
+class TestCompile:
+    def test_parallel_chain_fuses_into_one_stage(self):
+        physical = compile_chain([_inc(), _evens(), _inc()], dop=4)
+        assert len(physical) == 1
+        assert physical.stages[0].pipelined
+        assert physical.stages[0].dop == 4
+        assert physical.stages[0].input_channel == "source"
+
+    def test_barrier_splits_stages(self):
+        physical = compile_chain([_inc(), _sort(), _inc()], dop=4)
+        assert [s.input_channel for s in physical.stages] == \
+            ["source", "gather", "forward"]
+        assert [s.dop for s in physical.stages] == [4, 1, 4]
+
+    def test_barrier_first(self):
+        physical = compile_chain([_sort(), _inc()], dop=2)
+        assert physical.stages[0].operators[0].name == "sort"
+        assert physical.stages[0].dop == 1
+
+    def test_compile_from_logical_plan(self):
+        plan = LogicalPlan()
+        plan.mark_sink("out", plan.chain([_inc(), _evens()]))
+        physical = compile_physical(plan, dop=3)
+        assert len(physical) == 1
+
+    def test_branching_plan_rejected(self):
+        plan = LogicalPlan()
+        root = plan.add(_inc())
+        plan.add(_evens(), root)
+        left = plan.add(_inc(), root)
+        plan.mark_sink("out", left)
+        with pytest.raises(ValueError):
+            compile_physical(plan)
+
+    def test_describe_and_cost(self):
+        physical = compile_chain([_inc(), _sort()], dop=2)
+        description = physical.describe()
+        assert "stage0" in description and "gather" in description
+        assert physical.total_estimated_cost(100) > 0
+
+
+class TestExecute:
+    def test_matches_logical_executor(self):
+        operators = [_inc(), _evens(), _inc(), _sort()]
+        physical = compile_chain([_inc(), _evens(), _inc(), _sort()],
+                                 dop=4)
+        records, _report = PhysicalExecutor(dop=4).execute(
+            physical, list(range(20)))
+        plan = LogicalPlan()
+        plan.mark_sink("out", plan.chain(operators))
+        expected, _ = LocalExecutor().execute(plan, list(range(20)))
+        assert records == sorted(expected["out"])
+
+    def test_report_per_stage(self):
+        physical = compile_chain([_inc(), _sort()], dop=2)
+        _records, report = PhysicalExecutor(dop=2).execute(
+            physical, list(range(10)))
+        assert len(report.operator_stats) == len(physical)
+        assert report.operator_stats[0].records_in == 10
+
+    def test_partitioned_stage_preserves_multiset(self):
+        physical = compile_chain([_inc()], dop=5)
+        records, _ = PhysicalExecutor(dop=5).execute(physical,
+                                                     list(range(23)))
+        assert sorted(records) == list(range(1, 24))
+
+    def test_invalid_dop(self):
+        with pytest.raises(ValueError):
+            PhysicalExecutor(dop=0)

@@ -1,0 +1,99 @@
+"""Tests for the Sopremo-style JSON record model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.record import Record, parse_path
+
+
+class TestParsePath:
+    def test_simple(self):
+        assert parse_path("a") == ["a"]
+
+    def test_nested(self):
+        assert parse_path("a.b.c") == ["a", "b", "c"]
+
+    def test_index(self):
+        assert parse_path("a[0].b[12]") == ["a", 0, "b", 12]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_path("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_path("a..[x]")
+
+
+class TestGetSet:
+    def test_get_nested(self):
+        record = Record({"meta": {"url": "http://x", "tags": ["a", "b"]}})
+        assert record.get("meta.url") == "http://x"
+        assert record.get("meta.tags[1]") == "b"
+
+    def test_get_missing_default(self):
+        record = Record({"a": 1})
+        assert record.get("b.c", "fallback") == "fallback"
+        assert record.get("a.b", 0) == 0  # scalar cannot be descended
+
+    def test_has(self):
+        record = Record({"a": {"b": None}})
+        assert record.has("a.b")       # present even though None
+        assert not record.has("a.c")
+
+    def test_set_creates_intermediates(self):
+        record = Record()
+        record.set("meta.source.engine", "bing")
+        assert record.value == {"meta": {"source": {"engine": "bing"}}}
+
+    def test_set_list_index_pads(self):
+        record = Record()
+        record.set("items[2]", "x")
+        assert record.value == {"items": [None, None, "x"]}
+
+    def test_set_overwrites(self):
+        record = Record({"a": 1})
+        record.set("a", 2)
+        assert record.get("a") == 2
+
+    def test_set_type_error(self):
+        record = Record({"a": {}})
+        with pytest.raises(TypeError):
+            record.set("a[0]", 1)
+
+    def test_delete(self):
+        record = Record({"a": {"b": 1, "c": 2}, "d": [1, 2]})
+        assert record.delete("a.b")
+        assert record.value["a"] == {"c": 2}
+        assert record.delete("d[0]")
+        assert record.value["d"] == [2]
+        assert not record.delete("nope.deep")
+
+
+class TestProjectFlatten:
+    def test_project(self):
+        record = Record({"a": 1, "b": {"c": 2, "d": 3}})
+        projected = record.project(["a", "b.c", "missing"])
+        assert projected.value == {"a": 1, "b": {"c": 2}}
+
+    def test_flatten(self):
+        record = Record({"a": 1, "b": {"c": [10, 20]}})
+        assert dict(record.flatten()) == {"a": 1, "b.c[0]": 10,
+                                          "b.c[1]": 20}
+
+    def test_equality(self):
+        assert Record({"x": 1}) == Record({"x": 1})
+        assert Record({"x": 1}) != Record({"x": 2})
+
+
+@given(st.dictionaries(st.sampled_from("abcd"),
+                       st.integers(-5, 5), min_size=1, max_size=4),
+       st.sampled_from("abcd"), st.integers(-5, 5))
+@settings(max_examples=100, deadline=None)
+def test_property_set_then_get(base, key, value):
+    record = Record(dict(base))
+    record.set(f"nested.{key}", value)
+    assert record.get(f"nested.{key}") == value
+    # Original top-level fields survive.
+    for existing_key, existing_value in base.items():
+        assert record.get(existing_key) == existing_value

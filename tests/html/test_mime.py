@@ -1,0 +1,68 @@
+"""Tests for MIME sniffing."""
+
+from repro.html.mime import is_textual, sniff_mime
+
+
+class TestMagicBytes:
+    def test_pdf(self):
+        assert sniff_mime("%PDF-1.4 binary...") == "application/pdf"
+
+    def test_ole(self):
+        assert sniff_mime("\xd0\xcf\x11\xe0rest") == \
+            "application/vnd.ms-powerpoint"
+
+    def test_png(self):
+        assert sniff_mime("\x89PNG\r\n") == "image/png"
+
+    def test_zip(self):
+        assert sniff_mime("PK\x03\x04data") == "application/zip"
+
+    def test_magic_beats_declared(self):
+        # Mislabeling servers: the paper's MIME pitfall.
+        assert sniff_mime("%PDF-1.4", declared="text/html") == \
+            "application/pdf"
+
+    def test_magic_beats_extension(self):
+        assert sniff_mime("%PDF-1.4", url="http://h/x.html") == \
+            "application/pdf"
+
+
+class TestHtmlMarkers:
+    def test_doctype(self):
+        assert sniff_mime("<!DOCTYPE html><html>") == "text/html"
+
+    def test_html_tag_with_leading_space(self):
+        assert sniff_mime("   \n<html><body>") == "text/html"
+
+    def test_fragment(self):
+        assert sniff_mime("<div><p>x</p></div>") == "text/html"
+
+
+class TestFallbacks:
+    def test_extension(self):
+        assert sniff_mime("random words", url="http://h/a.pdf") == \
+            "application/pdf"
+
+    def test_declared_used_when_unknown(self):
+        assert sniff_mime("random words here", url="http://h/a.xyz",
+                          declared="application/x-custom; charset=x") == \
+            "application/x-custom"
+
+    def test_printable_text_fallback(self):
+        assert sniff_mime("just some plain readable words") == "text/plain"
+
+    def test_binary_fallback(self):
+        blob = "".join(chr(i % 32) for i in range(100))
+        assert sniff_mime(blob) == "application/octet-stream"
+
+
+class TestIsTextual:
+    def test_textual_types(self):
+        assert is_textual("text/html")
+        assert is_textual("text/plain")
+        assert is_textual("text/css")
+
+    def test_binary_types(self):
+        assert not is_textual("application/pdf")
+        assert not is_textual("image/png")
+        assert not is_textual("application/octet-stream")

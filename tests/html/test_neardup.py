@@ -1,0 +1,100 @@
+"""Tests for MinHash near-duplicate detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotations import Document
+from repro.html.neardup import (
+    MinHasher, NearDuplicateFilter, jaccard, shingles,
+)
+
+BASE = ("the patients received treatment and the response improved "
+        "significantly across the study cohort during the trial period")
+
+
+class TestShingles:
+    def test_identical_texts_identical_shingles(self):
+        assert shingles(BASE) == shingles(BASE)
+
+    def test_case_insensitive(self):
+        assert shingles(BASE) == shingles(BASE.upper())
+
+    def test_short_text(self):
+        assert len(shingles("two words")) == 1
+
+    def test_empty(self):
+        assert shingles("") == set()
+
+    def test_jaccard_bounds(self):
+        a, b = shingles(BASE), shingles(BASE + " with extra words at end")
+        assert 0.5 < jaccard(a, b) < 1.0
+        assert jaccard(a, a) == 1.0
+        assert jaccard(set(), set()) == 1.0
+
+
+class TestMinHasher:
+    def test_identical_signature(self):
+        hasher = MinHasher(n_hashes=32)
+        assert hasher.signature(shingles(BASE)) == \
+            hasher.signature(shingles(BASE))
+
+    def test_estimate_close_to_exact(self):
+        hasher = MinHasher(n_hashes=128)
+        other = BASE.replace("patients", "subjects")
+        a, b = shingles(BASE), shingles(other)
+        exact = jaccard(a, b)
+        estimate = MinHasher.estimated_jaccard(hasher.signature(a),
+                                               hasher.signature(b))
+        assert abs(estimate - exact) < 0.25
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MinHasher.estimated_jaccard((1, 2), (1,))
+
+    @given(st.text(alphabet="abcde ", min_size=10, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_property_self_similarity_is_one(self, text):
+        hasher = MinHasher(n_hashes=16)
+        signature = hasher.signature(shingles(text))
+        assert MinHasher.estimated_jaccard(signature, signature) == 1.0
+
+
+class TestNearDuplicateFilter:
+    def test_exact_duplicate_dropped(self):
+        near_filter = NearDuplicateFilter()
+        assert not near_filter.is_duplicate(BASE)
+        assert near_filter.is_duplicate(BASE)
+        assert near_filter.dropped == 1
+
+    def test_near_duplicate_dropped(self):
+        # One word changed out of ~20: exact Jaccard of the 4-shingle
+        # sets is ~0.56, so a 0.45 threshold must catch it.
+        near_filter = NearDuplicateFilter(threshold=0.45)
+        assert not near_filter.is_duplicate(BASE)
+        assert near_filter.is_duplicate(
+            BASE.replace("significantly", "notably"))
+
+    def test_distinct_text_kept(self):
+        near_filter = NearDuplicateFilter()
+        assert not near_filter.is_duplicate(BASE)
+        assert not near_filter.is_duplicate(
+            "completely different content about football matches and "
+            "weather forecasts in the city yesterday evening")
+
+    def test_filter_documents(self):
+        documents = [Document("1", BASE), Document("2", BASE),
+                     Document("3", "another unrelated text entirely "
+                                    "about music concerts and tickets")]
+        kept = NearDuplicateFilter().filter(documents)
+        assert [d.doc_id for d in kept] == ["1", "3"]
+
+    def test_bands_must_divide(self):
+        with pytest.raises(ValueError):
+            NearDuplicateFilter(n_hashes=64, bands=10)
+
+    def test_operator_registered(self):
+        from repro.dataflow.packages import make_operator
+
+        operator = make_operator("dedup_near_duplicates", threshold=0.7)
+        documents = [Document("1", BASE), Document("2", BASE)]
+        assert len(list(operator.process(documents))) == 1

@@ -1,0 +1,111 @@
+"""Tests for the Aho-Corasick automaton, including an equivalence
+property against naive multi-pattern search."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ner.automaton import AhoCorasickAutomaton, Match
+
+
+def _build(patterns):
+    automaton = AhoCorasickAutomaton()
+    automaton.add_all(patterns)
+    automaton.build()
+    return automaton
+
+
+def _naive(patterns, text):
+    found = set()
+    for pattern_id, pattern in enumerate(patterns):
+        start = 0
+        while True:
+            index = text.find(pattern, start)
+            if index < 0:
+                break
+            found.add((index, index + len(pattern), pattern_id))
+            start = index + 1
+    return found
+
+
+class TestBasics:
+    def test_single_pattern(self):
+        automaton = _build(["abc"])
+        assert automaton.find_all("xxabcxxabc") == [
+            Match(2, 5, 0), Match(7, 10, 0)]
+
+    def test_overlapping_patterns(self):
+        automaton = _build(["he", "she", "hers"])
+        spans = {(m.start, m.end) for m in automaton.find_all("shers")}
+        assert spans == {(1, 3), (0, 3), (1, 5)}
+
+    def test_pattern_inside_pattern(self):
+        automaton = _build(["a", "aa", "aaa"])
+        assert len(automaton.find_all("aaa")) == 6
+
+    def test_no_match(self):
+        assert _build(["zzz"]).find_all("abcdef") == []
+
+    def test_empty_text(self):
+        assert _build(["a"]).find_all("") == []
+
+    def test_unicode(self):
+        automaton = _build(["naïve", "café"])
+        assert len(automaton.find_all("a naïve café visit")) == 2
+
+    def test_pattern_lookup(self):
+        automaton = _build(["alpha", "beta"])
+        match = automaton.find_all("beta")[0]
+        assert automaton.pattern(match.pattern_id) == "beta"
+
+
+class TestLifecycle:
+    def test_add_after_build_rejected(self):
+        automaton = _build(["a"])
+        with pytest.raises(RuntimeError):
+            automaton.add("b")
+
+    def test_match_before_build_rejected(self):
+        automaton = AhoCorasickAutomaton()
+        automaton.add("a")
+        with pytest.raises(RuntimeError):
+            automaton.find_all("a")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            AhoCorasickAutomaton().add("")
+
+    def test_len_counts_patterns(self):
+        assert len(_build(["a", "b", "c"])) == 3
+
+    def test_memory_estimate_grows_with_patterns(self):
+        small = _build(["ab"])
+        large = _build([f"pattern{i}" for i in range(500)])
+        assert large.approx_memory_bytes() > 50 * small.approx_memory_bytes()
+
+    def test_node_count(self):
+        automaton = _build(["ab", "ac"])
+        # root + a + b + c
+        assert automaton.n_nodes == 4
+
+
+@given(st.lists(st.text(alphabet="ab", min_size=1, max_size=4),
+                min_size=1, max_size=8, unique=True),
+       st.text(alphabet="ab", max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_property_equivalent_to_naive_search(patterns, text):
+    automaton = _build(patterns)
+    got = {(m.start, m.end, m.pattern_id)
+           for m in automaton.find_all(text)}
+    assert got == _naive(patterns, text)
+
+
+@given(st.lists(st.text(alphabet="xyz ", min_size=1, max_size=6),
+                min_size=1, max_size=10, unique=True))
+@settings(max_examples=100, deadline=None)
+def test_property_every_pattern_matches_itself(patterns):
+    automaton = _build(patterns)
+    for pattern_id, pattern in enumerate(patterns):
+        matches = automaton.find_all(pattern)
+        assert any(m.pattern_id == pattern_id
+                   and (m.start, m.end) == (0, len(pattern))
+                   for m in matches)

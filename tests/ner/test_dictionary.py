@@ -1,0 +1,124 @@
+"""Tests for fuzzy dictionary tagging."""
+
+import pytest
+
+from repro.annotations import Document
+from repro.corpora.vocabulary import TermEntry
+from repro.ner.dictionary import (
+    DictionaryTagger, EntityDictionary, expand_term,
+)
+
+
+def _dictionary(*entries, fuzzy=True):
+    return EntityDictionary("drug", list(entries), fuzzy=fuzzy)
+
+
+ASPIRIN = TermEntry("Aspirin", ("Aspirin hydrochloride",), "DRUG:000001")
+GAD = TermEntry("GAD-67", (), "GENE:000002")
+
+
+class TestExpandTerm:
+    def test_case_folding(self):
+        assert "aspirin" in expand_term("Aspirin")
+
+    def test_plural(self):
+        assert "aspirins" in expand_term("Aspirin")
+
+    def test_hyphen_space_alternation(self):
+        variants = expand_term("GAD-67")
+        assert "gad 67" in variants
+        assert "gad67" in variants
+
+    def test_space_to_hyphen(self):
+        assert "chronic-pain" in expand_term("chronic pain")
+
+
+class TestMatching:
+    def test_exact_match(self):
+        document = Document("d", "We prescribed Aspirin daily.")
+        mentions = _dictionary(ASPIRIN).annotate(document)
+        assert len(mentions) == 1
+        assert mentions[0].text == "Aspirin"
+        assert mentions[0].term_id == "DRUG:000001"
+        assert mentions[0].method == "dictionary"
+
+    def test_case_variant_match(self):
+        document = Document("d", "take ASPIRIN now")
+        assert _dictionary(ASPIRIN).annotate(document)
+
+    def test_plural_variant_match(self):
+        document = Document("d", "two aspirins later")
+        assert _dictionary(ASPIRIN).annotate(document)
+
+    def test_hyphen_variant_match(self):
+        document = Document("d", "levels of GAD 67 rose")
+        dictionary = EntityDictionary("gene", [GAD])
+        assert dictionary.annotate(document)
+
+    def test_word_boundary_respected(self):
+        document = Document("d", "superaspirinx is not a drug")
+        assert not _dictionary(ASPIRIN).annotate(document)
+
+    def test_longest_match_wins(self):
+        entries = [TermEntry("chronic pain", (), "DIS:1"),
+                   TermEntry("pain", (), "DIS:2")]
+        dictionary = EntityDictionary("disease", entries)
+        document = Document("d", "suffering from chronic pain daily")
+        mentions = dictionary.annotate(document)
+        assert len(mentions) == 1
+        assert mentions[0].text == "chronic pain"
+
+    def test_non_fuzzy_misses_variants(self):
+        document = Document("d", "two aspirins later")
+        assert not _dictionary(ASPIRIN, fuzzy=False).annotate(document)
+
+    def test_mentions_appended_to_document(self):
+        document = Document("d", "Aspirin and Aspirin.")
+        _dictionary(ASPIRIN).annotate(document)
+        assert len(document.entities) == 2
+
+    def test_annotate_offsets_exact(self):
+        text = "He took Aspirin (hydrochloride form)."
+        document = Document("d", text)
+        for mention in _dictionary(ASPIRIN).annotate(document):
+            assert text[mention.start:mention.end] == mention.text
+
+
+class TestOperationalProperties:
+    def test_build_time_recorded(self):
+        dictionary = _dictionary(ASPIRIN, GAD)
+        assert dictionary.build_seconds > 0
+
+    def test_startup_seconds_from_tagger(self):
+        tagger = DictionaryTagger(_dictionary(ASPIRIN))
+        assert tagger.startup_seconds() == tagger.dictionary.build_seconds
+
+    def test_memory_grows_with_entries(self, vocabulary):
+        small = EntityDictionary("gene", vocabulary.genes[:10])
+        large = EntityDictionary("gene", vocabulary.genes)
+        assert large.approx_memory_bytes() > small.approx_memory_bytes()
+
+    def test_pattern_count_exceeds_entry_count(self, vocabulary):
+        """Fuzzy expansion inflates the automaton — the memory cost the
+        paper attributes to regex-to-NFA conversion."""
+        dictionary = EntityDictionary("gene", vocabulary.genes[:50])
+        assert dictionary.n_patterns > 50
+
+    def test_recall_on_gold(self, vocabulary, relevant_generator):
+        dictionary = EntityDictionary("gene", vocabulary.genes)
+        found = total = 0
+        for i in range(10):
+            gold = relevant_generator.document(i)
+            document = gold.document.copy_shallow()
+            mentions = {(m.start, m.end)
+                        for m in dictionary.annotate(document)}
+            for entity in gold.entities:
+                if entity.mention.entity_type != "gene":
+                    continue
+                if entity.in_dictionary:
+                    total += 1
+                    span = (entity.mention.start, entity.mention.end)
+                    if span in mentions:
+                        found += 1
+        assert total > 0
+        assert found / total > 0.8

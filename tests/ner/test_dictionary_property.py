@@ -1,0 +1,86 @@
+"""Property tests: dictionary tagging vs brute-force reference."""
+
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.annotations import Document
+from repro.corpora.vocabulary import TermEntry
+from repro.ner.dictionary import EntityDictionary, expand_term
+
+_WORDS = ["alpha", "beta", "delta", "zeta"]
+_TERMS = ["abraxol", "zintamab", "corvex-9", "brontase"]
+
+
+def _brute_force(text, patterns):
+    """All word-aligned pattern occurrences, longest-wins overlap
+    resolution, matching EntityDictionary semantics."""
+    lowered = text.lower()
+    boundary = set(" \t\n\r.,;:!?()[]{}<>\"'`/\\|")
+    hits = []
+    for pattern in patterns:
+        start = 0
+        while True:
+            index = lowered.find(pattern, start)
+            if index < 0:
+                break
+            before_ok = index == 0 or lowered[index - 1] in boundary
+            end = index + len(pattern)
+            after_ok = end >= len(lowered) or lowered[end] in boundary
+            if before_ok and after_ok:
+                hits.append((index, end))
+            start = index + 1
+    hits.sort(key=lambda span: (-(span[1] - span[0]), span[0]))
+    chosen = []
+    for span in hits:
+        if not any(span[0] < e and s < span[1] for s, e in chosen):
+            chosen.append(span)
+    return sorted(chosen)
+
+
+@given(st.lists(st.sampled_from(_WORDS + _TERMS + ["Abraxol",
+                                                   "corvex 9",
+                                                   "zintamabs"]),
+                min_size=1, max_size=25))
+@settings(max_examples=150, deadline=None)
+def test_property_dictionary_matches_brute_force(words):
+    text = " ".join(words) + "."
+    entries = [TermEntry(term, (), f"T:{i}")
+               for i, term in enumerate(_TERMS)]
+    dictionary = EntityDictionary("drug", entries, min_pattern_length=2)
+    patterns = set()
+    for entry in entries:
+        patterns |= expand_term(entry.canonical)
+    expected = _brute_force(text, patterns)
+    document = Document("d", text)
+    got = sorted((m.start, m.end) for m in dictionary.annotate(document))
+    assert got == expected
+
+
+@given(st.text(alphabet="abz -", min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_property_mention_offsets_always_valid(text):
+    entries = [TermEntry("ab", ()), TermEntry("za-b", ())]
+    dictionary = EntityDictionary("gene", entries, min_pattern_length=2)
+    document = Document("d", text)
+    for mention in dictionary.annotate(document):
+        assert text[mention.start:mention.end] == mention.text
+
+
+@given(st.sampled_from(_TERMS),
+       st.sampled_from(["upper", "plural", "hyphen_swap"]))
+@settings(max_examples=60, deadline=None)
+def test_property_fuzzy_variants_always_found(term, variant_kind):
+    if variant_kind == "upper":
+        surface = term.upper()
+    elif variant_kind == "plural":
+        surface = term + ("" if term.endswith("s") else "s")
+    else:
+        surface = term.replace("-", " ") if "-" in term else term
+    text = f"The dose of {surface} was raised."
+    dictionary = EntityDictionary("drug", [TermEntry(term, ())])
+    document = Document("d", text)
+    mentions = dictionary.annotate(document)
+    assert any(re.sub(r"[\s-]", "", m.text.lower())
+               == re.sub(r"[\s-]", "", surface.lower())
+               for m in mentions)

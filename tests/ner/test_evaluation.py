@@ -1,0 +1,118 @@
+"""Tests for the span-based NER evaluator."""
+
+import pytest
+
+from repro.annotations import Document, EntityMention
+from repro.corpora.textgen import GoldDocument, GoldEntity
+from repro.ner.evaluation import (
+    NerReport, compare_taggers, evaluate_mentions, evaluate_tagger,
+)
+
+
+def _gold(text, spans):
+    """Gold document with disease mentions at (start, end) spans."""
+    document = Document("g", text)
+    entities = [GoldEntity(
+        mention=EntityMention(text[s:e], s, e, "disease", method="gold"),
+        in_dictionary=True, variant=False) for s, e in spans]
+    return GoldDocument(document=document, entities=entities)
+
+
+def _predictions(text, spans):
+    return [EntityMention(text[s:e], s, e, "disease", method="ml")
+            for s, e in spans]
+
+
+TEXT = "glossoma and arthritis were found near arthritis again"
+
+
+class TestEvaluateMentions:
+    def test_perfect_match(self):
+        gold = _gold(TEXT, [(0, 8), (13, 22)])
+        report = evaluate_mentions(_predictions(TEXT, [(0, 8), (13, 22)]),
+                                   gold, "disease")
+        assert report.precision == 1.0 and report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_miss_counts_fn(self):
+        gold = _gold(TEXT, [(0, 8), (13, 22)])
+        report = evaluate_mentions(_predictions(TEXT, [(0, 8)]), gold,
+                                   "disease")
+        assert report.false_negatives == 1
+        assert report.recall == 0.5
+
+    def test_spurious_counts_fp(self):
+        gold = _gold(TEXT, [(0, 8)])
+        report = evaluate_mentions(
+            _predictions(TEXT, [(0, 8), (39, 48)]), gold, "disease")
+        assert report.false_positives == 1
+        assert report.precision == 0.5
+
+    def test_exact_mode_rejects_partial(self):
+        gold = _gold(TEXT, [(0, 8)])
+        report = evaluate_mentions(_predictions(TEXT, [(0, 6)]), gold,
+                                   "disease")
+        assert report.true_positives == 0
+
+    def test_overlap_mode_accepts_partial(self):
+        gold = _gold(TEXT, [(0, 8)])
+        report = evaluate_mentions(_predictions(TEXT, [(0, 6)]), gold,
+                                   "disease", mode="overlap")
+        assert report.true_positives == 1
+
+    def test_duplicate_gold_spans_matched_once_each(self):
+        gold = _gold(TEXT, [(13, 22), (39, 48)])
+        report = evaluate_mentions(
+            _predictions(TEXT, [(13, 22), (13, 22)]), gold, "disease")
+        assert report.true_positives == 1
+        assert report.false_positives == 1
+
+    def test_unknown_mode_rejected(self):
+        gold = _gold(TEXT, [(0, 8)])
+        with pytest.raises(ValueError):
+            evaluate_mentions([], gold, "disease", mode="fuzzy")
+
+    def test_missed_provenance_split(self):
+        document = Document("g", TEXT)
+        entities = [
+            GoldEntity(EntityMention(TEXT[0:8], 0, 8, "disease",
+                                     method="gold"),
+                       in_dictionary=True, variant=False),
+            GoldEntity(EntityMention(TEXT[13:22], 13, 22, "disease",
+                                     method="gold"),
+                       in_dictionary=False, variant=False),
+        ]
+        gold = GoldDocument(document=document, entities=entities)
+        report = evaluate_mentions([], gold, "disease")
+        assert report.missed_in_dictionary == 1
+        assert report.missed_novel == 1
+
+    def test_str_format(self):
+        report = NerReport("gene", true_positives=3, false_positives=1,
+                           false_negatives=2)
+        text = str(report)
+        assert "gene" in text and "F1=" in text
+
+
+class TestEvaluateTagger:
+    def test_dictionary_tagger_bands(self, pipeline, relevant_generator):
+        gold_documents = [relevant_generator.document(i)
+                          for i in range(90, 100)]
+        report = evaluate_tagger(pipeline.dictionary_taggers["drug"],
+                                 gold_documents)
+        assert report.precision > 0.7
+        # Dictionary recall is bounded by novel mentions it cannot see.
+        assert report.missed_novel > 0 or report.recall > 0.5
+
+    def test_compare_taggers_table(self, pipeline, relevant_generator):
+        gold_documents = [relevant_generator.document(i)
+                          for i in range(90, 96)]
+        comparison = compare_taggers(
+            pipeline.dictionary_taggers["gene"],
+            pipeline.ml_taggers["gene"], gold_documents, mode="overlap")
+        rows = comparison.rows()
+        assert len(rows) == 2
+        assert rows[0][1] == "dictionary" and rows[1][1] == "ml"
+        # ML recall (overlap mode) is not worse than dictionary recall
+        # minus tolerance: it sees novel names.
+        assert comparison.ml.recall >= comparison.dictionary.recall - 0.2

@@ -1,0 +1,118 @@
+"""Tests for entity normalization and cross-scheme merging."""
+
+import pytest
+
+from repro.annotations import Document, EntityMention
+from repro.ner.normalize import EntityNormalizer, merge_by_term
+
+
+@pytest.fixture(scope="module")
+def normalizer(vocabulary):
+    return EntityNormalizer(vocabulary)
+
+
+class TestResolve:
+    def test_canonical_resolves(self, normalizer, vocabulary):
+        entry = vocabulary.drugs[0]
+        assert normalizer.resolve("drug", entry.canonical) is entry
+
+    def test_case_insensitive(self, normalizer, vocabulary):
+        entry = vocabulary.drugs[0]
+        assert normalizer.resolve("drug",
+                                  entry.canonical.upper()) is entry
+
+    def test_synonym_resolves_to_entry(self, normalizer, vocabulary):
+        entry = next(e for e in vocabulary.genes if e.synonyms)
+        assert normalizer.resolve("gene", entry.synonyms[0]) is not None
+
+    def test_plural_variant(self, normalizer, vocabulary):
+        name = vocabulary.drugs[1].canonical
+        assert normalizer.resolve("drug", name + "s") is not None
+
+    def test_wrong_type_does_not_resolve(self, normalizer, vocabulary):
+        assert normalizer.resolve("disease",
+                                  vocabulary.drugs[0].canonical) is None
+
+    def test_unknown_surface(self, normalizer):
+        assert normalizer.resolve("gene", "zzznotagene") is None
+
+
+class TestNormalizeDocument:
+    def test_links_ml_mentions(self, normalizer, vocabulary):
+        name = vocabulary.diseases[0].canonical
+        text = f"Patients with {name} recovered."
+        document = Document("d", text)
+        start = text.index(name)
+        document.entities = [EntityMention(name, start,
+                                           start + len(name),
+                                           "disease", method="ml")]
+        stats = normalizer.normalize(document)
+        assert stats.linked == 1
+        assert document.entities[0].term_id.startswith("DIS:")
+
+    def test_novel_names_stay_unlinked(self, normalizer):
+        document = Document("d", "zzznovelosis spread.")
+        document.entities = [EntityMention("zzznovelosis", 0, 12,
+                                           "disease", method="ml")]
+        stats = normalizer.normalize(document)
+        assert stats.unlinked == 1
+        assert document.entities[0].term_id == ""
+
+    def test_existing_ids_untouched(self, normalizer):
+        document = Document("d", "x")
+        document.entities = [EntityMention("x", 0, 1, "gene",
+                                           method="dictionary",
+                                           term_id="GENE:000042")]
+        stats = normalizer.normalize(document)
+        assert stats.already_linked == 1
+        assert document.entities[0].term_id == "GENE:000042"
+
+    def test_link_rate_on_pipeline_output(self, normalizer, pipeline,
+                                          relevant_generator):
+        """Most ML mentions on relevant text resolve to the dictionary;
+        the novel remainder is the paper's new-knowledge signal."""
+        stats_total = 0
+        linked_total = 0
+        for i in range(100, 108):
+            document = relevant_generator.document(i) \
+                .document.copy_shallow()
+            for tagger in pipeline.ml_taggers.values():
+                tagger.annotate(document)
+            stats = normalizer.normalize(document)
+            stats_total += stats.linked + stats.unlinked
+            linked_total += stats.linked
+        assert stats_total > 0
+        assert 0.2 < linked_total / stats_total < 1.0
+
+
+class TestMergeByTerm:
+    def test_same_term_same_span_collapses(self):
+        document = Document("d", "Aspirin")
+        document.entities = [
+            EntityMention("Aspirin", 0, 7, "drug", method="dictionary",
+                          term_id="DRUG:1"),
+            EntityMention("Aspirin", 0, 7, "drug", method="ml",
+                          term_id="DRUG:1"),
+        ]
+        merged = merge_by_term(document)
+        assert len(merged) == 1
+        assert merged[0].method == "dictionary"
+
+    def test_unlinked_mentions_kept_separately(self):
+        document = Document("d", "Aspirin novelol")
+        document.entities = [
+            EntityMention("Aspirin", 0, 7, "drug", method="dictionary",
+                          term_id="DRUG:1"),
+            EntityMention("novelol", 8, 15, "drug", method="ml"),
+        ]
+        assert len(merge_by_term(document)) == 2
+
+    def test_different_spans_not_merged(self):
+        document = Document("d", "Aspirin and Aspirin")
+        document.entities = [
+            EntityMention("Aspirin", 0, 7, "drug", term_id="DRUG:1",
+                          method="dictionary"),
+            EntityMention("Aspirin", 12, 19, "drug", term_id="DRUG:1",
+                          method="ml"),
+        ]
+        assert len(merge_by_term(document)) == 2

@@ -1,0 +1,72 @@
+"""Tests for Schwartz-Hearst abbreviation detection."""
+
+from repro.annotations import Document
+from repro.nlp.abbreviations import (
+    annotate_abbreviations, defined_short_forms, find_abbreviations,
+)
+
+
+class TestFindAbbreviations:
+    def test_classic_definition(self):
+        definitions = find_abbreviations(
+            "The chronic kidney disease (CKD) cohort grew.")
+        assert len(definitions) == 1
+        assert definitions[0].short_form == "CKD"
+        assert definitions[0].long_form.lower() == "chronic kidney disease"
+
+    def test_offsets_match(self):
+        text = "We studied tumor necrosis factor (TNF) levels."
+        definition = find_abbreviations(text)[0]
+        assert text[definition.short_start:definition.short_end] == "TNF"
+        assert text[definition.long_start:definition.long_end] == \
+            definition.long_form
+
+    def test_skips_non_matching_parenthetical(self):
+        assert find_abbreviations(
+            "The effect was strong (see Figure 2) in mice.") == []
+
+    def test_skips_numeric_parenthetical(self):
+        assert find_abbreviations("significant (n = 42) cohort") == []
+
+    def test_multiple_definitions(self):
+        text = ("Tumor necrosis factor (TNF) and chronic kidney "
+                "disease (CKD) interact.")
+        shorts = {d.short_form for d in find_abbreviations(text)}
+        assert shorts == {"TNF", "CKD"}
+
+    def test_inner_letters_allowed(self):
+        definitions = find_abbreviations(
+            "the deoxyribonucleic acid (DNA) strand")
+        assert definitions and definitions[0].short_form == "DNA"
+
+    def test_no_long_form_match(self):
+        # Characters of the short form don't appear before the paren.
+        assert find_abbreviations("we went home (XQZ) yesterday") == []
+
+    def test_short_form_length_bounds(self):
+        assert find_abbreviations("a thing (X) here") == []
+        long_sf = "A" * 11
+        assert find_abbreviations(f"some words ({long_sf}) here") == []
+
+
+class TestDocumentIntegration:
+    def test_annotate_stores_meta(self):
+        document = Document(
+            "d", "The chronic kidney disease (CKD) cohort grew.")
+        annotate_abbreviations(document)
+        assert ("CKD", "chronic kidney disease") in [
+            (s, l.lower()) for s, l in document.meta["abbreviations"]]
+
+    def test_defined_short_forms(self):
+        document = Document(
+            "d", "Tumor necrosis factor (TNF) rose. TNF fell later.")
+        assert "TNF" in defined_short_forms(document)
+
+    def test_operator_registered(self):
+        from repro.dataflow.packages import make_operator
+
+        document = Document(
+            "d", "The chronic kidney disease (CKD) cohort grew.")
+        out = list(make_operator("annotate_abbreviations").process(
+            [document]))[0]
+        assert out.meta["abbreviations"]

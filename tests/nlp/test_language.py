@@ -1,0 +1,69 @@
+"""Tests for n-gram language identification."""
+
+import random
+
+import pytest
+
+from repro.corpora.foreign import generate_foreign_text
+from repro.nlp.language import LanguageIdentifier, default_identifier
+
+
+@pytest.fixture(scope="module")
+def identifier():
+    return default_identifier(seed=3)
+
+
+class TestDefaultIdentifier:
+    def test_detects_english(self, identifier, medline_generator):
+        assert identifier.detect(medline_generator.document(0).text) == "en"
+
+    def test_detects_german(self, identifier):
+        text = generate_foreign_text("de", 800, random.Random(2))
+        assert identifier.detect(text) == "de"
+
+    def test_detects_french(self, identifier):
+        text = generate_foreign_text("fr", 800, random.Random(2))
+        assert identifier.detect(text) == "fr"
+
+    def test_detects_spanish(self, identifier):
+        text = generate_foreign_text("es", 800, random.Random(2))
+        assert identifier.detect(text) == "es"
+
+    def test_is_english_helper(self, identifier, medline_generator):
+        assert identifier.is_english(medline_generator.document(1).text)
+        text = generate_foreign_text("de", 800, random.Random(3))
+        assert not identifier.is_english(text)
+
+    def test_accuracy_over_many_samples(self, identifier,
+                                        relevant_generator):
+        rng = random.Random(5)
+        correct = total = 0
+        for i in range(10):
+            if identifier.detect(relevant_generator.document(i).text) == "en":
+                correct += 1
+            total += 1
+        for language in ("de", "fr", "es"):
+            for _ in range(5):
+                text = generate_foreign_text(language, 600, rng)
+                if identifier.detect(text) == language:
+                    correct += 1
+                total += 1
+        assert correct / total > 0.9
+
+
+class TestIdentifierMechanics:
+    def test_untrained_returns_empty(self):
+        assert LanguageIdentifier().detect("hello world") == ""
+
+    def test_empty_text_returns_empty(self, identifier):
+        assert identifier.detect("   ") == ""
+
+    def test_languages_listed(self, identifier):
+        assert set(identifier.languages) >= {"en", "de", "fr", "es"}
+
+    def test_custom_training(self):
+        ident = LanguageIdentifier(profile_size=50)
+        ident.train("aa", "aaa aab aba baa " * 50)
+        ident.train("bb", "bbb bba bab abb " * 50)
+        assert ident.detect("aaa aab aaa") == "aa"
+        assert ident.detect("bbb bba bbb") == "bb"

@@ -1,0 +1,87 @@
+"""Tests for the regex linguistic analysis."""
+
+from repro.annotations import Document
+from repro.nlp.linguistics import LinguisticAnalyzer
+
+
+def _doc(text):
+    return Document(doc_id="d", text=text)
+
+
+class TestNegation:
+    def test_cues_found(self):
+        analyzer = LinguisticAnalyzer()
+        mentions = analyzer.analyze(_doc(
+            "This is not true. Neither A nor B held."))
+        negations = [m for m in mentions if m.category == "negation"]
+        assert {m.text.lower() for m in negations} == {"not", "neither",
+                                                       "nor"}
+
+    def test_offsets_match(self):
+        text = "We did not observe it."
+        for mention in LinguisticAnalyzer().analyze(_doc(text)):
+            assert text[mention.start:mention.end] == mention.text
+
+    def test_not_inside_word_ignored(self):
+        mentions = LinguisticAnalyzer().analyze(_doc("denote nothing"))
+        assert not [m for m in mentions if m.category == "negation"]
+
+
+class TestPronouns:
+    def test_six_classes_recognized(self):
+        text = ("They saw him. His results, which improved, speak for "
+                "themselves. These are those cases.")
+        mentions = LinguisticAnalyzer().analyze(_doc(text))
+        subtypes = {m.subtype for m in mentions if m.category == "pronoun"}
+        assert {"personal_subject", "personal_object", "possessive",
+                "relative", "reflexive", "demonstrative"} <= subtypes
+
+    def test_case_insensitive(self):
+        mentions = LinguisticAnalyzer().analyze(_doc("They arrived."))
+        assert any(m.text == "They" for m in mentions)
+
+
+class TestParentheses:
+    def test_found_with_content(self):
+        mentions = LinguisticAnalyzer().analyze(
+            _doc("The effect (p < 0.01) was strong."))
+        parens = [m for m in mentions if m.category == "parenthesis"]
+        assert len(parens) == 1
+        assert parens[0].text == "(p < 0.01)"
+
+    def test_multiple(self):
+        mentions = LinguisticAnalyzer().analyze(
+            _doc("First (a) and second (b)."))
+        assert sum(m.category == "parenthesis" for m in mentions) == 2
+
+    def test_unbalanced_ignored(self):
+        mentions = LinguisticAnalyzer().analyze(_doc("broken ( text"))
+        assert not [m for m in mentions if m.category == "parenthesis"]
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        analyzer = LinguisticAnalyzer()
+        document = _doc("They did not fail (luckily). Neither did we.")
+        summary = analyzer.summarize(document)
+        assert summary.negations == 2
+        assert summary.parentheses == 1
+        assert sum(summary.pronouns.values()) >= 2
+
+    def test_coreference_pronoun_subset(self):
+        analyzer = LinguisticAnalyzer()
+        summary = analyzer.summarize(
+            _doc("The cases, which they saw, affected them."))
+        assert summary.coreference_pronouns >= 2
+
+    def test_per_1000_chars(self):
+        analyzer = LinguisticAnalyzer()
+        summary = analyzer.summarize(_doc("not " * 250))
+        assert summary.per_1000_chars(summary.negations) == 250.0
+
+    def test_analyze_idempotent_on_document(self):
+        analyzer = LinguisticAnalyzer()
+        document = _doc("They did not fail.")
+        first = analyzer.analyze(document)
+        second = analyzer.analyze(document)
+        assert first == second

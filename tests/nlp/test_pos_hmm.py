@@ -1,0 +1,92 @@
+"""Tests for the HMM POS tagger."""
+
+import pytest
+
+from repro.nlp.pos_hmm import HmmPosTagger, TaggerCrash, _shape
+
+
+@pytest.fixture(scope="module")
+def trained_tagger(medline_generator):
+    tagger = HmmPosTagger()
+    tagger.train(sentence for i in range(40)
+                 for sentence in medline_generator.document(i)
+                 .tagged_sentences())
+    return tagger
+
+
+class TestTraining:
+    def test_untrained_raises(self):
+        with pytest.raises(RuntimeError):
+            HmmPosTagger().tag(["hello"])
+
+    def test_incremental_training_allowed(self):
+        tagger = HmmPosTagger()
+        tagger.train([[("the", "DT"), ("cats", "NNS")]])
+        first = tagger.tag(["the", "cats"])
+        tagger.train([[("dogs", "NNS"), ("run", "VB")]])
+        assert tagger.tag(["the", "cats"]) == first
+
+    def test_tagset_learned(self, trained_tagger):
+        assert "DT" in trained_tagger.tags
+        assert "NNS" in trained_tagger.tags
+
+
+class TestTagging:
+    def test_accuracy_on_held_out(self, trained_tagger, medline_generator):
+        held_out = [sentence for i in range(40, 50)
+                    for sentence in medline_generator.document(i)
+                    .tagged_sentences()]
+        assert trained_tagger.accuracy(held_out) > 0.9
+
+    def test_empty_sentence(self, trained_tagger):
+        assert trained_tagger.tag([]) == []
+
+    def test_known_word(self, trained_tagger):
+        assert trained_tagger.tag(["the", "patients"]) == ["DT", "NNS"]
+
+    def test_unknown_word_uses_shape(self, trained_tagger):
+        tags = trained_tagger.tag(["the", "zzzxqq-42"])
+        assert len(tags) == 2 and all(tags)
+
+    def test_tag_tokens_fills_pos(self, trained_tagger):
+        from repro.nlp.tokenize import tokenize
+
+        tokens = trained_tagger.tag_tokens(tokenize("the patients improved"))
+        assert all(t.pos for t in tokens)
+
+    def test_output_length_matches_input(self, trained_tagger):
+        words = ["the", "study", "shows", "a", "response", "."]
+        assert len(trained_tagger.tag(words)) == len(words)
+
+    def test_deterministic(self, trained_tagger):
+        words = ["each", "trial", "confirms", "the", "diagnosis", "."]
+        assert trained_tagger.tag(words) == trained_tagger.tag(words)
+
+
+class TestCrashBehaviour:
+    def test_long_sentence_crashes(self, trained_tagger):
+        with pytest.raises(TaggerCrash):
+            trained_tagger.tag(["word"] * 700)
+
+    def test_limit_configurable(self, medline_generator):
+        tagger = HmmPosTagger(crash_token_limit=None)
+        tagger.train(medline_generator.document(0).tagged_sentences())
+        assert len(tagger.tag(["word"] * 700)) == 700
+
+    def test_accuracy_counts_crashes_as_errors(self, medline_generator):
+        tagger = HmmPosTagger(crash_token_limit=5)
+        tagger.train(medline_generator.document(0).tagged_sentences())
+        gold = [[("w", "NN")] * 10]
+        assert tagger.accuracy(gold) == 0.0
+
+
+class TestShapes:
+    def test_shapes(self):
+        assert _shape("123") == "shape_number"
+        assert _shape("WHO") == "shape_allcaps"
+        assert _shape("Berlin") == "shape_capitalized"
+        assert _shape("Paris") == "suffix_s"  # suffix checks take priority
+        assert _shape("p53x") == "shape_mixed"
+        assert _shape(".,;") == "shape_punct"
+        assert _shape("running") == "suffix_ing"
+        assert _shape("quickly") == "suffix_ly"

@@ -1,0 +1,74 @@
+"""Tests for sentence boundary detection."""
+
+from repro.nlp.sentence import SentenceSplitter, split_sentences
+
+
+class TestSplitting:
+    def test_two_sentences(self):
+        sentences = split_sentences("First here. Second there.")
+        assert [s.text for s in sentences] == ["First here.",
+                                               "Second there."]
+
+    def test_offsets_match(self):
+        text = "One sentence. Another one! A third?"
+        for sentence in split_sentences(text):
+            assert text[sentence.start:sentence.end] == sentence.text
+
+    def test_abbreviation_not_boundary(self):
+        sentences = split_sentences("See Fig. 2 for details. Then stop.")
+        assert len(sentences) == 2
+        assert sentences[0].text == "See Fig. 2 for details."
+
+    def test_eg_not_boundary(self):
+        sentences = split_sentences("Some drugs, e.g. Aspirin, help. Done.")
+        assert len(sentences) == 2
+
+    def test_initial_not_boundary(self):
+        sentences = split_sentences("We thank J. Smith for help. The end.")
+        assert len(sentences) == 2
+
+    def test_question_and_exclamation(self):
+        sentences = split_sentences("Really? Yes! Fine.")
+        assert len(sentences) == 3
+
+    def test_no_terminal_punctuation_single_blob(self):
+        """Run-on web text yields one giant pseudo-sentence — the
+        failure mode feeding >2000-char sentences to the tagger."""
+        blob = ", ".join(["menu item"] * 300)
+        sentences = split_sentences(blob)
+        assert len(sentences) == 1
+        assert len(sentences[0].text) > 2000
+
+    def test_lowercase_continuation_not_split(self):
+        sentences = split_sentences("He saw approx. twenty cases. Done.")
+        assert len(sentences) == 2
+
+    def test_empty_text(self):
+        assert split_sentences("") == []
+
+    def test_whitespace_only(self):
+        assert split_sentences("  \n  ") == []
+
+    def test_base_offset(self):
+        sentences = split_sentences("A b. C d.", base_offset=50)
+        assert sentences[0].start == 50
+
+
+class TestHardLimit:
+    def test_hard_split_caps_length(self):
+        splitter = SentenceSplitter(max_sentence_chars=100)
+        blob = ", ".join(["menu item"] * 100)
+        pieces = splitter.split(blob)
+        assert len(pieces) > 1
+        assert all(len(p.text) <= 100 for p in pieces)
+
+    def test_hard_split_offsets_consistent(self):
+        splitter = SentenceSplitter(max_sentence_chars=80)
+        blob = " ".join(["word"] * 200)
+        for piece in splitter.split(blob):
+            assert blob[piece.start:piece.end] == piece.text
+
+    def test_normal_sentences_untouched_by_limit(self):
+        splitter = SentenceSplitter(max_sentence_chars=200)
+        sentences = splitter.split("Short one. Another short one.")
+        assert len(sentences) == 2

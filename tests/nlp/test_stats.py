@@ -1,0 +1,147 @@
+"""Tests for the statistics module (MWW test, JSD)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nlp.stats import (
+    frequency_distribution, jensen_shannon_divergence, kl_divergence,
+    mann_whitney_u, mean, median, quantiles,
+)
+
+
+class TestMannWhitney:
+    def test_separated_samples_significant(self):
+        _u, p = mann_whitney_u(list(range(30)), list(range(100, 130)))
+        assert p < 0.001
+
+    def test_identical_samples_not_significant(self):
+        _u, p = mann_whitney_u([1, 2, 3, 4, 5] * 6, [1, 2, 3, 4, 5] * 6)
+        assert p > 0.5
+
+    def test_symmetry(self):
+        a = [1.0, 3.0, 5.0, 7.0, 11.0] * 4
+        b = [2.0, 4.0, 6.0, 8.0, 10.0] * 4
+        _u1, p1 = mann_whitney_u(a, b)
+        _u2, p2 = mann_whitney_u(b, a)
+        assert p1 == pytest.approx(p2, abs=1e-9)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+    def test_ties_handled(self):
+        _u, p = mann_whitney_u([1, 1, 1, 2, 2], [1, 2, 2, 2, 3])
+        assert 0.0 <= p <= 1.0
+
+    def test_u_statistic_range(self):
+        u, _p = mann_whitney_u([1, 2], [3, 4])
+        assert 0 <= u <= 4
+
+    @given(st.lists(st.floats(-100, 100), min_size=3, max_size=30),
+           st.lists(st.floats(-100, 100), min_size=3, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_property_p_value_in_unit_interval(self, a, b):
+        _u, p = mann_whitney_u(a, b)
+        assert 0.0 <= p <= 1.0
+
+
+class TestKlAndJsd:
+    def test_kl_zero_for_identical(self):
+        d = {"a": 0.5, "b": 0.5}
+        assert kl_divergence(d, d) == pytest.approx(0.0, abs=1e-12)
+
+    def test_kl_infinite_on_missing_support(self):
+        assert kl_divergence({"a": 1.0}, {"b": 1.0}) == math.inf
+
+    def test_jsd_zero_for_identical(self):
+        d = {"a": 2, "b": 3}
+        assert jensen_shannon_divergence(d, d) == pytest.approx(0.0,
+                                                                abs=1e-12)
+
+    def test_jsd_one_for_disjoint(self):
+        assert jensen_shannon_divergence({"a": 1}, {"b": 1}) == \
+            pytest.approx(1.0)
+
+    def test_jsd_symmetric(self):
+        p = {"a": 1, "b": 2, "c": 3}
+        q = {"b": 1, "c": 1, "d": 4}
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p))
+
+    def test_jsd_unnormalized_input_ok(self):
+        assert jensen_shannon_divergence({"a": 10, "b": 10},
+                                         {"a": 1, "b": 1}) == \
+            pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            jensen_shannon_divergence({}, {"a": 1})
+
+    @given(st.dictionaries(st.sampled_from("abcdefgh"),
+                           st.floats(0.01, 10), min_size=1, max_size=8),
+           st.dictionaries(st.sampled_from("abcdefgh"),
+                           st.floats(0.01, 10), min_size=1, max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_property_jsd_bounded_and_symmetric(self, p, q):
+        jsd = jensen_shannon_divergence(p, q)
+        assert -1e-9 <= jsd <= 1.0 + 1e-9
+        assert jsd == pytest.approx(jensen_shannon_divergence(q, p),
+                                    abs=1e-9)
+
+
+class TestDescriptive:
+    def test_frequency_distribution(self):
+        dist = frequency_distribution(["a", "a", "b", "c"])
+        assert dist == {"a": 0.5, "b": 0.25, "c": 0.25}
+
+    def test_frequency_distribution_empty(self):
+        assert frequency_distribution([]) == {}
+
+    def test_mean_median(self):
+        assert mean([1, 2, 3]) == 2
+        assert median([1, 2, 3, 100]) == 2.5
+        assert mean([]) == 0.0
+
+    def test_quantiles(self):
+        q25, q50, q75 = quantiles(list(range(101)))
+        assert (q25, q50, q75) == (25, 50, 75)
+
+    def test_quantiles_empty(self):
+        assert quantiles([]) == [0.0, 0.0, 0.0]
+
+
+class TestBootstrap:
+    def test_interval_contains_mean_for_tight_sample(self):
+        from repro.nlp.stats import bootstrap_ci
+
+        low, high = bootstrap_ci([5.0] * 50)
+        assert low == high == 5.0
+
+    def test_interval_widens_with_variance(self):
+        from repro.nlp.stats import bootstrap_ci
+
+        tight = bootstrap_ci([10.0 + 0.01 * i for i in range(40)], seed=1)
+        wide = bootstrap_ci([10.0 + 3.0 * i for i in range(40)], seed=1)
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_deterministic(self):
+        from repro.nlp.stats import bootstrap_ci
+
+        sample = [1.0, 4.0, 2.0, 8.0, 5.0] * 6
+        assert bootstrap_ci(sample, seed=3) == bootstrap_ci(sample, seed=3)
+
+    def test_empty_rejected(self):
+        import pytest
+
+        from repro.nlp.stats import bootstrap_ci
+
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_low_not_above_high(self):
+        from repro.nlp.stats import bootstrap_ci
+
+        low, high = bootstrap_ci([1.0, 9.0, 4.0, 2.0, 7.0] * 4, seed=2)
+        assert low <= high

@@ -1,0 +1,64 @@
+"""Tests for the defect-injecting HTML renderer."""
+
+from repro.web.htmlgen import DEFECT_CLASSES, PageRenderer
+
+
+def _render(defect_rate=0.0, seed=1, **kwargs):
+    renderer = PageRenderer(seed=seed, defect_rate=defect_rate)
+    return renderer.render(
+        url="http://h.example.org/a.html", title="A title",
+        body_text=("First sentence of the article. Second sentence with "
+                   "more words. Third one closes the paragraph."),
+        outlinks=["http://other.example.org/x.html"], **kwargs)
+
+
+class TestRendering:
+    def test_contains_title_and_body(self):
+        html = _render()
+        assert "A title" in html
+        assert "First sentence of the article." in html
+
+    def test_contains_boilerplate_chrome(self):
+        html = _render()
+        assert 'class="nav"' in html
+        assert 'class="footer"' in html
+        assert 'class="ad"' in html
+
+    def test_outlinks_rendered_as_anchors(self):
+        html = _render()
+        assert 'href="http://other.example.org/x.html"' in html
+
+    def test_clean_page_is_well_formed_enough(self):
+        html = _render(defect_rate=0.0)
+        assert html.count("<div") == html.count("</div>")
+        assert html.rstrip().endswith("</html>")
+
+    def test_deterministic(self):
+        assert _render(seed=5) == _render(seed=5)
+
+    def test_defect_rate_one_always_corrupts(self):
+        clean = _render(defect_rate=0.0, seed=7)
+        dirty = PageRenderer(seed=7, defect_rate=1.0).render(
+            url="http://h.example.org/a.html", title="A title",
+            body_text=clean, outlinks=[])
+        # A corrupted page differs from its clean rendering in at
+        # least one defect class marker.
+        assert dirty != _render(defect_rate=0.0, seed=7)
+
+    def test_defect_classes_nonempty(self):
+        assert len(DEFECT_CLASSES) >= 6
+
+    def test_most_pages_defective_at_default_rate(self):
+        from repro.html.repair import detect_markup_issues
+
+        renderer = PageRenderer(seed=11)  # default 0.95, as per [19]
+        defective = 0
+        for i in range(40):
+            html = renderer.render(f"http://h{i}.example.org/", "t",
+                                   "Some body text here. And more text.",
+                                   [], page_index=i)
+            if detect_markup_issues(html):
+                defective += 1
+        # detect_markup_issues is a screen, not exhaustive: some
+        # defect classes (pure mis-nesting swaps) evade it.
+        assert defective >= 24

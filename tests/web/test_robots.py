@@ -1,0 +1,74 @@
+"""Tests for robots.txt parsing and policy semantics."""
+
+from repro.web.robots import RobotsPolicy, parse_robots, render_robots
+
+
+class TestParseRobots:
+    def test_empty_allows_everything(self):
+        policy = parse_robots("")
+        assert policy.allows("http://h/x")
+
+    def test_disallow_prefix(self):
+        policy = parse_robots("User-agent: *\nDisallow: /private/\n")
+        assert not policy.allows("http://h/private/page.html")
+        assert policy.allows("http://h/public/page.html")
+
+    def test_allow_overrides_with_longer_prefix(self):
+        policy = parse_robots(
+            "User-agent: *\nDisallow: /a/\nAllow: /a/open/\n")
+        assert policy.allows("http://h/a/open/x")
+        assert not policy.allows("http://h/a/closed/x")
+
+    def test_crawl_delay(self):
+        policy = parse_robots("User-agent: *\nCrawl-delay: 2.5\n")
+        assert policy.crawl_delay == 2.5
+
+    def test_bad_crawl_delay_ignored(self):
+        policy = parse_robots("User-agent: *\nCrawl-delay: soon\n")
+        assert policy.crawl_delay == 0.0
+
+    def test_specific_agent_preferred(self):
+        text = ("User-agent: *\nDisallow: /all/\n\n"
+                "User-agent: repro\nDisallow: /repro-only/\n")
+        policy = parse_robots(text, agent="repro")
+        assert not policy.allows("http://h/repro-only/x")
+        assert policy.allows("http://h/all/x")
+
+    def test_agent_falls_back_to_star(self):
+        text = "User-agent: *\nDisallow: /x/\n"
+        policy = parse_robots(text, agent="somebody")
+        assert not policy.allows("http://h/x/1")
+
+    def test_comments_and_blank_lines(self):
+        text = "# hello\nUser-agent: *\n\nDisallow: /a/ # inline\n"
+        policy = parse_robots(text)
+        assert not policy.allows("http://h/a/p")
+
+    def test_grouped_agents_share_rules(self):
+        text = "User-agent: a\nUser-agent: b\nDisallow: /z/\n"
+        for agent in ("a", "b"):
+            assert not parse_robots(text, agent=agent).allows("http://h/z/1")
+
+    def test_unknown_directives_ignored(self):
+        policy = parse_robots("User-agent: *\nSitemap: http://h/s.xml\n")
+        assert policy.allows("http://h/x")
+
+
+class TestRenderRobots:
+    def test_round_trip(self):
+        policy = RobotsPolicy(disallow=["/p/"], allow=["/p/ok/"],
+                              crawl_delay=1.0)
+        parsed = parse_robots(render_robots(policy))
+        assert parsed.disallow == ["/p/"]
+        assert parsed.allow == ["/p/ok/"]
+        assert parsed.crawl_delay == 1.0
+
+
+class TestPolicySemantics:
+    def test_empty_policy(self):
+        assert RobotsPolicy().allows("http://h/anything")
+
+    def test_root_disallow_blocks_all(self):
+        policy = RobotsPolicy(disallow=["/"])
+        assert not policy.allows("http://h/")
+        assert not policy.allows("http://h/x/y")

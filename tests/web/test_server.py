@@ -1,0 +1,98 @@
+"""Tests for the simulated HTTP layer."""
+
+import pytest
+
+from repro.web.server import FetchResult, SimulatedClock, SimulatedWeb
+from repro.web.webgraph import WebGraph, WebGraphConfig
+
+
+@pytest.fixture(scope="module")
+def quiet_web(webgraph):
+    """A web without injected errors, for deterministic assertions."""
+    return SimulatedWeb(webgraph, seed=9, error_rate=0.0, timeout_rate=0.0,
+                        redirect_rate=0.0)
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(2.5)
+        assert clock.now == 2.5
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestFetch:
+    def test_fetch_article_ok(self, quiet_web, webgraph):
+        url = next(u for u, p in webgraph.pages.items()
+                   if p.kind == "article" and p.language == "en"
+                   and not p.content_type.startswith("application/"))
+        result = quiet_web.fetch(url)
+        assert result.ok
+        assert result.content_type == "text/html"
+        assert "<html" in result.body.lower()
+        assert result.elapsed > 0
+
+    def test_fetch_unknown_url_404(self, quiet_web):
+        result = quiet_web.fetch("http://nowhere.example.org/missing.html")
+        assert result.status == 404
+
+    def test_fetch_robots(self, quiet_web, webgraph):
+        host = next(iter(webgraph.hosts))
+        result = quiet_web.fetch(f"http://{host}/robots.txt")
+        assert result.ok
+        assert result.content_type == "text/plain"
+        assert "User-agent" in result.body
+
+    def test_binary_pages_have_magic_bytes(self, quiet_web, webgraph):
+        url = next(u for u, p in webgraph.pages.items()
+                   if p.content_type == "application/pdf")
+        result = quiet_web.fetch(url)
+        assert result.body.startswith("%PDF")
+
+    def test_trap_pages_generated_unboundedly(self, quiet_web, webgraph):
+        trap_host = next((h for h, s in webgraph.hosts.items()
+                          if s.kind == "trap"), None)
+        if trap_host is None:
+            pytest.skip("graph has no trap host")
+        result = quiet_web.fetch(f"http://{trap_host}/calendar?page=500")
+        assert result.ok
+        assert "calendar?page=501" in result.body
+
+    def test_deterministic_fetches(self, webgraph):
+        a = SimulatedWeb(webgraph, seed=4)
+        b = SimulatedWeb(webgraph, seed=4)
+        url = next(iter(webgraph.pages))
+        assert a.fetch(url).body == b.fetch(url).body
+
+    def test_error_injection_rates(self, webgraph):
+        web = SimulatedWeb(webgraph, seed=8, error_rate=0.5,
+                           timeout_rate=0.2, redirect_rate=0.0)
+        statuses = [web.fetch(u).status for u in list(webgraph.pages)[:80]]
+        assert statuses.count(500) > 10
+        assert statuses.count(0) > 2
+
+    def test_redirects_annotated(self, webgraph):
+        web = SimulatedWeb(webgraph, seed=8, error_rate=0.0,
+                           timeout_rate=0.0, redirect_rate=1.0)
+        url = next(u for u, p in webgraph.pages.items()
+                   if p.kind == "article" and p.language == "en"
+                   and not p.content_type.startswith("application/"))
+        result = web.fetch(url)
+        assert result.redirected_from == url
+        assert result.url != url
+
+    def test_fetch_count_increments(self, webgraph):
+        web = SimulatedWeb(webgraph, seed=10)
+        web.fetch(next(iter(webgraph.pages)))
+        web.fetch(next(iter(webgraph.pages)))
+        assert web.fetch_count >= 2
+
+
+class TestFetchResult:
+    def test_ok_property(self):
+        assert FetchResult("u", 200, "text/html", "", 0.1).ok
+        assert not FetchResult("u", 404, "text/html", "", 0.1).ok
+        assert not FetchResult("u", 0, "", "", 0.1).ok

@@ -1,0 +1,82 @@
+"""Tests for URL helpers."""
+
+from repro.web.urls import (
+    domain_of, extension_of, host_of, normalize, path_of, resolve,
+)
+
+
+class TestHostAndDomain:
+    def test_host_of(self):
+        assert host_of("http://WWW.Example.COM/a/b") == "www.example.com"
+
+    def test_host_of_unparseable(self):
+        assert host_of("not a url") == ""
+
+    def test_domain_of_regular(self):
+        assert domain_of("http://www.foo.com/x") == "foo.com"
+
+    def test_domain_of_synthetic_example_suffix(self):
+        # <name>.example.<tld> keeps three labels (synthetic web rule).
+        assert domain_of("http://nih.example.gov/") == "nih.example.gov"
+
+    def test_domain_of_short_host(self):
+        assert domain_of("http://localhost/") == "localhost"
+
+
+class TestNormalize:
+    def test_lowercases_scheme_and_host(self):
+        assert normalize("HTTP://EXAMPLE.COM/Path") == \
+            "http://example.com/Path"
+
+    def test_drops_fragment(self):
+        assert normalize("http://a.com/x#frag") == "http://a.com/x"
+
+    def test_removes_default_http_port(self):
+        assert normalize("http://a.com:80/x") == "http://a.com/x"
+
+    def test_removes_default_https_port(self):
+        assert normalize("https://a.com:443/x") == "https://a.com/x"
+
+    def test_adds_root_path(self):
+        assert normalize("http://a.com") == "http://a.com/"
+
+    def test_keeps_query(self):
+        assert normalize("http://a.com/x?p=1") == "http://a.com/x?p=1"
+
+    def test_idempotent(self):
+        url = "http://A.com:80/x?q=2#z"
+        assert normalize(normalize(url)) == normalize(url)
+
+
+class TestResolve:
+    def test_relative_path(self):
+        assert resolve("http://a.com/dir/page.html", "other.html") == \
+            "http://a.com/dir/other.html"
+
+    def test_absolute_path(self):
+        assert resolve("http://a.com/dir/page.html", "/root.html") == \
+            "http://a.com/root.html"
+
+    def test_absolute_url(self):
+        assert resolve("http://a.com/", "http://b.com/x") == "http://b.com/x"
+
+    def test_parent_directory(self):
+        assert resolve("http://a.com/d1/d2/p.html", "../up.html") == \
+            "http://a.com/d1/up.html"
+
+
+class TestPathExtension:
+    def test_path_of(self):
+        assert path_of("http://a.com/x/y.html?q=1") == "/x/y.html"
+
+    def test_path_of_root(self):
+        assert path_of("http://a.com") == "/"
+
+    def test_extension(self):
+        assert extension_of("http://a.com/f.PDF") == "pdf"
+
+    def test_extension_with_query(self):
+        assert extension_of("http://a.com/f.html?x=1.2") == "html"
+
+    def test_no_extension(self):
+        assert extension_of("http://a.com/dir/") == ""
