@@ -4,6 +4,8 @@ Subcommands cover the main workflows:
 
 * ``repro crawl``       — run a focused crawl on the synthetic web;
 * ``repro analyze``     — run the content analysis on the four corpora;
+* ``repro flow``        — run the Fig. 2 flow on a chosen execution
+  engine (sequential / threads / fused / fused-processes);
 * ``repro scalability`` — the simulated-cluster sweeps (Figs. 4-5);
 * ``repro seeds``       — seed generation statistics (Table 1);
 * ``repro facts``       — crawl, extract, and export a fact database.
@@ -39,6 +41,24 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze", help="content analysis of the four corpora")
     analyze.add_argument("--docs", type=int, default=12,
                          help="documents per corpus (default 12)")
+
+    flow = subparsers.add_parser(
+        "flow", help="run the Fig. 2 flow with a chosen execution engine")
+    flow.add_argument("--mode", default="fused",
+                      choices=["sequential", "threads", "fused",
+                               "fused-threads", "fused-processes"],
+                      help="physical execution mode (default fused)")
+    flow.add_argument("--dop", type=int, default=None,
+                      help="degree of parallelism (default: CPU count)")
+    flow.add_argument("--docs", type=int, default=16,
+                      help="documents to run through the flow (default 16)")
+    flow.add_argument("--batch-size", type=int, default=32,
+                      help="records per parallel work batch (default 32)")
+    flow.add_argument("--dict-cache", default=None, metavar="DIR",
+                      help="persistent dictionary-automaton cache directory"
+                           " (skips automaton rebuilds across runs)")
+    flow.add_argument("--report", default=None, metavar="PATH",
+                      help="write the execution report as JSON")
 
     subparsers.add_parser("scalability",
                           help="simulated-cluster scale-out/up sweeps")
@@ -94,6 +114,53 @@ def cmd_analyze(args) -> int:
               f"{corpus.mean_doc_chars:>11,.0f} "
               f"{corpus.mean_sentence_tokens:>12.1f} "
               f"{dictionary:>11} {ml:>9}")
+    return 0
+
+
+def cmd_flow(args) -> int:
+    import os
+
+    from repro.core.flows import build_fig2_flow, make_executor
+    from repro.web.htmlgen import PageRenderer
+
+    ctx = _context(args, corpus_docs=max(8, args.docs),
+                   dictionary_cache_dir=args.dict_cache)
+    dictionary_seconds = sum(
+        tagger.dictionary.build_seconds
+        for tagger in ctx.pipeline.dictionary_taggers.values())
+    cache_hits = sum(
+        1 for tagger in ctx.pipeline.dictionary_taggers.values()
+        if getattr(tagger.dictionary, "cache_hit", False))
+    renderer = PageRenderer(seed=args.seed)
+    documents = []
+    for index, document in enumerate(
+            ctx.corpus_documents("relevant")[:args.docs]):
+        url = f"http://flow{index}.example.org/doc.html"
+        document.raw = renderer.render(url, "t", document.text, [])
+        document.meta.update({"url": url, "content_type": "text/html"})
+        documents.append(document)
+    dop = args.dop or os.cpu_count() or 1
+    executor = make_executor(args.mode, dop=dop,
+                             batch_size=args.batch_size)
+    plan = build_fig2_flow(ctx.pipeline)
+    outputs, report = executor.execute(plan, documents)
+    print(f"mode {report.mode} (dop {report.dop}) | "
+          f"{len(documents)} documents in {report.total_seconds:.2f} s "
+          f"({report.total_records_per_second:.1f} docs/s)")
+    print(f"dictionary build {dictionary_seconds:.2f} s "
+          f"({cache_hits}/{len(ctx.pipeline.dictionary_taggers)} cached)")
+    for name in sorted(outputs):
+        print(f"sink {name}: {len(outputs[name])} records")
+    print(f"{'stage':<58} {'in':>6} {'out':>6} {'seconds':>8} {'rec/s':>9}")
+    for stats in report.operator_stats:
+        print(f"{stats.name[:58]:<58} {stats.records_in:>6} "
+              f"{stats.records_out:>6} {stats.seconds:>8.3f} "
+              f"{stats.records_per_second:>9.0f}")
+    if args.report:
+        from pathlib import Path
+
+        Path(args.report).write_text(report.to_json())
+        print(f"wrote report: {args.report}")
     return 0
 
 
@@ -156,6 +223,7 @@ def cmd_facts(args) -> int:
 _COMMANDS = {
     "crawl": cmd_crawl,
     "analyze": cmd_analyze,
+    "flow": cmd_flow,
     "scalability": cmd_scalability,
     "seeds": cmd_seeds,
     "facts": cmd_facts,

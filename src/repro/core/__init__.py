@@ -15,7 +15,7 @@ analytics.
 from repro.core.pipeline import TextAnalyticsPipeline
 from repro.core.flows import (
     build_fig2_flow, build_linguistic_flow, build_entity_flow,
-    FIG2_METEOR_SCRIPT,
+    make_executor, run_flow, EXECUTION_MODES, FIG2_METEOR_SCRIPT,
 )
 from repro.core.analysis import (
     CorpusStats, analyze_corpus, compare_corpora, entity_overlap,
@@ -28,6 +28,9 @@ __all__ = [
     "build_fig2_flow",
     "build_linguistic_flow",
     "build_entity_flow",
+    "make_executor",
+    "run_flow",
+    "EXECUTION_MODES",
     "FIG2_METEOR_SCRIPT",
     "CorpusStats",
     "analyze_corpus",

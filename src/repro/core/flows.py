@@ -12,9 +12,17 @@ A Meteor-script rendition of the core of the flow ships as
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 from repro.core.pipeline import TextAnalyticsPipeline
+from repro.dataflow.executor import ExecutionReport, LocalExecutor
+from repro.dataflow.fusion import StreamingExecutor
 from repro.dataflow.packages import make_operator
 from repro.dataflow.plan import LogicalPlan
+
+#: Physical execution modes (docs/dataflow.md, "Physical execution").
+EXECUTION_MODES = ("sequential", "threads", "fused", "fused-threads",
+                   "fused-processes")
 
 FIG2_METEOR_SCRIPT = """
 -- Consolidated biomedical web analysis (core of Fig. 2)
@@ -156,6 +164,41 @@ def build_entity_flow(pipeline: TextAnalyticsPipeline,
     tail = plan.chain(tail_ops, after=head)
     plan.mark_sink("entities", tail)
     return plan
+
+
+def make_executor(mode: str = "sequential", dop: int = 1,
+                  batch_size: int = 32,
+                  ) -> LocalExecutor | StreamingExecutor:
+    """Executor factory for the physical execution modes.
+
+    ``sequential``/``threads`` use the materializing
+    :class:`LocalExecutor`; the ``fused*`` modes use the
+    :class:`StreamingExecutor`, which pipelines fused operator chains
+    and (for ``fused-processes``) escapes the GIL via a fork pool.
+    All modes produce byte-identical sink outputs.
+    """
+    if mode == "sequential":
+        return LocalExecutor()
+    if mode == "threads":
+        return LocalExecutor(dop=dop, use_threads=True)
+    if mode == "fused":
+        return StreamingExecutor(batch_size=batch_size)
+    if mode == "fused-threads":
+        return StreamingExecutor(dop=dop, use_threads=True,
+                                 batch_size=batch_size)
+    if mode == "fused-processes":
+        return StreamingExecutor(dop=dop, use_processes=True,
+                                 batch_size=batch_size)
+    raise ValueError(f"unknown execution mode {mode!r}; "
+                     f"expected one of {EXECUTION_MODES}")
+
+
+def run_flow(plan: LogicalPlan, records: Sequence[Any],
+             mode: str = "fused", dop: int = 1, batch_size: int = 32,
+             ) -> tuple[dict[str, list[Any]], ExecutionReport]:
+    """Execute any flow plan with the chosen physical mode."""
+    return make_executor(mode, dop=dop,
+                         batch_size=batch_size).execute(plan, records)
 
 
 def _simple_prefix(plan: LogicalPlan, pipeline: TextAnalyticsPipeline,

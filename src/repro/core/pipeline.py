@@ -10,6 +10,7 @@ paper) and constructs the three fuzzy dictionaries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.annotations import Document
 from repro.classify.naive_bayes import NaiveBayesClassifier
@@ -17,6 +18,7 @@ from repro.corpora.goldstandard import build_classifier_gold, build_ner_gold
 from repro.corpora.profiles import MEDLINE
 from repro.corpora.vocabulary import BiomedicalVocabulary
 from repro.html.boilerplate import BoilerplateDetector
+from repro.ner.cache import AutomatonCache
 from repro.ner.dictionary import DictionaryTagger
 from repro.ner.taggers import (
     ENTITY_TYPES, MlEntityTagger, build_dictionary_taggers, build_ml_taggers,
@@ -47,13 +49,21 @@ class TextAnalyticsPipeline:
               seed: int = 19, n_training_docs: int = 60,
               n_classifier_docs: int = 100, crf_iterations: int = 40,
               gene_quadratic_context: bool = False,
+              dictionary_cache: "AutomatonCache | str | Path | None" = None,
               ) -> "TextAnalyticsPipeline":
         """Train everything from synthetic gold.
 
         ``gene_quadratic_context=True`` enables the BANNER-style heavy
         feature set (slow; used by the runtime benchmarks).
+        ``dictionary_cache`` (an AutomatonCache or a directory path)
+        re-loads persisted dictionary automata instead of rebuilding
+        them — the paper's fix for the per-worker 20-minute load.
         """
         import dataclasses
+
+        if dictionary_cache is not None and \
+                not isinstance(dictionary_cache, AutomatonCache):
+            dictionary_cache = AutomatonCache(dictionary_cache)
 
         vocabulary = vocabulary or BiomedicalVocabulary(seed=seed)
         # NER gold corpora (BioCreative-style) are entity-dense
@@ -78,7 +88,8 @@ class TextAnalyticsPipeline:
             identifier=default_identifier(seed=seed + 3),
             splitter=SentenceSplitter(),
             pos_tagger=pos_tagger,
-            dictionary_taggers=build_dictionary_taggers(vocabulary),
+            dictionary_taggers=build_dictionary_taggers(
+                vocabulary, cache=dictionary_cache),
             ml_taggers=build_ml_taggers(
                 training, max_iterations=crf_iterations,
                 gene_quadratic_context=gene_quadratic_context),

@@ -29,6 +29,9 @@ from repro.dataflow.physical import (
 from repro.dataflow.plan import LogicalPlan, PlanNode
 from repro.dataflow.optimizer import SofaOptimizer
 from repro.dataflow.executor import LocalExecutor, ExecutionReport
+from repro.dataflow.fusion import (
+    FusedPlan, FusedStage, StreamingExecutor, fuse_plan,
+)
 from repro.dataflow.cluster import (
     ClusterSpec, NodeSpec, SimulatedCluster, OperatorCostModel, FlowRunReport,
 )
@@ -53,6 +56,10 @@ __all__ = [
     "SofaOptimizer",
     "LocalExecutor",
     "ExecutionReport",
+    "FusedPlan",
+    "FusedStage",
+    "StreamingExecutor",
+    "fuse_plan",
     "ClusterSpec",
     "NodeSpec",
     "SimulatedCluster",

@@ -4,12 +4,19 @@ Executes a :class:`~repro.dataflow.plan.LogicalPlan` over in-memory
 records, node by node in topological order, materializing every edge
 (the HDFS-intermediate behaviour the paper's war story turns on).
 Parallelizable operators can be run with a degree of parallelism:
-records are hash-partitioned across worker threads and merged at the
-next barrier.
+records are split into contiguous partitions, processed by a single
+thread pool shared across the whole ``execute()`` call, and merged
+back in the original record order — so parallel output is identical
+to sequential output, not merely set-equal.
+
+For pipelined (non-materializing) execution see
+:mod:`repro.dataflow.fusion`.
 """
 
 from __future__ import annotations
 
+import json
+import sys
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -19,12 +26,89 @@ from typing import Any, Sequence
 from repro.dataflow.plan import LogicalPlan, PlanNode
 
 
+def contiguous_partitions(records: Sequence[Any],
+                          n: int) -> list[list[Any]]:
+    """Split ``records`` into at most ``n`` contiguous, near-equal
+    slices.
+
+    Contiguity is the order-preservation trick: element-wise operators
+    (the only parallelizable kind) emit their outputs in input order
+    within each slice, so concatenating the processed slices in slice
+    order reproduces the sequential output exactly.  Round-robin
+    partitioning (``records[i::n]``) does not have this property.
+    """
+    if not records:
+        return []
+    n = max(1, min(n, len(records)))
+    base, extra = divmod(len(records), n)
+    parts = []
+    start = 0
+    for index in range(n):
+        size = base + (1 if index < extra else 0)
+        parts.append(list(records[start:start + size]))
+        start += size
+    return parts
+
+
+def _value_bytes(value: Any, depth: int = 2) -> int:
+    size = sys.getsizeof(value)
+    if depth <= 0:
+        return size
+    if isinstance(value, dict):
+        size += sum(_value_bytes(k, 0) + _value_bytes(v, depth - 1)
+                    for k, v in value.items())
+    elif isinstance(value, (list, tuple, set, frozenset)):
+        size += sum(_value_bytes(item, depth - 1) for item in value)
+    elif hasattr(value, "__dict__"):
+        size += _value_bytes(vars(value), depth - 1)
+    return size
+
+
+def estimate_records_bytes(records: Sequence[Any], sample: int = 32) -> int:
+    """Sampled shallow-size estimate of a record batch (the "bytes on
+    the channel" a stage boundary would materialize)."""
+    if not records:
+        return 0
+    step = max(1, len(records) // sample)
+    sampled = records[::step][:sample]
+    per_record = sum(_value_bytes(r) for r in sampled) / len(sampled)
+    return int(per_record * len(records))
+
+
 @dataclass
 class OperatorStats:
+    """Throughput accounting for one operator (or fused stage)."""
+
     name: str
     records_in: int
     records_out: int
     seconds: float
+    #: Names of the operators executed under this entry — a single
+    #: name for plain node execution, the full chain for fused stages.
+    operators: tuple[str, ...] = ()
+    #: Sampled estimate of the bytes this entry's output materializes.
+    est_output_bytes: int = 0
+
+    @property
+    def records_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.records_in / self.seconds
+
+    @property
+    def fused(self) -> bool:
+        return len(self.operators) > 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "operators": list(self.operators) or [self.name],
+            "records_in": self.records_in,
+            "records_out": self.records_out,
+            "seconds": self.seconds,
+            "records_per_second": self.records_per_second,
+            "est_output_bytes": self.est_output_bytes,
+        }
 
 
 @dataclass
@@ -34,6 +118,9 @@ class ExecutionReport:
     operator_stats: list[OperatorStats] = field(default_factory=list)
     total_seconds: float = 0.0
     dop: int = 1
+    #: Engine mode that produced this report ("sequential", "threads",
+    #: "fused", "fused-threads", "fused-processes").
+    mode: str = "sequential"
 
     def seconds_of(self, operator_name: str) -> float:
         return sum(s.seconds for s in self.operator_stats
@@ -52,14 +139,40 @@ class ExecutionReport:
             totals[stats.name] = totals.get(stats.name, 0.0) + stats.seconds
         return sorted(totals.items(), key=lambda item: -item[1])[:k]
 
+    @property
+    def n_fused_stages(self) -> int:
+        return sum(1 for stats in self.operator_stats if stats.fused)
+
+    @property
+    def total_records_per_second(self) -> float:
+        if self.total_seconds <= 0 or not self.operator_stats:
+            return 0.0
+        return self.operator_stats[0].records_in / self.total_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "dop": self.dop,
+            "total_seconds": self.total_seconds,
+            "total_records_per_second": self.total_records_per_second,
+            "n_stages": len(self.operator_stats),
+            "n_fused_stages": self.n_fused_stages,
+            "stages": [stats.to_dict() for stats in self.operator_stats],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON dump for benchmark artifacts (BENCH_executor.json)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
 
 class LocalExecutor:
     """Runs plans on the local machine.
 
     ``dop`` > 1 partitions the stream for parallelizable operators and
-    processes partitions in a thread pool (semantics-preserving; the
-    GIL bounds actual speedups for CPU-heavy UDFs, just as startup
-    costs bound them in the paper's deployment).
+    processes partitions in one thread pool shared by the whole
+    ``execute()`` call (semantics-preserving; the GIL bounds actual
+    speedups for CPU-heavy UDFs, just as startup costs bound them in
+    the paper's deployment).
     """
 
     def __init__(self, dop: int = 1, use_threads: bool = False) -> None:
@@ -75,44 +188,51 @@ class LocalExecutor:
         If the plan has no marked sinks, the outputs of all leaf nodes
         are returned under their operator names.
         """
-        report = ExecutionReport(dop=self.dop)
+        report = ExecutionReport(
+            dop=self.dop, mode="threads" if self.use_threads else "sequential")
         started = time.perf_counter()
         outputs: dict[int, list[Any]] = {}
         order = plan.topological_order()
-        for node in order:
-            inputs = (list(source_records) if not node.inputs
-                      else list(chain.from_iterable(
-                          outputs[p.node_id] for p in node.inputs)))
-            outputs[node.node_id] = self._run_node(node, inputs, report)
+        pool = (ThreadPoolExecutor(max_workers=self.dop)
+                if self.use_threads else None)
+        try:
+            for node in order:
+                inputs = (list(source_records) if not node.inputs
+                          else list(chain.from_iterable(
+                              outputs[p.node_id] for p in node.inputs)))
+                outputs[node.node_id] = self._run_node(node, inputs,
+                                                       report, pool)
+        finally:
+            if pool is not None:
+                pool.shutdown()
         report.total_seconds = time.perf_counter() - started
         sinks = plan.sinks or self._leaf_sinks(plan)
         return ({name: outputs[node.node_id]
                  for name, node in sinks.items()}, report)
 
     def _run_node(self, node: PlanNode, records: list[Any],
-                  report: ExecutionReport) -> list[Any]:
+                  report: ExecutionReport,
+                  pool: ThreadPoolExecutor | None) -> list[Any]:
         operator = node.operator
         operator.open()
         started = time.perf_counter()
-        if self.use_threads and operator.parallelizable and len(records) > 1:
-            partitions = [records[i::self.dop] for i in range(self.dop)]
-            with ThreadPoolExecutor(max_workers=self.dop) as pool:
-                parts = list(pool.map(
-                    lambda part: list(operator.process(part)), partitions))
-            result = [record for part in parts for record in part]
+        if pool is not None and operator.parallelizable and len(records) > 1:
+            partitions = contiguous_partitions(records, self.dop)
+            parts = list(pool.map(
+                lambda part: list(operator.process(part)), partitions))
+            result = list(chain.from_iterable(parts))
         else:
             result = list(operator.process(records))
         elapsed = time.perf_counter() - started
         report.operator_stats.append(OperatorStats(
             name=operator.name, records_in=len(records),
-            records_out=len(result), seconds=elapsed))
+            records_out=len(result), seconds=elapsed,
+            operators=(operator.name,),
+            est_output_bytes=estimate_records_bytes(result)))
         return result
 
     @staticmethod
     def _leaf_sinks(plan: LogicalPlan) -> dict[str, PlanNode]:
-        has_consumer = set()
-        for node in plan.nodes:
-            for parent in node.inputs:
-                has_consumer.add(parent.node_id)
+        has_consumer = set(plan.consumers())
         return {node.name: node for node in plan.nodes
                 if node.node_id not in has_consumer}

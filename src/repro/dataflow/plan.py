@@ -94,13 +94,19 @@ class LogicalPlan:
             visit(node)
         return order
 
+    def consumers(self) -> dict[int, list[PlanNode]]:
+        """Map node_id -> nodes that consume its output (fan-out
+        detection for segmentation, fusion, and sink inference)."""
+        mapping: dict[int, list[PlanNode]] = {}
+        for node in self._nodes:
+            for parent in node.inputs:
+                mapping.setdefault(parent.node_id, []).append(node)
+        return mapping
+
     def linear_segments(self) -> list[list[PlanNode]]:
         """Maximal chains of single-input/single-consumer nodes —
         the units the optimizer may reorder within."""
-        consumers: dict[int, list[PlanNode]] = {}
-        for node in self._nodes:
-            for parent in node.inputs:
-                consumers.setdefault(parent.node_id, []).append(node)
+        consumers = self.consumers()
         segments: list[list[PlanNode]] = []
         in_segment: set[int] = set()
         for node in self.topological_order():

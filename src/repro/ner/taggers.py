@@ -22,6 +22,7 @@ from collections.abc import Sequence
 from repro.annotations import Document, EntityMention, Sentence
 from repro.corpora.textgen import GoldDocument
 from repro.corpora.vocabulary import BiomedicalVocabulary
+from repro.ner.cache import AutomatonCache
 from repro.ner.crf import LinearChainCrf, bio_to_spans
 from repro.ner.dictionary import DictionaryTagger, EntityDictionary
 from repro.ner.features import sentence_features
@@ -115,14 +116,20 @@ def _bio_labels(sentence: Sentence, gold: GoldDocument,
 
 
 def build_dictionary_taggers(
-        vocabulary: BiomedicalVocabulary,
-        fuzzy: bool = True) -> dict[str, DictionaryTagger]:
-    """One dictionary tagger per entity type from the vocabulary."""
+        vocabulary: BiomedicalVocabulary, fuzzy: bool = True,
+        cache: "AutomatonCache | None" = None,
+        ) -> dict[str, DictionaryTagger]:
+    """One dictionary tagger per entity type from the vocabulary.
+
+    ``cache`` (an :class:`~repro.ner.cache.AutomatonCache`) re-loads
+    previously built automata instead of rebuilding them, so repeated
+    pipeline constructions pay the dictionary build once per content.
+    """
     taggers = {}
     for entity_type in ENTITY_TYPES:
         dictionary = EntityDictionary(entity_type,
                                       vocabulary.entries(entity_type),
-                                      fuzzy=fuzzy)
+                                      fuzzy=fuzzy, cache=cache)
         taggers[entity_type] = DictionaryTagger(dictionary)
     return taggers
 

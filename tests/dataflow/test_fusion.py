@@ -1,0 +1,236 @@
+"""Tests for chain fusion and the streaming/parallel executors.
+
+The load-bearing property is *mode equivalence*: every physical
+execution mode (sequential, threads, fused, fused-threads,
+fused-processes) must produce byte-identical sink outputs, including
+record order — order-sensitive operators (prefix sums, sorts) make
+any partition/merge mistake visible immediately.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.core.flows import EXECUTION_MODES, make_executor, run_flow
+from repro.dataflow.executor import (
+    LocalExecutor, contiguous_partitions, estimate_records_bytes,
+)
+from repro.dataflow.fusion import (
+    FusedPlan, StreamingExecutor, fuse_plan,
+)
+from repro.dataflow.operators import (
+    FilterOperator, FlatMapOperator, MapOperator, UdfOperator,
+)
+from repro.dataflow.plan import LogicalPlan
+
+
+def _inc(name="inc"):
+    return MapOperator(name, lambda r: r + 1)
+
+
+def _dup(name="dup"):
+    return FlatMapOperator(name, lambda r: [r, r * 10])
+
+
+def _drop3(name="drop3"):
+    return FilterOperator(name, lambda r: r % 3 != 0)
+
+
+def _prefix_sum(name="prefix_sum"):
+    def fn(stream):
+        total = 0
+        for record in stream:
+            total += record
+            yield total
+    return UdfOperator(name, fn)
+
+
+def _linear_plan():
+    plan = LogicalPlan()
+    tail = plan.chain([_inc(), _dup(), _drop3()])
+    plan.mark_sink("out", tail)
+    return plan
+
+
+class TestContiguousPartitions:
+    def test_concatenation_restores_order(self):
+        records = list(range(23))
+        parts = contiguous_partitions(records, 4)
+        assert [r for part in parts for r in part] == records
+
+    def test_sizes_near_equal(self):
+        parts = contiguous_partitions(list(range(10)), 3)
+        assert sorted(len(p) for p in parts) == [3, 3, 4]
+
+    def test_more_parts_than_records(self):
+        parts = contiguous_partitions([1, 2], 5)
+        assert [r for part in parts for r in part] == [1, 2]
+        assert all(len(p) <= 1 for p in parts)
+
+
+class TestFusePlan:
+    def test_linear_chain_fuses_into_one_stage(self):
+        fused = fuse_plan(_linear_plan())
+        assert isinstance(fused, FusedPlan)
+        assert len(fused.stages) == 1
+        assert fused.n_fused == 1
+        assert fused.stages[0].name == "fused[inc > dup > drop3]"
+        assert list(fused.sinks) == ["out"]
+
+    def test_parallelizability_change_breaks_stage(self):
+        plan = LogicalPlan()
+        tail = plan.chain([_inc(), _prefix_sum(), _dup()])
+        plan.mark_sink("out", tail)
+        fused = fuse_plan(plan)
+        assert [stage.name for stage in fused.stages] == \
+            ["inc", "prefix_sum", "dup"]
+        assert [stage.parallel for stage in fused.stages] == \
+            [True, False, True]
+
+    def test_fan_out_breaks_stage(self):
+        plan = LogicalPlan()
+        head = plan.chain([_inc(), _dup()])
+        left = plan.add(_drop3("left"), head)
+        right = plan.add(MapOperator("right", lambda r: -r), head)
+        plan.mark_sink("left", left)
+        plan.mark_sink("right", right)
+        fused = fuse_plan(plan)
+        assert [stage.name for stage in fused.stages] == \
+            ["fused[inc > dup]", "left", "right"]
+
+    def test_sink_with_consumer_still_materializes(self):
+        """A sink's output is a deliverable even when another stage
+        consumes it downstream (Fig. 2: entities -> frequencies)."""
+        plan = LogicalPlan()
+        head = plan.chain([_inc(), _drop3()])
+        tail = plan.add(_dup("downstream"), head)
+        plan.mark_sink("mid", head)
+        plan.mark_sink("final", tail)
+        fused = fuse_plan(plan)
+        assert [stage.name for stage in fused.stages] == \
+            ["fused[inc > drop3]", "downstream"]
+        outputs, _ = StreamingExecutor().execute(plan, list(range(10)))
+        assert set(outputs) == {"mid", "final"}
+
+    def test_fig2_flow_fuses(self, context):
+        from repro.core.flows import build_fig2_flow
+
+        fused = fuse_plan(build_fig2_flow(context.pipeline))
+        assert fused.n_fused >= 3
+        assert len(fused.stages) < sum(len(s.nodes) for s in fused.stages)
+        assert set(fused.sinks) == {"sentences", "linguistics", "entities",
+                                    "entity_frequencies", "edges"}
+
+
+def _random_plan(rng):
+    """A randomized mix of maps/filters/flatmaps/UDFs with branches."""
+    plan = LogicalPlan()
+    makers = [
+        lambda i: MapOperator(f"add{i}", lambda r, k=i: r + k),
+        lambda i: FilterOperator(f"mod{i}", lambda r, k=i: r % (k + 2) != 0),
+        lambda i: FlatMapOperator(f"fan{i}",
+                                  lambda r, k=i: [r] * (r % (k + 2))),
+        lambda i: _prefix_sum(f"psum{i}"),
+    ]
+    head = plan.chain([makers[rng.randrange(4)](i)
+                       for i in range(rng.randrange(2, 6))])
+    plan.mark_sink("a", head)
+    for branch in range(rng.randrange(1, 3)):
+        tail = plan.chain([makers[rng.randrange(4)](10 * (branch + 1) + i)
+                           for i in range(rng.randrange(1, 4))], after=head)
+        plan.mark_sink(f"b{branch}", tail)
+    return plan
+
+
+class TestModeEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_all_modes_identical_on_random_plans(self, seed):
+        rng = random.Random(seed)
+        records = [rng.randrange(100) for _ in range(rng.randrange(5, 60))]
+        reference = None
+        for mode in EXECUTION_MODES:
+            outputs, report = run_flow(_random_plan(random.Random(seed)),
+                                       list(records), mode=mode, dop=3,
+                                       batch_size=4)
+            if reference is None:
+                reference = outputs
+            else:
+                assert outputs == reference, mode
+            assert report.mode in (mode, "fused-threads")
+
+    def test_threaded_local_executor_preserves_order(self):
+        plan = _linear_plan()
+        sequential, _ = LocalExecutor().execute(plan, list(range(40)))
+        threaded, _ = LocalExecutor(dop=4, use_threads=True).execute(
+            _linear_plan(), list(range(40)))
+        assert threaded["out"] == sequential["out"]
+
+    def test_fused_processes_equivalence_with_closures(self):
+        """Closure-carrying operators survive the fork boundary."""
+        executor = StreamingExecutor(dop=2, use_processes=True,
+                                     batch_size=8)
+        outputs, report = executor.execute(_linear_plan(), list(range(50)))
+        reference, _ = LocalExecutor().execute(_linear_plan(),
+                                               list(range(50)))
+        assert outputs["out"] == reference["out"]
+        assert report.mode in ("fused-processes", "fused-threads")
+
+
+class TestExecutorPools:
+    def test_one_thread_pool_per_execute(self, monkeypatch):
+        import repro.dataflow.executor as executor_module
+
+        created = []
+        real = executor_module.ThreadPoolExecutor
+
+        def counting(*args, **kwargs):
+            created.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "ThreadPoolExecutor", counting)
+        LocalExecutor(dop=4, use_threads=True).execute(
+            _linear_plan(), list(range(30)))
+        assert len(created) == 1
+
+    def test_sequential_local_executor_creates_no_pool(self, monkeypatch):
+        import repro.dataflow.executor as executor_module
+
+        created = []
+        real = executor_module.ThreadPoolExecutor
+
+        def counting(*args, **kwargs):
+            created.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(executor_module, "ThreadPoolExecutor", counting)
+        LocalExecutor().execute(_linear_plan(), list(range(10)))
+        assert created == []
+
+
+class TestReport:
+    def test_report_throughput_and_json(self):
+        outputs, report = StreamingExecutor().execute(_linear_plan(),
+                                                      list(range(20)))
+        assert report.mode == "fused"
+        assert report.n_fused_stages == 1
+        stats = report.operator_stats[0]
+        assert stats.fused
+        assert stats.operators == ("inc", "dup", "drop3")
+        assert stats.records_in == 20
+        assert stats.records_out == len(outputs["out"])
+        assert stats.est_output_bytes > 0
+        assert stats.records_per_second >= 0
+        payload = json.loads(report.to_json())
+        assert payload["mode"] == "fused"
+        assert payload["stages"][0]["operators"] == ["inc", "dup", "drop3"]
+        assert payload["total_records_per_second"] >= 0
+
+    def test_estimate_records_bytes_scales(self):
+        small = estimate_records_bytes(["x" * 10] * 4)
+        large = estimate_records_bytes(["x" * 1000] * 4)
+        assert large > small > 0
+
+    def test_make_executor_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            make_executor("mapreduce")

@@ -60,6 +60,24 @@ class TestCrawlToFlow:
         total = sum(s.seconds for s in report.operator_stats)
         assert ml_cost / total > 0.4
 
+    def test_all_execution_modes_equivalent(self, context, crawl_documents):
+        """Every physical mode must yield byte-identical sink outputs
+        on the real Fig. 2 flow (operators mutate documents in place,
+        so each mode gets fresh copies and a fresh plan)."""
+        from repro.core.flows import EXECUTION_MODES, run_flow
+
+        reference = None
+        for mode in EXECUTION_MODES:
+            plan = build_fig2_flow(context.pipeline)
+            documents = [d.copy_shallow() for d in crawl_documents]
+            outputs, report = run_flow(plan, documents, mode=mode,
+                                       dop=2, batch_size=4)
+            if reference is None:
+                reference = outputs
+            else:
+                assert outputs == reference, mode
+            assert report.to_json()
+
 
 class TestCrawlToAnalysis:
     def test_crawled_relevant_corpus_statistics(self, context, crawl):

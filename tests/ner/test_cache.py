@@ -1,0 +1,129 @@
+"""Tests for the persistent Aho-Corasick build cache."""
+
+import pytest
+
+from repro.ner.automaton import AhoCorasickAutomaton
+from repro.ner.cache import AutomatonCache, content_key
+from repro.ner.dictionary import EntityDictionary
+from repro.corpora.vocabulary import TermEntry
+
+PATTERNS = ["brca1", "brca2", "tp53", "tumor necrosis factor", "tnf"]
+
+
+def _build(patterns):
+    automaton = AhoCorasickAutomaton()
+    automaton.add_all(patterns)
+    automaton.build()
+    return automaton
+
+
+class TestContentKey:
+    def test_deterministic(self):
+        assert content_key(PATTERNS) == content_key(list(PATTERNS))
+
+    def test_order_sensitive(self):
+        assert content_key(PATTERNS) != content_key(PATTERNS[::-1])
+
+    def test_any_change_changes_key(self):
+        assert content_key(PATTERNS) != content_key(PATTERNS + ["egfr"])
+        assert content_key(PATTERNS) != content_key(PATTERNS[:-1])
+
+    def test_salt_separates_keys(self):
+        assert content_key(PATTERNS) != content_key(PATTERNS, salt="v2")
+
+
+class TestRoundTrip:
+    def test_state_round_trip_preserves_matches(self):
+        original = _build(PATTERNS)
+        restored = AhoCorasickAutomaton.from_state(original.to_state())
+        text = "brca1 and tp53 regulate tumor necrosis factor (tnf)"
+        assert restored.find_all(text) == original.find_all(text)
+        assert len(restored) == len(original)
+        assert restored.n_nodes == original.n_nodes
+
+    def test_to_state_requires_built(self):
+        automaton = AhoCorasickAutomaton()
+        automaton.add("abc")
+        with pytest.raises(RuntimeError):
+            automaton.to_state()
+
+    def test_store_then_load(self, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        key = content_key(PATTERNS)
+        cache.store(key, _build(PATTERNS))
+        loaded = AutomatonCache(tmp_path).load(key)
+        assert loaded is not None
+        assert loaded.find_all("tp53 near brca2") == \
+            _build(PATTERNS).find_all("tp53 near brca2")
+
+
+class TestGetOrBuild:
+    def test_miss_then_hit(self, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        first, hit1 = cache.get_or_build(PATTERNS)
+        second, hit2 = cache.get_or_build(PATTERNS)
+        assert (hit1, hit2) == (False, True)
+        assert (cache.misses, cache.hits) == (1, 1)
+        text = "tnf alpha and brca1"
+        assert first.find_all(text) == second.find_all(text)
+
+    def test_hit_across_cache_instances(self, tmp_path):
+        AutomatonCache(tmp_path).get_or_build(PATTERNS)
+        fresh = AutomatonCache(tmp_path)
+        _, hit = fresh.get_or_build(PATTERNS)
+        assert hit
+        assert fresh.hits == 1
+
+    def test_changed_dictionary_invalidates(self, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        cache.get_or_build(PATTERNS)
+        _, hit = cache.get_or_build(PATTERNS + ["egfr"])
+        assert not hit
+        assert cache.misses == 2
+
+    def test_corrupt_file_rebuilds(self, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        key = content_key(PATTERNS)
+        cache.get_or_build(PATTERNS)
+        cache.path_for(key).write_bytes(b"\x00garbage")
+        fresh = AutomatonCache(tmp_path)
+        automaton, hit = fresh.get_or_build(PATTERNS)
+        assert not hit
+        assert automaton.find_all("brca1") == _build(PATTERNS).find_all(
+            "brca1")
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        cache.get_or_build(PATTERNS)
+        assert cache.clear() == 1
+        fresh = AutomatonCache(tmp_path)
+        _, hit = fresh.get_or_build(PATTERNS)
+        assert not hit
+
+
+class TestDictionaryIntegration:
+    @staticmethod
+    def _entries():
+        return [TermEntry(canonical=name, term_id=f"G{i}")
+                for i, name in enumerate(["BRCA1", "TP53", "TNF-alpha"])]
+
+    def test_cached_dictionary_identical_matches(self, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        cold = EntityDictionary("gene", self._entries(), cache=cache)
+        warm = EntityDictionary("gene", self._entries(),
+                                cache=AutomatonCache(tmp_path))
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        from repro.annotations import Document
+
+        for text in ("brca1 binds tp53", "tnf alpha or TNF-alpha levels"):
+            doc_a = Document(doc_id="a", text=text)
+            doc_b = Document(doc_id="a", text=text)
+            cold_mentions = cold.annotate(doc_a)
+            warm_mentions = warm.annotate(doc_b)
+            assert cold_mentions == warm_mentions
+
+    def test_uncached_dictionary_still_works(self):
+        dictionary = EntityDictionary("gene", self._entries())
+        assert not dictionary.cache_hit
+        assert dictionary.build_seconds >= 0
