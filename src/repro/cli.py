@@ -30,12 +30,27 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     crawl = subparsers.add_parser("crawl", help="run a focused crawl")
-    crawl.add_argument("--pages", type=int, default=600,
-                       help="fetch budget (default 600)")
+    crawl.add_argument("--max-pages", "--pages", dest="pages", type=int,
+                       default=600, help="fetch budget (default 600)")
     crawl.add_argument("--hosts", type=int, default=50,
                        help="synthetic web hosts (default 50)")
     crawl.add_argument("--follow-irrelevant", type=int, default=0,
                        help="steps to follow links of irrelevant pages")
+    crawl.add_argument("--faults", default="none", metavar="SPEC",
+                       help="fault injection: none | default | heavy | "
+                            "a per-fetch failure rate like 0.2 "
+                            "(default none)")
+    crawl.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="write atomic crawl checkpoints to PATH")
+    crawl.add_argument("--checkpoint-every", type=int, default=100,
+                       metavar="N",
+                       help="pages between checkpoints (default 100)")
+    crawl.add_argument("--resume", action="store_true",
+                       help="resume from --checkpoint if it exists")
+    crawl.add_argument("--kill-after", type=int, default=None,
+                       metavar="N",
+                       help="hard-exit (os._exit 9) after N fetched "
+                            "pages — crash-safety testing")
 
     analyze = subparsers.add_parser(
         "analyze", help="content analysis of the four corpora")
@@ -82,10 +97,55 @@ def _context(args, **overrides):
                            crf_iterations=25, **overrides)
 
 
+def _parse_faults(spec: str, seed: int):
+    from repro.web.faults import FaultConfig
+
+    try:
+        rate = float(spec)
+    except ValueError:
+        return FaultConfig.preset(spec, seed=seed)
+    return FaultConfig.uniform(rate, seed=seed)
+
+
 def cmd_crawl(args) -> int:
+    import os
+
+    from repro.crawler.checkpoint import ResumableCrawl
+    from repro.crawler.crawl import CrawlConfig, FocusedCrawler
+    from repro.web.server import SimulatedWeb
+
     ctx = _context(args, n_hosts=args.hosts, crawl_pages=args.pages)
-    result = ctx.run_crawl(max_pages=args.pages,
-                           follow_irrelevant_steps=args.follow_irrelevant)
+    faults = _parse_faults(args.faults, seed=args.seed)
+    web = SimulatedWeb(ctx.webgraph, seed=args.seed + 12, faults=faults)
+    config = CrawlConfig(max_pages=args.pages,
+                         follow_irrelevant_steps=args.follow_irrelevant)
+    if args.checkpoint:
+        # Checkpoints are only taken at batch boundaries; align the
+        # batch size with the requested cadence so they actually fire.
+        config.batch_size = min(config.batch_size,
+                                max(1, args.checkpoint_every))
+    crawler = FocusedCrawler(
+        web, ctx.pipeline.classifier, ctx.build_filter_chain(), config)
+    seeds = ctx.seed_batch("second").urls
+    kill_after = args.kill_after
+
+    def page_callback(partial) -> None:
+        if kill_after is not None and partial.pages_fetched >= kill_after:
+            print(f"kill-after reached at {partial.pages_fetched} pages; "
+                  "hard exit")
+            sys.stdout.flush()
+            os._exit(9)
+
+    if args.checkpoint:
+        resumable = ResumableCrawl(crawler, args.checkpoint)
+        if args.resume and not resumable.checkpoint_path.exists():
+            print(f"no checkpoint at {args.checkpoint}; starting fresh")
+        result = resumable.run(seeds,
+                               checkpoint_every=args.checkpoint_every,
+                               resume=args.resume,
+                               page_callback=page_callback)
+    else:
+        result = crawler.crawl(seeds, page_callback=page_callback)
     print(f"fetched {result.pages_fetched} pages in "
           f"{result.clock_seconds:.0f} simulated seconds "
           f"({result.download_rate:.1f} docs/s)")
@@ -94,6 +154,14 @@ def cmd_crawl(args) -> int:
     attrition = result.filter_attrition
     print(f"filter attrition: mime {attrition['mime']:.1%}, language "
           f"{attrition['language']:.1%}, length {attrition['length']:.1%}")
+    if result.failure_reasons:
+        reasons = ", ".join(
+            f"{reason} {count}" for reason, count
+            in sorted(result.failure_reasons.items()))
+        print(f"failures by reason: {reasons}")
+        print(f"fetch failures {result.fetch_failures} | "
+              f"retries {result.retries} | "
+              f"hosts quarantined {result.hosts_quarantined}")
     print(f"stop reason: {result.stop_reason}")
     return 0
 

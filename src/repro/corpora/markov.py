@@ -31,27 +31,36 @@ class MarkovTextModel:
                 prev = word
             self._transitions[prev].append(self.END)
 
-    def sentence(self, max_words: int = 30) -> list[str]:
-        """Sample one sentence (list of words, no punctuation)."""
+    def sentence(self, max_words: int = 30,
+                 rng: random.Random | None = None) -> list[str]:
+        """Sample one sentence (list of words, no punctuation).
+
+        Pass ``rng`` to sample from caller-owned randomness instead of
+        the model's internal stream — required wherever output must be
+        a pure function of the caller's key (e.g. per-URL page
+        rendering) rather than of the call history.
+        """
         if not self._transitions:
             raise ValueError("model has no training data")
+        rng = rng or self._rng
         words: list[str] = []
         state = self.START
         for _ in range(max_words):
             choices = self._transitions.get(state)
             if not choices:
                 break
-            word = self._rng.choice(choices)
+            word = rng.choice(choices)
             if word == self.END:
                 break
             words.append(word)
             state = word
         return words
 
-    def text(self, n_sentences: int, max_words: int = 30) -> str:
+    def text(self, n_sentences: int, max_words: int = 30,
+             rng: random.Random | None = None) -> str:
         parts = []
         for _ in range(n_sentences):
-            words = self.sentence(max_words)
+            words = self.sentence(max_words, rng=rng)
             if words:
                 parts.append(" ".join(words) + ".")
         return " ".join(parts)

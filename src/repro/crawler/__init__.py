@@ -21,16 +21,30 @@ from repro.crawler.pagerank import pagerank
 from repro.crawler.search import SimulatedSearchEngine, build_search_engines
 from repro.crawler.seeds import SeedGenerator, SeedBatch
 from repro.crawler.crawl import FocusedCrawler, CrawlConfig, CrawlResult
+from repro.crawler.robust import (
+    BreakerConfig, CircuitBreaker, HostHealth, RetryPolicy,
+)
 from repro.crawler.consolidated import (
     EntityAwareClassifier, TwoPhaseClassifier,
 )
-from repro.crawler.checkpoint import ResumableCrawl
+from repro.crawler.checkpoint import (
+    CheckpointError, CheckpointState, ResumableCrawl, load_checkpoint,
+    save_checkpoint,
+)
 from repro.crawler.analytics import CrawlAnalytics, analyze_crawl
 
 __all__ = [
     "EntityAwareClassifier",
     "TwoPhaseClassifier",
     "ResumableCrawl",
+    "CheckpointError",
+    "CheckpointState",
+    "load_checkpoint",
+    "save_checkpoint",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "HostHealth",
+    "RetryPolicy",
     "CrawlAnalytics",
     "analyze_crawl",
     "CrawlDb",

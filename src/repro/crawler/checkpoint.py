@@ -1,23 +1,45 @@
-"""Crawl checkpointing.
+"""Crash-safe crawl checkpointing.
 
 The paper's crawl ran for more than 80 days; nothing that long survives
 without restartability.  This module persists the crawl state — the
 frontier (pending URLs + seen set + per-host budgets), the harvested
-corpora, the link graph, and the counters — as JSON, and restores a
+corpora, the link graph, the counters, and the crawler's runtime state
+(politeness schedule, robots cache, circuit breakers, filter counters)
+— as JSON, and restores a
 :class:`~repro.crawler.crawl.FocusedCrawler` run from it.
+
+Checkpoints are written *atomically* (tmp file + ``os.replace`` after
+an fsync), so a crash mid-write can never leave a corrupt file behind:
+either the old checkpoint survives intact or the new one is complete.
+Truncated or otherwise unparsable payloads are rejected with
+:class:`CheckpointError`.  Checkpoints are only taken at batch
+boundaries, which is what makes a killed crawl resume to *byte
+identical* final results: at a batch boundary there are no in-flight
+fetches, and every fetch outcome is a deterministic function of state
+the checkpoint captures.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.annotations import Document
-from repro.crawler.crawl import CrawlConfig, CrawlResult, FocusedCrawler
+from repro.crawler.crawl import CrawlResult, FocusedCrawler
 from repro.crawler.frontier import CrawlDb, FrontierEntry
 from repro.crawler.linkdb import LinkDb
+from repro.web.robots import RobotsPolicy
 
-FORMAT_VERSION = 1
+#: Version 2 adds failure_reasons / retries / hosts_quarantined /
+#: document raw bodies to the result, and the crawler-state section.
+#: Version 1 payloads still load (missing fields default).
+FORMAT_VERSION = 2
+
+
+class CheckpointError(ValueError):
+    """A checkpoint file is missing, truncated, or malformed."""
 
 
 def frontier_to_dict(frontier: CrawlDb) -> dict:
@@ -51,11 +73,12 @@ def frontier_from_dict(payload: dict) -> CrawlDb:
 
 def _document_to_dict(document: Document) -> dict:
     return {"doc_id": document.doc_id, "text": document.text,
-            "meta": document.meta}
+            "raw": document.raw, "meta": document.meta}
 
 
 def _document_from_dict(payload: dict) -> Document:
     return Document(doc_id=payload["doc_id"], text=payload["text"],
+                    raw=payload.get("raw", ""),
                     meta=dict(payload["meta"]))
 
 
@@ -70,6 +93,9 @@ def result_to_dict(result: CrawlResult) -> dict:
         "filtered_out": result.filtered_out,
         "clock_seconds": result.clock_seconds,
         "stop_reason": result.stop_reason,
+        "failure_reasons": dict(result.failure_reasons),
+        "retries": result.retries,
+        "hosts_quarantined": result.hosts_quarantined,
     }
 
 
@@ -83,7 +109,10 @@ def result_from_dict(payload: dict) -> CrawlResult:
         robots_denied=payload["robots_denied"],
         filtered_out=payload["filtered_out"],
         clock_seconds=payload["clock_seconds"],
-        stop_reason=payload["stop_reason"])
+        stop_reason=payload["stop_reason"],
+        failure_reasons=dict(payload.get("failure_reasons", {})),
+        retries=payload.get("retries", 0),
+        hosts_quarantined=payload.get("hosts_quarantined", 0))
     linkdb = LinkDb()
     for source, targets in payload["outlinks"].items():
         linkdb.add_edges(source, targets)
@@ -91,9 +120,56 @@ def result_from_dict(payload: dict) -> CrawlResult:
     return result
 
 
+def crawler_state_to_dict(crawler: FocusedCrawler) -> dict:
+    """Runtime state a resumed crawler needs to behave identically:
+    politeness schedule, robots cache (a re-fetch would cost clock
+    time), circuit breakers, and filter attrition counters."""
+    return {
+        "host_ready": dict(crawler._host_ready),
+        "robots": {host: {"disallow": list(policy.disallow),
+                          "allow": list(policy.allow),
+                          "crawl_delay": policy.crawl_delay}
+                   for host, policy in crawler._robots_cache.items()},
+        "breakers": crawler.health.to_dict(),
+        "filters": {name: [stats.accepted, stats.rejected]
+                    for name, stats in crawler.filters.stats.items()},
+    }
+
+
+def restore_crawler_state(crawler: FocusedCrawler, payload: dict) -> None:
+    crawler._host_ready = dict(payload.get("host_ready", {}))
+    crawler._robots_cache = {
+        host: RobotsPolicy(disallow=list(entry["disallow"]),
+                           allow=list(entry["allow"]),
+                           crawl_delay=entry["crawl_delay"])
+        for host, entry in payload.get("robots", {}).items()}
+    crawler.health.restore(payload.get("breakers", {}))
+    for name, (accepted, rejected) in payload.get("filters", {}).items():
+        if name in crawler.filters.stats:
+            stats = crawler.filters.stats[name]
+            stats.accepted = accepted
+            stats.rejected = rejected
+
+
+@dataclass
+class CheckpointState:
+    """Everything one checkpoint restores."""
+
+    frontier: CrawlDb
+    result: CrawlResult
+    clock_now: float
+    crawler_state: dict | None = None
+
+
 def save_checkpoint(path: str | Path, frontier: CrawlDb,
-                    result: CrawlResult, clock_now: float) -> Path:
-    """Persist mid-crawl state to one JSON file."""
+                    result: CrawlResult, clock_now: float,
+                    crawler_state: dict | None = None) -> Path:
+    """Persist mid-crawl state to one JSON file, atomically.
+
+    The payload is staged to a sibling tmp file, fsynced, and moved
+    into place with ``os.replace`` — a crash at any point leaves either
+    the previous checkpoint or the new one, never a torn write.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -101,35 +177,93 @@ def save_checkpoint(path: str | Path, frontier: CrawlDb,
         "clock_now": clock_now,
         "frontier": frontier_to_dict(frontier),
         "result": result_to_dict(result),
+        "crawler": crawler_state,
     }
-    path.write_text(json.dumps(payload))
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
     return path
 
 
-def load_checkpoint(path: str | Path) -> tuple[CrawlDb, CrawlResult, float]:
-    """Restore (frontier, partial result, clock) from a checkpoint."""
-    payload = json.loads(Path(path).read_text())
-    if payload.get("version") != FORMAT_VERSION:
-        raise ValueError(
-            f"unsupported checkpoint version: {payload.get('version')}")
-    return (frontier_from_dict(payload["frontier"]),
-            result_from_dict(payload["result"]),
-            float(payload["clock_now"]))
+def load_checkpoint(path: str | Path) -> CheckpointState:
+    """Restore crawl state from a checkpoint.
+
+    Raises :class:`CheckpointError` on unreadable, truncated, or
+    unsupported payloads — a caller should treat that as "no usable
+    checkpoint", not as a crawl bug.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}") from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"corrupt checkpoint {path} (truncated write?): "
+            f"{error}") from error
+    version = payload.get("version")
+    if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version: {version!r}")
+    for section in ("frontier", "result"):
+        if section not in payload:
+            raise CheckpointError(
+                f"checkpoint {path} is missing its {section!r} section")
+    return CheckpointState(
+        frontier=frontier_from_dict(payload["frontier"]),
+        result=result_from_dict(payload["result"]),
+        clock_now=float(payload["clock_now"]),
+        crawler_state=payload.get("crawler"))
 
 
 class ResumableCrawl:
-    """A focused crawl that can stop at a checkpoint and resume.
+    """A focused crawl that checkpoints itself and survives kills.
 
-    Wraps :class:`FocusedCrawler`, splitting the page budget into
-    checkpointed legs.  State lives in ``checkpoint_path``; calling
-    :meth:`run_leg` repeatedly advances the crawl until the frontier
-    empties or the total budget is reached.
+    :meth:`run` drives :meth:`FocusedCrawler.crawl` to completion,
+    writing an atomic checkpoint every ``checkpoint_every`` fetched
+    pages (at batch boundaries).  If the process dies at any point —
+    including mid-batch — rerunning :meth:`run` with ``resume=True``
+    restores the last checkpoint (frontier, partial corpus, clock,
+    politeness/robots/breaker state) and continues to results byte
+    identical to an uninterrupted run.
+
+    :meth:`run_leg` is the budgeted-leg interface: it runs up to
+    ``leg_pages`` fetches per call and checkpoints at the end of the
+    leg.
     """
 
     def __init__(self, crawler: FocusedCrawler,
                  checkpoint_path: str | Path) -> None:
         self.crawler = crawler
         self.checkpoint_path = Path(checkpoint_path)
+
+    # -- full-run interface -------------------------------------------------
+
+    def run(self, seeds: list[str] | None = None,
+            checkpoint_every: int = 200, resume: bool = False,
+            page_callback=None) -> CrawlResult:
+        """Crawl to completion with periodic atomic checkpoints."""
+        frontier = result = None
+        if resume and self.checkpoint_path.exists():
+            state = load_checkpoint(self.checkpoint_path)
+            frontier, result = state.frontier, state.result
+            self.crawler.clock.now = state.clock_now
+            if state.crawler_state is not None:
+                restore_crawler_state(self.crawler, state.crawler_state)
+        elif seeds is None:
+            raise ValueError("a fresh crawl requires seeds")
+        saver = _PeriodicSaver(self, checkpoint_every,
+                               result.pages_fetched if result else 0)
+        return self.crawler.crawl(seeds, frontier=frontier, result=result,
+                                  checkpoint=saver, page_callback=page_callback)
+
+    # -- legged interface ---------------------------------------------------
 
     def run_leg(self, seeds: list[str] | None, leg_pages: int,
                 ) -> CrawlResult:
@@ -141,9 +275,11 @@ class ResumableCrawl:
         crawler = self.crawler
         config = crawler.config
         if self.checkpoint_path.exists():
-            frontier, result, clock_now = load_checkpoint(
-                self.checkpoint_path)
-            crawler.clock.now = clock_now
+            state = load_checkpoint(self.checkpoint_path)
+            frontier, result = state.frontier, state.result
+            crawler.clock.now = state.clock_now
+            if state.crawler_state is not None:
+                restore_crawler_state(crawler, state.crawler_state)
         else:
             if seeds is None:
                 raise ValueError("first leg requires seeds")
@@ -152,21 +288,44 @@ class ResumableCrawl:
                 max_urls_per_host=config.max_urls_per_host)
             frontier.add_seeds(seeds)
             result = CrawlResult()
-        start_fetched = result.pages_fetched
-        start_clock = crawler.clock.now
-        while (result.pages_fetched - start_fetched < leg_pages
-               and not frontier.is_empty()):
-            batch = frontier.next_batch(
-                min(config.batch_size,
-                    leg_pages - (result.pages_fetched - start_fetched)))
-            if not batch:
-                break
-            for entry in batch:
-                crawler._process(entry, frontier, result)
-        result.stop_reason = ("frontier_empty" if frontier.is_empty()
-                              else "leg_budget")
-        result.clock_seconds += crawler.clock.now - start_clock
-        result.filter_attrition = crawler.filters.attrition_report()
-        save_checkpoint(self.checkpoint_path, frontier, result,
-                        crawler.clock.now)
+        total_budget = config.max_pages
+        leg_budget = result.pages_fetched + leg_pages
+        config.max_pages = min(total_budget, leg_budget)
+        try:
+            result = crawler.crawl(frontier=frontier, result=result)
+        finally:
+            config.max_pages = total_budget
+        if (result.stop_reason == "page_budget"
+                and result.pages_fetched < total_budget):
+            result.stop_reason = "leg_budget"
+        self._save(frontier, result)
         return result
+
+    # -- internals ----------------------------------------------------------
+
+    def _save(self, frontier: CrawlDb, result: CrawlResult) -> None:
+        save_checkpoint(self.checkpoint_path, frontier, result,
+                        self.crawler.clock.now,
+                        crawler_state_to_dict(self.crawler))
+
+
+class _PeriodicSaver:
+    """Checkpoint callback: persists every N fetched pages (and at the
+    final boundary, where the crawl loop always invokes it)."""
+
+    def __init__(self, resumable: ResumableCrawl, every: int,
+                 pages_done: int) -> None:
+        self.resumable = resumable
+        self.every = max(1, every)
+        self.pages_at_last_save = pages_done
+        self.saves = 0
+
+    def __call__(self, frontier: CrawlDb, result: CrawlResult) -> None:
+        due = (result.pages_fetched - self.pages_at_last_save
+               >= self.every)
+        final = bool(result.stop_reason)
+        if not (due or final):
+            return
+        self.resumable._save(frontier, result)
+        self.pages_at_last_save = result.pages_fetched
+        self.saves += 1

@@ -64,12 +64,10 @@ class EntityAwareClassifier:
     def evidence(self, text: str) -> EntityEvidence:
         """Dictionary-NER densities for a text."""
         n_words = max(1, len(text.split()))
-        document = Document("probe", text)
         densities = {}
         for entity_type, tagger in self.taggers.items():
             mentions = tagger.dictionary.match(text)
             densities[entity_type] = 100.0 * len(mentions) / n_words
-        del document
         return EntityEvidence(mentions_per_100_words=densities)
 
     def log_odds(self, text: str) -> float:

@@ -12,11 +12,19 @@ fetch latency is divided across fetcher threads, while the modelled
 per-document filtering/classification cost is serialized — this is
 what pushes the effective rate down to the paper's 3-4 documents/s
 (versus 10-100 for plain crawlers).
+
+The fetch path is hardened for unreliable substrates (see
+:mod:`repro.crawler.robust` and :mod:`repro.web.faults`): transient
+failures are retried with bounded exponential backoff, hosts that keep
+failing are quarantined behind per-host circuit breakers and re-probed
+after a cooldown, and every terminal failure is recorded in
+:attr:`CrawlResult.failure_reasons` instead of crashing the batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.annotations import Document
 from repro.classify.naive_bayes import NaiveBayesClassifier
@@ -24,10 +32,13 @@ from repro.crawler.filters import FilterChain
 from repro.crawler.frontier import CrawlDb, FrontierEntry
 from repro.crawler.linkdb import LinkDb
 from repro.crawler.parser import extract_links
+from repro.crawler.robust import (
+    HOST_FAILURES, BreakerConfig, HostHealth, RetryPolicy,
+)
 from repro.html.boilerplate import BoilerplateDetector
 from repro.html.repair import repair_html
 from repro.web.robots import RobotsPolicy, parse_robots
-from repro.web.server import SimulatedClock, SimulatedWeb
+from repro.web.server import FetchResult, SimulatedClock, SimulatedWeb
 from repro.web.urls import host_of
 
 
@@ -53,6 +64,10 @@ class CrawlConfig:
     #: NB for "although we currently don't use this feature".
     online_learning: bool = False
     online_confidence: float = 0.98
+    #: Retry/backoff policy for transient fetch failures.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Per-host circuit-breaker thresholds.
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
 
 
 @dataclass
@@ -69,6 +84,14 @@ class CrawlResult:
     clock_seconds: float = 0.0
     stop_reason: str = ""
     filter_attrition: dict[str, float] = field(default_factory=dict)
+    #: Terminal failure counts by reason code ("timeout",
+    #: "server_error", "rate_limited", "truncated", "redirect_loop",
+    #: "connect_failed", "unavailable", "not_found", "circuit_open").
+    failure_reasons: dict[str, int] = field(default_factory=dict)
+    #: Fetch attempts beyond the first (successful or not).
+    retries: int = 0
+    #: Hosts whose circuit breaker opened at least once.
+    hosts_quarantined: int = 0
 
     @property
     def harvest_rate(self) -> float:
@@ -86,6 +109,10 @@ class CrawlResult:
         docs = self.relevant if which == "relevant" else self.irrelevant
         return sum(len(d.raw) for d in docs)
 
+    def record_failure(self, reason: str) -> None:
+        self.failure_reasons[reason] = \
+            self.failure_reasons.get(reason, 0) + 1
+
 
 class FocusedCrawler:
     """Nutch-with-focus-extension analog over the simulated web."""
@@ -100,19 +127,41 @@ class FocusedCrawler:
         self.config = config or CrawlConfig()
         self.boilerplate = boilerplate or BoilerplateDetector()
         self.clock = clock or SimulatedClock()
+        self.health = HostHealth(config=self.config.breaker)
         self._robots_cache: dict[str, RobotsPolicy] = {}
         self._host_ready: dict[str, float] = {}
 
     # -- public API -----------------------------------------------------------
 
-    def crawl(self, seeds: list[str]) -> CrawlResult:
-        """Run a focused crawl from the seed list."""
+    def crawl(self, seeds: list[str] | None = None, *,
+              frontier: CrawlDb | None = None,
+              result: CrawlResult | None = None,
+              checkpoint: Callable[[CrawlDb, CrawlResult], None]
+              | None = None,
+              page_callback: Callable[[CrawlResult], None] | None = None,
+              ) -> CrawlResult:
+        """Run a focused crawl from the seed list.
+
+        Pass ``frontier``/``result`` to continue a restored crawl
+        (checkpoint resume) instead of starting from seeds.
+        ``checkpoint`` is invoked after every completed batch — a batch
+        boundary is the only state from which a resumed crawl is
+        guaranteed to reproduce the uninterrupted run exactly.
+        ``page_callback`` fires after every processed frontier entry.
+        """
         config = self.config
-        frontier = CrawlDb(host_fetch_list_cap=config.host_fetch_list_cap,
-                           max_urls_per_host=config.max_urls_per_host)
-        frontier.add_seeds(seeds)
-        result = CrawlResult()
-        start_time = self.clock.now
+        if frontier is None:
+            if seeds is None:
+                raise ValueError("crawl() needs seeds or a restored "
+                                 "frontier")
+            frontier = CrawlDb(host_fetch_list_cap=config.host_fetch_list_cap,
+                               max_urls_per_host=config.max_urls_per_host)
+            frontier.add_seeds(seeds)
+        if result is None:
+            result = CrawlResult()
+        # ``clock_seconds`` accumulated so far anchors the (virtual)
+        # start time, so resumed runs keep accumulating correctly.
+        crawl_start = self.clock.now - result.clock_seconds
         while True:
             if result.pages_fetched >= config.max_pages:
                 result.stop_reason = "page_budget"
@@ -121,13 +170,29 @@ class FocusedCrawler:
                 result.stop_reason = "frontier_empty"
                 break
             batch = frontier.next_batch(config.batch_size)
-            for entry in batch:
+            for index, entry in enumerate(batch):
                 if result.pages_fetched >= config.max_pages:
+                    # Budget hit mid-batch: the leftovers survive into
+                    # the frontier (and any checkpoint) instead of
+                    # being dropped.
+                    frontier.requeue_front(batch[index:])
                     break
                 self._process(entry, frontier, result)
-        result.clock_seconds = self.clock.now - start_time
-        result.filter_attrition = self.filters.attrition_report()
+                if page_callback is not None:
+                    page_callback(result)
+            if checkpoint is not None:
+                self._snapshot_totals(result, crawl_start)
+                checkpoint(frontier, result)
+        self._snapshot_totals(result, crawl_start)
+        if checkpoint is not None:
+            checkpoint(frontier, result)
         return result
+
+    def _snapshot_totals(self, result: CrawlResult,
+                         crawl_start: float) -> None:
+        result.clock_seconds = self.clock.now - crawl_start
+        result.filter_attrition = self.filters.attrition_report()
+        result.hosts_quarantined = self.health.quarantined_hosts
 
     # -- one page ----------------------------------------------------------------
 
@@ -138,21 +203,17 @@ class FocusedCrawler:
         if config.respect_robots and not self._robots(host).allows(entry.url):
             result.robots_denied += 1
             return
-        # Politeness: wait until the host allows another request.
-        ready = self._host_ready.get(host, 0.0)
-        if ready > self.clock.now:
-            self.clock.advance(min(ready - self.clock.now,
-                                   config.politeness_delay))
-        fetch = self.web.fetch(entry.url)
-        delay = max(config.politeness_delay,
-                    self._robots(host).crawl_delay)
-        self._host_ready[host] = self.clock.now + delay
-        self.clock.advance(fetch.elapsed / config.fetcher_threads)
+        if not self.health.breaker(host).allow(self.clock.now):
+            # Host quarantined: drop the entry without fetching.
+            result.record_failure("circuit_open")
+            return
+        fetch, reason = self._fetch_with_retries(entry.url, host, result)
         result.pages_fetched += 1
         if fetch.redirected_from:
             frontier.mark_seen(fetch.url)
-        if not fetch.ok:
+        if reason is not None:
             result.fetch_failures += 1
+            result.record_failure(reason)
             return
         self.clock.advance(config.processing_seconds)
         if not self.filters.accept_payload(fetch.body, fetch.url,
@@ -193,10 +254,79 @@ class FocusedCrawler:
                     frontier.add(link, depth=entry.depth + 1,
                                  irrelevant_steps=entry.irrelevant_steps + 1)
 
+    # -- fetch path ------------------------------------------------------------
+
+    def _fetch_with_retries(self, url: str, host: str,
+                            result: CrawlResult,
+                            ) -> tuple[FetchResult, str | None]:
+        """Fetch with politeness, per-attempt timeout, bounded backoff
+        and breaker accounting; returns (last fetch, terminal reason or
+        None on success)."""
+        config = self.config
+        policy = config.retry
+        breaker = self.health.breaker(host)
+        fetch: FetchResult | None = None
+        reason: str | None = None
+        for attempt in range(max(1, policy.max_attempts)):
+            if attempt > 0:
+                result.retries += 1
+                backoff = policy.backoff_seconds(
+                    url, attempt - 1,
+                    retry_after=fetch.retry_after if fetch else 0.0)
+                self.clock.advance(backoff / config.fetcher_threads)
+            self._await_host(host)
+            fetch = self.web.fetch(url, attempt=attempt,
+                                   now=self.clock.now)
+            self.clock.advance(min(fetch.elapsed, policy.attempt_timeout)
+                               / config.fetcher_threads)
+            delay = max(config.politeness_delay,
+                        self._robots(host).crawl_delay)
+            self._host_ready[host] = self.clock.now + delay
+            reason = self._failure_reason(fetch, policy)
+            if reason is None:
+                breaker.record_success()
+                return fetch, None
+            if reason in HOST_FAILURES:
+                opened = breaker.record_failure(self.clock.now)
+                if opened:
+                    # Host just got quarantined; stop hammering it.
+                    break
+            if not policy.should_retry(reason, attempt):
+                break
+        return fetch, reason
+
+    def _await_host(self, host: str) -> None:
+        """Politeness: wait until the host allows another request."""
+        ready = self._host_ready.get(host, 0.0)
+        if ready > self.clock.now:
+            self.clock.advance(min(ready - self.clock.now,
+                                   self.config.politeness_delay))
+
+    @staticmethod
+    def _failure_reason(fetch: FetchResult,
+                        policy: RetryPolicy) -> str | None:
+        """Map a fetch outcome to a terminal reason code (None = ok)."""
+        if fetch.elapsed > policy.attempt_timeout:
+            return "timeout"
+        if fetch.failure is not None:
+            return fetch.failure
+        if fetch.ok:
+            return None
+        if fetch.status == 0:
+            return "timeout"
+        if fetch.status == 404:
+            return "not_found"
+        if fetch.status == 429:
+            return "rate_limited"
+        if fetch.status >= 500:
+            return "server_error"
+        return f"http_{fetch.status}"
+
     def _robots(self, host: str) -> RobotsPolicy:
         policy = self._robots_cache.get(host)
         if policy is None:
-            response = self.web.fetch(f"http://{host}/robots.txt")
+            response = self.web.fetch(f"http://{host}/robots.txt",
+                                      now=self.clock.now)
             self.clock.advance(
                 response.elapsed / self.config.fetcher_threads)
             policy = (parse_robots(response.body)

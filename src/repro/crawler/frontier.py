@@ -93,6 +93,18 @@ class CrawlDb:
         self._gc_empty()
         return batch
 
+    def requeue_front(self, entries: list[FrontierEntry]) -> None:
+        """Push dequeued-but-unprocessed entries back to the front of
+        their host queues, preserving order.
+
+        Used when a budget boundary interrupts a batch mid-way: the
+        leftover entries must survive into the next batch (and into
+        checkpoints) instead of being silently dropped.
+        """
+        for entry in reversed(entries):
+            host = host_of(entry.url)
+            self._queues.setdefault(host, deque()).appendleft(entry)
+
     def is_empty(self) -> bool:
         return len(self) == 0
 

@@ -1,0 +1,160 @@
+"""Fetch-path robustness: retry policy and per-host circuit breakers.
+
+The operational counterpart of the paper's multi-day crawl: transient
+failures (timeouts, 5xx, 429, truncated bodies) are retried with
+bounded exponential backoff, while hosts that keep failing are
+quarantined behind a circuit breaker and re-probed after a cooldown —
+the Nutch-style politeness/robustness machinery, adapted to the
+:class:`~repro.web.server.SimulatedClock`.
+
+Everything here is deterministic (backoff jitter is keyed by
+``(url, attempt)``) and serializable (breaker state goes into crawl
+checkpoints), so a killed crawl resumes to byte-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util import seeded_rng
+
+#: Failure reasons worth a retry: the fetch might succeed next time.
+RETRYABLE = frozenset({"timeout", "server_error", "rate_limited",
+                       "truncated", "connect_failed", "unavailable"})
+
+#: Failure reasons that indict the *host* (not the single URL) and
+#: feed the circuit breaker.  404s and redirect loops are per-URL.
+HOST_FAILURES = frozenset({"timeout", "server_error", "rate_limited",
+                           "connect_failed", "unavailable"})
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter."""
+
+    max_attempts: int = 3
+    base_backoff: float = 2.0
+    backoff_multiplier: float = 2.0
+    max_backoff: float = 60.0
+    #: +/- fraction of jitter applied to each backoff.
+    jitter: float = 0.25
+    #: Per-attempt fetch timeout (simulated seconds); responses slower
+    #: than this count as timeouts and are charged at the cap.
+    attempt_timeout: float = 30.0
+
+    def backoff_seconds(self, url: str, attempt: int,
+                        retry_after: float = 0.0) -> float:
+        """Wait before attempt ``attempt + 1`` on ``url``.
+
+        Deterministic in ``(url, attempt)``; a server's Retry-After
+        hint is honoured as a floor.
+        """
+        base = min(self.base_backoff * self.backoff_multiplier ** attempt,
+                   self.max_backoff)
+        spread = seeded_rng("backoff", url, attempt).uniform(
+            1.0 - self.jitter, 1.0 + self.jitter)
+        return max(base * spread, retry_after)
+
+    def should_retry(self, reason: str | None, attempt: int) -> bool:
+        return (reason in RETRYABLE
+                and attempt + 1 < max(1, self.max_attempts))
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Circuit-breaker thresholds shared by all hosts."""
+
+    #: Consecutive host-level failures before the breaker opens.
+    failure_threshold: int = 5
+    #: Quarantine length (simulated seconds) for the first open.
+    cooldown: float = 180.0
+    #: Each re-open multiplies the cooldown (capped).
+    cooldown_multiplier: float = 2.0
+    max_cooldown: float = 3600.0
+
+
+@dataclass
+class CircuitBreaker:
+    """Quarantine state for one host.
+
+    Closed (normal) -> open after ``failure_threshold`` consecutive
+    host-level failures; open -> half-open once the cooldown elapses
+    (one probe allowed); a failed probe re-opens with an escalated
+    cooldown, a success closes and resets.
+    """
+
+    config: BreakerConfig = field(default_factory=BreakerConfig)
+    consecutive_failures: int = 0
+    open_until: float = 0.0
+    #: Times this breaker has opened (also the escalation level).
+    opens: int = 0
+
+    def allow(self, now: float) -> bool:
+        """May we fetch from this host at clock time ``now``?"""
+        return now >= self.open_until
+
+    @property
+    def open(self) -> bool:
+        """Currently quarantining (ignores clock; see :meth:`allow`)."""
+        return self.opens > 0 and self.consecutive_failures >= \
+            self.config.failure_threshold
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until = 0.0
+
+    def record_failure(self, now: float) -> bool:
+        """Count one host-level failure; returns True if the breaker
+        (re-)opened."""
+        self.consecutive_failures += 1
+        if self.consecutive_failures < self.config.failure_threshold:
+            return False
+        cooldown = min(
+            self.config.cooldown
+            * self.config.cooldown_multiplier ** self.opens,
+            self.config.max_cooldown)
+        self.open_until = now + cooldown
+        self.opens += 1
+        return True
+
+    def to_dict(self) -> dict:
+        return {"consecutive_failures": self.consecutive_failures,
+                "open_until": self.open_until,
+                "opens": self.opens}
+
+    @classmethod
+    def from_dict(cls, payload: dict,
+                  config: BreakerConfig) -> "CircuitBreaker":
+        return cls(config=config,
+                   consecutive_failures=payload["consecutive_failures"],
+                   open_until=payload["open_until"],
+                   opens=payload["opens"])
+
+
+@dataclass
+class HostHealth:
+    """Per-host circuit breakers with one shared configuration."""
+
+    config: BreakerConfig = field(default_factory=BreakerConfig)
+    breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
+
+    def breaker(self, host: str) -> CircuitBreaker:
+        breaker = self.breakers.get(host)
+        if breaker is None:
+            breaker = CircuitBreaker(config=self.config)
+            self.breakers[host] = breaker
+        return breaker
+
+    @property
+    def quarantined_hosts(self) -> int:
+        """Hosts whose breaker has opened at least once."""
+        return sum(1 for b in self.breakers.values() if b.opens > 0)
+
+    def to_dict(self) -> dict:
+        return {host: breaker.to_dict()
+                for host, breaker in self.breakers.items()}
+
+    def restore(self, payload: dict) -> None:
+        self.breakers = {
+            host: CircuitBreaker.from_dict(state, self.config)
+            for host, state in payload.items()}

@@ -91,6 +91,8 @@ class OperatorStats:
 
     @property
     def records_per_second(self) -> float:
+        """Input throughput; 0.0 (never a ZeroDivisionError) when the
+        stage ran below timer resolution."""
         if self.seconds <= 0:
             return 0.0
         return self.records_in / self.seconds
@@ -127,7 +129,8 @@ class ExecutionReport:
                    if s.name == operator_name)
 
     def share_of(self, operator_name: str) -> float:
-        """Fraction of total runtime spent in one operator."""
+        """Fraction of total runtime spent in one operator; 0.0 when
+        nothing was timed (empty report or sub-resolution run)."""
         busy = sum(s.seconds for s in self.operator_stats)
         if busy <= 0:
             return 0.0
@@ -145,6 +148,8 @@ class ExecutionReport:
 
     @property
     def total_records_per_second(self) -> float:
+        """End-to-end throughput; 0.0 (never a ZeroDivisionError) for
+        empty reports or sub-resolution total timings."""
         if self.total_seconds <= 0 or not self.operator_stats:
             return 0.0
         return self.operator_stats[0].records_in / self.total_seconds

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from itertools import chain
@@ -61,6 +62,23 @@ def _process_worker(task: tuple[int, list[Any]]) -> list[Any]:
     stage_index, batch = task
     assert _WORKER_STAGES is not None, "worker forked without stage table"
     return _run_operator_chain(_WORKER_STAGES[stage_index], batch)
+
+
+def fork_start_available() -> bool:
+    """Whether fork-based process pools can be used here.
+
+    Forked workers inherit the (closure-carrying, hence unpicklable)
+    operator chains; spawn-only platforms (Windows, and any interpreter
+    whose start method has been pinned to spawn/forkserver) cannot run
+    the process mode and must degrade to threads.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return False
+    # A globally pinned non-fork start method signals fork is unsafe
+    # or unwanted on this platform; ``allow_none`` avoids fixing the
+    # default as a side effect of asking.
+    method = multiprocessing.get_start_method(allow_none=True)
+    return method is None or method == "fork"
 
 
 @dataclass
@@ -190,11 +208,13 @@ class StreamingExecutor:
         self.use_threads = use_threads and dop > 1
         self.use_processes = use_processes and dop > 1
         self.batch_size = batch_size
-        if self.use_processes and \
-                "fork" not in multiprocessing.get_all_start_methods():
-            # Forked workers inherit the (closure-carrying, hence
-            # unpicklable) operator chains; without fork, degrade to
-            # threads rather than fail.
+        if self.use_processes and not fork_start_available():
+            # Without fork, degrade to threads rather than fail.
+            warnings.warn(
+                "fused-processes needs the 'fork' multiprocessing start "
+                "method, which this platform/configuration does not "
+                "provide; falling back to fused-threads",
+                RuntimeWarning, stacklevel=2)
             self.use_processes = False
             self.use_threads = True
 

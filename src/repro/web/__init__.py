@@ -14,6 +14,9 @@ substrate as it would against live HTTP.
 
 from repro.web.webgraph import WebGraph, WebGraphConfig, PageSpec
 from repro.web.htmlgen import PageRenderer
+from repro.web.faults import (
+    FaultConfig, FaultDecision, FaultInjector, FaultRates,
+)
 from repro.web.server import SimulatedWeb, FetchResult, SimulatedClock
 from repro.web.robots import RobotsPolicy, parse_robots
 from repro.web.warc import ArchivedWeb, WarcRecord, WarcWriter, read_warc
@@ -23,6 +26,10 @@ __all__ = [
     "WebGraphConfig",
     "PageSpec",
     "PageRenderer",
+    "FaultConfig",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultRates",
     "SimulatedWeb",
     "FetchResult",
     "SimulatedClock",

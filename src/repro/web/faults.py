@@ -1,0 +1,208 @@
+"""Fault injection for the simulated web.
+
+The paper's crawl is an exercise in surviving an unreliable substrate:
+dead hosts, timeouts, truncated responses, rate limiting, and servers
+that disappear for hours and come back.  :class:`SimulatedWeb` on its
+own only models a thin background error rate; this module adds a
+configurable, *deterministic* fault layer on top so the crawl loop's
+retry, backoff, and quarantine machinery can be exercised (and its
+behaviour asserted) without any real network.
+
+Determinism contract: every fault decision is a pure function of
+``(config.seed, url, attempt)`` plus the per-host trait assignment
+(a pure function of ``(config.seed, host)``) and, for flaky hosts, the
+simulated clock.  Re-fetching the same URL at the same attempt number
+always yields the same outcome, which is what makes a killed crawl
+resumable to byte-identical results — and retries meaningful, because
+attempt ``n+1`` draws a fresh outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util import seeded_rng
+from repro.web.urls import host_of
+
+#: Reason codes a fault decision (or a plain fetch failure) can carry.
+#: ``crawler.robust`` consumes these to decide retryability and
+#: breaker accounting.
+FAULT_KINDS = ("server_error", "rate_limited", "timeout", "truncated",
+               "redirect_loop", "connect_failed", "unavailable")
+
+
+@dataclass(frozen=True)
+class FaultRates:
+    """Per-fetch fault probabilities (independent of host traits)."""
+
+    #: HTTP 500 responses.
+    error: float = 0.0
+    #: HTTP 429 responses carrying a Retry-After hint.
+    rate_limit: float = 0.0
+    #: Network timeouts (status 0, costs the full attempt timeout).
+    timeout: float = 0.0
+    #: Status 200 but the body cut mid-stream (content-length
+    #: mismatch in a real client).
+    truncate: float = 0.0
+    #: Redirect chains that never converge (status 310 here).
+    redirect_loop: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.error + self.rate_limit + self.timeout
+                + self.truncate + self.redirect_loop)
+
+
+@dataclass
+class FaultConfig:
+    """The full fault model: global rates, host traits, overrides."""
+
+    seed: int = 0
+    rates: FaultRates = field(default_factory=FaultRates)
+    #: Per-host rate overrides (exact host name -> rates).
+    per_host: dict[str, FaultRates] = field(default_factory=dict)
+    #: Fraction of hosts that answer slowly (latency multiplied).
+    slow_host_fraction: float = 0.0
+    slow_factor: float = 6.0
+    #: Fraction of hosts that never answer (connection refused).
+    dead_host_fraction: float = 0.0
+    #: Fraction of hosts that fail until a per-host recovery time on
+    #: the simulated clock, then behave normally.
+    flaky_host_fraction: float = 0.0
+    #: Mean recovery time for flaky hosts (simulated seconds); the
+    #: per-host value is drawn uniformly in [0.5x, 1.5x].
+    flaky_recovery_mean: float = 400.0
+
+    @classmethod
+    def preset(cls, name: str, seed: int = 0) -> "FaultConfig | None":
+        """Named fault profiles for the CLI and CI smoke runs.
+
+        ``none`` returns None (fault layer disabled); ``default`` is a
+        20 % per-fetch failure rate plus host traits; ``heavy`` roughly
+        doubles everything.
+        """
+        if name == "none":
+            return None
+        if name == "default":
+            return cls(seed=seed,
+                       rates=FaultRates(error=0.06, rate_limit=0.04,
+                                        timeout=0.05, truncate=0.03,
+                                        redirect_loop=0.02),
+                       slow_host_fraction=0.10,
+                       dead_host_fraction=0.05,
+                       flaky_host_fraction=0.10)
+        if name == "heavy":
+            return cls(seed=seed,
+                       rates=FaultRates(error=0.12, rate_limit=0.08,
+                                        timeout=0.10, truncate=0.06,
+                                        redirect_loop=0.04),
+                       slow_host_fraction=0.20,
+                       dead_host_fraction=0.10,
+                       flaky_host_fraction=0.15,
+                       flaky_recovery_mean=250.0)
+        raise ValueError(f"unknown fault preset: {name!r} "
+                         "(expected none | default | heavy | a rate)")
+
+    @classmethod
+    def uniform(cls, total_rate: float, seed: int = 0) -> "FaultConfig":
+        """A flat per-fetch failure probability split evenly across
+        the five fault kinds, with no host traits — the knob the
+        yield-vs-fault-rate benchmark sweeps."""
+        if not 0.0 <= total_rate <= 1.0:
+            raise ValueError("total_rate must be in [0, 1]")
+        share = total_rate / 5.0
+        return cls(seed=seed,
+                   rates=FaultRates(error=share, rate_limit=share,
+                                    timeout=share, truncate=share,
+                                    redirect_loop=share))
+
+    def with_host(self, host: str, rates: FaultRates) -> "FaultConfig":
+        per_host = dict(self.per_host)
+        per_host[host] = rates
+        return replace(self, per_host=per_host)
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """One injected fault: what went wrong for this (url, attempt)."""
+
+    kind: str
+    retry_after: float = 0.0
+    #: For ``truncated``: fraction of the body that survives.
+    keep_fraction: float = 1.0
+
+
+class FaultInjector:
+    """Draws deterministic fault decisions for a :class:`FaultConfig`."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._traits: dict[str, str] = {}
+        self._recovery: dict[str, float] = {}
+
+    # -- host traits --------------------------------------------------------
+
+    def host_trait(self, host: str) -> str:
+        """``ok`` | ``slow`` | ``dead`` | ``flaky`` — stable per host."""
+        trait = self._traits.get(host)
+        if trait is None:
+            cfg = self.config
+            roll = seeded_rng(cfg.seed, "trait", host).random()
+            if roll < cfg.dead_host_fraction:
+                trait = "dead"
+            elif roll < cfg.dead_host_fraction + cfg.flaky_host_fraction:
+                trait = "flaky"
+            elif roll < (cfg.dead_host_fraction + cfg.flaky_host_fraction
+                         + cfg.slow_host_fraction):
+                trait = "slow"
+            else:
+                trait = "ok"
+            self._traits[host] = trait
+        return trait
+
+    def recovery_time(self, host: str) -> float:
+        """Clock time at which a flaky host starts answering."""
+        when = self._recovery.get(host)
+        if when is None:
+            mean = self.config.flaky_recovery_mean
+            when = seeded_rng(self.config.seed, "recovery", host).uniform(
+                0.5 * mean, 1.5 * mean)
+            self._recovery[host] = when
+        return when
+
+    def latency_factor(self, host: str) -> float:
+        return (self.config.slow_factor
+                if self.host_trait(host) == "slow" else 1.0)
+
+    # -- per-fetch decisions ------------------------------------------------
+
+    def decide(self, url: str, attempt: int = 0,
+               now: float | None = None) -> FaultDecision | None:
+        """The fault (if any) injected into this fetch attempt."""
+        host = host_of(url)
+        trait = self.host_trait(host)
+        if trait == "dead":
+            return FaultDecision("connect_failed")
+        if trait == "flaky" and (now or 0.0) < self.recovery_time(host):
+            return FaultDecision("unavailable")
+        rates = self.config.per_host.get(host, self.config.rates)
+        rng = seeded_rng(self.config.seed, "fault", url, attempt)
+        roll = rng.random()
+        edge = rates.error
+        if roll < edge:
+            return FaultDecision("server_error")
+        edge += rates.rate_limit
+        if roll < edge:
+            return FaultDecision("rate_limited",
+                                 retry_after=rng.uniform(2.0, 15.0))
+        edge += rates.timeout
+        if roll < edge:
+            return FaultDecision("timeout")
+        edge += rates.truncate
+        if roll < edge:
+            return FaultDecision("truncated",
+                                 keep_fraction=rng.uniform(0.05, 0.7))
+        edge += rates.redirect_loop
+        if roll < edge:
+            return FaultDecision("redirect_loop")
+        return None

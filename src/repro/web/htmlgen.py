@@ -90,7 +90,7 @@ class PageRenderer:
         parts.append("</ul></div>")
         # Cookie banner: short and link-bearing.
         parts.append('<div class="banner">'
-                     f'{self._filler.text(1, max_words=6)}'
+                     f'{self._filler.text(1, max_words=6, rng=rng)}'
                      '<a href="/privacy.html">privacy policy</a> '
                      '<a href="/accept">accept</a></div>')
         # Sidebar with ads and teasers (short, link-dense).
@@ -99,7 +99,7 @@ class PageRenderer:
             parts.append(f'<div class="ad">{rng.choice(_AD_SLOGANS)}'
                          '<a href="http://ads.example.com/click">more</a></div>')
         parts.append(f'<div class="teaser">'
-                     f'{self._filler.text(1, max_words=6)}'
+                     f'{self._filler.text(1, max_words=6, rng=rng)}'
                      '<a href="/archive.html">read more stories</a> '
                      '<a href="/subscribe.html">subscribe now</a></div>')
         parts.append("</div>")
@@ -126,7 +126,7 @@ class PageRenderer:
         parts.append("</div>")
         # Footer boilerplate.
         parts.append('<div class="footer">'
-                     f'{self._filler.text(1, max_words=7)}'
+                     f'{self._filler.text(1, max_words=7, rng=rng)}'
                      f'<a href="{url}">permalink</a> '
                      '<a href="/terms.html">terms</a></div>')
         parts.append("</body></html>")

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.web.faults import FaultConfig, FaultDecision, FaultInjector
 from repro.web.htmlgen import PageRenderer
 from repro.util import seeded_rng
 from repro.web.robots import render_robots
@@ -36,7 +37,8 @@ class SimulatedClock:
 class FetchResult:
     """Outcome of one simulated HTTP GET.
 
-    ``status`` 0 denotes a network timeout.  Binary payloads are
+    ``status`` 0 denotes a network-level failure (timeout or refused
+    connection; ``failure`` tells them apart).  Binary payloads are
     returned as latin-1 decodable strings carrying their magic bytes.
     """
 
@@ -46,10 +48,18 @@ class FetchResult:
     body: str
     elapsed: float
     redirected_from: str | None = None
+    #: Reason code when the fetch failed ("timeout", "server_error",
+    #: "rate_limited", "truncated", "redirect_loop", "connect_failed",
+    #: "unavailable", "not_found"); None for clean responses.
+    failure: str | None = None
+    #: Retry-After hint (seconds) on 429 responses.
+    retry_after: float = 0.0
+    #: Body was cut mid-stream (content-length mismatch).
+    truncated: bool = False
 
     @property
     def ok(self) -> bool:
-        return self.status == 200
+        return self.status == 200 and not self.truncated
 
 
 class SimulatedWeb:
@@ -58,7 +68,8 @@ class SimulatedWeb:
     def __init__(self, graph: WebGraph, seed: int = 53,
                  error_rate: float = 0.02, timeout_rate: float = 0.01,
                  redirect_rate: float = 0.03,
-                 base_latency: float = 0.15) -> None:
+                 base_latency: float = 0.15,
+                 faults: FaultConfig | FaultInjector | None = None) -> None:
         self.graph = graph
         self.seed = seed
         self.error_rate = error_rate
@@ -67,44 +78,98 @@ class SimulatedWeb:
         self.base_latency = base_latency
         self.renderer = PageRenderer(seed=seed + 7)
         self.fetch_count = 0
+        if isinstance(faults, FaultConfig):
+            faults = FaultInjector(faults)
+        self.faults = faults
 
     # -- public API ---------------------------------------------------------
 
     def robots_txt(self, host: str) -> str:
         return render_robots(self.graph.host_robots(host))
 
-    def fetch(self, url: str) -> FetchResult:
-        """Simulate one GET; follows at most one internal redirect."""
+    def fetch(self, url: str, attempt: int = 0,
+              now: float | None = None) -> FetchResult:
+        """Simulate one GET; follows at most one internal redirect.
+
+        ``attempt`` keys the fault-injection draw (so retries see fresh
+        outcomes) and ``now`` is the simulated clock time (flaky hosts
+        recover once it passes their recovery point).  Both default to
+        the fault-free single-shot behaviour.
+        """
         self.fetch_count += 1
         url = normalize(url)
         rng = seeded_rng(self.seed, url)
         elapsed = self.base_latency + rng.expovariate(1 / 0.1)
+        injected: FaultDecision | None = None
+        if self.faults is not None:
+            elapsed *= self.faults.latency_factor(host_of(url))
+            injected = self.faults.decide(url, attempt, now)
+            if injected is not None and injected.kind != "truncated":
+                return self._faulted(url, injected, elapsed)
         if url.endswith("/robots.txt"):
             body = self.robots_txt(host_of(url))
             return FetchResult(url, 200, "text/plain", body, elapsed)
         roll = rng.random()
         if roll < self.timeout_rate:
-            return FetchResult(url, 0, "", "", elapsed + 30.0)
+            return FetchResult(url, 0, "", "", elapsed + 30.0,
+                               failure="timeout")
         if roll < self.timeout_rate + self.error_rate:
             return FetchResult(url, 500, "text/html",
-                               "<html>Internal Server Error</html>", elapsed)
+                               "<html>Internal Server Error</html>", elapsed,
+                               failure="server_error")
         page = self._resolve_page(url)
         if page is None:
             return FetchResult(url, 404, "text/html",
-                               "<html>Not Found</html>", elapsed)
+                               "<html>Not Found</html>", elapsed,
+                               failure="not_found")
         if (page.kind == "article" and rng.random() < self.redirect_rate
                 and not url.endswith("/") and "?ref=r" not in url):
             # Canonicalizing redirect: …/itemN.html -> …/itemN.html?ref=r
             target = url + "?ref=r"
             if url != normalize(target):
-                inner = self.fetch(target)
+                inner = self.fetch(target, attempt=attempt, now=now)
                 inner.redirected_from = url
                 inner.elapsed += elapsed
                 return inner
         body, content_type = self._render(page, url)
         size_penalty = len(body) / 2_000_000  # 2 MB/s effective bandwidth
+        if injected is not None:  # injected.kind == "truncated"
+            body = body[:max(1, int(len(body) * injected.keep_fraction))]
+            return FetchResult(url, 200, content_type, body,
+                               elapsed + size_penalty, failure="truncated",
+                               truncated=True)
         return FetchResult(url, 200, content_type, body,
                            elapsed + size_penalty)
+
+    def _faulted(self, url: str, fault: FaultDecision,
+                 elapsed: float) -> FetchResult:
+        """Materialize an injected fault as a FetchResult."""
+        kind = fault.kind
+        if kind == "timeout":
+            return FetchResult(url, 0, "", "", elapsed + 30.0,
+                               failure="timeout")
+        if kind == "connect_failed":
+            # Refused connections fail fast.
+            return FetchResult(url, 0, "", "", min(elapsed, 0.05),
+                               failure="connect_failed")
+        if kind == "unavailable":
+            return FetchResult(url, 503, "text/html",
+                               "<html>Service Unavailable</html>", elapsed,
+                               failure="unavailable")
+        if kind == "server_error":
+            return FetchResult(url, 500, "text/html",
+                               "<html>Internal Server Error</html>", elapsed,
+                               failure="server_error")
+        if kind == "rate_limited":
+            return FetchResult(url, 429, "text/html",
+                               "<html>Too Many Requests</html>", elapsed,
+                               failure="rate_limited",
+                               retry_after=fault.retry_after)
+        if kind == "redirect_loop":
+            # The client walks several hops before giving up.
+            return FetchResult(url, 310, "", "", elapsed * 4,
+                               failure="redirect_loop")
+        raise ValueError(f"unknown fault kind: {kind!r}")
 
     # -- internals ------------------------------------------------------------
 

@@ -1,10 +1,14 @@
-"""Tests for crawl checkpointing and resumption."""
+"""Tests for crash-safe crawl checkpointing and resumption."""
+
+import json
+import os
 
 import pytest
 
 from repro.crawler.checkpoint import (
-    ResumableCrawl, frontier_from_dict, frontier_to_dict,
-    load_checkpoint, save_checkpoint,
+    CheckpointError, ResumableCrawl, crawler_state_to_dict,
+    frontier_from_dict, frontier_to_dict, load_checkpoint,
+    restore_crawler_state, save_checkpoint,
 )
 from repro.crawler.crawl import CrawlConfig, CrawlResult, FocusedCrawler
 from repro.crawler.frontier import CrawlDb
@@ -31,21 +35,108 @@ class TestCheckpointFile:
     def test_save_and_load(self, tmp_path):
         frontier = CrawlDb()
         frontier.add("http://a.com/1")
-        result = CrawlResult(pages_fetched=5, stop_reason="leg_budget")
+        result = CrawlResult(pages_fetched=5, stop_reason="leg_budget",
+                             retries=2)
+        result.record_failure("timeout")
         result.linkdb.add_edges("http://a.com/1", ["http://b.com/2"])
         path = save_checkpoint(tmp_path / "cp.json", frontier, result,
                                clock_now=12.5)
-        restored_frontier, restored_result, clock = load_checkpoint(path)
-        assert clock == 12.5
-        assert len(restored_frontier) == 1
-        assert restored_result.pages_fetched == 5
-        assert restored_result.linkdb.n_edges == 1
+        state = load_checkpoint(path)
+        assert state.clock_now == 12.5
+        assert len(state.frontier) == 1
+        assert state.result.pages_fetched == 5
+        assert state.result.linkdb.n_edges == 1
+        assert state.result.failure_reasons == {"timeout": 1}
+        assert state.result.retries == 2
+
+    def test_write_is_atomic(self, tmp_path):
+        """No tmp residue, and the payload lands via os.replace."""
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, CrawlDb(), CrawlResult(), clock_now=0.0)
+        first = path.read_text()
+        save_checkpoint(path, CrawlDb(), CrawlResult(pages_fetched=9),
+                        clock_now=3.0)
+        assert os.listdir(tmp_path) == ["cp.json"]  # tmp file gone
+        assert path.read_text() != first
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, CrawlDb(), CrawlResult(), clock_now=1.0)
+        whole = path.read_text()
+        path.write_text(whole[:len(whole) // 2])  # torn write
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "nope.json")
+
+    def test_missing_section_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text(json.dumps({"version": 2, "clock_now": 0.0,
+                                    "frontier": {}}))
+        with pytest.raises(CheckpointError, match="result"):
+            load_checkpoint(path)
 
     def test_version_guard(self, tmp_path):
         path = tmp_path / "cp.json"
         path.write_text('{"version": 99}')
         with pytest.raises(ValueError, match="version"):
             load_checkpoint(path)
+
+    def test_v1_payload_still_loads(self, tmp_path):
+        """Old checkpoints (no failure_reasons/raw/crawler) restore
+        with defaults."""
+        path = tmp_path / "cp.json"
+        frontier = CrawlDb()
+        frontier.add("http://a.com/1")
+        payload = {
+            "version": 1,
+            "clock_now": 2.0,
+            "frontier": frontier_to_dict(frontier),
+            "result": {
+                "relevant": [{"doc_id": "http://a.com/1", "text": "t",
+                              "meta": {}}],
+                "irrelevant": [], "outlinks": {}, "pages_fetched": 1,
+                "fetch_failures": 0, "robots_denied": 0,
+                "filtered_out": 0, "clock_seconds": 2.0,
+                "stop_reason": "leg_budget",
+            },
+        }
+        path.write_text(json.dumps(payload))
+        state = load_checkpoint(path)
+        assert state.result.failure_reasons == {}
+        assert state.result.relevant[0].raw == ""
+        assert state.crawler_state is None
+
+
+class TestCrawlerStateSerialization:
+    def test_round_trip(self, context):
+        crawler = FocusedCrawler(context.web, context.pipeline.classifier,
+                                 context.build_filter_chain(),
+                                 CrawlConfig(max_pages=30))
+        crawler.crawl(context.seed_batch("second").urls)
+        state = crawler_state_to_dict(crawler)
+        fresh = FocusedCrawler(context.web, context.pipeline.classifier,
+                               context.build_filter_chain(),
+                               CrawlConfig(max_pages=30))
+        restore_crawler_state(fresh, state)
+        assert fresh._host_ready == crawler._host_ready
+        assert set(fresh._robots_cache) == set(crawler._robots_cache)
+        for host, policy in crawler._robots_cache.items():
+            assert fresh._robots_cache[host].disallow == policy.disallow
+            assert fresh._robots_cache[host].crawl_delay == \
+                policy.crawl_delay
+        assert fresh.filters.attrition_report() == \
+            crawler.filters.attrition_report()
+
+    def test_state_is_json_clean(self, context):
+        crawler = FocusedCrawler(context.web, context.pipeline.classifier,
+                                 context.build_filter_chain(),
+                                 CrawlConfig(max_pages=20))
+        crawler.crawl(context.seed_batch("second").urls)
+        payload = crawler_state_to_dict(crawler)
+        assert json.loads(json.dumps(payload)) == payload
 
 
 class TestResumableCrawl:
@@ -86,3 +177,9 @@ class TestResumableCrawl:
                                    tmp_path / "missing.json")
         with pytest.raises(ValueError, match="seeds"):
             resumable.run_leg(None, leg_pages=10)
+
+    def test_run_requires_seeds_without_checkpoint(self, context, tmp_path):
+        resumable = ResumableCrawl(self._crawler(context),
+                                   tmp_path / "missing.json")
+        with pytest.raises(ValueError, match="seeds"):
+            resumable.run(None, resume=True)

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.crawler.crawl import CrawlConfig, FocusedCrawler
+from repro.crawler.robust import BreakerConfig, RetryPolicy
+from repro.web.faults import FaultConfig
 from repro.web.server import SimulatedWeb
 
 
@@ -46,6 +48,87 @@ class TestFetchFailures:
                                  CrawlConfig(max_pages=80))
         result = crawler.crawl(context.seed_batch("second").urls)
         assert result.clock_seconds > 0
+
+class TestFaultInjectedCrawl:
+    """Acceptance criterion: with a 20 % per-fetch fault rate the crawl
+    completes without raising and reports per-reason failure counts."""
+
+    def test_survives_default_fault_preset(self, webgraph, context):
+        web = SimulatedWeb(webgraph, seed=18,
+                           faults=FaultConfig.preset("default", seed=18))
+        crawler = FocusedCrawler(web, context.pipeline.classifier,
+                                 context.build_filter_chain(),
+                                 CrawlConfig(max_pages=200))
+        result = crawler.crawl(context.seed_batch("second").urls)
+        assert result.pages_fetched > 0
+        assert len(result.relevant) > 0  # still harvests under faults
+        assert result.fetch_failures > 0
+        assert result.failure_reasons  # per-reason breakdown reported
+        # circuit_open entries never reach the fetcher, so they are
+        # reported by reason but excluded from fetch_failures.
+        fetched = sum(count for reason, count
+                      in result.failure_reasons.items()
+                      if reason != "circuit_open")
+        assert fetched == result.fetch_failures
+        assert result.retries > 0  # transient faults were retried
+
+    def test_retries_recover_transient_faults(self, webgraph, context):
+        """With retries on, a faulty crawl loses fewer pages than the
+        same crawl with retries disabled."""
+        def run(max_attempts):
+            web = SimulatedWeb(webgraph, seed=18,
+                               faults=FaultConfig.uniform(0.3, seed=4))
+            crawler = FocusedCrawler(
+                web, context.pipeline.classifier,
+                context.build_filter_chain(),
+                CrawlConfig(max_pages=120,
+                            retry=RetryPolicy(max_attempts=max_attempts)))
+            return crawler.crawl(context.seed_batch("second").urls)
+
+        with_retries = run(3)
+        without = run(1)
+        assert with_retries.retries > 0 and without.retries == 0
+        failure_rate = (with_retries.fetch_failures
+                        / with_retries.pages_fetched)
+        baseline_rate = without.fetch_failures / without.pages_fetched
+        assert failure_rate < baseline_rate
+
+    def test_dead_hosts_get_quarantined(self, webgraph, context):
+        web = SimulatedWeb(webgraph, seed=18,
+                           faults=FaultConfig(seed=7,
+                                              dead_host_fraction=0.4))
+        crawler = FocusedCrawler(
+            web, context.pipeline.classifier,
+            context.build_filter_chain(),
+            CrawlConfig(max_pages=200,
+                        breaker=BreakerConfig(failure_threshold=2,
+                                              cooldown=100_000.0)))
+        result = crawler.crawl(context.seed_batch("second").urls)
+        assert result.hosts_quarantined > 0
+        assert result.failure_reasons.get("connect_failed", 0) > 0
+        # Once a breaker opens, further URLs on that host are skipped
+        # without fetching and recorded under their own reason code.
+        assert result.failure_reasons.get("circuit_open", 0) > 0
+
+    def test_breaker_skips_do_not_consume_page_budget(self, webgraph,
+                                                      context):
+        """circuit_open entries are recorded but never fetched, so they
+        must not count toward pages_fetched."""
+        web = SimulatedWeb(webgraph, seed=18,
+                           faults=FaultConfig(seed=7,
+                                              dead_host_fraction=1.0))
+        crawler = FocusedCrawler(
+            web, context.pipeline.classifier,
+            context.build_filter_chain(),
+            CrawlConfig(max_pages=40,
+                        retry=RetryPolicy(max_attempts=1),
+                        breaker=BreakerConfig(failure_threshold=1,
+                                              cooldown=100_000.0)))
+        result = crawler.crawl(context.seed_batch("second").urls)
+        fetched_reasons = sum(count for reason, count
+                              in result.failure_reasons.items()
+                              if reason != "circuit_open")
+        assert result.pages_fetched == fetched_reasons
 
     def test_politeness_delay_spacing(self, context):
         """Two requests to the same host are spaced by at least the

@@ -1,0 +1,121 @@
+"""Kill/resume equivalence: the headline robustness property.
+
+A crawl killed at an arbitrary point and resumed from its last
+checkpoint must reach the *same final state* as an uninterrupted run —
+same corpus, same counters, same simulated clock — across seeds and
+fault rates.  The crawl loop earns this by checkpointing only at batch
+boundaries (no in-flight fetches) and by making every fetch outcome a
+pure function of state the checkpoint captures.
+"""
+
+import pytest
+
+from repro.crawler.checkpoint import ResumableCrawl
+from repro.crawler.crawl import CrawlConfig, CrawlResult, FocusedCrawler
+from repro.web.faults import FaultConfig
+from repro.web.server import SimulatedWeb
+
+MAX_PAGES = 120
+
+
+class Killed(RuntimeError):
+    """Stands in for SIGKILL: aborts the crawl mid-run."""
+
+
+def _fingerprint(result: CrawlResult) -> dict:
+    return {
+        "pages_fetched": result.pages_fetched,
+        "relevant": sorted(d.doc_id for d in result.relevant),
+        "irrelevant": sorted(d.doc_id for d in result.irrelevant),
+        "fetch_failures": result.fetch_failures,
+        "failure_reasons": dict(result.failure_reasons),
+        "retries": result.retries,
+        "robots_denied": result.robots_denied,
+        "filtered_out": result.filtered_out,
+        "clock_seconds": result.clock_seconds,
+        "stop_reason": result.stop_reason,
+    }
+
+
+def _make_crawler(context, webgraph, web_seed, fault_total):
+    """Fresh web + crawler; every call builds independent objects so
+    the killed and resumed runs share nothing in memory."""
+    faults = (None if fault_total is None
+              else FaultConfig.uniform(fault_total, seed=web_seed + 1))
+    web = SimulatedWeb(webgraph, seed=web_seed, faults=faults)
+    # Small batches so checkpoints (batch-boundary-only) actually
+    # happen before the kill points below.
+    return FocusedCrawler(web, context.pipeline.classifier,
+                          context.build_filter_chain(),
+                          CrawlConfig(max_pages=MAX_PAGES,
+                                      batch_size=20))
+
+
+# (web_seed, fault_total, kill_after_pages, checkpoint_every)
+CASES = [
+    (6, None, 60, 25),
+    (21, 0.2, 55, 20),
+    (33, 0.2, 50, 35),
+    (47, 0.35, 70, 15),
+]
+
+
+class TestKillResumeEquivalence:
+    @pytest.mark.parametrize("web_seed,fault_total,kill_after,every",
+                             CASES)
+    def test_resumed_run_matches_uninterrupted(
+            self, context, webgraph, tmp_path,
+            web_seed, fault_total, kill_after, every):
+        seeds = context.seed_batch("second").urls
+
+        # Reference: one uninterrupted run.
+        reference = _make_crawler(context, webgraph, web_seed,
+                                  fault_total).crawl(seeds)
+        assert reference.pages_fetched > kill_after
+
+        # Killed run: dies mid-crawl, after at least one checkpoint.
+        path = tmp_path / "cp.json"
+        killed = ResumableCrawl(
+            _make_crawler(context, webgraph, web_seed, fault_total), path)
+
+        def kill_switch(result):
+            if result.pages_fetched >= kill_after:
+                raise Killed
+
+        with pytest.raises(Killed):
+            killed.run(seeds, checkpoint_every=every,
+                       page_callback=kill_switch)
+        assert path.exists()
+
+        # Resume with entirely fresh objects (a new process, in effect).
+        resumed = ResumableCrawl(
+            _make_crawler(context, webgraph, web_seed, fault_total),
+            path).run(resume=True, checkpoint_every=every)
+
+        assert _fingerprint(resumed) == _fingerprint(reference)
+
+    def test_double_kill_still_converges(self, context, webgraph,
+                                         tmp_path):
+        """Two successive kills at different points change nothing."""
+        seeds = context.seed_batch("second").urls
+        reference = _make_crawler(context, webgraph, 21, 0.2).crawl(seeds)
+        path = tmp_path / "cp.json"
+
+        def killer_at(threshold):
+            def kill_switch(result):
+                if result.pages_fetched >= threshold:
+                    raise Killed
+            return kill_switch
+
+        with pytest.raises(Killed):
+            ResumableCrawl(_make_crawler(context, webgraph, 21, 0.2),
+                           path).run(seeds, checkpoint_every=20,
+                                     page_callback=killer_at(45))
+        with pytest.raises(Killed):
+            ResumableCrawl(_make_crawler(context, webgraph, 21, 0.2),
+                           path).run(resume=True, checkpoint_every=20,
+                                     page_callback=killer_at(85))
+        resumed = ResumableCrawl(
+            _make_crawler(context, webgraph, 21, 0.2), path).run(
+                resume=True, checkpoint_every=20)
+        assert _fingerprint(resumed) == _fingerprint(reference)

@@ -1,0 +1,116 @@
+"""Tests for retry policy and circuit breakers."""
+
+import pytest
+
+from repro.crawler.robust import (
+    HOST_FAILURES, RETRYABLE, BreakerConfig, CircuitBreaker, HostHealth,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_backoff=2.0, backoff_multiplier=2.0,
+                             max_backoff=10.0, jitter=0.0)
+        url = "http://a.example.org/p.html"
+        assert policy.backoff_seconds(url, 0) == pytest.approx(2.0)
+        assert policy.backoff_seconds(url, 1) == pytest.approx(4.0)
+        assert policy.backoff_seconds(url, 2) == pytest.approx(8.0)
+        assert policy.backoff_seconds(url, 5) == pytest.approx(10.0)
+
+    def test_jitter_bounded_and_deterministic(self):
+        policy = RetryPolicy(base_backoff=4.0, jitter=0.25)
+        url = "http://a.example.org/p.html"
+        values = [policy.backoff_seconds(url, 1) for _ in range(5)]
+        assert len(set(values)) == 1  # pure function of (url, attempt)
+        assert 4.0 * 2 * 0.75 <= values[0] <= 4.0 * 2 * 1.25
+        other = policy.backoff_seconds("http://b.example.org/p.html", 1)
+        assert other != values[0]  # jitter decorrelates URLs
+
+    def test_retry_after_is_a_floor(self):
+        policy = RetryPolicy(base_backoff=1.0, jitter=0.0)
+        assert policy.backoff_seconds("u", 0, retry_after=30.0) == 30.0
+
+    def test_should_retry_honours_reason_and_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry("timeout", 0)
+        assert policy.should_retry("timeout", 1)
+        assert not policy.should_retry("timeout", 2)  # budget exhausted
+        assert not policy.should_retry("not_found", 0)  # permanent
+        assert not policy.should_retry(None, 0)
+
+    def test_reason_sets_consistent(self):
+        assert HOST_FAILURES <= RETRYABLE | {"not_found"}
+        assert "not_found" not in RETRYABLE
+        assert "redirect_loop" not in RETRYABLE
+
+
+class TestCircuitBreaker:
+    def _breaker(self, threshold=3, cooldown=100.0):
+        return CircuitBreaker(config=BreakerConfig(
+            failure_threshold=threshold, cooldown=cooldown,
+            cooldown_multiplier=2.0, max_cooldown=350.0))
+
+    def test_opens_after_threshold(self):
+        breaker = self._breaker()
+        assert not breaker.record_failure(now=0.0)
+        assert not breaker.record_failure(now=1.0)
+        assert breaker.record_failure(now=2.0)  # third strike opens
+        assert not breaker.allow(now=50.0)
+        assert breaker.allow(now=102.0)  # cooled down: half-open probe
+
+    def test_success_closes_and_resets(self):
+        breaker = self._breaker()
+        for now in (0.0, 1.0, 2.0):
+            breaker.record_failure(now)
+        breaker.record_success()
+        assert breaker.allow(now=3.0)
+        assert breaker.consecutive_failures == 0
+
+    def test_failed_probe_reopens_with_escalated_cooldown(self):
+        breaker = self._breaker()
+        for now in (0.0, 1.0, 2.0):
+            breaker.record_failure(now)
+        first_open_until = breaker.open_until
+        assert first_open_until == pytest.approx(102.0)
+        # Probe at 150 fails -> reopen for 200 s (escalated).
+        assert breaker.allow(now=150.0)
+        assert breaker.record_failure(now=150.0)
+        assert breaker.open_until == pytest.approx(350.0)
+        # Next escalation hits the max_cooldown cap.
+        assert breaker.record_failure(now=400.0)
+        assert breaker.open_until == pytest.approx(750.0)
+
+    def test_serialization_round_trip(self):
+        breaker = self._breaker()
+        for now in (0.0, 1.0, 2.0):
+            breaker.record_failure(now)
+        payload = breaker.to_dict()
+        restored = CircuitBreaker.from_dict(payload, breaker.config)
+        assert restored.open_until == breaker.open_until
+        assert restored.consecutive_failures == breaker.consecutive_failures
+        assert restored.opens == breaker.opens
+        assert not restored.allow(now=10.0)
+
+
+class TestHostHealth:
+    def test_breakers_created_per_host(self):
+        health = HostHealth()
+        a = health.breaker("a.example.org")
+        assert health.breaker("a.example.org") is a
+        assert health.breaker("b.example.org") is not a
+
+    def test_quarantined_count(self):
+        health = HostHealth(config=BreakerConfig(failure_threshold=1))
+        health.breaker("a.example.org").record_failure(0.0)
+        health.breaker("b.example.org")  # healthy
+        assert health.quarantined_hosts == 1
+
+    def test_restore_round_trip(self):
+        health = HostHealth(config=BreakerConfig(failure_threshold=1))
+        health.breaker("a.example.org").record_failure(5.0)
+        payload = health.to_dict()
+        fresh = HostHealth(config=BreakerConfig(failure_threshold=1))
+        fresh.restore(payload)
+        assert fresh.quarantined_hosts == 1
+        assert not fresh.breaker("a.example.org").allow(now=10.0)

@@ -208,6 +208,85 @@ class TestExecutorPools:
         assert created == []
 
 
+class TestSpawnFallback:
+    def test_spawn_only_platform_degrades_to_threads(self, monkeypatch):
+        """Windows-style platforms (no fork) must get fused-threads
+        plus a warning, not a pickling crash."""
+        import repro.dataflow.fusion as fusion_module
+
+        monkeypatch.setattr(fusion_module.multiprocessing,
+                            "get_all_start_methods", lambda: ["spawn"])
+        with pytest.warns(RuntimeWarning, match="fork"):
+            executor = StreamingExecutor(dop=2, use_processes=True)
+        assert executor.mode == "fused-threads"
+        outputs, report = executor.execute(_linear_plan(), list(range(30)))
+        reference, _ = LocalExecutor().execute(_linear_plan(),
+                                               list(range(30)))
+        assert outputs["out"] == reference["out"]
+        assert report.mode == "fused-threads"
+
+    def test_pinned_spawn_method_degrades_to_threads(self, monkeypatch):
+        """fork available on the platform, but the interpreter pinned
+        spawn globally — still fall back."""
+        import repro.dataflow.fusion as fusion_module
+
+        monkeypatch.setattr(fusion_module.multiprocessing,
+                            "get_start_method",
+                            lambda allow_none=False: "spawn")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            executor = StreamingExecutor(dop=2, use_processes=True)
+        assert executor.mode == "fused-threads"
+
+    def test_fork_platform_keeps_processes(self):
+        from repro.dataflow.fusion import fork_start_available
+
+        if not fork_start_available():  # pragma: no cover
+            pytest.skip("no fork on this platform")
+        executor = StreamingExecutor(dop=2, use_processes=True)
+        assert executor.mode == "fused-processes"
+
+    def test_probe_does_not_pin_start_method(self):
+        """fork_start_available must not fix the global start method as
+        a side effect of asking."""
+        import multiprocessing
+
+        from repro.dataflow.fusion import fork_start_available
+
+        before = multiprocessing.get_start_method(allow_none=True)
+        fork_start_available()
+        assert multiprocessing.get_start_method(allow_none=True) == before
+
+
+class TestThroughputGuards:
+    """Regression: sub-resolution timings and empty reports must yield
+    0.0 throughput, never a ZeroDivisionError."""
+
+    def test_operator_stats_zero_seconds(self):
+        from repro.dataflow.executor import OperatorStats
+
+        stats = OperatorStats(name="x", records_in=10, records_out=10,
+                              seconds=0.0)
+        assert stats.records_per_second == 0.0
+        assert stats.to_dict()["records_per_second"] == 0.0
+
+    def test_empty_report_share_and_total(self):
+        from repro.dataflow.executor import ExecutionReport
+
+        report = ExecutionReport()
+        assert report.share_of("anything") == 0.0
+        assert report.total_records_per_second == 0.0
+        assert report.to_dict()["total_records_per_second"] == 0.0
+
+    def test_zero_second_report_total(self):
+        from repro.dataflow.executor import ExecutionReport, OperatorStats
+
+        report = ExecutionReport(
+            operator_stats=[OperatorStats("x", 5, 5, 0.0)],
+            total_seconds=0.0)
+        assert report.total_records_per_second == 0.0
+        assert report.share_of("x") == 0.0
+
+
 class TestReport:
     def test_report_throughput_and_json(self):
         outputs, report = StreamingExecutor().execute(_linear_plan(),

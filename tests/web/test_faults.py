@@ -1,0 +1,164 @@
+"""Tests for the deterministic fault-injection layer."""
+
+import pytest
+
+from repro.web.faults import (
+    FaultConfig, FaultInjector, FaultRates,
+)
+from repro.web.server import SimulatedWeb
+
+
+@pytest.fixture(scope="module")
+def faulty_web(webgraph):
+    return SimulatedWeb(webgraph, seed=9, error_rate=0.0,
+                        timeout_rate=0.0, redirect_rate=0.0,
+                        faults=FaultConfig.preset("default", seed=21))
+
+
+class TestFaultConfig:
+    def test_presets(self):
+        assert FaultConfig.preset("none") is None
+        default = FaultConfig.preset("default")
+        assert abs(default.rates.total - 0.20) < 1e-9
+        heavy = FaultConfig.preset("heavy")
+        assert heavy.rates.total > default.rates.total
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError, match="preset"):
+            FaultConfig.preset("catastrophic")
+
+    def test_uniform_split(self):
+        config = FaultConfig.uniform(0.25)
+        assert abs(config.rates.total - 0.25) < 1e-9
+        assert config.dead_host_fraction == 0.0
+
+    def test_uniform_range_checked(self):
+        with pytest.raises(ValueError):
+            FaultConfig.uniform(1.5)
+
+    def test_with_host_override(self):
+        config = FaultConfig.uniform(0.0).with_host(
+            "a.example.org", FaultRates(error=1.0))
+        injector = FaultInjector(config)
+        decision = injector.decide("http://a.example.org/x.html")
+        assert decision is not None and decision.kind == "server_error"
+        assert injector.decide("http://b.example.org/x.html") is None
+
+
+class TestDeterminism:
+    def test_same_key_same_decision(self):
+        config = FaultConfig.uniform(0.5, seed=3)
+        a, b = FaultInjector(config), FaultInjector(config)
+        for url in [f"http://h{i}.example.org/p.html" for i in range(40)]:
+            for attempt in range(3):
+                left = a.decide(url, attempt)
+                right = b.decide(url, attempt)
+                assert left == right
+
+    def test_attempts_draw_fresh_outcomes(self):
+        config = FaultConfig.uniform(0.5, seed=3)
+        injector = FaultInjector(config)
+        urls = [f"http://h{i}.example.org/p.html" for i in range(200)]
+        differs = sum(
+            1 for url in urls
+            if injector.decide(url, 0) != injector.decide(url, 1))
+        assert differs > 30  # retries are not doomed to repeat
+
+    def test_traits_stable_and_partitioned(self):
+        config = FaultConfig(seed=11, slow_host_fraction=0.3,
+                             dead_host_fraction=0.3,
+                             flaky_host_fraction=0.3)
+        injector = FaultInjector(config)
+        hosts = [f"h{i}.example.org" for i in range(300)]
+        traits = {host: injector.host_trait(host) for host in hosts}
+        again = FaultInjector(config)
+        assert all(again.host_trait(h) == t for h, t in traits.items())
+        seen = set(traits.values())
+        assert {"slow", "dead", "flaky", "ok"} <= seen
+
+
+class TestInjectedFetches:
+    def test_rates_visible_at_scale(self, webgraph):
+        web = SimulatedWeb(webgraph, seed=9, error_rate=0.0,
+                           timeout_rate=0.0, redirect_rate=0.0,
+                           faults=FaultConfig.uniform(0.5, seed=2))
+        results = [web.fetch(url) for url in list(webgraph.pages)[:120]]
+        failures = [r for r in results if r.failure]
+        assert len(failures) > 30
+        kinds = {r.failure for r in failures}
+        assert {"server_error", "timeout"} <= kinds
+
+    def test_truncated_bodies_flagged_and_shorter(self, webgraph):
+        clean = SimulatedWeb(webgraph, seed=9, error_rate=0.0,
+                             timeout_rate=0.0, redirect_rate=0.0)
+        config = FaultConfig(seed=5, rates=FaultRates(truncate=1.0))
+        cut = SimulatedWeb(webgraph, seed=9, error_rate=0.0,
+                           timeout_rate=0.0, redirect_rate=0.0,
+                           faults=config)
+        url = next(u for u, p in webgraph.pages.items()
+                   if p.kind == "article"
+                   and not p.content_type.startswith("application/"))
+        whole = clean.fetch(url)
+        truncated = cut.fetch(url)
+        assert truncated.truncated and not truncated.ok
+        assert truncated.failure == "truncated"
+        assert 0 < len(truncated.body) < len(whole.body)
+        assert whole.body.startswith(truncated.body)
+
+    def test_rate_limit_carries_retry_after(self, webgraph):
+        config = FaultConfig(seed=5, rates=FaultRates(rate_limit=1.0))
+        web = SimulatedWeb(webgraph, seed=9, faults=config)
+        result = web.fetch(next(iter(webgraph.pages)))
+        assert result.status == 429
+        assert result.failure == "rate_limited"
+        assert result.retry_after >= 2.0
+
+    def test_dead_host_fails_every_attempt(self, webgraph):
+        config = FaultConfig(seed=5, dead_host_fraction=1.0)
+        web = SimulatedWeb(webgraph, seed=9, faults=config)
+        url = next(iter(webgraph.pages))
+        for attempt in range(4):
+            result = web.fetch(url, attempt=attempt)
+            assert result.failure == "connect_failed"
+            assert result.status == 0
+
+    def test_flaky_host_recovers_with_clock(self, webgraph):
+        config = FaultConfig(seed=5, flaky_host_fraction=1.0,
+                             flaky_recovery_mean=100.0)
+        web = SimulatedWeb(webgraph, seed=9, error_rate=0.0,
+                           timeout_rate=0.0, redirect_rate=0.0,
+                           faults=config)
+        url = next(u for u, p in webgraph.pages.items()
+                   if p.kind == "article")
+        early = web.fetch(url, now=0.0)
+        assert early.failure == "unavailable" and early.status == 503
+        late = web.fetch(url, now=1000.0)  # past any recovery point
+        assert late.failure != "unavailable"
+
+    def test_slow_hosts_multiply_latency(self, webgraph):
+        url = next(iter(webgraph.pages))
+        plain = SimulatedWeb(webgraph, seed=9, error_rate=0.0,
+                             timeout_rate=0.0, redirect_rate=0.0)
+        slow = SimulatedWeb(webgraph, seed=9, error_rate=0.0,
+                            timeout_rate=0.0, redirect_rate=0.0,
+                            faults=FaultConfig(seed=5,
+                                               slow_host_fraction=1.0,
+                                               slow_factor=6.0))
+        assert slow.fetch(url).elapsed > 3.0 * plain.fetch(url).elapsed
+
+    def test_redirect_loop_reported(self, webgraph):
+        config = FaultConfig(seed=5,
+                             rates=FaultRates(redirect_loop=1.0))
+        web = SimulatedWeb(webgraph, seed=9, faults=config)
+        result = web.fetch(next(iter(webgraph.pages)))
+        assert result.failure == "redirect_loop"
+        assert not result.ok
+
+    def test_no_faults_without_config(self, webgraph):
+        """The fault layer is strictly opt-in."""
+        web = SimulatedWeb(webgraph, seed=9, error_rate=0.0,
+                           timeout_rate=0.0, redirect_rate=0.0)
+        url = next(u for u, p in webgraph.pages.items()
+                   if p.kind == "article")
+        result = web.fetch(url)
+        assert result.failure is None and result.ok

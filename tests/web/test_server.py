@@ -67,6 +67,21 @@ class TestFetch:
         url = next(iter(webgraph.pages))
         assert a.fetch(url).body == b.fetch(url).body
 
+    def test_fetch_pure_under_call_history(self, webgraph):
+        """A fetch is a pure function of (url, attempt, now) — the
+        fetch history must not leak into rendered bodies.  Checkpoint
+        resume (which replays from mid-crawl) depends on this."""
+        urls = list(webgraph.pages)[:30]
+        fresh = SimulatedWeb(webgraph, seed=4)
+        warmed = SimulatedWeb(webgraph, seed=4)
+        for url in urls:  # different call history
+            warmed.fetch(url)
+        for url in reversed(urls):
+            a = fresh.fetch(url)
+            b = warmed.fetch(url)
+            assert a.body == b.body
+            assert a.elapsed == b.elapsed
+
     def test_error_injection_rates(self, webgraph):
         web = SimulatedWeb(webgraph, seed=8, error_rate=0.5,
                            timeout_rate=0.2, redirect_rate=0.0)
