@@ -5,9 +5,17 @@ crashes on pathological sentences; (b) entity annotation: dictionary
 matching is essentially linear, CRF tagging is far slower — orders of
 magnitude apart — and the BANNER-style quadratic feature set grows
 superlinearly.
+
+``test_kernel_throughput`` additionally measures the frozen annotator
+kernels (docs/performance.md) against their reference implementations
+and writes the numbers to repo-root ``BENCH_nlp.json``.
 """
 
+import json
+import os
+import tempfile
 import time
+from pathlib import Path
 
 import pytest
 from reporting import format_table, write_report
@@ -15,8 +23,12 @@ from reporting import format_table, write_report
 from repro.annotations import Document
 from repro.corpora.goldstandard import build_ner_gold
 from repro.corpora.profiles import MEDLINE
+from repro.ner.features import sentence_features
 from repro.ner.taggers import MlEntityTagger
+from repro.nlp.anno_cache import AnnotationCache
 from repro.nlp.pos_hmm import TaggerCrash
+
+BENCH_NLP_PATH = Path(__file__).resolve().parent.parent / "BENCH_nlp.json"
 
 
 def _sentence_of(words: int) -> list[str]:
@@ -95,7 +107,11 @@ def test_fig3b_dict_vs_ml_runtime(ctx, benchmark):
                  "in runtime by up to three orders of magnitude")
     write_report("fig3b_ner_runtime",
                  "Fig. 3b — entity annotation runtime", lines)
-    assert gap_at_max > 20  # ML decisively slower, growing with input
+    # ML decisively slower, growing with input. The paper measured
+    # unoptimized tools; the frozen CRF kernel narrows the gap ~3x,
+    # so the bound is correspondingly lower than three orders of
+    # magnitude.
+    assert gap_at_max > 8
 
 
 @pytest.mark.slow
@@ -127,6 +143,128 @@ def test_fig3b_quadratic_feature_growth(ctx, benchmark):
     write_report("fig3b_quadratic",
                  "Fig. 3b — quadratic CRF feature growth", lines)
     assert long / short > 6.0
+
+
+def _best_seconds(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _bench_sentences(ctx, max_sentences: int) -> list[list[str]]:
+    """Tokenized medline sentences (realistic mix of known words and
+    unknown entity names for the POS shape path)."""
+    sentences: list[list[str]] = []
+    for document in ctx.corpus_documents("medline"):
+        ctx.pipeline.preprocess(document)
+        for sentence in document.sentences:
+            words = [t.text for t in sentence.tokens]
+            if words:
+                sentences.append(words)
+            if len(sentences) >= max_sentences:
+                return sentences
+    return sentences
+
+
+def test_kernel_throughput(ctx, benchmark):
+    """Frozen vs. reference annotator kernels: POS (array Viterbi) and
+    CRF decode (dense trellis), cold and annotation-cache-warm.
+
+    Writes repo-root BENCH_nlp.json — the committed evidence for the
+    >=3x POS / >=2x CRF kernel speedups (asserted here outside smoke
+    mode; BENCH_SMOKE=1 shrinks the workload below timer stability and
+    only checks that the harness runs end to end).
+    """
+    smoke = os.environ.get("BENCH_SMOKE") == "1"
+    rounds = 2 if smoke else 4
+    sentences = _bench_sentences(ctx, 40 if smoke else 400)
+    n_tokens = sum(len(words) for words in sentences)
+    tagger = ctx.pipeline.pos_tagger
+    assert tagger.frozen  # pipeline.build freezes after training
+
+    # -- POS: reference dict Viterbi vs. frozen kernel vs. cache ----------
+    pos_reference = _best_seconds(
+        lambda: [tagger.tag_reference(words) for words in sentences],
+        rounds)
+    pos_frozen = _best_seconds(
+        lambda: [tagger.tag(words) for words in sentences], rounds)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        try:
+            tagger.annotation_cache = AnnotationCache(cache_dir)
+            for words in sentences:  # prime
+                tagger.tag(words)
+            pos_warm = _best_seconds(
+                lambda: [tagger.tag(words) for words in sentences], rounds)
+        finally:
+            tagger.annotation_cache = None
+
+    # -- CRF decode: per-sentence reference vs. vectorized batch ----------
+    crf = ctx.pipeline.ml_taggers["disease"].crf
+    features = [sentence_features(words, quadratic_context=False)
+                for words in sentences]
+    crf_reference = _best_seconds(
+        lambda: [crf.predict_reference(sentence) for sentence in features],
+        rounds)
+    crf_frozen = _best_seconds(lambda: crf.predict_batch(features), rounds)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = AnnotationCache(cache_dir)
+        fingerprint = crf.fingerprint()
+        for words, labels in zip(sentences, crf.predict_batch(features)):
+            cache.store(fingerprint, words, labels)
+        crf_warm = _best_seconds(
+            lambda: [cache.lookup(fingerprint, words)
+                     for words in sentences], rounds)
+
+    benchmark.pedantic(lambda: [tagger.tag(words) for words in sentences],
+                       rounds=2, iterations=1)
+
+    def tokens_per_second(seconds: float) -> float:
+        return n_tokens / seconds if seconds > 0 else float("inf")
+
+    results = {
+        "config": {"n_sentences": len(sentences), "n_tokens": n_tokens,
+                   "rounds": rounds, "smoke": smoke},
+        "pos": {
+            "reference_tokens_per_sec": tokens_per_second(pos_reference),
+            "frozen_tokens_per_sec": tokens_per_second(pos_frozen),
+            "cache_warm_tokens_per_sec": tokens_per_second(pos_warm),
+            "speedup_frozen": pos_reference / pos_frozen,
+            "speedup_cache_warm": pos_reference / pos_warm,
+        },
+        "crf_decode": {
+            "reference_tokens_per_sec": tokens_per_second(crf_reference),
+            "frozen_tokens_per_sec": tokens_per_second(crf_frozen),
+            "cache_warm_tokens_per_sec": tokens_per_second(crf_warm),
+            "speedup_frozen": crf_reference / crf_frozen,
+            "speedup_cache_warm": crf_reference / crf_warm,
+        },
+    }
+    # Smoke runs (CI) keep their tiny-input numbers out of the
+    # committed repo-root artifact.
+    out_path = (Path(__file__).resolve().parent / "out" / "BENCH_nlp.json"
+                if smoke else BENCH_NLP_PATH)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    lines = format_table(
+        ["kernel", "reference", "frozen", "cache-warm"],
+        [["POS (tokens/s)",
+          f"{results['pos']['reference_tokens_per_sec']:,.0f}",
+          f"{results['pos']['frozen_tokens_per_sec']:,.0f}",
+          f"{results['pos']['cache_warm_tokens_per_sec']:,.0f}"],
+         ["CRF decode (tokens/s)",
+          f"{results['crf_decode']['reference_tokens_per_sec']:,.0f}",
+          f"{results['crf_decode']['frozen_tokens_per_sec']:,.0f}",
+          f"{results['crf_decode']['cache_warm_tokens_per_sec']:,.0f}"]])
+    write_report("kernel_throughput",
+                 "Frozen annotator kernel throughput", lines)
+    if not smoke:
+        assert results["pos"]["speedup_frozen"] >= 3.0
+        assert results["crf_decode"]["speedup_frozen"] >= 2.0
+        assert results["pos"]["speedup_cache_warm"] > \
+            results["pos"]["speedup_frozen"]
 
 
 def test_component_runtime_shares(ctx, benchmark):

@@ -72,6 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--dict-cache", default=None, metavar="DIR",
                       help="persistent dictionary-automaton cache directory"
                            " (skips automaton rebuilds across runs)")
+    flow.add_argument("--anno-cache", default=None, metavar="DIR",
+                      help="content-addressed per-sentence annotation cache"
+                           " directory (POS + CRF results persist across"
+                           " runs)")
+    flow.add_argument("--pos-beam", type=int, default=None, metavar="N",
+                      help="Viterbi beam width for the frozen POS kernel"
+                           " (default: exact search)")
     flow.add_argument("--report", default=None, metavar="PATH",
                       help="write the execution report as JSON")
 
@@ -188,11 +195,15 @@ def cmd_analyze(args) -> int:
 def cmd_flow(args) -> int:
     import os
 
-    from repro.core.flows import build_fig2_flow, make_executor
+    from repro.core.flows import (
+        build_fig2_flow, flush_annotation_caches, make_executor,
+    )
     from repro.web.htmlgen import PageRenderer
 
     ctx = _context(args, corpus_docs=max(8, args.docs),
-                   dictionary_cache_dir=args.dict_cache)
+                   dictionary_cache_dir=args.dict_cache,
+                   annotation_cache_dir=args.anno_cache,
+                   pos_beam_width=args.pos_beam)
     dictionary_seconds = sum(
         tagger.dictionary.build_seconds
         for tagger in ctx.pipeline.dictionary_taggers.values())
@@ -212,11 +223,17 @@ def cmd_flow(args) -> int:
                              batch_size=args.batch_size)
     plan = build_fig2_flow(ctx.pipeline)
     outputs, report = executor.execute(plan, documents)
+    flushed = flush_annotation_caches(plan)
     print(f"mode {report.mode} (dop {report.dop}) | "
           f"{len(documents)} documents in {report.total_seconds:.2f} s "
           f"({report.total_records_per_second:.1f} docs/s)")
     print(f"dictionary build {dictionary_seconds:.2f} s "
           f"({cache_hits}/{len(ctx.pipeline.dictionary_taggers)} cached)")
+    if ctx.pipeline.annotation_cache is not None:
+        anno = ctx.pipeline.annotation_cache
+        print(f"annotation cache: {anno.hits} hits / {anno.misses} misses "
+              f"({report.annotation_cache_hits} attributed in-flow); "
+              f"flushed {flushed} shard files")
     for name in sorted(outputs):
         print(f"sink {name}: {len(outputs[name])} records")
     print(f"{'stage':<58} {'in':>6} {'out':>6} {'seconds':>8} {'rec/s':>9}")

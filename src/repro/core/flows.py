@@ -196,9 +196,28 @@ def make_executor(mode: str = "sequential", dop: int = 1,
 def run_flow(plan: LogicalPlan, records: Sequence[Any],
              mode: str = "fused", dop: int = 1, batch_size: int = 32,
              ) -> tuple[dict[str, list[Any]], ExecutionReport]:
-    """Execute any flow plan with the chosen physical mode."""
-    return make_executor(mode, dop=dop,
-                         batch_size=batch_size).execute(plan, records)
+    """Execute any flow plan with the chosen physical mode.
+
+    Annotation caches attached to the plan's operators are flushed to
+    disk after the run, so the next (cold) process starts warm.
+    """
+    result = make_executor(mode, dop=dop,
+                           batch_size=batch_size).execute(plan, records)
+    flush_annotation_caches(plan)
+    return result
+
+
+def flush_annotation_caches(plan: LogicalPlan) -> int:
+    """Persist every annotation cache attached to the plan's operators;
+    returns the number of dirty shard files written."""
+    written = 0
+    seen: set[int] = set()
+    for node in plan.nodes:
+        cache = getattr(node.operator, "annotation_cache", None)
+        if cache is not None and id(cache) not in seen:
+            seen.add(id(cache))
+            written += cache.flush()
+    return written
 
 
 def _simple_prefix(plan: LogicalPlan, pipeline: TextAnalyticsPipeline,

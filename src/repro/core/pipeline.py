@@ -19,6 +19,7 @@ from repro.corpora.profiles import MEDLINE
 from repro.corpora.vocabulary import BiomedicalVocabulary
 from repro.html.boilerplate import BoilerplateDetector
 from repro.ner.cache import AutomatonCache
+from repro.nlp.anno_cache import AnnotationCache
 from repro.ner.dictionary import DictionaryTagger
 from repro.ner.taggers import (
     ENTITY_TYPES, MlEntityTagger, build_dictionary_taggers, build_ml_taggers,
@@ -43,6 +44,8 @@ class TextAnalyticsPipeline:
     ml_taggers: dict[str, MlEntityTagger]
     boilerplate: BoilerplateDetector = field(default_factory=BoilerplateDetector)
     linguistics: LinguisticAnalyzer = field(default_factory=LinguisticAnalyzer)
+    #: Shared per-sentence POS/NER result cache (None = disabled).
+    annotation_cache: AnnotationCache | None = None
 
     @classmethod
     def build(cls, vocabulary: BiomedicalVocabulary | None = None,
@@ -50,6 +53,8 @@ class TextAnalyticsPipeline:
               n_classifier_docs: int = 100, crf_iterations: int = 40,
               gene_quadratic_context: bool = False,
               dictionary_cache: "AutomatonCache | str | Path | None" = None,
+              annotation_cache: "AnnotationCache | str | Path | None" = None,
+              pos_beam_width: int | None = None,
               ) -> "TextAnalyticsPipeline":
         """Train everything from synthetic gold.
 
@@ -58,12 +63,19 @@ class TextAnalyticsPipeline:
         ``dictionary_cache`` (an AutomatonCache or a directory path)
         re-loads persisted dictionary automata instead of rebuilding
         them — the paper's fix for the per-worker 20-minute load.
+        ``annotation_cache`` (an AnnotationCache or a directory path)
+        memoizes per-sentence POS/NER results across documents and
+        runs; ``pos_beam_width`` narrows the frozen POS tagger's
+        Viterbi beam (None = exact).
         """
         import dataclasses
 
         if dictionary_cache is not None and \
                 not isinstance(dictionary_cache, AutomatonCache):
             dictionary_cache = AutomatonCache(dictionary_cache)
+        if annotation_cache is not None and \
+                not isinstance(annotation_cache, AnnotationCache):
+            annotation_cache = AnnotationCache(annotation_cache)
 
         vocabulary = vocabulary or BiomedicalVocabulary(seed=seed)
         # NER gold corpora (BioCreative-style) are entity-dense
@@ -79,9 +91,16 @@ class TextAnalyticsPipeline:
         pos_tagger = HmmPosTagger()
         pos_tagger.train(sentence for gold in training
                          for sentence in gold.tagged_sentences())
+        pos_tagger.freeze(beam_width=pos_beam_width)
+        pos_tagger.annotation_cache = annotation_cache
         classifier = NaiveBayesClassifier(decision_threshold=0.9).fit(
             build_classifier_gold(vocabulary, n_classifier_docs,
                                   seed=seed + 2))
+        ml_taggers = build_ml_taggers(
+            training, max_iterations=crf_iterations,
+            gene_quadratic_context=gene_quadratic_context)
+        for tagger in ml_taggers.values():
+            tagger.annotation_cache = annotation_cache
         return cls(
             vocabulary=vocabulary,
             classifier=classifier,
@@ -90,9 +109,8 @@ class TextAnalyticsPipeline:
             pos_tagger=pos_tagger,
             dictionary_taggers=build_dictionary_taggers(
                 vocabulary, cache=dictionary_cache),
-            ml_taggers=build_ml_taggers(
-                training, max_iterations=crf_iterations,
-                gene_quadratic_context=gene_quadratic_context),
+            ml_taggers=ml_taggers,
+            annotation_cache=annotation_cache,
         )
 
     # -- direct (non-dataflow) document analysis ------------------------------

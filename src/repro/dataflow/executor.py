@@ -75,6 +75,32 @@ def estimate_records_bytes(records: Sequence[Any], sample: int = 32) -> int:
     return int(per_record * len(records))
 
 
+def snapshot_annotation_caches(operators) -> list[tuple[Any, int, int]]:
+    """(cache, hits, misses) snapshots for the distinct annotation
+    caches attached to ``operators``.
+
+    Taken before a node/stage runs and diffed afterwards to attribute
+    cache traffic to that entry.  Exact under sequential execution;
+    under threads concurrent stages may bleed into each other's delta,
+    and forked process pools never propagate counters back (both noted
+    in docs/performance.md).
+    """
+    seen: dict[int, Any] = {}
+    for operator in operators:
+        cache = getattr(operator, "annotation_cache", None)
+        if cache is not None and id(cache) not in seen:
+            seen[id(cache)] = cache
+    return [(cache, cache.hits, cache.misses) for cache in seen.values()]
+
+
+def annotation_cache_deltas(
+        snapshots: list[tuple[Any, int, int]]) -> tuple[int, int]:
+    """(hits, misses) accumulated since the snapshots were taken."""
+    hits = sum(cache.hits - before for cache, before, _ in snapshots)
+    misses = sum(cache.misses - before for cache, _, before in snapshots)
+    return hits, misses
+
+
 @dataclass
 class OperatorStats:
     """Throughput accounting for one operator (or fused stage)."""
@@ -88,6 +114,10 @@ class OperatorStats:
     operators: tuple[str, ...] = ()
     #: Sampled estimate of the bytes this entry's output materializes.
     est_output_bytes: int = 0
+    #: Annotation-cache hits/misses attributed to this entry (0 when
+    #: none of its operators carry an annotation cache).
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def records_per_second(self) -> float:
@@ -110,6 +140,8 @@ class OperatorStats:
             "seconds": self.seconds,
             "records_per_second": self.records_per_second,
             "est_output_bytes": self.est_output_bytes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }
 
 
@@ -154,6 +186,14 @@ class ExecutionReport:
             return 0.0
         return self.operator_stats[0].records_in / self.total_seconds
 
+    @property
+    def annotation_cache_hits(self) -> int:
+        return sum(s.cache_hits for s in self.operator_stats)
+
+    @property
+    def annotation_cache_misses(self) -> int:
+        return sum(s.cache_misses for s in self.operator_stats)
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "mode": self.mode,
@@ -162,6 +202,8 @@ class ExecutionReport:
             "total_records_per_second": self.total_records_per_second,
             "n_stages": len(self.operator_stats),
             "n_fused_stages": self.n_fused_stages,
+            "annotation_cache_hits": self.annotation_cache_hits,
+            "annotation_cache_misses": self.annotation_cache_misses,
             "stages": [stats.to_dict() for stats in self.operator_stats],
         }
 
@@ -220,6 +262,7 @@ class LocalExecutor:
                   pool: ThreadPoolExecutor | None) -> list[Any]:
         operator = node.operator
         operator.open()
+        snapshots = snapshot_annotation_caches((operator,))
         started = time.perf_counter()
         if pool is not None and operator.parallelizable and len(records) > 1:
             partitions = contiguous_partitions(records, self.dop)
@@ -229,11 +272,13 @@ class LocalExecutor:
         else:
             result = list(operator.process(records))
         elapsed = time.perf_counter() - started
+        hits, misses = annotation_cache_deltas(snapshots)
         report.operator_stats.append(OperatorStats(
             name=operator.name, records_in=len(records),
             records_out=len(result), seconds=elapsed,
             operators=(operator.name,),
-            est_output_bytes=estimate_records_bytes(result)))
+            est_output_bytes=estimate_records_bytes(result),
+            cache_hits=hits, cache_misses=misses))
         return result
 
     @staticmethod

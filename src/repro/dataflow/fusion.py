@@ -36,8 +36,9 @@ from itertools import chain
 from typing import Any, Sequence
 
 from repro.dataflow.executor import (
-    ExecutionReport, OperatorStats, contiguous_partitions,
-    estimate_records_bytes,
+    ExecutionReport, OperatorStats, annotation_cache_deltas,
+    contiguous_partitions, estimate_records_bytes,
+    snapshot_annotation_caches,
 )
 from repro.dataflow.operators import Operator
 from repro.dataflow.plan import LogicalPlan, PlanNode
@@ -248,16 +249,19 @@ class StreamingExecutor:
                            else list(chain.from_iterable(
                                outputs[parent.stage_id]
                                for parent in stage.inputs)))
+                snapshots = snapshot_annotation_caches(stage.operators)
                 stage_started = time.perf_counter()
                 result = self._run_stage(stage, records,
                                          process_pool, thread_pool)
                 elapsed = time.perf_counter() - stage_started
+                hits, misses = annotation_cache_deltas(snapshots)
                 outputs[stage.stage_id] = result
                 report.operator_stats.append(OperatorStats(
                     name=stage.name, records_in=len(records),
                     records_out=len(result), seconds=elapsed,
                     operators=stage.operator_names,
-                    est_output_bytes=estimate_records_bytes(result)))
+                    est_output_bytes=estimate_records_bytes(result),
+                    cache_hits=hits, cache_misses=misses))
         finally:
             if process_pool is not None:
                 process_pool.close()

@@ -65,8 +65,12 @@ def _annotate_pos(tagger: HmmPosTagger, skip_crashes: bool = True,
         return document
     ann.setdefault("reads", frozenset({"tokens"}))
     ann.setdefault("writes", frozenset({"pos"}))
-    return MapOperator("annotate_pos", annotate, cost_per_record=6.0,
-                       memory_mb=2048, **ann)
+    operator = MapOperator("annotate_pos", annotate, cost_per_record=6.0,
+                           memory_mb=2048, **ann)
+    # Executors snapshot this cache's counters around the operator's
+    # run to attribute per-stage annotation-cache hits/misses.
+    operator.annotation_cache = getattr(tagger, "annotation_cache", None)
+    return operator
 
 
 @register("annotate_linguistics", "ie",
@@ -123,8 +127,11 @@ def _entity_operator(name: str, tagger, cost: float, memory_mb: float,
     ann.setdefault("reads", frozenset({"text", "sentences", "tokens"}))
     ann.setdefault("writes", frozenset({f"entities:{tagger.entity_type}"
                                         f":{tagger.method}"}))
-    return MapOperator(name, annotate, cost_per_record=cost,
-                       memory_mb=memory_mb, startup_seconds=startup, **ann)
+    operator = MapOperator(name, annotate, cost_per_record=cost,
+                           memory_mb=memory_mb, startup_seconds=startup,
+                           **ann)
+    operator.annotation_cache = getattr(tagger, "annotation_cache", None)
+    return operator
 
 
 def _register_entity_ops() -> None:

@@ -5,10 +5,23 @@ partition function and marginals, exact gradients, L2-regularized
 L-BFGS training (scipy), and Viterbi decoding.  This is the Mallet
 analog under all three ML entity taggers (BANNER, ChemSpot, and the
 authors' disease tagger all build on Mallet CRFs).
+
+Decoding has two kernels.  :meth:`LinearChainCrf.predict_reference`
+is the original per-position implementation, kept as the ground truth
+for the equivalence suite.  :meth:`LinearChainCrf.predict` (and the
+document-level :meth:`LinearChainCrf.predict_batch`) runs over the
+frozen model instead — ``fit()`` ends by calling
+:meth:`LinearChainCrf.freeze`, which caches transposed C-contiguous
+weight arrays, a scalar transition table, and the feature index's
+``get`` — computing emissions for *all* positions of all sentences in
+one vectorized pass and decoding the tiny 3-label trellis with scalar
+arithmetic, so per-sentence Python/numpy overhead is paid once per
+batch.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -27,6 +40,22 @@ class _EncodedSentence:
     labels: list[int]
 
 
+@dataclass
+class _FrozenCrf:
+    """Dense decode-time compilation of a trained CRF."""
+
+    #: ``(F, L)`` transposed state weights, C-contiguous so gathering
+    #: one row per active feature id is a cache-friendly copy.
+    weights_t: np.ndarray
+    #: ``(L, L)`` transition weights and their scalar twin for the
+    #: small-trellis decode loop.
+    transitions: np.ndarray
+    transitions_list: list[list[float]]
+    #: Bound ``feature_index.get`` — one dict probe per feature string.
+    index_get: object
+    fingerprint: str
+
+
 class LinearChainCrf:
     """BIO linear-chain CRF over string features.
 
@@ -43,6 +72,7 @@ class LinearChainCrf:
         self.feature_index: dict[str, int] = {}
         self.state_weights: np.ndarray | None = None  # (L, F)
         self.transitions: np.ndarray | None = None    # (L, L)
+        self._frozen: _FrozenCrf | None = None
 
     @property
     def n_labels(self) -> int:
@@ -92,6 +122,7 @@ class LinearChainCrf:
             n_labels, n_features)
         self.transitions = theta[n_labels * n_features:].reshape(
             n_labels, n_labels)
+        self.freeze()
         return self
 
     def _build_feature_index(self, sentences) -> None:
@@ -187,10 +218,152 @@ class LinearChainCrf:
             beta[t] = _logsumexp_axis1(scores)
         return beta
 
+    # -- freezing -----------------------------------------------------------------
+
+    def freeze(self) -> "LinearChainCrf":
+        """Compile the trained model for fast decoding.
+
+        Caches the transposed weight matrix (C-contiguous), a scalar
+        transition table, the feature index's lookup, and the model
+        fingerprint.  ``fit()`` calls this automatically; call it
+        again only after mutating weights by hand.
+        """
+        if not self.trained:
+            raise RuntimeError("CRF has not been trained")
+        transitions = np.ascontiguousarray(self.transitions, dtype=float)
+        hasher = hashlib.sha256()
+        hasher.update(np.ascontiguousarray(self.state_weights,
+                                           dtype=float).tobytes())
+        hasher.update(transitions.tobytes())
+        hasher.update("\x00".join(sorted(self.feature_index)).encode())
+        hasher.update("|".join(LABELS).encode())
+        self._frozen = _FrozenCrf(
+            weights_t=np.ascontiguousarray(self.state_weights.T,
+                                           dtype=float),
+            transitions=transitions,
+            transitions_list=transitions.tolist(),
+            index_get=self.feature_index.get,
+            fingerprint=f"crf:{hasher.hexdigest()}")
+        return self
+
+    def fingerprint(self) -> str:
+        """Content hash of the trained model (weights + features) —
+        the key space of the annotation cache."""
+        if self._frozen is None:
+            self.freeze()
+        return self._frozen.fingerprint
+
     # -- prediction ---------------------------------------------------------------
 
     def predict(self, features: Sequence[Sequence[str]]) -> list[str]:
-        """Viterbi-decode BIO labels for one sentence's features."""
+        """Viterbi-decode BIO labels for one sentence's features
+        (frozen kernel; identical output to
+        :meth:`predict_reference`)."""
+        return self.predict_batch([features])[0]
+
+    def predict_batch(self, sentences: Sequence[Sequence[Sequence[str]]],
+                      ) -> list[list[str]]:
+        """Decode many sentences at once.
+
+        Feature encoding and emission computation run over the
+        concatenated positions of *all* sentences in one vectorized
+        pass; only the (tiny, 3-label) Viterbi recursion runs per
+        sentence.  ``MlEntityTagger.annotate`` feeds it a whole
+        document at a time.
+        """
+        if not self.trained:
+            raise RuntimeError("CRF has not been trained")
+        if self._frozen is None:
+            self.freeze()
+        frozen = self._frozen
+        index_get = frozen.index_get
+        flat_ids: list[int] = []
+        boundaries: list[int] = [0]
+        lengths: list[int] = []
+        for features in sentences:
+            lengths.append(len(features))
+            for position in features:
+                ids = {fid for fid in map(index_get, position)
+                       if fid is not None}
+                flat_ids.extend(sorted(ids))
+                boundaries.append(len(flat_ids))
+        emissions = self._emissions_from_flat(flat_ids, boundaries,
+                                              frozen.weights_t)
+        labels: list[list[str]] = []
+        offset = 0
+        for length in lengths:
+            if not length:
+                labels.append([])
+                continue
+            labels.append(self._decode_trellis(
+                emissions[offset:offset + length],
+                frozen.transitions_list))
+            offset += length
+        return labels
+
+    @staticmethod
+    def _emissions_from_flat(flat_ids: list[int], boundaries: list[int],
+                             weights_t: np.ndarray) -> np.ndarray:
+        """Per-position emission scores for concatenated positions.
+
+        ``boundaries`` holds the prefix offsets of each position's ids
+        within ``flat_ids``; positions with no known features get a
+        zero row (exactly like the reference ``_emissions``).
+        """
+        n_positions = len(boundaries) - 1
+        emissions = np.zeros((n_positions, weights_t.shape[1]))
+        if not flat_ids:
+            return emissions
+        starts = np.asarray(boundaries[:-1], dtype=np.intp)
+        nonempty = np.diff(np.asarray(boundaries, dtype=np.intp)) > 0
+        # reduceat over only the non-empty segment starts: empty
+        # segments contribute no elements, so consecutive non-empty
+        # starts bound exactly one position's ids.
+        rows = weights_t[np.asarray(flat_ids, dtype=np.intp)]
+        emissions[nonempty] = np.add.reduceat(rows, starts[nonempty],
+                                              axis=0)
+        return emissions
+
+    @staticmethod
+    def _decode_trellis(emissions: np.ndarray,
+                        transitions: list[list[float]]) -> list[str]:
+        """Viterbi over one sentence's emission rows with scalar
+        arithmetic — faster than numpy for the 3-label label space,
+        with the same first-maximum tie-breaking as ``argmax``."""
+        rows = emissions.tolist()
+        n_labels = len(rows[0])
+        scores = rows[0]
+        pointers: list[list[int]] = []
+        for row in rows[1:]:
+            next_scores = []
+            step_pointers = []
+            for label in range(n_labels):
+                best = scores[0] + transitions[0][label]
+                best_prev = 0
+                for prev in range(1, n_labels):
+                    value = scores[prev] + transitions[prev][label]
+                    if value > best:
+                        best = value
+                        best_prev = prev
+                next_scores.append(best + row[label])
+                step_pointers.append(best_prev)
+            scores = next_scores
+            pointers.append(step_pointers)
+        best = 0
+        for label in range(1, n_labels):
+            if scores[label] > scores[best]:
+                best = label
+        path = [best]
+        for step_pointers in reversed(pointers):
+            best = step_pointers[best]
+            path.append(best)
+        path.reverse()
+        return [LABELS[i] for i in path]
+
+    def predict_reference(self, features: Sequence[Sequence[str]],
+                          ) -> list[str]:
+        """The original per-position Viterbi (ground truth for the
+        equivalence suite)."""
         if not self.trained:
             raise RuntimeError("CRF has not been trained")
         if not features:

@@ -33,15 +33,25 @@ ENTITY_TYPES = ("disease", "drug", "gene")
 
 
 class MlEntityTagger:
-    """CRF tagger for one entity type."""
+    """CRF tagger for one entity type.
+
+    ``annotation_cache`` (an
+    :class:`~repro.nlp.anno_cache.AnnotationCache`) memoizes decoded
+    BIO labels per (model fingerprint, sentence) so repeated sentences
+    — re-crawled pages, shared boilerplate — skip feature extraction
+    and CRF decoding entirely.
+    """
 
     method = "ml"
 
     def __init__(self, entity_type: str, crf: LinearChainCrf,
-                 quadratic_context: bool = False) -> None:
+                 quadratic_context: bool = False,
+                 annotation_cache=None) -> None:
         self.entity_type = entity_type
         self.crf = crf
         self.quadratic_context = quadratic_context
+        self.annotation_cache = annotation_cache
+        self._fingerprint: str | None = None
 
     # -- training ------------------------------------------------------------
 
@@ -66,22 +76,55 @@ class MlEntityTagger:
 
     # -- annotation -----------------------------------------------------------
 
+    def fingerprint(self) -> str:
+        """Annotation-cache key space: the CRF content hash plus this
+        tagger's own decoding-relevant configuration."""
+        if self._fingerprint is None:
+            self._fingerprint = (f"ml:{self.entity_type}:"
+                                 f"q{int(self.quadratic_context)}:"
+                                 f"{self.crf.fingerprint()}")
+        return self._fingerprint
+
     def annotate(self, document: Document) -> list[EntityMention]:
         """Tag a document; extends ``document.entities`` in place.
 
         Uses existing sentence/token annotations when present,
-        otherwise runs the default splitter/tokenizer.
+        otherwise runs the default splitter/tokenizer.  All uncached
+        sentences are decoded in a single ``predict_batch`` call, so
+        per-sentence Python overhead is paid once per document.
         """
         sentences = document.sentences or split_sentences(document.text)
-        mentions: list[EntityMention] = []
+        tokenized: list[tuple[list, list[str]]] = []
         for sentence in sentences:
             tokens = sentence.tokens or tokenize(sentence.text,
                                                  base_offset=sentence.start)
             words = [t.text for t in tokens]
-            if not words:
-                continue
-            labels = self.crf.predict(
-                sentence_features(words, self.quadratic_context))
+            if words:
+                tokenized.append((tokens, words))
+        cache = self.annotation_cache
+        decoded: list[list[str] | None] = [None] * len(tokenized)
+        if cache is not None:
+            fingerprint = self.fingerprint()
+            pending = []
+            for index, (_tokens, words) in enumerate(tokenized):
+                hit = cache.lookup(fingerprint, words)
+                if hit is None:
+                    pending.append(index)
+                else:
+                    decoded[index] = list(hit)
+        else:
+            pending = list(range(len(tokenized)))
+        if pending:
+            fresh = self.crf.predict_batch(
+                [sentence_features(tokenized[index][1],
+                                   self.quadratic_context)
+                 for index in pending])
+            for index, labels in zip(pending, fresh):
+                decoded[index] = labels
+                if cache is not None:
+                    cache.store(fingerprint, tokenized[index][1], labels)
+        mentions: list[EntityMention] = []
+        for (tokens, _words), labels in zip(tokenized, decoded):
             for token_start, token_end in bio_to_spans(labels):
                 start = tokens[token_start].start
                 end = tokens[token_end - 1].end

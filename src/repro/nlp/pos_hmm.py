@@ -5,17 +5,35 @@ A trigram (order-3, like MedPost) HMM: transitions
 bigram and unigram, add-k smoothed emissions, and shape/suffix-based
 unknown-word handling.  Decoding is Viterbi over tag-pair states.
 
+Two decoding kernels share the model:
+
+* the **reference** kernel (:meth:`HmmPosTagger.tag_reference`) is the
+  original dict-of-tuples Viterbi — easy to audit, kept as the ground
+  truth the equivalence suite decodes against;
+* the **frozen** kernel (:meth:`HmmPosTagger.freeze` +
+  :class:`_FrozenHmm`) compiles the trained model into integer-indexed
+  dense structures (a precomputed interpolated transition log-prob
+  tensor over tag-pair states, per-word candidate-tag/emission arrays,
+  a shape-emission table) and decodes over those, optionally with a
+  beam.  It produces *identical* tag sequences (same floats, same
+  tie-breaking) several times faster; ``tag()`` dispatches to it
+  automatically once the model is frozen.
+
 Operational quirks of the original are modelled explicitly: runtime is
 linear in sentence length but fluctuates, and sentences beyond
 ``crash_token_limit`` raise :class:`TaggerCrash` — the behaviour the
 paper observed on >2000-character pseudo-sentences from web pages.
+Both kernels preserve these semantics exactly.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import Counter, defaultdict
 from collections.abc import Iterable, Sequence
+
+import numpy as np
 
 _START = "<S>"
 _UNK_SHAPES = (
@@ -23,6 +41,16 @@ _UNK_SHAPES = (
     "shape_allcaps", "shape_capitalized", "shape_number", "shape_mixed",
     "shape_punct", "shape_other",
 )
+
+#: Trellis-step size (|prev2| * |prev1| * |candidates| cells) below
+#: which the frozen kernel uses scalar arithmetic over the compiled
+#: lists instead of numpy — per-call overhead dwarfs vector wins on
+#: the tiny steps that known words with few candidate tags produce.
+_SMALL_STEP_CELLS = 192
+
+#: Shared backpointer matrix for forced (single-cell) trellis steps;
+#: read-only in backtrace, so one instance serves every step.
+_ARG0 = [[0]]
 
 
 class TaggerCrash(RuntimeError):
@@ -47,11 +75,246 @@ def _shape(word: str) -> str:
     return "shape_other"
 
 
+class _FrozenHmm:
+    """Integer-indexed dense compilation of a trained tagger.
+
+    Built by :meth:`HmmPosTagger.freeze`.  Tags (plus the synthetic
+    start tag) are numbered in sorted-name order, so ascending ids ==
+    lexicographic tag order — the exact iteration order the reference
+    kernel visits states in, which makes numpy's first-maximum
+    ``argmax`` reproduce its tie-breaking bit for bit.
+
+    Frozen state:
+
+    * ``trans`` — ``(E, E, E)`` tensor of interpolated transition
+      log-probs ``log P(b | t2, t1)`` (and its nested-list twin for
+      the scalar kernel), computed once from the reference
+      :meth:`HmmPosTagger._transition_row`;
+    * ``word_table`` — per known (lowercased) word: candidate tag ids
+      and their precomputed emission log-probs;
+    * ``shape_table`` — per unknown-word shape: the full real tagset
+      and its shape-emission log-probs.
+    """
+
+    __slots__ = ("ext_tags", "start_id", "trans", "trans_list",
+                 "word_table", "shape_table", "beam_width", "n_tags",
+                 "exact_table")
+
+    def __init__(self, tagger: "HmmPosTagger",
+                 beam_width: int | None = None) -> None:
+        if beam_width is not None and beam_width < 1:
+            raise ValueError("beam_width must be >= 1")
+        self.beam_width = beam_width
+        ext = sorted([*tagger.tags, _START])
+        self.ext_tags = ext
+        self.n_tags = len(tagger.tags)
+        index = {tag: i for i, tag in enumerate(ext)}
+        self.start_id = index[_START]
+        n_ext = len(ext)
+        trans = np.full((n_ext, n_ext, n_ext), -np.inf)
+        for i2, t2 in enumerate(ext):
+            for i1, t1 in enumerate(ext):
+                row = tagger._transition_row(t2, t1)
+                for tag, value in row.items():
+                    trans[i2, i1, index[tag]] = value
+        self.trans = trans
+        self.trans_list = trans.tolist()
+        self.word_table: dict[str, tuple] = {}
+        for word, tags in tagger._word_tags.items():
+            ids = np.array([index[t] for t in tags], dtype=np.intp)
+            emis = np.array([tagger._log_emission(t, word) for t in tags])
+            self.word_table[word] = self._entry(ids, emis)
+        real_ids = np.array([index[t] for t in tagger.tags], dtype=np.intp)
+        self.shape_table: dict[str, tuple] = {}
+        vocab_shapes = len(_UNK_SHAPES)
+        for shape in _UNK_SHAPES:
+            emis = np.array([
+                math.log((tagger._shape_emissions[tag][shape]
+                          + tagger.emission_k)
+                         / (tagger._shape_totals.get(tag, 0)
+                            + tagger.emission_k * vocab_shapes))
+                for tag in tagger.tags])
+            self.shape_table[shape] = self._entry(real_ids, emis)
+        #: Surface-form memo (exact case) in front of word/shape
+        #: lookup; grows with distinct forms seen, which natural text
+        #: bounds tightly (Heaps' law) relative to tokens decoded.
+        self.exact_table: dict[str, tuple] = {}
+
+    @staticmethod
+    def _entry(ids: np.ndarray, emis: np.ndarray) -> tuple:
+        """One lookup-table entry, with everything the decode loop
+        would otherwise rebuild per step precomputed: plain-list ids
+        and emissions, (id, emission) pairs, and a shared zero
+        backpointer row."""
+        ids_list = ids.tolist()
+        emis_list = emis.tolist()
+        return (ids, emis, ids_list, emis_list,
+                list(zip(ids_list, emis_list)), [0] * len(ids_list))
+
+    def _lookup(self, word: str) -> tuple:
+        entry = self.word_table.get(word.lower())
+        if entry is None:
+            entry = self.shape_table[_shape(word)]
+        return entry
+
+    def decode(self, words: Sequence[str]) -> list[str]:
+        """Viterbi over the dense structures; identical output to the
+        reference kernel (``beam_width=None``) or a top-k pruned
+        approximation of it."""
+        beam = self.beam_width
+        trans_list = self.trans_list
+        word_table = self.word_table
+        shape_table = self.shape_table
+        exact_table = self.exact_table
+        start = self.start_id
+        pp_ids: list[int] = [start]
+        p_ids: list[int] = [start]
+        # Scores of states (t_prev2, t_prev1): list-of-lists in the
+        # scalar kernel, ndarray in the vector kernel.
+        scores: list | np.ndarray = [[0.0]]
+        steps: list[tuple[list[int], list[int], object]] = []
+        arg0 = _ARG0
+        i = 0
+        n = len(words)
+        while i < n:
+            if beam is None and len(pp_ids) == 1 and len(p_ids) == 1:
+                # Forced-run lane: while a single state chains into
+                # single-candidate words the path is forced — no max,
+                # no trellis matrices, just a scalar accumulator.
+                # Most tokens land here (about 80 % of words have a
+                # single observed tag), so this tight loop carries the
+                # bulk of the throughput win.
+                score = scores[0][0]
+                if type(score) is not float:
+                    score = float(score)
+                pp0 = pp_ids[0]
+                p0 = p_ids[0]
+                run_start = i
+                while i < n:
+                    word = words[i]
+                    entry = exact_table.get(word)
+                    if entry is None:
+                        entry = word_table.get(word.lower())
+                        if entry is None:
+                            entry = shape_table[_shape(word)]
+                        exact_table[word] = entry
+                    cand = entry[2]
+                    if len(cand) != 1:
+                        break
+                    c0 = cand[0]
+                    score = (score + trans_list[pp0][p0][c0]) + entry[3][0]
+                    steps.append((p_ids, cand, arg0))
+                    p_ids = cand
+                    pp0, p0 = p0, c0
+                    i += 1
+                if i > run_start:
+                    scores = [[score]]
+                    pp_ids = [pp0]
+                if i >= n:
+                    break
+                # ``entry`` holds the multi-candidate word that ended
+                # the run; fall through to the trellis step for it.
+            else:
+                word = words[i]
+                entry = exact_table.get(word)
+                if entry is None:
+                    entry = word_table.get(word.lower())
+                    if entry is None:
+                        entry = shape_table[_shape(word)]
+                    exact_table[word] = entry
+            cand_np, emis_np, cand, emis, pairs, zero_row = entry
+            if not cand:
+                raise TaggerCrash("no viable tag path (empty model?)")
+            n_pp = len(pp_ids)
+            cells = n_pp * len(p_ids) * len(cand)
+            if beam is None and cells <= _SMALL_STEP_CELLS:
+                rows = scores if isinstance(scores, list) \
+                    else scores.tolist()
+                new_scores: list | np.ndarray = []
+                args: object = []
+                if n_pp == 1:
+                    # One live prev2 state: the max degenerates, every
+                    # backpointer is 0, and one transition row serves
+                    # each prev1 tag.
+                    trans_w0 = trans_list[pp_ids[0]]
+                    for x, prior in zip(p_ids, rows[0]):
+                        trans_x = trans_w0[x]
+                        new_scores.append([(prior + trans_x[b]) + e
+                                           for b, e in pairs])
+                        args.append(zero_row)
+                else:
+                    trans_w = [trans_list[w] for w in pp_ids]
+                    for x_idx, x in enumerate(p_ids):
+                        trans_x = [rows_w[x] for rows_w in trans_w]
+                        prior = [row[x_idx] for row in rows]
+                        out_row = []
+                        arg_row = []
+                        for b_idx, b in enumerate(cand):
+                            best = prior[0] + trans_x[0][b]
+                            best_w = 0
+                            for w_idx in range(1, n_pp):
+                                score = prior[w_idx] + trans_x[w_idx][b]
+                                if score > best:
+                                    best = score
+                                    best_w = w_idx
+                            out_row.append(best + emis[b_idx])
+                            arg_row.append(best_w)
+                        new_scores.append(out_row)
+                        args.append(arg_row)
+            else:
+                prior = scores if isinstance(scores, np.ndarray) \
+                    else np.asarray(scores)
+                expanded = prior[:, :, None] + self.trans[np.ix_(
+                    np.asarray(pp_ids, dtype=np.intp),
+                    np.asarray(p_ids, dtype=np.intp), cand_np)]
+                args = expanded.argmax(axis=0)
+                new_scores = expanded.max(axis=0) + emis_np
+                if beam is not None and new_scores.size > beam:
+                    flat = new_scores.ravel()
+                    threshold = np.partition(
+                        flat, flat.size - beam)[flat.size - beam]
+                    new_scores = np.where(new_scores >= threshold,
+                                          new_scores, -np.inf)
+            steps.append((p_ids, cand, args))
+            pp_ids, p_ids = p_ids, cand
+            scores = new_scores
+            i += 1
+        return self._backtrace(scores, steps)
+
+    def _backtrace(self, scores, steps) -> list[str]:
+        # Final state: first maximum in (t_prev2, t_prev1) id order —
+        # the order the reference's sorted-dict max() resolves ties in.
+        if isinstance(scores, np.ndarray):
+            flat_best = int(scores.argmax())
+            x_idx, y_idx = divmod(flat_best, scores.shape[1])
+        else:
+            best = -math.inf
+            x_idx = y_idx = 0
+            for row_idx, row in enumerate(scores):
+                for col_idx, value in enumerate(row):
+                    if value > best:
+                        best = value
+                        x_idx, y_idx = row_idx, col_idx
+        names = self.ext_tags
+        n = len(steps)
+        tags = [""] * n
+        tags[n - 1] = names[steps[n - 1][1][y_idx]]
+        for i in range(n - 1, 0, -1):
+            p_ids, _cand, args = steps[i]
+            tags[i - 1] = names[p_ids[x_idx]]
+            x_idx, y_idx = int(args[x_idx][y_idx]), x_idx
+        return tags
+
+
 class HmmPosTagger:
     """Trainable trigram HMM tagger.
 
     Train with :meth:`train` on gold (word, tag) sequences, then tag
-    token lists with :meth:`tag`.
+    token lists with :meth:`tag`.  Call :meth:`freeze` after training
+    to compile the fast array kernel; an
+    :class:`~repro.nlp.anno_cache.AnnotationCache` attached as
+    ``annotation_cache`` memoizes whole-sentence results across
+    re-crawls and duplicate boilerplate.
     """
 
     def __init__(self, emission_k: float = 0.05,
@@ -67,11 +330,20 @@ class HmmPosTagger:
         self._emissions: dict[str, Counter] = defaultdict(Counter)
         self._shape_emissions: dict[str, Counter] = defaultdict(Counter)
         self._vocabulary: set[str] = set()
-        self._word_tags: dict[str, list[str]] = {}
+        self._word_tags: dict[str, tuple[str, ...]] = {}
+        self._all_tags: tuple[str, ...] = ()
         self._transition_rows: dict[tuple[str, str], dict[str, float]] = {}
         self._emission_totals: dict[str, int] = {}
         self._shape_totals: dict[str, int] = {}
+        self._trigram_totals: dict[tuple[str, str], int] = {}
+        self._bigram_totals: dict[str, int] = {}
+        self._unigram_total = 0
         self._trained = False
+        self._frozen: _FrozenHmm | None = None
+        self._fingerprint: str | None = None
+        #: Optional cross-document annotation cache (see
+        #: repro.nlp.anno_cache); consulted per sentence by tag().
+        self.annotation_cache = None
 
     # -- training -----------------------------------------------------------
 
@@ -93,17 +365,72 @@ class HmmPosTagger:
 
     def _finalize(self) -> None:
         """Precompute totals and candidate-tag lists (called after
-        every training round; training stays incremental)."""
+        every training round; training stays incremental).  Any new
+        counts invalidate the frozen kernel and the model fingerprint."""
         self._transition_rows.clear()
+        self._frozen = None
+        self._fingerprint = None
         self._emission_totals = {tag: sum(c.values())
                                  for tag, c in self._emissions.items()}
         self._shape_totals = {tag: sum(c.values())
                               for tag, c in self._shape_emissions.items()}
+        # Distribution totals, computed once instead of on every
+        # _transition_row cache miss.
+        self._trigram_totals = {context: sum(c.values())
+                                for context, c in self._trigram.items()}
+        self._bigram_totals = {tag: sum(c.values())
+                               for tag, c in self._bigram.items()}
+        self._unigram_total = sum(self._unigram.values())
         word_tags: dict[str, set[str]] = defaultdict(set)
         for tag, counts in self._emissions.items():
             for word in counts:
                 word_tags[word].add(tag)
-        self._word_tags = {w: sorted(tags) for w, tags in word_tags.items()}
+        self._word_tags = {w: tuple(sorted(tags))
+                           for w, tags in word_tags.items()}
+        self._all_tags = tuple(self.tags)
+
+    # -- freezing ------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen is not None
+
+    def freeze(self, beam_width: int | None = None) -> "HmmPosTagger":
+        """Compile the trained model into the dense array kernel.
+
+        ``beam_width`` keeps only the best-scoring ``beam_width``
+        trellis states per token (ties inclusive); ``None`` decodes
+        exactly.  Further :meth:`train` calls drop the compiled form —
+        re-freeze after incremental training.
+        """
+        if not self._trained:
+            raise RuntimeError("tagger has not been trained")
+        self._frozen = _FrozenHmm(self, beam_width=beam_width)
+        return self
+
+    def fingerprint(self) -> str:
+        """Content hash of the trained model (parameters + counts).
+
+        Keys the annotation cache: any retraining changes the
+        fingerprint, so stale cached annotations can never be served.
+        """
+        if not self._trained:
+            raise RuntimeError("tagger has not been trained")
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+            hasher.update(repr((self.emission_k, self.interpolation,
+                                self.crash_token_limit)).encode())
+            for name, table in (("tri", self._trigram),
+                                ("bi", self._bigram),
+                                ("emit", self._emissions),
+                                ("shape", self._shape_emissions)):
+                for key in sorted(table):
+                    counter = table[key]
+                    hasher.update(
+                        f"{name}:{key}:{sorted(counter.items())}".encode())
+            hasher.update(f"uni:{sorted(self._unigram.items())}".encode())
+            self._fingerprint = f"hmm:{hasher.hexdigest()}"
+        return self._fingerprint
 
     # -- probabilities -----------------------------------------------------
 
@@ -114,10 +441,10 @@ class HmmPosTagger:
             return row
         l3, l2, l1 = self.interpolation
         tri = self._trigram.get((t2, t1))
-        tri_total = sum(tri.values()) if tri else 0
+        tri_total = self._trigram_totals.get((t2, t1), 0)
         bi = self._bigram.get(t1)
-        bi_total = sum(bi.values()) if bi else 0
-        uni_total = sum(self._unigram.values())
+        bi_total = self._bigram_totals.get(t1, 0)
+        uni_total = self._unigram_total
         row = {}
         for tag in self.tags:
             p = 0.0
@@ -147,26 +474,62 @@ class HmmPosTagger:
             shape_total + self.emission_k * len(_UNK_SHAPES))
         return math.log(p)
 
-    def _candidate_tags(self, word: str) -> list[str]:
+    def _candidate_tags(self, word: str) -> tuple[str, ...]:
         """Tags worth considering for a word: observed tags for known
-        words, the full tagset for unknown ones."""
+        words, the full tagset for unknown ones.  Always an immutable
+        tuple — never a reference to mutable model state."""
         known = self._word_tags.get(word.lower())
-        return known if known else self.tags
+        return known if known is not None else self._all_tags
 
     # -- decoding ------------------------------------------------------------
 
     def tag(self, words: Sequence[str]) -> list[str]:
-        """Viterbi-decode the most likely tag sequence for ``words``."""
-        if not self._trained:
-            raise RuntimeError("tagger has not been trained")
+        """Decode the most likely tag sequence for ``words``.
+
+        Dispatches to the frozen array kernel when available (see
+        :meth:`freeze`), otherwise to the reference dict kernel; both
+        consult the annotation cache first when one is attached.
+        """
+        self._check_input(words)
         if not words:
             return []
+        cache = self.annotation_cache
+        if cache is not None:
+            fingerprint = self.fingerprint()
+            cached = cache.lookup(fingerprint, words)
+            if cached is not None:
+                return list(cached)
+        if self._frozen is not None:
+            tags = self._frozen.decode(words)
+        else:
+            tags = self._tag_dict(words)
+        if cache is not None:
+            cache.store(fingerprint, words, tags)
+        return tags
+
+    def tag_reference(self, words: Sequence[str]) -> list[str]:
+        """The original dict-of-tuples Viterbi, bypassing both the
+        frozen kernel and the annotation cache (equivalence tests
+        decode against this)."""
+        self._check_input(words)
+        if not words:
+            return []
+        return self._tag_dict(words)
+
+    def _check_input(self, words: Sequence[str]) -> None:
+        if not self._trained:
+            raise RuntimeError("tagger has not been trained")
         if (self.crash_token_limit is not None
                 and len(words) > self.crash_token_limit):
             raise TaggerCrash(
                 f"sentence of {len(words)} tokens exceeds the tagger's "
                 f"operational limit of {self.crash_token_limit}")
+
+    def _tag_dict(self, words: Sequence[str]) -> list[str]:
         # State = (t_prev2, t_prev1); start state collapses to (_S, _S).
+        # States are visited in sorted order so tie-breaking is
+        # canonical (first maximum in lexicographic state order) —
+        # the property the frozen kernel's argmax reproduces.
         scores: dict[tuple[str, str], float] = {(_START, _START): 0.0}
         backpointers: list[dict[tuple[str, str], tuple[str, str]]] = []
         for word in words:
@@ -175,7 +538,7 @@ class HmmPosTagger:
                          for tag in candidates}
             next_scores: dict[tuple[str, str], float] = {}
             pointers: dict[tuple[str, str], tuple[str, str]] = {}
-            for (t2, t1), score in scores.items():
+            for (t2, t1), score in sorted(scores.items()):
                 row = self._transition_row(t2, t1)
                 for tag in candidates:
                     candidate = score + row[tag] + emissions[tag]
@@ -187,7 +550,7 @@ class HmmPosTagger:
                 raise TaggerCrash("no viable tag path (empty model?)")
             scores = next_scores
             backpointers.append(pointers)
-        best_state = max(scores, key=scores.get)
+        best_state = max(sorted(scores), key=scores.get)
         sequence = [best_state[1]]
         state = best_state
         for pointers in reversed(backpointers[1:]):

@@ -1,0 +1,141 @@
+"""Tests for the content-addressed annotation cache."""
+
+import marshal
+
+import pytest
+
+from repro.nlp.anno_cache import (
+    CACHE_FORMAT_VERSION, AnnotationCache, sentence_key,
+)
+
+FP = "hmm:deadbeef"
+WORDS = ["the", "patients", "improved"]
+LABELS = ("DT", "NNS", "VBD")
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AnnotationCache(tmp_path)
+
+
+class TestSentenceKey:
+    def test_deterministic(self):
+        assert sentence_key(WORDS) == sentence_key(list(WORDS))
+
+    def test_token_boundaries_matter(self):
+        """Concatenation-equal but differently tokenized sentences must
+        not collide (the NUL separator)."""
+        assert sentence_key(["ab", "c"]) != sentence_key(["a", "bc"])
+
+    def test_case_sensitive(self):
+        assert sentence_key(["The"]) != sentence_key(["the"])
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup(FP, WORDS) is None
+        cache.store(FP, WORDS, LABELS)
+        assert cache.lookup(FP, WORDS) == LABELS
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+
+    def test_models_are_isolated(self, cache):
+        cache.store(FP, WORDS, LABELS)
+        assert cache.lookup("crf:other-model", WORDS) is None
+
+    def test_store_copies_to_tuple(self, cache):
+        labels = ["DT", "NNS", "VBD"]
+        cache.store(FP, WORDS, labels)
+        labels[0] = "XX"
+        assert cache.lookup(FP, WORDS) == LABELS
+
+
+class TestDiskTier:
+    def test_flush_and_reload(self, cache, tmp_path):
+        cache.store(FP, WORDS, LABELS)
+        assert cache.flush() == 1
+        assert cache.flush() == 0  # nothing dirty anymore
+        fresh = AnnotationCache(tmp_path)
+        assert fresh.lookup(FP, WORDS) == LABELS
+        assert fresh.misses == 0
+
+    def test_corrupt_shard_is_a_miss(self, cache, tmp_path):
+        cache.store(FP, WORDS, LABELS)
+        cache.flush()
+        for path in tmp_path.glob("anno-*.bin"):
+            path.write_bytes(b"not marshal data")
+        fresh = AnnotationCache(tmp_path)
+        assert fresh.lookup(FP, WORDS) is None
+
+    def test_version_mismatch_is_a_miss(self, cache, tmp_path):
+        cache.store(FP, WORDS, LABELS)
+        cache.flush()
+        for path in tmp_path.glob("anno-*.bin"):
+            payload = marshal.loads(path.read_bytes())
+            payload["version"] = CACHE_FORMAT_VERSION + 1
+            path.write_bytes(marshal.dumps(payload))
+        fresh = AnnotationCache(tmp_path)
+        assert fresh.lookup(FP, WORDS) is None
+
+    def test_autosave_after_n_stores(self, tmp_path):
+        cache = AnnotationCache(tmp_path, autosave_every=2)
+        cache.store(FP, ["one"], ("A",))
+        assert not list(tmp_path.glob("anno-*.bin"))
+        cache.store(FP, ["two"], ("B",))
+        assert list(tmp_path.glob("anno-*.bin"))
+
+    def test_clear_drops_both_tiers(self, cache, tmp_path):
+        cache.store(FP, WORDS, LABELS)
+        cache.flush()
+        assert cache.clear() >= 1
+        assert cache.n_entries == 0
+        assert not list(tmp_path.glob("anno-*.bin"))
+        assert cache.lookup(FP, WORDS) is None
+
+
+class TestExecutorSurfacing:
+    def _plan_with_cached_operator(self, cache):
+        from repro.dataflow.operators import MapOperator
+        from repro.dataflow.plan import LogicalPlan
+
+        def annotate(record):
+            hit = cache.lookup(FP, [record])
+            if hit is None:
+                cache.store(FP, [record], (record.upper(),))
+                return record.upper()
+            return hit[0]
+
+        operator = MapOperator("cached_op", annotate)
+        operator.annotation_cache = cache
+        plan = LogicalPlan()
+        node = plan.add(operator)
+        plan.mark_sink("out", node)
+        return plan
+
+    def test_local_executor_reports_cache_traffic(self, cache):
+        from repro.dataflow.executor import LocalExecutor
+
+        plan = self._plan_with_cached_operator(cache)
+        _outputs, report = LocalExecutor().execute(
+            plan, ["a", "b", "a", "b", "c"])
+        stage = report.operator_stats[0]
+        assert (stage.cache_hits, stage.cache_misses) == (2, 3)
+        as_dict = report.to_dict()
+        assert as_dict["annotation_cache_hits"] == 2
+        assert as_dict["annotation_cache_misses"] == 3
+        assert as_dict["stages"][0]["cache_hits"] == 2
+
+    def test_streaming_executor_reports_cache_traffic(self, cache):
+        from repro.dataflow.fusion import StreamingExecutor
+
+        plan = self._plan_with_cached_operator(cache)
+        _outputs, report = StreamingExecutor().execute(
+            plan, ["a", "b", "a", "b", "c"])
+        assert report.annotation_cache_hits == 2
+        assert report.annotation_cache_misses == 3
+
+    def test_run_flow_flushes_caches(self, cache, tmp_path):
+        from repro.core.flows import run_flow
+
+        plan = self._plan_with_cached_operator(cache)
+        run_flow(plan, ["a", "b"], mode="sequential")
+        assert list(tmp_path.glob("anno-*.bin"))
