@@ -1,0 +1,160 @@
+"""Crawl throughput: pre-change pipeline vs parse-once vs parallel.
+
+Times a ~2000-page focused crawl of the simulated web in four modes —
+the preserved pre-change per-page pipeline (``legacy_pipeline``, four
+tokenizer passes per page, reference language/Naïve-Bayes scoring),
+the current sequential parse-once pipeline, and the process-parallel
+document stage at 2 and 4 workers — and asserts what the crawl loop
+guarantees:
+
+* every mode produces the *same crawl* (byte-identical results across
+  worker counts; identical modulo the ``title`` metadata for the
+  legacy pipeline, which never extracted titles);
+* the per-stage page counters are deterministic across modes;
+* outside smoke mode, both the sequential and the 4-worker crawl beat
+  the pre-change pipeline by >= 2x wall-clock.
+
+Writes repo-root ``BENCH_crawl.json`` — the committed evidence for the
+speedup.  ``BENCH_SMOKE=1`` shrinks the crawl for CI, writes the
+artifact under ``benchmarks/out/`` instead, and skips the ratio
+assertion (smoke boxes are too noisy to gate on wall-clock).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+from legacy_pipeline import legacy_process_document
+from reporting import format_table, write_report
+
+import repro.crawler.crawl as crawl_module
+from repro.core.experiment import default_context
+from repro.crawler.checkpoint import result_to_dict
+from repro.crawler.crawl import CrawlConfig, FocusedCrawler
+from repro.web.server import SimulatedWeb
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+WEB_SEED = 29
+BATCH_SIZE = 40
+MAX_PAGES = 100 if SMOKE else 2400
+WORKER_COUNTS = (2,) if SMOKE else (2, 4)
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_crawl.json"
+
+
+@pytest.fixture(scope="module")
+def crawl_ctx(ctx):
+    """A web large enough that the crawl fetches >= 2000 pages (smoke
+    mode reuses the shared bench context instead)."""
+    if SMOKE:
+        return ctx
+    return default_context(corpus_docs=30, n_training_docs=50,
+                           crf_iterations=40, n_hosts=200,
+                           crawl_pages=4000, seed_scale=15)
+
+
+def _run_crawl(context, seeds, workers, legacy=False):
+    """One timed crawl; returns (result, wall_seconds).
+
+    The legacy mode swaps the preserved pre-change document stage into
+    the coordinator (sequential only — the old pipeline predates the
+    worker pool).  Web, frontier, and filter chain are rebuilt per run
+    so no state leaks between modes.
+    """
+    web = SimulatedWeb(context.webgraph, seed=WEB_SEED)
+    config = CrawlConfig(max_pages=MAX_PAGES, batch_size=BATCH_SIZE,
+                         parallel_workers=workers)
+    crawler = FocusedCrawler(web, context.pipeline.classifier,
+                             context.build_filter_chain(), config)
+    original = crawl_module.process_document
+    if legacy:
+        crawl_module.process_document = legacy_process_document
+    try:
+        started = time.perf_counter()
+        result = crawler.crawl(list(seeds))
+        wall = time.perf_counter() - started
+    finally:
+        crawl_module.process_document = original
+    return result, wall
+
+
+def _strip_titles(result):
+    """Checkpoint payload with document titles removed — the one field
+    the pre-change pipeline never produced."""
+    payload = result_to_dict(result)
+    for bucket in ("relevant", "irrelevant"):
+        for document in payload.get(bucket, []):
+            if isinstance(document, dict) and "meta" in document:
+                document["meta"].pop("title", None)
+    return payload
+
+
+def test_crawl_throughput(crawl_ctx, benchmark):
+    seeds = crawl_ctx.seed_batch("second").urls
+    crawl_ctx.pipeline.classifier.precompute()
+    modes = [("legacy", 1, True), ("sequential", 1, False)]
+    modes += [(f"workers{n}", n, False) for n in WORKER_COUNTS]
+    runs = {}
+
+    def sweep():
+        for name, workers, legacy in modes:
+            runs[name] = _run_crawl(crawl_ctx, seeds, workers, legacy)
+        return runs
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    legacy_result, legacy_wall = runs["legacy"]
+    sequential_result, _ = runs["sequential"]
+    if not SMOKE:
+        assert sequential_result.pages_fetched >= 2000
+
+    # Parallelism never changes the crawl, only the wall-clock.
+    sequential_payload = result_to_dict(sequential_result)
+    for n in WORKER_COUNTS:
+        assert result_to_dict(runs[f"workers{n}"][0]) == sequential_payload
+    # The pre-change pipeline computed the same crawl, minus titles.
+    assert _strip_titles(legacy_result) == _strip_titles(sequential_result)
+    # Per-stage page counters are deterministic; wall-time per stage is
+    # observability only and differs per mode.
+    assert sequential_result.stage_pages["repair"] > 0
+    for n in WORKER_COUNTS:
+        assert (runs[f"workers{n}"][0].stage_pages
+                == sequential_result.stage_pages)
+
+    results = {"config": {
+        "max_pages": MAX_PAGES, "batch_size": BATCH_SIZE,
+        "n_seeds": len(seeds), "web_seed": WEB_SEED, "smoke": SMOKE,
+        "pages_fetched": sequential_result.pages_fetched,
+    }, "modes": {}}
+    rows = []
+    for name, _workers, _legacy in modes:
+        result, wall = runs[name]
+        speedup = legacy_wall / wall
+        results["modes"][name] = {
+            "wall_seconds": round(wall, 3),
+            "pages_per_sec": round(result.pages_fetched / wall, 1),
+            "speedup_vs_legacy": round(speedup, 2),
+            "stage_seconds": {stage: round(seconds, 3) for stage, seconds
+                              in sorted(result.stage_seconds.items())},
+            "stage_pages": dict(sorted(result.stage_pages.items())),
+        }
+        rows.append([name, f"{wall:.2f} s",
+                     f"{result.pages_fetched / wall:,.0f}",
+                     f"{speedup:.2f}x"])
+
+    out_path = (Path(__file__).resolve().parent / "out" / "BENCH_crawl.json"
+                if SMOKE else BENCH_PATH)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    lines = format_table(["mode", "wall", "pages/s", "vs legacy"], rows)
+    lines.append("")
+    lines.append("identical crawl output in every mode "
+                 "(legacy modulo titles); per-stage breakdown in "
+                 f"{out_path.name}")
+    write_report("crawl_throughput", "Crawl throughput — legacy vs "
+                 "parse-once vs parallel workers", lines)
+
+    if not SMOKE:
+        assert results["modes"]["sequential"]["speedup_vs_legacy"] >= 2.0
+        assert results["modes"]["workers4"]["speedup_vs_legacy"] >= 2.0

@@ -36,6 +36,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="synthetic web hosts (default 50)")
     crawl.add_argument("--follow-irrelevant", type=int, default=0,
                        help="steps to follow links of irrelevant pages")
+    crawl.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for the per-page document "
+                            "stage (byte-identical results at any N; "
+                            "default 1)")
     crawl.add_argument("--faults", default="none", metavar="SPEC",
                        help="fault injection: none | default | heavy | "
                             "a per-fetch failure rate like 0.2 "
@@ -125,7 +129,8 @@ def cmd_crawl(args) -> int:
     faults = _parse_faults(args.faults, seed=args.seed)
     web = SimulatedWeb(ctx.webgraph, seed=args.seed + 12, faults=faults)
     config = CrawlConfig(max_pages=args.pages,
-                         follow_irrelevant_steps=args.follow_irrelevant)
+                         follow_irrelevant_steps=args.follow_irrelevant,
+                         parallel_workers=args.workers)
     if args.checkpoint:
         # Checkpoints are only taken at batch boundaries; align the
         # batch size with the requested cadence so they actually fire.
@@ -161,6 +166,20 @@ def cmd_crawl(args) -> int:
     attrition = result.filter_attrition
     print(f"filter attrition: mime {attrition['mime']:.1%}, language "
           f"{attrition['language']:.1%}, length {attrition['length']:.1%}")
+    if result.stage_seconds:
+        mode = (f"{args.workers} workers" if args.workers > 1
+                else "sequential")
+        print(f"stage breakdown ({mode}; seconds are worker-attributed "
+              "wall time):")
+        for stage in ("fetch", "filters", "repair", "parse",
+                      "boilerplate", "classify"):
+            if stage not in result.stage_pages:
+                continue
+            pages = result.stage_pages[stage]
+            seconds = result.stage_seconds.get(stage, 0.0)
+            rate = pages / seconds if seconds > 0 else 0.0
+            print(f"  {stage:<12} {pages:>6} pages  {seconds:>8.3f} s  "
+                  f"{rate:>9.0f} pages/s")
     if result.failure_reasons:
         reasons = ", ".join(
             f"{reason} {count}" for reason, count

@@ -34,8 +34,12 @@ from repro.web.robots import RobotsPolicy
 
 #: Version 2 adds failure_reasons / retries / hosts_quarantined /
 #: document raw bodies to the result, and the crawler-state section.
-#: Version 1 payloads still load (missing fields default).
-FORMAT_VERSION = 2
+#: Version 3 adds the deterministic per-stage page counters
+#: (``stage_pages``).  Older payloads still load (missing fields
+#: default).  Per-stage *seconds* are deliberately not checkpointed:
+#: they are wall-clock observability, meaningless across process
+#: restarts, and excluded from resume-equivalence guarantees.
+FORMAT_VERSION = 3
 
 
 class CheckpointError(ValueError):
@@ -96,6 +100,7 @@ def result_to_dict(result: CrawlResult) -> dict:
         "failure_reasons": dict(result.failure_reasons),
         "retries": result.retries,
         "hosts_quarantined": result.hosts_quarantined,
+        "stage_pages": dict(result.stage_pages),
     }
 
 
@@ -112,7 +117,8 @@ def result_from_dict(payload: dict) -> CrawlResult:
         stop_reason=payload["stop_reason"],
         failure_reasons=dict(payload.get("failure_reasons", {})),
         retries=payload.get("retries", 0),
-        hosts_quarantined=payload.get("hosts_quarantined", 0))
+        hosts_quarantined=payload.get("hosts_quarantined", 0),
+        stage_pages=dict(payload.get("stage_pages", {})))
     linkdb = LinkDb()
     for source, targets in payload["outlinks"].items():
         linkdb.add_edges(source, targets)

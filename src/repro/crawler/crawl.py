@@ -19,10 +19,21 @@ failures are retried with bounded exponential backoff, hosts that keep
 failing are quarantined behind per-host circuit breakers and re-probed
 after a cooldown, and every terminal failure is recorded in
 :attr:`CrawlResult.failure_reasons` instead of crashing the batch.
+
+Each frontier batch runs in three phases — a sequential *fetch* phase
+(all stateful, clock-bearing work), a pure per-page *document* phase
+(:mod:`repro.crawler.parallel`), and a sequential *merge* phase that
+replays state updates in batch order.  Because the document phase is a
+pure function of the fetched payload, it can fan out over a fork-based
+worker pool (``parallel_workers > 1``) with byte-identical results:
+only real wall-clock time changes, never the simulated-time trajectory
+or any crawl output.
 """
 
 from __future__ import annotations
 
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,12 +42,15 @@ from repro.classify.naive_bayes import NaiveBayesClassifier
 from repro.crawler.filters import FilterChain
 from repro.crawler.frontier import CrawlDb, FrontierEntry
 from repro.crawler.linkdb import LinkDb
-from repro.crawler.parser import extract_links
+from repro.crawler.parallel import (
+    CrawlWorkerPool, DocumentOutcome, PageTask, ProcessingContext,
+    process_document,
+)
 from repro.crawler.robust import (
     HOST_FAILURES, BreakerConfig, HostHealth, RetryPolicy,
 )
+from repro.dataflow.fusion import fork_start_available
 from repro.html.boilerplate import BoilerplateDetector
-from repro.html.repair import repair_html
 from repro.web.robots import RobotsPolicy, parse_robots
 from repro.web.server import FetchResult, SimulatedClock, SimulatedWeb
 from repro.web.urls import host_of
@@ -64,6 +78,10 @@ class CrawlConfig:
     #: NB for "although we currently don't use this feature".
     online_learning: bool = False
     online_confidence: float = 0.98
+    #: Worker processes for the pure per-page document stage; 1 runs
+    #: everything on the coordinator.  Any value produces byte-identical
+    #: crawl results — only wall-clock changes.
+    parallel_workers: int = 1
     #: Retry/backoff policy for transient fetch failures.
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     #: Per-host circuit-breaker thresholds.
@@ -92,6 +110,15 @@ class CrawlResult:
     retries: int = 0
     #: Hosts whose circuit breaker opened at least once.
     hosts_quarantined: int = 0
+    #: Pages that entered each pipeline stage (fetch, filters, repair,
+    #: parse, boilerplate, classify).  Deterministic: identical across
+    #: sequential and parallel runs and preserved by checkpoints.
+    stage_pages: dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds spent per stage, measured where the work ran
+    #: (summed across workers in parallel mode — CPU-time attribution,
+    #: not elapsed time).  Observability only: NOT deterministic, not
+    #: checkpointed, excluded from equivalence comparisons.
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def harvest_rate(self) -> float:
@@ -112,6 +139,27 @@ class CrawlResult:
     def record_failure(self, reason: str) -> None:
         self.failure_reasons[reason] = \
             self.failure_reasons.get(reason, 0) + 1
+
+    def record_stage(self, stage: str, seconds: float,
+                     pages: int = 1) -> None:
+        self.stage_pages[stage] = self.stage_pages.get(stage, 0) + pages
+        self.stage_seconds[stage] = \
+            self.stage_seconds.get(stage, 0.0) + seconds
+
+
+@dataclass
+class _FetchOutcome:
+    """What the sequential fetch phase decided for one frontier entry."""
+
+    #: "robots_denied" | "circuit_open" | "fetched"
+    kind: str
+    fetch: FetchResult | None = None
+    #: Terminal failure reason (None on success); only for "fetched".
+    reason: str | None = None
+    #: Retry attempts consumed by this entry.
+    retries: int = 0
+    #: Real wall-clock the coordinator spent fetching this entry.
+    seconds: float = 0.0
 
 
 class FocusedCrawler:
@@ -139,6 +187,7 @@ class FocusedCrawler:
               checkpoint: Callable[[CrawlDb, CrawlResult], None]
               | None = None,
               page_callback: Callable[[CrawlResult], None] | None = None,
+              parallel_workers: int | None = None,
               ) -> CrawlResult:
         """Run a focused crawl from the seed list.
 
@@ -148,6 +197,10 @@ class FocusedCrawler:
         boundary is the only state from which a resumed crawl is
         guaranteed to reproduce the uninterrupted run exactly.
         ``page_callback`` fires after every processed frontier entry.
+        ``parallel_workers`` overrides
+        :attr:`CrawlConfig.parallel_workers`; with N > 1 the pure
+        document stage fans out over N forked worker processes and the
+        result stays byte-identical to the sequential run.
         """
         config = self.config
         if frontier is None:
@@ -159,34 +212,64 @@ class FocusedCrawler:
             frontier.add_seeds(seeds)
         if result is None:
             result = CrawlResult()
+        pool = self._make_pool(parallel_workers)
         # ``clock_seconds`` accumulated so far anchors the (virtual)
         # start time, so resumed runs keep accumulating correctly.
         crawl_start = self.clock.now - result.clock_seconds
-        while True:
-            if result.pages_fetched >= config.max_pages:
-                result.stop_reason = "page_budget"
-                break
-            if frontier.is_empty():
-                result.stop_reason = "frontier_empty"
-                break
-            batch = frontier.next_batch(config.batch_size)
-            for index, entry in enumerate(batch):
+        try:
+            while True:
                 if result.pages_fetched >= config.max_pages:
-                    # Budget hit mid-batch: the leftovers survive into
-                    # the frontier (and any checkpoint) instead of
-                    # being dropped.
-                    frontier.requeue_front(batch[index:])
+                    result.stop_reason = "page_budget"
                     break
-                self._process(entry, frontier, result)
-                if page_callback is not None:
-                    page_callback(result)
-            if checkpoint is not None:
-                self._snapshot_totals(result, crawl_start)
-                checkpoint(frontier, result)
+                if frontier.is_empty():
+                    result.stop_reason = "frontier_empty"
+                    break
+                batch = frontier.next_batch(config.batch_size)
+                self._run_batch(batch, frontier, result, pool,
+                                page_callback)
+                if checkpoint is not None:
+                    self._snapshot_totals(result, crawl_start)
+                    checkpoint(frontier, result)
+        finally:
+            if pool is not None:
+                pool.close()
         self._snapshot_totals(result, crawl_start)
         if checkpoint is not None:
             checkpoint(frontier, result)
         return result
+
+    def _make_pool(self, parallel_workers: int | None) -> CrawlWorkerPool | None:
+        """Resolve the worker count and build the document-stage pool."""
+        config = self.config
+        workers = (config.parallel_workers if parallel_workers is None
+                   else parallel_workers)
+        if workers is None or workers <= 1:
+            return None
+        if config.online_learning:
+            raise ValueError(
+                "online_learning updates the classifier between pages, "
+                "which a parallel document stage cannot replay "
+                "deterministically; run with parallel_workers=1")
+        if not fork_start_available():
+            warnings.warn(
+                "the parallel crawl document stage needs the 'fork' "
+                "multiprocessing start method, which this platform/"
+                "configuration does not provide; falling back to the "
+                "sequential document stage",
+                RuntimeWarning, stacklevel=3)
+            return None
+        # Build lazy scoring tables *before* forking so workers inherit
+        # them by copy-on-write instead of each rebuilding.
+        for model in (self.classifier, getattr(self.classifier, "base",
+                                               None)):
+            if hasattr(model, "precompute"):
+                model.precompute()
+        return CrawlWorkerPool(workers, self._processing_context())
+
+    def _processing_context(self) -> ProcessingContext:
+        return ProcessingContext(boilerplate=self.boilerplate,
+                                 filters=self.filters,
+                                 classifier=self.classifier)
 
     def _snapshot_totals(self, result: CrawlResult,
                          crawl_start: float) -> None:
@@ -194,82 +277,159 @@ class FocusedCrawler:
         result.filter_attrition = self.filters.attrition_report()
         result.hosts_quarantined = self.health.quarantined_hosts
 
-    # -- one page ----------------------------------------------------------------
+    # -- one batch ---------------------------------------------------------------
 
-    def _process(self, entry: FrontierEntry, frontier: CrawlDb,
-                 result: CrawlResult) -> None:
+    def _run_batch(self, batch: list[FrontierEntry], frontier: CrawlDb,
+                   result: CrawlResult, pool: CrawlWorkerPool | None,
+                   page_callback: Callable[[CrawlResult], None] | None,
+                   ) -> None:
+        """Fetch sequentially, process the pure document stage (inline
+        or fanned out), and merge state updates in batch order."""
         config = self.config
+        outcomes: list[_FetchOutcome] = []
+        fetched = 0
+        for index, entry in enumerate(batch):
+            if result.pages_fetched + fetched >= config.max_pages:
+                # Budget hit mid-batch: the leftovers survive into
+                # the frontier (and any checkpoint) instead of
+                # being dropped.
+                frontier.requeue_front(batch[index:])
+                batch = batch[:index]
+                break
+            outcome = self._fetch_entry(entry)
+            if outcome.kind == "fetched":
+                fetched += 1
+            outcomes.append(outcome)
+        documents: dict[int, DocumentOutcome] = {}
+        if pool is not None:
+            tasks: list[PageTask] = [
+                (index, outcome.fetch.url, outcome.fetch.body,
+                 outcome.fetch.content_type)
+                for index, outcome in enumerate(outcomes)
+                if outcome.kind == "fetched" and outcome.reason is None]
+            documents = pool.process_batch(tasks)
+        context = self._processing_context() if pool is None else None
+        for index, (entry, outcome) in enumerate(zip(batch, outcomes)):
+            document = documents.get(index)
+            if (document is None and context is not None
+                    and outcome.kind == "fetched"
+                    and outcome.reason is None):
+                # Sequential document stage, interleaved with merging
+                # so online-learning updates stay ordered.
+                fetch = outcome.fetch
+                document = process_document(fetch.url, fetch.body,
+                                            fetch.content_type, context)
+            self._merge_entry(entry, outcome, document, frontier, result)
+            if page_callback is not None:
+                page_callback(result)
+
+    # -- phase 1: fetch (stateful, clock-bearing) ------------------------------
+
+    def _fetch_entry(self, entry: FrontierEntry) -> _FetchOutcome:
+        """Everything up to (and including) the fetch for one entry.
+
+        Touches only coordinator state whose evolution must stay
+        sequential: the simulated clock, politeness schedule, robots
+        cache, and circuit breakers.  All :class:`CrawlResult` and
+        frontier updates are deferred to the merge phase.
+        """
+        config = self.config
+        started = time.perf_counter()
         host = host_of(entry.url)
         if config.respect_robots and not self._robots(host).allows(entry.url):
-            result.robots_denied += 1
-            return
+            return _FetchOutcome("robots_denied",
+                                 seconds=time.perf_counter() - started)
         if not self.health.breaker(host).allow(self.clock.now):
             # Host quarantined: drop the entry without fetching.
+            return _FetchOutcome("circuit_open",
+                                 seconds=time.perf_counter() - started)
+        fetch, reason, retries = self._fetch_with_retries(entry.url, host)
+        if reason is None:
+            # The modelled serialized per-document processing cost.
+            self.clock.advance(config.processing_seconds)
+        return _FetchOutcome("fetched", fetch=fetch, reason=reason,
+                             retries=retries,
+                             seconds=time.perf_counter() - started)
+
+    # -- phase 3: merge (batch order) ------------------------------------------
+
+    def _merge_entry(self, entry: FrontierEntry, outcome: _FetchOutcome,
+                     document: DocumentOutcome | None, frontier: CrawlDb,
+                     result: CrawlResult) -> None:
+        """Replay one entry's state updates exactly as the sequential
+        loop would have produced them."""
+        config = self.config
+        if outcome.kind == "robots_denied":
+            result.robots_denied += 1
+            return
+        if outcome.kind == "circuit_open":
             result.record_failure("circuit_open")
             return
-        fetch, reason = self._fetch_with_retries(entry.url, host, result)
+        fetch = outcome.fetch
         result.pages_fetched += 1
+        result.retries += outcome.retries
+        result.record_stage("fetch", outcome.seconds)
         if fetch.redirected_from:
             frontier.mark_seen(fetch.url)
-        if reason is not None:
+        if outcome.reason is not None:
             result.fetch_failures += 1
-            result.record_failure(reason)
+            result.record_failure(outcome.reason)
             return
-        self.clock.advance(config.processing_seconds)
-        if not self.filters.accept_payload(fetch.body, fetch.url,
-                                           fetch.content_type):
+        for stage, seconds in document.stage_seconds.items():
+            result.record_stage(stage, seconds)
+        self.filters.record_payload(document.mime_ok)
+        if not document.mime_ok:
             result.filtered_out += 1
             return
-        repaired, report = repair_html(fetch.body)
-        if not report.transcodable:
+        if not document.transcodable:
             result.filtered_out += 1
             return
-        net_text = self.boilerplate.extract(repaired)
-        outlinks = extract_links(repaired, fetch.url)
-        result.linkdb.add_edges(fetch.url, outlinks)
-        ok, _which = self.filters.accept_text(net_text)
-        if not ok:
+        result.linkdb.add_edges(fetch.url, document.outlinks)
+        self.filters.record_text(document.rejected_by)
+        if document.rejected_by:
             result.filtered_out += 1
             return
-        document = Document(
+        net_text = document.net_text
+        harvested = Document(
             doc_id=fetch.url, text=net_text, raw=fetch.body,
             meta={"url": fetch.url, "depth": entry.depth,
-                  "content_type": fetch.content_type})
-        relevant = self.classifier.predict(net_text)
-        document.meta["relevant"] = relevant
+                  "content_type": fetch.content_type,
+                  "title": document.title})
+        relevant = document.relevant
+        harvested.meta["relevant"] = relevant
         if config.online_learning and hasattr(self.classifier, "update"):
             probability = self.classifier.probability(net_text)
             if (probability >= config.online_confidence
                     or probability <= 1 - config.online_confidence):
                 self.classifier.update(net_text, relevant)
         if relevant:
-            result.relevant.append(document)
-            for link in outlinks:
+            result.relevant.append(harvested)
+            for link in document.outlinks:
                 frontier.add(link, depth=entry.depth + 1,
                              irrelevant_steps=0)
         else:
-            result.irrelevant.append(document)
+            result.irrelevant.append(harvested)
             if entry.irrelevant_steps < config.follow_irrelevant_steps:
-                for link in outlinks:
+                for link in document.outlinks:
                     frontier.add(link, depth=entry.depth + 1,
                                  irrelevant_steps=entry.irrelevant_steps + 1)
 
     # -- fetch path ------------------------------------------------------------
 
     def _fetch_with_retries(self, url: str, host: str,
-                            result: CrawlResult,
-                            ) -> tuple[FetchResult, str | None]:
+                            ) -> tuple[FetchResult, str | None, int]:
         """Fetch with politeness, per-attempt timeout, bounded backoff
         and breaker accounting; returns (last fetch, terminal reason or
-        None on success)."""
+        None on success, retry attempts consumed)."""
         config = self.config
         policy = config.retry
         breaker = self.health.breaker(host)
         fetch: FetchResult | None = None
         reason: str | None = None
+        retries = 0
         for attempt in range(max(1, policy.max_attempts)):
             if attempt > 0:
-                result.retries += 1
+                retries += 1
                 backoff = policy.backoff_seconds(
                     url, attempt - 1,
                     retry_after=fetch.retry_after if fetch else 0.0)
@@ -285,7 +445,7 @@ class FocusedCrawler:
             reason = self._failure_reason(fetch, policy)
             if reason is None:
                 breaker.record_success()
-                return fetch, None
+                return fetch, None, retries
             if reason in HOST_FAILURES:
                 opened = breaker.record_failure(self.clock.now)
                 if opened:
@@ -293,7 +453,7 @@ class FocusedCrawler:
                     break
             if not policy.should_retry(reason, attempt):
                 break
-        return fetch, reason
+        return fetch, reason, retries
 
     def _await_host(self, host: str) -> None:
         """Politeness: wait until the host allows another request."""

@@ -1,0 +1,181 @@
+"""Process-parallel document stage for the focused crawler.
+
+The crawl loop splits into three phases per frontier batch:
+
+* **fetch** (coordinator, sequential) — robots checks, circuit
+  breakers, politeness waits, retries, and SimulatedClock accounting.
+  Every fetch outcome is a deterministic function of (seed, url,
+  attempt, clock), and the clock trajectory depends only on fetch
+  outcomes — never on document contents — so this phase fixes the
+  entire simulated-time behaviour of the batch.
+* **document** (this module, parallelizable) —
+  :func:`process_document`: MIME sniffing, HTML repair, **one** DOM
+  parse feeding boilerplate segmentation + outlink extraction + title
+  extraction, language/length predicates, and the relevance score.
+  A pure function of (url, body, content_type) given a frozen
+  classifier, so its outputs are identical no matter where or in what
+  order it runs.
+* **merge** (coordinator, sequential, batch order) — counters, filter
+  stats, linkdb edges, corpus appends, and frontier updates are
+  replayed in the order the sequential loop would have produced them.
+
+:class:`CrawlWorkerPool` fans the document phase out over a fork-based
+process pool (the :mod:`repro.dataflow.fusion` pattern): workers
+inherit the boilerplate detector, filter predicates, and classifier —
+including its precomputed log-ratio table — by copy-on-write at fork
+time, and only ``(index, url, body, content_type)`` tuples and
+:class:`DocumentOutcome` results cross the process boundary.  Chunks
+are contiguous and ``Pool.map`` preserves task order, so the merged
+outcome sequence is exactly the sequential one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from itertools import chain
+
+from repro.crawler.filters import FilterChain
+from repro.crawler.parser import (
+    extract_links_from_tree, extract_title_from_tree,
+)
+from repro.dataflow.executor import contiguous_partitions
+from repro.html.boilerplate import BoilerplateDetector
+from repro.html.repair import repair_document
+
+#: One task per successfully fetched page: (batch index, url, body,
+#: declared content type).
+PageTask = tuple[int, str, str, str]
+
+#: Processing context inherited by forked pool workers (set immediately
+#: before the pool is created so the fork snapshot contains it).
+_WORKER_CONTEXT: "ProcessingContext | None" = None
+
+
+@dataclass
+class ProcessingContext:
+    """Everything the pure document stage needs."""
+
+    boilerplate: BoilerplateDetector
+    filters: FilterChain
+    classifier: object
+
+
+@dataclass
+class DocumentOutcome:
+    """Result of the pure document stage for one fetched page.
+
+    Carries every *decision* the sequential loop would have made plus
+    the derived artifacts (net text, outlinks, title), but none of the
+    state updates — the coordinator replays those in batch order.
+    ``stage_seconds`` holds per-stage wall time measured where the work
+    ran (inside the worker, in parallel mode), keyed by stage name;
+    its key set is deterministic, its values are not.
+    """
+
+    mime_ok: bool
+    transcodable: bool = False
+    net_text: str = ""
+    title: str = ""
+    outlinks: list[str] = field(default_factory=list)
+    #: "" when the text filters passed, else "language" / "length".
+    rejected_by: str = ""
+    #: None when the page never reached classification.
+    relevant: bool | None = None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+def process_document(url: str, body: str, content_type: str,
+                     context: ProcessingContext) -> DocumentOutcome:
+    """Run the CPU-bound per-page pipeline on one fetched payload.
+
+    Stages short-circuit exactly like the sequential loop: a MIME
+    reject skips repair, an untranscodable page skips parsing, a text
+    filter reject skips classification.
+    """
+    timings: dict[str, float] = {}
+    started = time.perf_counter()
+    mime_ok = context.filters.decide_payload(body, url, content_type)
+    timings["filters"] = time.perf_counter() - started
+    if not mime_ok:
+        return DocumentOutcome(mime_ok=False, stage_seconds=timings)
+
+    # One parse, shared everywhere: repair_document() yields the
+    # normalised DOM directly, and boilerplate segmentation, outlinks,
+    # and the title all read that one tree.
+    started = time.perf_counter()
+    tree, report = repair_document(body)
+    timings["repair"] = time.perf_counter() - started
+    if not report.transcodable:
+        return DocumentOutcome(mime_ok=True, stage_seconds=timings)
+
+    started = time.perf_counter()
+    outlinks = extract_links_from_tree(tree, url)
+    title = extract_title_from_tree(tree)
+    timings["parse"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    net_text = context.boilerplate.extract_from_tree(tree)
+    timings["boilerplate"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    _ok, rejected_by = context.filters.decide_text(net_text)
+    timings["filters"] += time.perf_counter() - started
+    outcome = DocumentOutcome(
+        mime_ok=True, transcodable=True, net_text=net_text, title=title,
+        outlinks=outlinks, rejected_by=rejected_by, stage_seconds=timings)
+    if rejected_by:
+        return outcome
+
+    started = time.perf_counter()
+    outcome.relevant = context.classifier.predict(net_text)
+    timings["classify"] = time.perf_counter() - started
+    return outcome
+
+
+def _worker_chunk(chunk: list[PageTask]) -> list[tuple[int, DocumentOutcome]]:
+    context = _WORKER_CONTEXT
+    assert context is not None, "crawl worker forked without its context"
+    return [(index, process_document(url, body, content_type, context))
+            for index, url, body, content_type in chunk]
+
+
+class CrawlWorkerPool:
+    """A fork-based process pool running the document stage.
+
+    Created once per crawl (workers inherit the trained classifier and
+    detector state as of fork time — which is why parallel mode and
+    online learning are mutually exclusive) and reused across batches.
+    """
+
+    #: Target pages per work chunk; small enough to balance a skewed
+    #: batch across workers, large enough to amortize IPC.
+    chunk_pages = 16
+
+    def __init__(self, workers: int, context: ProcessingContext) -> None:
+        global _WORKER_CONTEXT
+        if workers < 2:
+            raise ValueError("CrawlWorkerPool needs at least 2 workers")
+        self.workers = workers
+        _WORKER_CONTEXT = context
+        self._pool = multiprocessing.get_context("fork").Pool(
+            processes=workers)
+
+    def process_batch(self, tasks: list[PageTask],
+                      ) -> dict[int, DocumentOutcome]:
+        """Process fetched pages; returns outcomes keyed by batch index."""
+        if not tasks:
+            return {}
+        n_chunks = max(self.workers,
+                       -(-len(tasks) // self.chunk_pages))
+        chunks = [chunk for chunk
+                  in contiguous_partitions(tasks, n_chunks) if chunk]
+        parts = self._pool.map(_worker_chunk, chunks)
+        return dict(chain.from_iterable(parts))
+
+    def close(self) -> None:
+        global _WORKER_CONTEXT
+        self._pool.close()
+        self._pool.join()
+        _WORKER_CONTEXT = None

@@ -1,8 +1,16 @@
-"""Page parsing: outlink and title extraction (Nutch parser analog)."""
+"""Page parsing: outlink and title extraction (Nutch parser analog).
+
+Every extractor comes in two forms: a string-input convenience wrapper
+that parses the page itself, and a ``*_from_tree`` variant that walks
+an already-parsed DOM.  The tree variants exist for the parse-once
+document path: the crawler repairs a page, parses it a single time,
+and feeds the same tree to boilerplate segmentation, link extraction,
+and title extraction instead of re-parsing for each.
+"""
 
 from __future__ import annotations
 
-from repro.html.dom import parse_html
+from repro.html.dom import HtmlNode, parse_html
 from repro.web.urls import normalize, resolve
 
 
@@ -12,7 +20,11 @@ def extract_links(html: str, base_url: str) -> list[str]:
     Skips fragments-only, ``javascript:`` and ``mailto:`` links, and
     self-links.
     """
-    tree = parse_html(html)
+    return extract_links_from_tree(parse_html(html), base_url)
+
+
+def extract_links_from_tree(tree: HtmlNode, base_url: str) -> list[str]:
+    """Outlinks of an already-parsed page (see :func:`extract_links`)."""
     base = normalize(base_url)
     links: list[str] = []
     seen: set[str] = set()
@@ -35,8 +47,12 @@ def extract_links(html: str, base_url: str) -> list[str]:
 
 def extract_title(html: str) -> str:
     """The page title ('' if absent)."""
-    tree = parse_html(html)
-    titles = tree.find_all("title")
-    if not titles:
+    return extract_title_from_tree(parse_html(html))
+
+
+def extract_title_from_tree(tree: HtmlNode) -> str:
+    """Title of an already-parsed page ('' if absent)."""
+    title = tree.find_first("title")
+    if title is None:
         return ""
-    return titles[0].get_text().strip()
+    return title.get_text().strip()

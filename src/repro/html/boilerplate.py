@@ -25,7 +25,7 @@ from repro.html.repair import repair_html
 _WRAP_COLUMNS = 80
 
 
-@dataclass
+@dataclass(slots=True)
 class TextBlock:
     """A contiguous run of text with shallow features."""
 
@@ -53,14 +53,81 @@ class TextBlock:
 class _Segmenter:
     """Accumulates text into blocks while walking the DOM."""
 
+    #: Tags that put their contents "in a list" for block features.
+    _LIST_TAGS = ("ul", "ol", "li", "table")
+
     def __init__(self) -> None:
         self.blocks: list[TextBlock] = []
         self._words: list[str] = []
         self._anchor_words = 0
         self._path: list[str] = []
         self._anchor_depth = 0
+        #: Incremental mirrors of ``_path`` so flush() needs neither a
+        #: join nor a scan: the joined path per depth, and how many
+        #: open ancestors are list-ish tags.
+        self._path_strs: list[str] = [""]
+        self._list_depth = 0
+
+    def _push_block(self, tag: str) -> None:
+        self._path.append(tag)
+        joined = self._path_strs[-1]
+        self._path_strs.append(f"{joined}>{tag}" if joined else tag)
+        if tag in self._LIST_TAGS:
+            self._list_depth += 1
+
+    def _pop_block(self) -> None:
+        tag = self._path.pop()
+        self._path_strs.pop()
+        if tag in self._LIST_TAGS:
+            self._list_depth -= 1
 
     def walk(self, node: HtmlNode) -> None:
+        # Iterative DFS with explicit enter/exit entries: same event
+        # order as the natural recursion (enter, children in order,
+        # exit) without a Python frame per node.  Exit entries are only
+        # scheduled for tags with exit work: blocks (flush + path pop)
+        # and anchors (depth decrement); the two sets are disjoint.
+        # A block boundary with no words accumulated only resets the
+        # anchor counter; the inline guard skips those no-op flushes
+        # (the overwhelmingly common case).
+        stack: list[tuple[HtmlNode, bool]] = [(node, False)]
+        pop = stack.pop
+        while stack:
+            node, exiting = pop()
+            tag = node.tag
+            if exiting:
+                if tag == "a":
+                    self._anchor_depth -= 1
+                else:
+                    if self._words:
+                        self.flush()
+                    else:
+                        self._anchor_words = 0
+                    self._pop_block()
+                continue
+            if tag == "#text":
+                words = node.text.split()
+                self._words.extend(words)
+                if self._anchor_depth > 0:
+                    self._anchor_words += len(words)
+                continue
+            if tag in BLOCK_ELEMENTS:
+                if self._words:
+                    self.flush()
+                else:
+                    self._anchor_words = 0
+                self._push_block(tag)
+                stack.append((node, True))
+            elif tag == "a":
+                self._anchor_depth += 1
+                stack.append((node, True))
+            if tag not in ("script", "style") and node.children:
+                stack.extend([(child, False)
+                              for child in reversed(node.children)])
+
+    def walk_reference(self, node: HtmlNode) -> None:
+        """The pre-optimisation recursive walk, kept as the correctness
+        (and pre-optimisation benchmark) oracle for :meth:`walk`."""
         if node.is_text:
             words = node.text.split()
             self._words.extend(words)
@@ -70,30 +137,30 @@ class _Segmenter:
         is_block = node.tag in BLOCK_ELEMENTS
         if is_block:
             self.flush()
-            self._path.append(node.tag)
+            self._push_block(node.tag)
         if node.tag == "a":
             self._anchor_depth += 1
         if node.tag not in ("script", "style"):
             for child in node.children:
-                self.walk(child)
+                self.walk_reference(child)
         if node.tag == "a":
             self._anchor_depth -= 1
         if is_block:
             self.flush()
-            self._path.pop()
+            self._pop_block()
 
     def flush(self) -> None:
         if not self._words:
             self._anchor_words = 0
             return
         text = " ".join(self._words)
-        path = ">".join(self._path)
         tag = self._path[-1] if self._path else ""
         self.blocks.append(TextBlock(
             text=text, n_words=len(self._words),
-            n_anchor_words=self._anchor_words, tag_path=path,
+            n_anchor_words=self._anchor_words,
+            tag_path=self._path_strs[-1],
             is_heading=tag.startswith("h") and len(tag) == 2,
-            in_list=any(t in ("ul", "ol", "li", "table") for t in self._path)))
+            in_list=self._list_depth > 0))
         self._words = []
         self._anchor_words = 0
 
@@ -103,7 +170,28 @@ def extract_blocks(html: str, repaired: bool = False) -> list[TextBlock]:
     the caller already did)."""
     if not repaired:
         html, _report = repair_html(html)
-    tree = parse_html(html)
+    return extract_blocks_from_tree(parse_html(html))
+
+
+def extract_blocks_reference(html: str) -> list[TextBlock]:
+    """Pre-optimisation block segmentation: always re-repairs and uses
+    the recursive walk.  Oracle for :func:`extract_blocks` and the
+    baseline path of the crawl-throughput benchmark."""
+    html, _report = repair_html(html)
+    segmenter = _Segmenter()
+    segmenter.walk_reference(parse_html(html))
+    segmenter.flush()
+    return segmenter.blocks
+
+
+def extract_blocks_from_tree(tree: HtmlNode) -> list[TextBlock]:
+    """Segment an already-parsed DOM into text blocks.
+
+    The parse-once entry point: callers that also need outlinks or the
+    title can parse the repaired page a single time and feed the same
+    tree to this, :func:`~repro.crawler.parser.extract_links_from_tree`
+    and :func:`~repro.crawler.parser.extract_title_from_tree`.
+    """
     segmenter = _Segmenter()
     segmenter.walk(tree)
     segmenter.flush()
@@ -152,9 +240,29 @@ class BoilerplateDetector:
         return (curr.n_words > self.dense_curr_words
                 or next_nw > self.dense_next_words)
 
-    def extract(self, html: str) -> str:
-        """Repair, segment, classify, and join the content blocks."""
-        blocks = self.classify(extract_blocks(html))
+    def extract(self, html: str, repaired: bool = False) -> str:
+        """Repair, segment, classify, and join the content blocks.
+
+        Pass ``repaired=True`` when the markup has already been run
+        through :func:`repair_html` — historically this method always
+        re-repaired, so callers on the crawl hot path paid HTML repair
+        twice per page.
+        """
+        blocks = self.classify(extract_blocks(html, repaired=repaired))
+        return self.join_content(blocks)
+
+    def extract_from_tree(self, tree: HtmlNode) -> str:
+        """Segment, classify, and join content blocks of a parsed DOM."""
+        return self.join_content(self.classify(extract_blocks_from_tree(tree)))
+
+    def extract_reference(self, html: str) -> str:
+        """Pre-optimisation extraction (re-repair + recursive walk),
+        kept as the oracle for :meth:`extract` / :meth:`extract_from_tree`
+        and as the baseline path of the crawl-throughput benchmark."""
+        return self.join_content(self.classify(extract_blocks_reference(html)))
+
+    @staticmethod
+    def join_content(blocks: list[TextBlock]) -> str:
         return " ".join(b.text for b in blocks if b.is_content)
 
 

@@ -40,7 +40,7 @@ _COMMENT_RE = re.compile(r"<!--.*?-->", re.DOTALL)
 _DOCTYPE_RE = re.compile(r"<!DOCTYPE[^>]*>", re.IGNORECASE)
 
 
-@dataclass
+@dataclass(slots=True)
 class HtmlNode:
     """An element or text node.
 
@@ -69,10 +69,24 @@ class HtmlNode:
                 found.append(node)
         return found
 
+    def find_first(self, tag: str) -> "HtmlNode | None":
+        """First matching element in document order (early exit)."""
+        for node in self.walk():
+            if node.tag == tag:
+                return node
+        return None
+
     def walk(self) -> Iterator["HtmlNode"]:
-        yield self
-        for child in self.children:
-            yield from child.walk()
+        # Iterative preorder (same order as the natural recursion, at a
+        # fraction of the generator-frame overhead on deep trees).
+        stack = [self]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            yield node
+            children = node.children
+            if children:
+                stack.extend(reversed(children))
 
     def get_text(self, separator: str = " ") -> str:
         parts = [n.text for n in self.walk() if n.is_text and n.text.strip()]
@@ -89,13 +103,16 @@ def parse_attrs(raw: str) -> dict[str, str]:
     browser behaviour.
     """
     attrs: dict[str, str] = {}
+    if not raw or raw.isspace():
+        return attrs
     for match in _ATTR_RE.finditer(raw):
-        name = match.group("name").lower()
-        value = match.group("value") or ""
+        name, value = match.group("name", "value")
+        name = name.lower()
+        value = value or ""
         if value[:1] in ("'", '"') and value[-1:] == value[:1]:
             value = value[1:-1]
         if name not in attrs:
-            attrs[name] = unescape(value)
+            attrs[name] = unescape(value) if "&" in value else value
     return attrs
 
 
@@ -111,52 +128,67 @@ def parse_html(html: str) -> HtmlNode:
     root = HtmlNode("#root")
     stack = [root]
     position = 0
+    length = len(html)
     raw_until: str | None = None
-    while position < len(html):
+    lowered: str | None = None  # lazily lowercased once, for raw-text scans
+    find = html.find
+    tag_match = _TAG_RE.match
+    while position < length:
         if raw_until is not None:
             # Opaque script/style content: scan for the closer only.
-            closer = html.lower().find(f"</{raw_until}", position)
+            if lowered is None:
+                lowered = html.lower()
+            closer = lowered.find(f"</{raw_until}", position)
             if closer < 0:
-                closer = len(html)
+                closer = length
             text = html[position:closer]
             if text:
                 stack[-1].append(HtmlNode("#text", text=text))
-            end = html.find(">", closer)
-            position = (end + 1) if end >= 0 else len(html)
+            end = find(">", closer)
+            position = (end + 1) if end >= 0 else length
             if stack[-1].tag == raw_until and len(stack) > 1:
                 stack.pop()
             raw_until = None
             continue
-        lt = html.find("<", position)
+        lt = find("<", position)
         if lt < 0:
             _append_text(stack[-1], html[position:])
             break
         if lt > position:
             _append_text(stack[-1], html[position:lt])
-        match = _TAG_RE.match(html, lt)
+        match = tag_match(html, lt)
         if match is None:
             # A stray '<' that is not a tag: treat as text.
             _append_text(stack[-1], "<")
             position = lt + 1
             continue
         position = match.end()
-        name = match.group("name").lower()
-        if match.group("close"):
-            _close_tag(stack, name)
+        close, name, attrs, self_closing = match.group(
+            "close", "name", "attrs", "self")
+        name = name.lower()
+        if close:
+            # Common case inlined: the closer matches the innermost
+            # open element; mis-nesting falls through to _close_tag.
+            if stack[-1].tag == name and len(stack) > 1:
+                stack.pop()
+            else:
+                _close_tag(stack, name)
             continue
-        node = HtmlNode(name, attrs=parse_attrs(match.group("attrs") or ""))
-        _implicit_close(stack, name)
+        node = HtmlNode(name, attrs=parse_attrs(attrs or ""))
+        closes = _AUTO_CLOSE.get(name)
+        if closes and len(stack) > 1 and stack[-1].tag in closes:
+            stack.pop()
         stack[-1].append(node)
         if name in RAW_TEXT_ELEMENTS:
             stack.append(node)
             raw_until = name
-        elif name not in VOID_ELEMENTS and not match.group("self"):
+        elif name not in VOID_ELEMENTS and not self_closing:
             stack.append(node)
     return root
 
 
 def _append_text(parent: HtmlNode, raw: str) -> None:
-    text = unescape(raw)
+    text = unescape(raw) if "&" in raw else raw
     if text.strip():
         parent.append(HtmlNode("#text", text=text))
 
@@ -170,18 +202,20 @@ def _close_tag(stack: list[HtmlNode], name: str) -> None:
     # No matching open element: stray closer, ignored (tolerance).
 
 
+_AUTO_CLOSE = {
+    "p": {"p"},
+    "li": {"li"},
+    "tr": {"tr", "td", "th"},
+    "td": {"td", "th"},
+    "th": {"td", "th"},
+    "option": {"option"},
+}
+
+
 def _implicit_close(stack: list[HtmlNode], name: str) -> None:
     """HTML5-style implied end tags (``<p>`` closes an open ``<p>``,
     ``<li>`` closes an open ``<li>``, table cells close cells)."""
-    auto_close = {
-        "p": {"p"},
-        "li": {"li"},
-        "tr": {"tr", "td", "th"},
-        "td": {"td", "th"},
-        "th": {"td", "th"},
-        "option": {"option"},
-    }
-    closes = auto_close.get(name)
+    closes = _AUTO_CLOSE.get(name)
     if not closes:
         return
     if len(stack) > 1 and stack[-1].tag in closes:
@@ -201,16 +235,25 @@ def serialize(node: HtmlNode) -> str:
     """Serialize a tree back to well-formed HTML."""
     if node.is_text:
         return _escape_text(node.text)
-    inner = "".join(serialize(child) for child in node.children)
+    inner = "".join([serialize(child) for child in node.children])
     if node.tag == "#root":
         return inner
-    attrs = "".join(f' {k}="{_escape_attr(v)}"' for k, v in node.attrs.items())
+    if node.attrs:
+        attrs = "".join([f' {k}="{_escape_attr(v)}"'
+                         for k, v in node.attrs.items()])
+    else:
+        attrs = ""
     if node.tag in VOID_ELEMENTS:
         return f"<{node.tag}{attrs}>"
     return f"<{node.tag}{attrs}>{inner}</{node.tag}>"
 
 
+_NEEDS_ESCAPE_RE = re.compile(r"[&<>]")
+
+
 def _escape_text(text: str) -> str:
+    if _NEEDS_ESCAPE_RE.search(text) is None:
+        return text
     return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
 
 

@@ -13,7 +13,13 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from repro.html.dom import parse_html, serialize
+from html import unescape
+
+from repro.html.dom import (
+    _AUTO_CLOSE, _COMMENT_RE, _DOCTYPE_RE, _escape_text, _TAG_RE,
+    HtmlNode, parse_attrs, parse_html, RAW_TEXT_ELEMENTS, serialize,
+    VOID_ELEMENTS,
+)
 
 _UNQUOTED_ATTR_RE = re.compile(
     r"<[a-zA-Z][^<>]*?\s[a-zA-Z-]+=(?![\"'])[^\s<>\"']+")
@@ -57,7 +63,11 @@ def repair_html(html: str) -> tuple[str, RepairReport]:
 
     Pages whose parse yields almost no structure (the paper's 13 %
     "could not be transcoded" class) are flagged ``transcodable=False``
-    and returned as an empty document.
+    and returned as an empty document.  The serialize / re-parse
+    round-trip is load-bearing: re-serialization is what normalises
+    bogus markup (``< a href=...`` junk, stray ``<``), so downstream
+    extractors must parse the *repaired string*, never reuse the
+    repair's intermediate tree.
     """
     report = RepairReport(issues=detect_markup_issues(html))
     try:
@@ -72,6 +82,177 @@ def repair_html(html: str) -> tuple[str, RepairReport]:
         report.issues.append("untranscodable")
         return "<html><body></body></html>", report
     return serialize(tree), report
+
+
+class _ReparseHazard(Exception):
+    """The parse built an adjacency whose serialized form would be
+    restructured on re-parse, so the fused normalisation is unsound."""
+
+
+def _parse_normalized(html: str) -> tuple[HtmlNode, int]:
+    """Parse ``html`` into the tree ``parse_html(repair_html(html)[0])``
+    would produce, in one tokenizer pass.
+
+    The tag/stack mechanics mirror ``parse_html`` exactly; what differs
+    is how the *reparse of the serialized tree* is replayed inline:
+
+    * Text runs that ``parse_html`` would append as adjacent text nodes
+      (stray ``<``, ignored closers between runs) are buffered per open
+      element and merged into one node.  Serialize escapes each run and
+      the re-parse unescapes the concatenation; since escaping leaves no
+      naked ``&``, that round-trip is the identity on the already-
+      unescaped runs, so merging is plain concatenation of the runs
+      that individually survive the whitespace keep-check.
+    * Attribute values round-trip ``_escape_attr``/``unescape``
+      unchanged, so ``parse_attrs`` output is used as-is.
+    * Raw-text (script/style) content comes back *escaped* — the
+      re-parse never unescapes raw content — so it is appended through
+      ``_escape_text``, whitespace preserved.
+
+    Raises :class:`_ReparseHazard` for the one case re-serialization is
+    not structure-preserving: an element whose tag implicitly closes
+    its own parent (e.g. ``tr`` directly under ``tr``, which the first
+    parse can build via a single-level implicit close but a re-parse
+    would hoist).  Callers fall back to the real round-trip there.
+
+    Returns the tree plus the number of element nodes (minus the
+    ``#root``), which callers use for the transcodability screen.
+    """
+    html = _COMMENT_RE.sub("", html)
+    html = _DOCTYPE_RE.sub("", html)
+    root = HtmlNode("#root")
+    stack = [root]
+    pending: list[str] = []  # text runs of the innermost open element
+    n_elements = 0
+    position = 0
+    length = len(html)
+    raw_until: str | None = None
+    lowered: str | None = None
+    find = html.find
+    tag_match = _TAG_RE.match
+    while position < length:
+        if raw_until is not None:
+            if lowered is None:
+                lowered = html.lower()
+            closer = lowered.find(f"</{raw_until}", position)
+            if closer < 0:
+                closer = length
+            text = html[position:closer]
+            if text:
+                stack[-1].append(
+                    HtmlNode("#text", text=_escape_text(text)))
+            end = find(">", closer)
+            position = (end + 1) if end >= 0 else length
+            if stack[-1].tag == raw_until and len(stack) > 1:
+                stack.pop()
+            raw_until = None
+            continue
+        lt = find("<", position)
+        if lt < 0:
+            raw = html[position:]
+            text = unescape(raw) if "&" in raw else raw
+            if text.strip():
+                pending.append(text)
+            break
+        if lt > position:
+            raw = html[position:lt]
+            text = unescape(raw) if "&" in raw else raw
+            if text.strip():
+                pending.append(text)
+        match = tag_match(html, lt)
+        if match is None:
+            # A stray '<' that is not a tag: text, merged into the run.
+            pending.append("<")
+            position = lt + 1
+            continue
+        position = match.end()
+        close, name, attrs, self_closing = match.group(
+            "close", "name", "attrs", "self")
+        name = name.lower()
+        if close:
+            # Text merging means a pop must flush the closed element's
+            # buffered run first — and an ignored stray closer must NOT
+            # flush, so the runs around it merge like the reparse would.
+            if stack[-1].tag == name and len(stack) > 1:
+                if pending:
+                    _flush_pending(stack[-1], pending)
+                stack.pop()
+            else:
+                for depth in range(len(stack) - 1, 0, -1):
+                    if stack[depth].tag == name:
+                        if pending:
+                            _flush_pending(stack[-1], pending)
+                        del stack[depth:]
+                        break
+            continue
+        if pending:
+            _flush_pending(stack[-1], pending)
+        node = HtmlNode(name, attrs=parse_attrs(attrs or ""))
+        n_elements += 1
+        closes = _AUTO_CLOSE.get(name)
+        if closes:
+            if len(stack) > 1 and stack[-1].tag in closes:
+                stack.pop()
+            if stack[-1].tag in closes:
+                raise _ReparseHazard(name)
+        stack[-1].append(node)
+        if name in RAW_TEXT_ELEMENTS:
+            stack.append(node)
+            raw_until = name
+        elif name not in VOID_ELEMENTS and not self_closing:
+            stack.append(node)
+    if pending:
+        _flush_pending(stack[-1], pending)
+    return root, n_elements
+
+
+def _flush_pending(parent: HtmlNode, pending: list[str]) -> None:
+    parent.append(HtmlNode("#text", text="".join(pending)))
+    pending.clear()
+
+
+def repair_document(html: str) -> tuple[HtmlNode, RepairReport]:
+    """Repair markup and return the normalised DOM in one parse.
+
+    Behaviourally identical to ``parse_html(repair_html(html)[0])`` —
+    the tree every shared-tree extractor expects — but built in a
+    single tokenizer pass by :func:`_parse_normalized`.  Falls back to
+    the real parse / serialize / re-parse round-trip on the rare
+    adjacency the fused pass cannot normalise soundly.
+    """
+    report = RepairReport(issues=detect_markup_issues(html))
+    try:
+        tree, n_elements = _parse_normalized(html)
+    except _ReparseHazard:
+        return _repair_roundtrip(html, report)
+    except RecursionError:  # pathological nesting depth
+        report.transcodable = False
+        report.issues.append("untranscodable")
+        return parse_html("<html><body></body></html>"), report
+    # Same predicate as repair_html ("≤ 1 element and long input"); the
+    # fused pass counted elements as it appended them, #root excluded.
+    if n_elements == 0 and len(html) > 200:
+        report.transcodable = False
+        report.issues.append("untranscodable")
+        return parse_html("<html><body></body></html>"), report
+    return tree, report
+
+
+def _repair_roundtrip(html: str,
+                      report: RepairReport) -> tuple[HtmlNode, RepairReport]:
+    """The literal two-pass repair, for reparse-hazard pages."""
+    try:
+        tree = parse_html(html)
+    except RecursionError:
+        report.transcodable = False
+        report.issues.append("untranscodable")
+        return parse_html("<html><body></body></html>"), report
+    n_elements = sum(1 for node in tree.walk() if not node.is_text)
+    if n_elements <= 1 and len(html) > 200:
+        report.transcodable = False
+        report.issues.append("untranscodable")
+        return parse_html("<html><body></body></html>"), report
+    return parse_html(serialize(tree)), report
 
 
 def strip_markup(html: str) -> str:

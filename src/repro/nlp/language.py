@@ -10,11 +10,30 @@ package.
 from __future__ import annotations
 
 from collections import Counter
+from itertools import islice
+from operator import itemgetter
 
 _PROFILE_SIZE = 300
 
 
 def _ngrams(text: str, n: int = 3) -> Counter:
+    """Character n-gram counts of the whitespace-normalised text.
+
+    Counts in C via ``Counter(iterable)``; the gram stream visits the
+    same positions in the same order as a manual slicing loop, so the
+    counter's contents *and insertion order* (which ``most_common`` tie
+    -breaking depends on) match :func:`_ngrams_reference` exactly.
+    """
+    padded = f" {' '.join(text.lower().split())} "
+    if n == 3:
+        return Counter(map("".join, zip(padded, islice(padded, 1, None),
+                                        islice(padded, 2, None))))
+    return Counter([padded[i:i + n] for i in range(len(padded) - n + 1)])
+
+
+def _ngrams_reference(text: str, n: int = 3) -> Counter:
+    """Direct slicing-loop implementation kept as the correctness (and
+    pre-optimisation benchmark) oracle for :func:`_ngrams`."""
     padded = f" {' '.join(text.lower().split())} "
     counts: Counter = Counter()
     for i in range(len(padded) - n + 1):
@@ -23,7 +42,25 @@ def _ngrams(text: str, n: int = 3) -> Counter:
     return counts
 
 
+_BY_COUNT = itemgetter(1)
+
+
 def _rank_profile(counts: Counter, size: int = _PROFILE_SIZE) -> dict[str, int]:
+    """Top-``size`` grams ranked by count.
+
+    ``sorted(..., reverse=True)[:size]`` is the documented equivalent
+    of ``Counter.most_common(size)`` (``heapq.nlargest``) including tie
+    order, and is measurably faster at profile sizes; see
+    :func:`_rank_profile_reference`.
+    """
+    ranked = sorted(counts.items(), key=_BY_COUNT, reverse=True)[:size]
+    return {gram: rank for rank, (gram, _c) in enumerate(ranked)}
+
+
+def _rank_profile_reference(counts: Counter,
+                            size: int = _PROFILE_SIZE) -> dict[str, int]:
+    """``most_common``-based implementation kept as the correctness
+    (and pre-optimisation benchmark) oracle for :func:`_rank_profile`."""
     ranked = [g for g, _c in counts.most_common(size)]
     return {gram: rank for rank, gram in enumerate(ranked)}
 
@@ -34,20 +71,74 @@ class LanguageIdentifier:
     def __init__(self, profile_size: int = _PROFILE_SIZE) -> None:
         self.profile_size = profile_size
         self._profiles: dict[str, dict[str, int]] = {}
+        #: gram -> per-language rank row (penalty where absent), rebuilt
+        #: lazily after :meth:`train`; lets :meth:`detect` score every
+        #: language in one pass over the document grams.
+        self._rank_table: dict[str, tuple[int, ...]] | None = None
 
     def train(self, language: str, text: str) -> None:
         self._profiles[language] = _rank_profile(
             _ngrams(text), self.profile_size)
+        self._rank_table = None
 
     @property
     def languages(self) -> list[str]:
         return sorted(self._profiles)
 
+    def _ensure_rank_table(self) -> dict[str, tuple[int, ...]]:
+        if self._rank_table is None:
+            penalty = self.profile_size
+            grams = {g for profile in self._profiles.values()
+                     for g in profile}
+            self._rank_table = {
+                gram: tuple(profile.get(gram, penalty)
+                            for profile in self._profiles.values())
+                for gram in grams}
+        return self._rank_table
+
     def detect(self, text: str) -> str:
-        """Return the closest language ('' when untrained or empty text)."""
+        """Return the closest language ('' when untrained or empty text).
+
+        Sums the out-of-place distances for *all* languages in a single
+        pass over the document profile via the merged rank table; the
+        arithmetic (integer sums, one final division) and the
+        first-strictly-smaller tie-breaking over profile insertion
+        order match :meth:`detect_reference` bit for bit.
+        """
         if not self._profiles or not text.strip():
             return ""
         document_profile = _rank_profile(_ngrams(text), self.profile_size)
+        table = self._ensure_rank_table()
+        penalty = self.profile_size
+        n_languages = len(self._profiles)
+        totals = [0] * n_languages
+        miss = 0
+        for gram, rank in document_profile.items():
+            rows = table.get(gram)
+            if rows is None:
+                # Absent from every profile: identical penalty - rank
+                # contribution for each language (rank < penalty always).
+                miss += penalty - rank
+            else:
+                for j in range(n_languages):
+                    totals[j] += abs(rows[j] - rank)
+        scale = max(1, len(document_profile))
+        best_language = ""
+        best_distance = float("inf")
+        for j, language in enumerate(self._profiles):
+            distance = (totals[j] + miss) / scale
+            if distance < best_distance:
+                best_distance = distance
+                best_language = language
+        return best_language
+
+    def detect_reference(self, text: str) -> str:
+        """Direct per-language implementation kept as the correctness
+        (and pre-optimisation benchmark) oracle for :meth:`detect`."""
+        if not self._profiles or not text.strip():
+            return ""
+        document_profile = _rank_profile_reference(
+            _ngrams_reference(text), self.profile_size)
         best_language = ""
         best_distance = float("inf")
         for language, profile in self._profiles.items():

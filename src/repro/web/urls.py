@@ -7,6 +7,7 @@ normalization for deduplication).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from urllib.parse import urljoin, urlsplit, urlunsplit
 
 
@@ -31,11 +32,14 @@ def domain_of(url: str) -> str:
     return ".".join(labels[-2:])
 
 
+@lru_cache(maxsize=65536)
 def normalize(url: str) -> str:
     """Canonical form for deduplication.
 
     Lower-cases scheme and host, drops fragments, removes default
     ports, and collapses a lone trailing slash on the root path.
+    Memoized (pure function of its argument): a crawl normalizes the
+    same navigation and seed URLs over and over.
     """
     scheme, netloc, path, query, _fragment = urlsplit(url)
     scheme = scheme.lower()
@@ -50,7 +54,15 @@ def normalize(url: str) -> str:
 
 
 def resolve(base: str, link: str) -> str:
-    """Resolve a (possibly relative) link against a base URL."""
+    """Resolve a (possibly relative) link against a base URL.
+
+    For already-absolute lowercase-scheme links, ``urljoin`` is the
+    identity (it neither collapses dot segments nor rewrites anything
+    when the reference carries its own scheme and netloc), so the join
+    is skipped.
+    """
+    if link.startswith(("http://", "https://")):
+        return normalize(link)
     return normalize(urljoin(base, link))
 
 
