@@ -11,13 +11,16 @@ guarantees:
   worker counts; identical modulo the ``title`` metadata for the
   legacy pipeline, which never extracted titles);
 * the per-stage page counters are deterministic across modes;
+* enabling the observability subsystem (metrics + tracing,
+  docs/observability.md) never changes the crawl output, and outside
+  smoke mode costs <= 5% wall-clock;
 * outside smoke mode, both the sequential and the 4-worker crawl beat
   the pre-change pipeline by >= 2x wall-clock.
 
 Writes repo-root ``BENCH_crawl.json`` — the committed evidence for the
 speedup.  ``BENCH_SMOKE=1`` shrinks the crawl for CI, writes the
 artifact under ``benchmarks/out/`` instead, and skips the ratio
-assertion (smoke boxes are too noisy to gate on wall-clock).
+assertions (smoke boxes are too noisy to gate on wall-clock).
 """
 
 import json
@@ -33,7 +36,9 @@ import repro.crawler.crawl as crawl_module
 from repro.core.experiment import default_context
 from repro.crawler.checkpoint import result_to_dict
 from repro.crawler.crawl import CrawlConfig, FocusedCrawler
-from repro.web.server import SimulatedWeb
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.web.server import SimulatedClock, SimulatedWeb
 
 SMOKE = bool(os.environ.get("BENCH_SMOKE"))
 WEB_SEED = 29
@@ -54,19 +59,25 @@ def crawl_ctx(ctx):
                            crawl_pages=4000, seed_scale=15)
 
 
-def _run_crawl(context, seeds, workers, legacy=False):
+def _run_crawl(context, seeds, workers, legacy=False, observed=False):
     """One timed crawl; returns (result, wall_seconds).
 
     The legacy mode swaps the preserved pre-change document stage into
     the coordinator (sequential only — the old pipeline predates the
-    worker pool).  Web, frontier, and filter chain are rebuilt per run
-    so no state leaks between modes.
+    worker pool).  ``observed`` attaches the full observability
+    subsystem (metrics registry + simulated-clock tracer).  Web,
+    frontier, and filter chain are rebuilt per run so no state leaks
+    between modes.
     """
     web = SimulatedWeb(context.webgraph, seed=WEB_SEED)
     config = CrawlConfig(max_pages=MAX_PAGES, batch_size=BATCH_SIZE,
                          parallel_workers=workers)
+    clock = SimulatedClock()
+    metrics = MetricsRegistry() if observed else None
+    tracer = Tracer(clock=lambda: clock.now) if observed else None
     crawler = FocusedCrawler(web, context.pipeline.classifier,
-                             context.build_filter_chain(), config)
+                             context.build_filter_chain(), config,
+                             clock=clock, metrics=metrics, tracer=tracer)
     original = crawl_module.process_document
     if legacy:
         crawl_module.process_document = legacy_process_document
@@ -93,13 +104,17 @@ def _strip_titles(result):
 def test_crawl_throughput(crawl_ctx, benchmark):
     seeds = crawl_ctx.seed_batch("second").urls
     crawl_ctx.pipeline.classifier.precompute()
-    modes = [("legacy", 1, True), ("sequential", 1, False)]
-    modes += [(f"workers{n}", n, False) for n in WORKER_COUNTS]
+    modes = [("legacy", 1, True, False), ("sequential", 1, False, False)]
+    modes += [(f"workers{n}", n, False, False) for n in WORKER_COUNTS]
+    modes += [("sequential+obs", 1, False, True)]
+    modes += [(f"workers{n}+obs", n, False, True)
+              for n in WORKER_COUNTS]
     runs = {}
 
     def sweep():
-        for name, workers, legacy in modes:
-            runs[name] = _run_crawl(crawl_ctx, seeds, workers, legacy)
+        for name, workers, legacy, observed in modes:
+            runs[name] = _run_crawl(crawl_ctx, seeds, workers, legacy,
+                                    observed)
         return runs
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)
@@ -109,10 +124,15 @@ def test_crawl_throughput(crawl_ctx, benchmark):
     if not SMOKE:
         assert sequential_result.pages_fetched >= 2000
 
-    # Parallelism never changes the crawl, only the wall-clock.
+    # Parallelism never changes the crawl, only the wall-clock — and
+    # neither does enabling metrics/tracing, at any worker count.
     sequential_payload = result_to_dict(sequential_result)
     for n in WORKER_COUNTS:
         assert result_to_dict(runs[f"workers{n}"][0]) == sequential_payload
+    assert result_to_dict(runs["sequential+obs"][0]) == sequential_payload
+    for n in WORKER_COUNTS:
+        assert (result_to_dict(runs[f"workers{n}+obs"][0])
+                == sequential_payload)
     # The pre-change pipeline computed the same crawl, minus titles.
     assert _strip_titles(legacy_result) == _strip_titles(sequential_result)
     # Per-stage page counters are deterministic; wall-time per stage is
@@ -128,7 +148,7 @@ def test_crawl_throughput(crawl_ctx, benchmark):
         "pages_fetched": sequential_result.pages_fetched,
     }, "modes": {}}
     rows = []
-    for name, _workers, _legacy in modes:
+    for name, _workers, _legacy, _observed in modes:
         result, wall = runs[name]
         speedup = legacy_wall / wall
         results["modes"][name] = {
@@ -143,6 +163,11 @@ def test_crawl_throughput(crawl_ctx, benchmark):
                      f"{result.pages_fetched / wall:,.0f}",
                      f"{speedup:.2f}x"])
 
+    overheads = {
+        base: round(runs[f"{base}+obs"][1] / runs[base][1], 3)
+        for base in ["sequential"] + [f"workers{n}" for n in WORKER_COUNTS]}
+    results["observability_overhead"] = overheads
+
     out_path = (Path(__file__).resolve().parent / "out" / "BENCH_crawl.json"
                 if SMOKE else BENCH_PATH)
     out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -152,9 +177,15 @@ def test_crawl_throughput(crawl_ctx, benchmark):
     lines.append("identical crawl output in every mode "
                  "(legacy modulo titles); per-stage breakdown in "
                  f"{out_path.name}")
+    lines.append("observability overhead (metrics+trace on / off): "
+                 + ", ".join(f"{base} {ratio:.3f}x"
+                             for base, ratio in overheads.items()))
     write_report("crawl_throughput", "Crawl throughput — legacy vs "
                  "parse-once vs parallel workers", lines)
 
     if not SMOKE:
         assert results["modes"]["sequential"]["speedup_vs_legacy"] >= 2.0
         assert results["modes"]["workers4"]["speedup_vs_legacy"] >= 2.0
+        # Observability must stay within the <= 5% overhead budget.
+        assert overheads["sequential"] <= 1.05
+        assert overheads["workers4"] <= 1.05

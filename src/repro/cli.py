@@ -8,9 +8,13 @@ Subcommands cover the main workflows:
   engine (sequential / threads / fused / fused-processes);
 * ``repro scalability`` — the simulated-cluster sweeps (Figs. 4-5);
 * ``repro seeds``       — seed generation statistics (Table 1);
-* ``repro facts``       — crawl, extract, and export a fact database.
+* ``repro facts``       — crawl, extract, and export a fact database;
+* ``repro report``      — render an exported metrics/trace file back
+  into the human-readable crawl summary (docs/observability.md).
 
-All commands are deterministic given ``--seed``.
+All commands are deterministic given ``--seed``; ``crawl`` and
+``flow`` accept ``--metrics-out``/``--trace`` to export observability
+data without perturbing results.
 """
 
 from __future__ import annotations
@@ -55,6 +59,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="hard-exit (os._exit 9) after N fetched "
                             "pages — crash-safety testing")
+    crawl.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="export deterministic crawl metrics as "
+                            "JSON lines (byte-identical at any "
+                            "--workers count)")
+    crawl.add_argument("--trace", default=None, metavar="PATH",
+                       help="export batch/fetch/document/merge spans "
+                            "as JSON lines (timed on the simulated "
+                            "clock, so also worker-count invariant)")
 
     analyze = subparsers.add_parser(
         "analyze", help="content analysis of the four corpora")
@@ -85,6 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
                            " (default: exact search)")
     flow.add_argument("--report", default=None, metavar="PATH",
                       help="write the execution report as JSON")
+    flow.add_argument("--metrics-out", default=None, metavar="PATH",
+                      help="export per-stage metrics (including "
+                           "volatile wall-clock timings) as JSON lines")
+    flow.add_argument("--trace", default=None, metavar="PATH",
+                      help="export per-stage execution spans as JSON "
+                           "lines")
 
     subparsers.add_parser("scalability",
                           help="simulated-cluster scale-out/up sweeps")
@@ -98,6 +116,13 @@ def build_parser() -> argparse.ArgumentParser:
     facts.add_argument("--out", default="facts",
                        help="output directory (default ./facts)")
     facts.add_argument("--pages", type=int, default=400)
+
+    report = subparsers.add_parser(
+        "report", help="render an exported metrics file as a summary")
+    report.add_argument("metrics", metavar="METRICS",
+                        help="metrics JSON-lines file (--metrics-out)")
+    report.add_argument("--trace", default=None, metavar="PATH",
+                        help="trace JSON-lines file to summarize too")
     return parser
 
 
@@ -123,7 +148,9 @@ def cmd_crawl(args) -> int:
 
     from repro.crawler.checkpoint import ResumableCrawl
     from repro.crawler.crawl import CrawlConfig, FocusedCrawler
-    from repro.web.server import SimulatedWeb
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+    from repro.web.server import SimulatedClock, SimulatedWeb
 
     ctx = _context(args, n_hosts=args.hosts, crawl_pages=args.pages)
     faults = _parse_faults(args.faults, seed=args.seed)
@@ -136,8 +163,15 @@ def cmd_crawl(args) -> int:
         # batch size with the requested cadence so they actually fire.
         config.batch_size = min(config.batch_size,
                                 max(1, args.checkpoint_every))
+    clock = SimulatedClock()
+    metrics = MetricsRegistry() if args.metrics_out else None
+    # Spans are timed on the simulated clock, which makes the trace a
+    # deterministic function of the crawl — identical at any worker
+    # count and across kill/resume.
+    tracer = Tracer(clock=lambda: clock.now) if args.trace else None
     crawler = FocusedCrawler(
-        web, ctx.pipeline.classifier, ctx.build_filter_chain(), config)
+        web, ctx.pipeline.classifier, ctx.build_filter_chain(), config,
+        clock=clock, metrics=metrics, tracer=tracer)
     seeds = ctx.seed_batch("second").urls
     kill_after = args.kill_after
 
@@ -158,6 +192,8 @@ def cmd_crawl(args) -> int:
                                page_callback=page_callback)
     else:
         result = crawler.crawl(seeds, page_callback=page_callback)
+    from repro.obs.report import format_failures, format_stage_breakdown
+
     print(f"fetched {result.pages_fetched} pages in "
           f"{result.clock_seconds:.0f} simulated seconds "
           f"({result.download_rate:.1f} docs/s)")
@@ -169,26 +205,20 @@ def cmd_crawl(args) -> int:
     if result.stage_seconds:
         mode = (f"{args.workers} workers" if args.workers > 1
                 else "sequential")
-        print(f"stage breakdown ({mode}; seconds are worker-attributed "
-              "wall time):")
-        for stage in ("fetch", "filters", "repair", "parse",
-                      "boilerplate", "classify"):
-            if stage not in result.stage_pages:
-                continue
-            pages = result.stage_pages[stage]
-            seconds = result.stage_seconds.get(stage, 0.0)
-            rate = pages / seconds if seconds > 0 else 0.0
-            print(f"  {stage:<12} {pages:>6} pages  {seconds:>8.3f} s  "
-                  f"{rate:>9.0f} pages/s")
-    if result.failure_reasons:
-        reasons = ", ".join(
-            f"{reason} {count}" for reason, count
-            in sorted(result.failure_reasons.items()))
-        print(f"failures by reason: {reasons}")
-        print(f"fetch failures {result.fetch_failures} | "
-              f"retries {result.retries} | "
-              f"hosts quarantined {result.hosts_quarantined}")
+        for line in format_stage_breakdown(result.stage_pages,
+                                           result.stage_seconds, mode=mode):
+            print(line)
+    for line in format_failures(result.failure_reasons,
+                                result.fetch_failures, result.retries,
+                                result.hosts_quarantined):
+        print(line)
     print(f"stop reason: {result.stop_reason}")
+    if metrics is not None:
+        path = metrics.write_jsonl(args.metrics_out)
+        print(f"wrote metrics: {path}")
+    if tracer is not None:
+        path = tracer.write_jsonl(args.trace)
+        print(f"wrote trace: {path}")
     return 0
 
 
@@ -238,11 +268,21 @@ def cmd_flow(args) -> int:
         document.meta.update({"url": url, "content_type": "text/html"})
         documents.append(document)
     dop = args.dop or os.cpu_count() or 1
+    metrics = tracer = None
+    if args.metrics_out:
+        from repro.obs.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+    if args.trace:
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
     executor = make_executor(args.mode, dop=dop,
-                             batch_size=args.batch_size)
+                             batch_size=args.batch_size,
+                             metrics=metrics, tracer=tracer)
     plan = build_fig2_flow(ctx.pipeline)
     outputs, report = executor.execute(plan, documents)
-    flushed = flush_annotation_caches(plan)
+    flushed = flush_annotation_caches(plan, metrics=metrics)
     print(f"mode {report.mode} (dop {report.dop}) | "
           f"{len(documents)} documents in {report.total_seconds:.2f} s "
           f"({report.total_records_per_second:.1f} docs/s)")
@@ -265,6 +305,14 @@ def cmd_flow(args) -> int:
 
         Path(args.report).write_text(report.to_json())
         print(f"wrote report: {args.report}")
+    if metrics is not None:
+        # Flow timings are the point here, so include the volatile
+        # wall-clock metrics (this export is NOT run-to-run stable).
+        path = metrics.write_jsonl(args.metrics_out, include_volatile=True)
+        print(f"wrote metrics: {path}")
+    if tracer is not None:
+        path = tracer.write_jsonl(args.trace)
+        print(f"wrote trace: {path}")
     return 0
 
 
@@ -324,6 +372,14 @@ def cmd_facts(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    from repro.obs.report import render_report
+
+    for line in render_report(args.metrics, trace_path=args.trace):
+        print(line)
+    return 0
+
+
 _COMMANDS = {
     "crawl": cmd_crawl,
     "analyze": cmd_analyze,
@@ -331,6 +387,7 @@ _COMMANDS = {
     "scalability": cmd_scalability,
     "seeds": cmd_seeds,
     "facts": cmd_facts,
+    "report": cmd_report,
 }
 
 

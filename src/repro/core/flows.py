@@ -19,6 +19,8 @@ from repro.dataflow.executor import ExecutionReport, LocalExecutor
 from repro.dataflow.fusion import StreamingExecutor
 from repro.dataflow.packages import make_operator
 from repro.dataflow.plan import LogicalPlan
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 
 #: Physical execution modes (docs/dataflow.md, "Physical execution").
 EXECUTION_MODES = ("sequential", "threads", "fused", "fused-threads",
@@ -168,6 +170,8 @@ def build_entity_flow(pipeline: TextAnalyticsPipeline,
 
 def make_executor(mode: str = "sequential", dop: int = 1,
                   batch_size: int = 32,
+                  metrics: MetricsRegistry | None = None,
+                  tracer: Tracer | None = None,
                   ) -> LocalExecutor | StreamingExecutor:
     """Executor factory for the physical execution modes.
 
@@ -175,39 +179,51 @@ def make_executor(mode: str = "sequential", dop: int = 1,
     :class:`LocalExecutor`; the ``fused*`` modes use the
     :class:`StreamingExecutor`, which pipelines fused operator chains
     and (for ``fused-processes``) escapes the GIL via a fork pool.
-    All modes produce byte-identical sink outputs.
+    All modes produce byte-identical sink outputs.  ``metrics`` and
+    ``tracer`` attach the observability subsystem (docs/observability.md);
+    execution results are unchanged either way.
     """
     if mode == "sequential":
-        return LocalExecutor()
+        return LocalExecutor(metrics=metrics, tracer=tracer)
     if mode == "threads":
-        return LocalExecutor(dop=dop, use_threads=True)
+        return LocalExecutor(dop=dop, use_threads=True,
+                             metrics=metrics, tracer=tracer)
     if mode == "fused":
-        return StreamingExecutor(batch_size=batch_size)
+        return StreamingExecutor(batch_size=batch_size,
+                                 metrics=metrics, tracer=tracer)
     if mode == "fused-threads":
         return StreamingExecutor(dop=dop, use_threads=True,
-                                 batch_size=batch_size)
+                                 batch_size=batch_size,
+                                 metrics=metrics, tracer=tracer)
     if mode == "fused-processes":
         return StreamingExecutor(dop=dop, use_processes=True,
-                                 batch_size=batch_size)
+                                 batch_size=batch_size,
+                                 metrics=metrics, tracer=tracer)
     raise ValueError(f"unknown execution mode {mode!r}; "
                      f"expected one of {EXECUTION_MODES}")
 
 
 def run_flow(plan: LogicalPlan, records: Sequence[Any],
              mode: str = "fused", dop: int = 1, batch_size: int = 32,
+             metrics: MetricsRegistry | None = None,
+             tracer: Tracer | None = None,
              ) -> tuple[dict[str, list[Any]], ExecutionReport]:
     """Execute any flow plan with the chosen physical mode.
 
     Annotation caches attached to the plan's operators are flushed to
-    disk after the run, so the next (cold) process starts warm.
+    disk after the run, so the next (cold) process starts warm.  When a
+    ``metrics`` registry is attached, per-stage stats and the cache
+    flush are mirrored onto it.
     """
-    result = make_executor(mode, dop=dop,
-                           batch_size=batch_size).execute(plan, records)
-    flush_annotation_caches(plan)
+    result = make_executor(mode, dop=dop, batch_size=batch_size,
+                           metrics=metrics,
+                           tracer=tracer).execute(plan, records)
+    flush_annotation_caches(plan, metrics=metrics)
     return result
 
 
-def flush_annotation_caches(plan: LogicalPlan) -> int:
+def flush_annotation_caches(plan: LogicalPlan,
+                            metrics: MetricsRegistry | None = None) -> int:
     """Persist every annotation cache attached to the plan's operators;
     returns the number of dirty shard files written."""
     written = 0
@@ -217,6 +233,8 @@ def flush_annotation_caches(plan: LogicalPlan) -> int:
         if cache is not None and id(cache) not in seen:
             seen.add(id(cache))
             written += cache.flush()
+            if metrics is not None:
+                cache.publish_metrics(metrics)
     return written
 
 

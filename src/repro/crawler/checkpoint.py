@@ -38,7 +38,11 @@ from repro.web.robots import RobotsPolicy
 #: (``stage_pages``).  Older payloads still load (missing fields
 #: default).  Per-stage *seconds* are deliberately not checkpointed:
 #: they are wall-clock observability, meaningless across process
-#: restarts, and excluded from resume-equivalence guarantees.
+#: restarts, and excluded from resume-equivalence guarantees.  The
+#: crawler-state section may carry an optional ``obs`` subsection
+#: (deterministic metrics + finished trace spans) when observability
+#: is attached; its absence is always valid, so the version is
+#: unchanged.
 FORMAT_VERSION = 3
 
 
@@ -129,8 +133,16 @@ def result_from_dict(payload: dict) -> CrawlResult:
 def crawler_state_to_dict(crawler: FocusedCrawler) -> dict:
     """Runtime state a resumed crawler needs to behave identically:
     politeness schedule, robots cache (a re-fetch would cost clock
-    time), circuit breakers, and filter attrition counters."""
-    return {
+    time), circuit breakers, and filter attrition counters.
+
+    When observability is attached, the *deterministic* metrics and
+    the finished trace spans are included too, so a resumed crawl's
+    exports stay byte-identical to an uninterrupted run's.  Volatile
+    metrics (wall-clock, pool attribution) are deliberately dropped —
+    they are meaningless across process restarts, same as
+    ``CrawlResult.stage_seconds``.
+    """
+    payload = {
         "host_ready": dict(crawler._host_ready),
         "robots": {host: {"disallow": list(policy.disallow),
                           "allow": list(policy.allow),
@@ -140,6 +152,14 @@ def crawler_state_to_dict(crawler: FocusedCrawler) -> dict:
         "filters": {name: [stats.accepted, stats.rejected]
                     for name, stats in crawler.filters.stats.items()},
     }
+    obs = {}
+    if crawler.metrics is not None:
+        obs["metrics"] = crawler.metrics.to_dict()
+    if crawler.tracer is not None:
+        obs["trace"] = crawler.tracer.state_dict()
+    if obs:
+        payload["obs"] = obs
+    return payload
 
 
 def restore_crawler_state(crawler: FocusedCrawler, payload: dict) -> None:
@@ -155,6 +175,11 @@ def restore_crawler_state(crawler: FocusedCrawler, payload: dict) -> None:
             stats = crawler.filters.stats[name]
             stats.accepted = accepted
             stats.rejected = rejected
+    obs = payload.get("obs", {})
+    if crawler.metrics is not None and "metrics" in obs:
+        crawler.metrics.load_dict(obs["metrics"])
+    if crawler.tracer is not None and "trace" in obs:
+        crawler.tracer.load_state(obs["trace"])
 
 
 @dataclass

@@ -51,9 +51,16 @@ from repro.crawler.robust import (
 )
 from repro.dataflow.fusion import fork_start_available
 from repro.html.boilerplate import BoilerplateDetector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, maybe_span
 from repro.web.robots import RobotsPolicy, parse_robots
 from repro.web.server import FetchResult, SimulatedClock, SimulatedWeb
 from repro.web.urls import host_of
+
+#: Bucket layout for simulated-time fetch/backoff histograms.  Fixed
+#: here (not per-call) so exports always merge exactly.
+SIM_SECONDS_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+                       30.0, 60.0)
 
 
 @dataclass
@@ -168,7 +175,9 @@ class FocusedCrawler:
     def __init__(self, web: SimulatedWeb, classifier: NaiveBayesClassifier,
                  filters: FilterChain, config: CrawlConfig | None = None,
                  boilerplate: BoilerplateDetector | None = None,
-                 clock: SimulatedClock | None = None) -> None:
+                 clock: SimulatedClock | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         self.web = web
         self.classifier = classifier
         self.filters = filters
@@ -176,8 +185,21 @@ class FocusedCrawler:
         self.boilerplate = boilerplate or BoilerplateDetector()
         self.clock = clock or SimulatedClock()
         self.health = HostHealth(config=self.config.breaker)
+        #: Optional observability (docs/observability.md).  Recording
+        #: only ever *reads* crawl state, so enabling metrics/tracing
+        #: never changes any crawl output; every deterministic metric
+        #: is accumulated on the coordinator in batch order, so exports
+        #: are byte-identical at any worker count.
+        self.metrics = metrics
+        self.tracer = tracer
+        if metrics is not None:
+            self.health.observe(self._breaker_event)
         self._robots_cache: dict[str, RobotsPolicy] = {}
         self._host_ready: dict[str, float] = {}
+
+    def _breaker_event(self, host: str, event: str) -> None:
+        self.metrics.counter("crawl.breaker_transitions", host=host,
+                             event=event).inc()
 
     # -- public API -----------------------------------------------------------
 
@@ -264,7 +286,8 @@ class FocusedCrawler:
                                                None)):
             if hasattr(model, "precompute"):
                 model.precompute()
-        return CrawlWorkerPool(workers, self._processing_context())
+        return CrawlWorkerPool(workers, self._processing_context(),
+                               metrics=self.metrics)
 
     def _processing_context(self) -> ProcessingContext:
         return ProcessingContext(boilerplate=self.boilerplate,
@@ -276,6 +299,11 @@ class FocusedCrawler:
         result.clock_seconds = self.clock.now - crawl_start
         result.filter_attrition = self.filters.attrition_report()
         result.hosts_quarantined = self.health.quarantined_hosts
+        if self.metrics is not None:
+            self.metrics.gauge("crawl.clock_seconds").set(
+                result.clock_seconds)
+            self.metrics.gauge("crawl.hosts_quarantined").set(
+                result.hosts_quarantined)
 
     # -- one batch ---------------------------------------------------------------
 
@@ -284,44 +312,70 @@ class FocusedCrawler:
                    page_callback: Callable[[CrawlResult], None] | None,
                    ) -> None:
         """Fetch sequentially, process the pure document stage (inline
-        or fanned out), and merge state updates in batch order."""
+        or fanned out), and merge state updates in batch order.
+
+        The phase spans are timed on the *simulated* clock (when a
+        tracer is attached via :attr:`tracer` with ``clock=lambda:
+        crawler.clock.now``), which only advances during the fetch
+        phase — so the exported trace is identical for the sequential
+        and the pooled document stage even though the sequential loop
+        interleaves document processing with merging.
+        """
         config = self.config
-        outcomes: list[_FetchOutcome] = []
-        fetched = 0
-        for index, entry in enumerate(batch):
-            if result.pages_fetched + fetched >= config.max_pages:
-                # Budget hit mid-batch: the leftovers survive into
-                # the frontier (and any checkpoint) instead of
-                # being dropped.
-                frontier.requeue_front(batch[index:])
-                batch = batch[:index]
-                break
-            outcome = self._fetch_entry(entry)
-            if outcome.kind == "fetched":
-                fetched += 1
-            outcomes.append(outcome)
-        documents: dict[int, DocumentOutcome] = {}
-        if pool is not None:
-            tasks: list[PageTask] = [
-                (index, outcome.fetch.url, outcome.fetch.body,
-                 outcome.fetch.content_type)
-                for index, outcome in enumerate(outcomes)
-                if outcome.kind == "fetched" and outcome.reason is None]
-            documents = pool.process_batch(tasks)
-        context = self._processing_context() if pool is None else None
-        for index, (entry, outcome) in enumerate(zip(batch, outcomes)):
-            document = documents.get(index)
-            if (document is None and context is not None
-                    and outcome.kind == "fetched"
-                    and outcome.reason is None):
-                # Sequential document stage, interleaved with merging
-                # so online-learning updates stay ordered.
-                fetch = outcome.fetch
-                document = process_document(fetch.url, fetch.body,
-                                            fetch.content_type, context)
-            self._merge_entry(entry, outcome, document, frontier, result)
-            if page_callback is not None:
-                page_callback(result)
+        if self.metrics is not None:
+            self.metrics.counter("crawl.batches").inc()
+        with maybe_span(self.tracer, "crawl.batch") as batch_span:
+            outcomes: list[_FetchOutcome] = []
+            fetched = 0
+            with maybe_span(self.tracer, "crawl.fetch") as fetch_span:
+                for index, entry in enumerate(batch):
+                    if result.pages_fetched + fetched >= config.max_pages:
+                        # Budget hit mid-batch: the leftovers survive
+                        # into the frontier (and any checkpoint)
+                        # instead of being dropped.
+                        frontier.requeue_front(batch[index:])
+                        batch = batch[:index]
+                        break
+                    outcome = self._fetch_entry(entry)
+                    if outcome.kind == "fetched":
+                        fetched += 1
+                    outcomes.append(outcome)
+                fetch_span.set(entries=len(batch), fetched=fetched)
+            n_documents = sum(
+                1 for outcome in outcomes
+                if outcome.kind == "fetched" and outcome.reason is None)
+            documents: dict[int, DocumentOutcome] = {}
+            with maybe_span(self.tracer, "crawl.document",
+                            pages=n_documents):
+                if pool is not None:
+                    tasks: list[PageTask] = [
+                        (index, outcome.fetch.url, outcome.fetch.body,
+                         outcome.fetch.content_type)
+                        for index, outcome in enumerate(outcomes)
+                        if outcome.kind == "fetched"
+                        and outcome.reason is None]
+                    documents = pool.process_batch(tasks)
+            context = self._processing_context() if pool is None else None
+            with maybe_span(self.tracer, "crawl.merge",
+                            entries=len(batch)):
+                for index, (entry, outcome) in enumerate(
+                        zip(batch, outcomes)):
+                    document = documents.get(index)
+                    if (document is None and context is not None
+                            and outcome.kind == "fetched"
+                            and outcome.reason is None):
+                        # Sequential document stage, interleaved with
+                        # merging so online-learning updates stay
+                        # ordered.
+                        fetch = outcome.fetch
+                        document = process_document(
+                            fetch.url, fetch.body, fetch.content_type,
+                            context)
+                    self._merge_entry(entry, outcome, document,
+                                      frontier, result)
+                    if page_callback is not None:
+                        page_callback(result)
+            batch_span.set(entries=len(batch))
 
     # -- phase 1: fetch (stateful, clock-bearing) ------------------------------
 
@@ -357,37 +411,69 @@ class FocusedCrawler:
                      document: DocumentOutcome | None, frontier: CrawlDb,
                      result: CrawlResult) -> None:
         """Replay one entry's state updates exactly as the sequential
-        loop would have produced them."""
+        loop would have produced them.
+
+        This is also where every deterministic metric lands: the merge
+        phase runs on the coordinator in batch order for every worker
+        count, so the registry accumulates identically no matter where
+        the document stage ran (the ``DocumentOutcome`` merge rule).
+        """
         config = self.config
+        metrics = self.metrics
         if outcome.kind == "robots_denied":
             result.robots_denied += 1
+            if metrics is not None:
+                metrics.counter("crawl.robots_denied").inc()
             return
         if outcome.kind == "circuit_open":
             result.record_failure("circuit_open")
+            if metrics is not None:
+                metrics.counter("crawl.failures",
+                                reason="circuit_open").inc()
             return
         fetch = outcome.fetch
         result.pages_fetched += 1
         result.retries += outcome.retries
-        result.record_stage("fetch", outcome.seconds)
+        self._record_stage(result, "fetch", outcome.seconds)
+        if metrics is not None:
+            metrics.counter("crawl.pages_fetched").inc()
+            if outcome.retries:
+                metrics.counter("crawl.retries").inc(outcome.retries)
         if fetch.redirected_from:
             frontier.mark_seen(fetch.url)
         if outcome.reason is not None:
             result.fetch_failures += 1
             result.record_failure(outcome.reason)
+            if metrics is not None:
+                metrics.counter("crawl.fetch_failures").inc()
+                metrics.counter("crawl.failures",
+                                reason=outcome.reason).inc()
             return
+        # The worker-accumulated per-stage deltas, merged batch-order.
         for stage, seconds in document.stage_seconds.items():
-            result.record_stage(stage, seconds)
+            self._record_stage(result, stage, seconds)
         self.filters.record_payload(document.mime_ok)
         if not document.mime_ok:
             result.filtered_out += 1
+            if metrics is not None:
+                metrics.counter("crawl.filtered_out",
+                                filter="mime").inc()
             return
         if not document.transcodable:
             result.filtered_out += 1
+            if metrics is not None:
+                metrics.counter("crawl.filtered_out",
+                                filter="transcode").inc()
             return
         result.linkdb.add_edges(fetch.url, document.outlinks)
         self.filters.record_text(document.rejected_by)
+        if metrics is not None:
+            metrics.counter("crawl.outlinks").inc(len(document.outlinks))
         if document.rejected_by:
             result.filtered_out += 1
+            if metrics is not None:
+                metrics.counter("crawl.filtered_out",
+                                filter=document.rejected_by).inc()
             return
         net_text = document.net_text
         harvested = Document(
@@ -397,6 +483,9 @@ class FocusedCrawler:
                   "title": document.title})
         relevant = document.relevant
         harvested.meta["relevant"] = relevant
+        if metrics is not None:
+            metrics.counter("crawl.relevant_pages" if relevant
+                            else "crawl.irrelevant_pages").inc()
         if config.online_learning and hasattr(self.classifier, "update"):
             probability = self.classifier.probability(net_text)
             if (probability >= config.online_confidence
@@ -414,6 +503,17 @@ class FocusedCrawler:
                     frontier.add(link, depth=entry.depth + 1,
                                  irrelevant_steps=entry.irrelevant_steps + 1)
 
+    def _record_stage(self, result: CrawlResult, stage: str,
+                      seconds: float, pages: int = 1) -> None:
+        """``CrawlResult.record_stage`` mirrored onto the registry:
+        page counts are deterministic, wall seconds are volatile."""
+        result.record_stage(stage, seconds, pages)
+        if self.metrics is not None:
+            self.metrics.counter("crawl.stage_pages",
+                                 stage=stage).inc(pages)
+            self.metrics.counter("crawl.stage_wall_seconds", stage=stage,
+                                 volatile=True).inc(seconds)
+
     # -- fetch path ------------------------------------------------------------
 
     def _fetch_with_retries(self, url: str, host: str,
@@ -427,6 +527,7 @@ class FocusedCrawler:
         fetch: FetchResult | None = None
         reason: str | None = None
         retries = 0
+        metrics = self.metrics
         for attempt in range(max(1, policy.max_attempts)):
             if attempt > 0:
                 retries += 1
@@ -434,11 +535,21 @@ class FocusedCrawler:
                     url, attempt - 1,
                     retry_after=fetch.retry_after if fetch else 0.0)
                 self.clock.advance(backoff / config.fetcher_threads)
+                if metrics is not None:
+                    metrics.histogram(
+                        "crawl.backoff_sim_seconds",
+                        buckets=SIM_SECONDS_BUCKETS).observe(backoff)
             self._await_host(host)
             fetch = self.web.fetch(url, attempt=attempt,
                                    now=self.clock.now)
             self.clock.advance(min(fetch.elapsed, policy.attempt_timeout)
                                / config.fetcher_threads)
+            if metrics is not None:
+                metrics.counter("crawl.fetch_attempts").inc()
+                metrics.histogram(
+                    "crawl.fetch_sim_seconds",
+                    buckets=SIM_SECONDS_BUCKETS).observe(
+                        min(fetch.elapsed, policy.attempt_timeout))
             delay = max(config.politeness_delay,
                         self._robots(host).crawl_delay)
             self._host_ready[host] = self.clock.now + delay

@@ -43,6 +43,7 @@ from repro.crawler.parser import (
 from repro.dataflow.executor import contiguous_partitions
 from repro.html.boilerplate import BoilerplateDetector
 from repro.html.repair import repair_document
+from repro.obs.metrics import MetricsRegistry
 
 #: One task per successfully fetched page: (batch index, url, body,
 #: declared content type).
@@ -153,14 +154,25 @@ class CrawlWorkerPool:
     #: batch across workers, large enough to amortize IPC.
     chunk_pages = 16
 
-    def __init__(self, workers: int, context: ProcessingContext) -> None:
+    def __init__(self, workers: int, context: ProcessingContext,
+                 metrics: MetricsRegistry | None = None) -> None:
         global _WORKER_CONTEXT
         if workers < 2:
             raise ValueError("CrawlWorkerPool needs at least 2 workers")
         self.workers = workers
+        #: Pool attribution is *volatile* observability: chunk and
+        #: dispatch counts depend on the worker count, so they are
+        #: excluded from the deterministic export.  The deterministic
+        #: per-page metrics ride back in ``DocumentOutcome`` (the
+        #: ``stage_seconds`` delta each worker accumulates) and are
+        #: merged by the coordinator in batch order.
+        self.metrics = metrics
         _WORKER_CONTEXT = context
         self._pool = multiprocessing.get_context("fork").Pool(
             processes=workers)
+        if metrics is not None:
+            metrics.gauge("crawl.pool_workers", volatile=True).set(
+                workers)
 
     def process_batch(self, tasks: list[PageTask],
                       ) -> dict[int, DocumentOutcome]:
@@ -171,7 +183,18 @@ class CrawlWorkerPool:
                        -(-len(tasks) // self.chunk_pages))
         chunks = [chunk for chunk
                   in contiguous_partitions(tasks, n_chunks) if chunk]
+        started = time.perf_counter()
         parts = self._pool.map(_worker_chunk, chunks)
+        if self.metrics is not None:
+            self.metrics.counter("crawl.pool_dispatches",
+                                 volatile=True).inc()
+            self.metrics.counter("crawl.pool_chunks",
+                                 volatile=True).inc(len(chunks))
+            self.metrics.counter("crawl.pool_pages",
+                                 volatile=True).inc(len(tasks))
+            self.metrics.counter("crawl.pool_wall_seconds",
+                                 volatile=True).inc(
+                                     time.perf_counter() - started)
         return dict(chain.from_iterable(parts))
 
     def close(self) -> None:

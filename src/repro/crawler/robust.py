@@ -15,6 +15,7 @@ checkpoints), so a killed crawl resumes to byte-identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.util import seeded_rng
 
@@ -88,6 +89,11 @@ class CircuitBreaker:
     open_until: float = 0.0
     #: Times this breaker has opened (also the escalation level).
     opens: int = 0
+    #: Observability hook: called with "open" / "close" on state
+    #: transitions.  Never serialized; reattached after checkpoint
+    #: restore by :class:`HostHealth`.
+    on_event: Callable[[str], None] | None = \
+        field(default=None, repr=False, compare=False)
 
     def allow(self, now: float) -> bool:
         """May we fetch from this host at clock time ``now``?"""
@@ -100,8 +106,11 @@ class CircuitBreaker:
             self.config.failure_threshold
 
     def record_success(self) -> None:
+        was_open = self.open
         self.consecutive_failures = 0
         self.open_until = 0.0
+        if was_open and self.on_event is not None:
+            self.on_event("close")
 
     def record_failure(self, now: float) -> bool:
         """Count one host-level failure; returns True if the breaker
@@ -115,6 +124,8 @@ class CircuitBreaker:
             self.config.max_cooldown)
         self.open_until = now + cooldown
         self.opens += 1
+        if self.on_event is not None:
+            self.on_event("open")
         return True
 
     def to_dict(self) -> dict:
@@ -137,13 +148,33 @@ class HostHealth:
 
     config: BreakerConfig = field(default_factory=BreakerConfig)
     breakers: dict[str, CircuitBreaker] = field(default_factory=dict)
+    #: Observability hook: called with (host, "open" | "close") on
+    #: every breaker state transition.  Attach via :meth:`observe`.
+    on_event: Callable[[str, str], None] | None = \
+        field(default=None, repr=False, compare=False)
 
     def breaker(self, host: str) -> CircuitBreaker:
         breaker = self.breakers.get(host)
         if breaker is None:
             breaker = CircuitBreaker(config=self.config)
+            self._attach(host, breaker)
             self.breakers[host] = breaker
         return breaker
+
+    def observe(self, on_event: Callable[[str, str], None] | None,
+                ) -> None:
+        """Install (or clear) the transition hook on every current and
+        future breaker."""
+        self.on_event = on_event
+        for host, breaker in self.breakers.items():
+            self._attach(host, breaker)
+
+    def _attach(self, host: str, breaker: CircuitBreaker) -> None:
+        if self.on_event is None:
+            breaker.on_event = None
+        else:
+            hook = self.on_event
+            breaker.on_event = lambda event: hook(host, event)
 
     @property
     def quarantined_hosts(self) -> int:
@@ -158,3 +189,5 @@ class HostHealth:
         self.breakers = {
             host: CircuitBreaker.from_dict(state, self.config)
             for host, state in payload.items()}
+        for host, breaker in self.breakers.items():
+            self._attach(host, breaker)

@@ -24,6 +24,8 @@ from itertools import chain
 from typing import Any, Sequence
 
 from repro.dataflow.plan import LogicalPlan, PlanNode
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, maybe_span
 
 
 def contiguous_partitions(records: Sequence[Any],
@@ -211,6 +213,16 @@ class ExecutionReport:
         """JSON dump for benchmark artifacts (BENCH_executor.json)."""
         return json.dumps(self.to_dict(), indent=indent)
 
+    def publish_to(self, registry) -> None:
+        """Mirror this report's per-stage stats onto a
+        :class:`~repro.obs.metrics.MetricsRegistry` — the unified
+        observability model.  Record counts are deterministic metrics;
+        seconds and cache traffic are volatile (they depend on the
+        physical mode).  The report itself stays the public API."""
+        from repro.obs.report import publish_report_metrics
+
+        publish_report_metrics(self, registry)
+
 
 class LocalExecutor:
     """Runs plans on the local machine.
@@ -222,11 +234,15 @@ class LocalExecutor:
     the paper's deployment).
     """
 
-    def __init__(self, dop: int = 1, use_threads: bool = False) -> None:
+    def __init__(self, dop: int = 1, use_threads: bool = False,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         if dop < 1:
             raise ValueError("dop must be >= 1")
         self.dop = dop
         self.use_threads = use_threads and dop > 1
+        self.metrics = metrics
+        self.tracer = tracer
 
     def execute(self, plan: LogicalPlan, source_records: Sequence[Any],
                 ) -> tuple[dict[str, list[Any]], ExecutionReport]:
@@ -242,17 +258,22 @@ class LocalExecutor:
         order = plan.topological_order()
         pool = (ThreadPoolExecutor(max_workers=self.dop)
                 if self.use_threads else None)
-        try:
-            for node in order:
-                inputs = (list(source_records) if not node.inputs
-                          else list(chain.from_iterable(
-                              outputs[p.node_id] for p in node.inputs)))
-                outputs[node.node_id] = self._run_node(node, inputs,
-                                                       report, pool)
-        finally:
-            if pool is not None:
-                pool.shutdown()
+        with maybe_span(self.tracer, "dataflow.execute", mode=report.mode,
+                        dop=self.dop, records=len(source_records)) as span:
+            try:
+                for node in order:
+                    inputs = (list(source_records) if not node.inputs
+                              else list(chain.from_iterable(
+                                  outputs[p.node_id] for p in node.inputs)))
+                    outputs[node.node_id] = self._run_node(node, inputs,
+                                                           report, pool)
+            finally:
+                if pool is not None:
+                    pool.shutdown()
+            span.set(stages=len(report.operator_stats))
         report.total_seconds = time.perf_counter() - started
+        if self.metrics is not None:
+            report.publish_to(self.metrics)
         sinks = plan.sinks or self._leaf_sinks(plan)
         return ({name: outputs[node.node_id]
                  for name, node in sinks.items()}, report)
@@ -263,15 +284,20 @@ class LocalExecutor:
         operator = node.operator
         operator.open()
         snapshots = snapshot_annotation_caches((operator,))
-        started = time.perf_counter()
-        if pool is not None and operator.parallelizable and len(records) > 1:
-            partitions = contiguous_partitions(records, self.dop)
-            parts = list(pool.map(
-                lambda part: list(operator.process(part)), partitions))
-            result = list(chain.from_iterable(parts))
-        else:
-            result = list(operator.process(records))
-        elapsed = time.perf_counter() - started
+        with maybe_span(self.tracer, "dataflow.stage",
+                        stage=operator.name,
+                        records_in=len(records)) as span:
+            started = time.perf_counter()
+            if (pool is not None and operator.parallelizable
+                    and len(records) > 1):
+                partitions = contiguous_partitions(records, self.dop)
+                parts = list(pool.map(
+                    lambda part: list(operator.process(part)), partitions))
+                result = list(chain.from_iterable(parts))
+            else:
+                result = list(operator.process(records))
+            elapsed = time.perf_counter() - started
+            span.set(records_out=len(result))
         hits, misses = annotation_cache_deltas(snapshots)
         report.operator_stats.append(OperatorStats(
             name=operator.name, records_in=len(records),

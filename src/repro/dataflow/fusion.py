@@ -42,6 +42,8 @@ from repro.dataflow.executor import (
 )
 from repro.dataflow.operators import Operator
 from repro.dataflow.plan import LogicalPlan, PlanNode
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, maybe_span
 
 #: Fused operator chains of the plan currently executing, inherited by
 #: forked pool workers (set immediately before the pool is created so
@@ -198,7 +200,9 @@ class StreamingExecutor:
     """
 
     def __init__(self, dop: int = 1, use_threads: bool = False,
-                 use_processes: bool = False, batch_size: int = 32) -> None:
+                 use_processes: bool = False, batch_size: int = 32,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
         if dop < 1:
             raise ValueError("dop must be >= 1")
         if batch_size < 1:
@@ -209,6 +213,8 @@ class StreamingExecutor:
         self.use_threads = use_threads and dop > 1
         self.use_processes = use_processes and dop > 1
         self.batch_size = batch_size
+        self.metrics = metrics
+        self.tracer = tracer
         if self.use_processes and not fork_start_available():
             # Without fork, degrade to threads rather than fail.
             warnings.warn(
@@ -244,24 +250,32 @@ class StreamingExecutor:
                     processes=self.dop)
             elif self.use_threads:
                 thread_pool = ThreadPoolExecutor(max_workers=self.dop)
-            for stage in fused.stages:
-                records = (list(source_records) if not stage.inputs
-                           else list(chain.from_iterable(
-                               outputs[parent.stage_id]
-                               for parent in stage.inputs)))
-                snapshots = snapshot_annotation_caches(stage.operators)
-                stage_started = time.perf_counter()
-                result = self._run_stage(stage, records,
-                                         process_pool, thread_pool)
-                elapsed = time.perf_counter() - stage_started
-                hits, misses = annotation_cache_deltas(snapshots)
-                outputs[stage.stage_id] = result
-                report.operator_stats.append(OperatorStats(
-                    name=stage.name, records_in=len(records),
-                    records_out=len(result), seconds=elapsed,
-                    operators=stage.operator_names,
-                    est_output_bytes=estimate_records_bytes(result),
-                    cache_hits=hits, cache_misses=misses))
+            with maybe_span(self.tracer, "dataflow.execute",
+                            mode=self.mode, dop=self.dop,
+                            records=len(source_records)) as span:
+                for stage in fused.stages:
+                    records = (list(source_records) if not stage.inputs
+                               else list(chain.from_iterable(
+                                   outputs[parent.stage_id]
+                                   for parent in stage.inputs)))
+                    snapshots = snapshot_annotation_caches(stage.operators)
+                    with maybe_span(self.tracer, "dataflow.stage",
+                                    stage=stage.name,
+                                    records_in=len(records)) as stage_span:
+                        stage_started = time.perf_counter()
+                        result = self._run_stage(stage, records,
+                                                 process_pool, thread_pool)
+                        elapsed = time.perf_counter() - stage_started
+                        stage_span.set(records_out=len(result))
+                    hits, misses = annotation_cache_deltas(snapshots)
+                    outputs[stage.stage_id] = result
+                    report.operator_stats.append(OperatorStats(
+                        name=stage.name, records_in=len(records),
+                        records_out=len(result), seconds=elapsed,
+                        operators=stage.operator_names,
+                        est_output_bytes=estimate_records_bytes(result),
+                        cache_hits=hits, cache_misses=misses))
+                span.set(stages=len(report.operator_stats))
         finally:
             if process_pool is not None:
                 process_pool.close()
@@ -270,6 +284,8 @@ class StreamingExecutor:
             if thread_pool is not None:
                 thread_pool.shutdown()
         report.total_seconds = time.perf_counter() - started
+        if self.metrics is not None:
+            report.publish_to(self.metrics)
         return ({name: outputs[stage.stage_id]
                  for name, stage in fused.sinks.items()}, report)
 

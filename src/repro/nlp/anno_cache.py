@@ -91,6 +91,8 @@ class AnnotationCache:
         self.autosave_every = autosave_every
         self.hits = 0
         self.misses = 0
+        self.flushes = 0
+        self.shards_written = 0
         self._lock = threading.Lock()
         #: (model_fp, shard) -> {sentence_key: tuple(labels)}
         self._shards: dict[tuple[str, int], dict[str, tuple]] = {}
@@ -189,6 +191,8 @@ class AnnotationCache:
             temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
             temp.write_bytes(marshal.dumps(payload))
             temp.replace(path)
+        self.flushes += 1
+        self.shards_written += len(dirty)
         return len(dirty)
 
     def clear(self) -> int:
@@ -214,4 +218,18 @@ class AnnotationCache:
 
     def stats(self) -> dict[str, int]:
         return {"hits": self.hits, "misses": self.misses,
-                "entries": self.n_entries}
+                "entries": self.n_entries, "flushes": self.flushes,
+                "shards_written": self.shards_written}
+
+    def publish_metrics(self, registry) -> None:
+        """Mirror lifetime cache traffic onto a
+        :class:`~repro.obs.metrics.MetricsRegistry`.  All gauges are
+        volatile: hit/miss mixes depend on what previous processes left
+        on disk, not on the logical computation."""
+        registry.gauge("anno_cache.hits", volatile=True).set(self.hits)
+        registry.gauge("anno_cache.misses", volatile=True).set(self.misses)
+        registry.gauge("anno_cache.entries",
+                       volatile=True).set(self.n_entries)
+        registry.gauge("anno_cache.flushes", volatile=True).set(self.flushes)
+        registry.gauge("anno_cache.shards_written",
+                       volatile=True).set(self.shards_written)

@@ -1,0 +1,23 @@
+"""Unified observability: metrics registry, span tracing, exporters.
+
+See docs/observability.md for the metric naming scheme, the
+deterministic-vs-volatile split, the trace schema, and the CLI entry
+points (``repro crawl --metrics-out``, ``repro flow --trace``,
+``repro report``).
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
+)
+from repro.obs.report import (
+    render_crawl_summary, render_metrics, render_report,
+    render_trace_summary,
+)
+from repro.obs.trace import Span, TickClock, Tracer, maybe_span
+
+__all__ = [
+    "DEFAULT_BUCKETS", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "Span", "TickClock", "Tracer", "maybe_span",
+    "render_crawl_summary", "render_metrics", "render_report",
+    "render_trace_summary",
+]

@@ -1,0 +1,199 @@
+"""Human-readable rendering of exported metrics and traces.
+
+``repro report`` turns a metrics JSON-lines file (and optionally a
+trace file) back into the operator-facing summary the crawl CLI
+prints live: pages fetched, harvest rate, per-stage breakdown,
+failures by reason.  The formatting helpers are shared with
+``repro.cli`` so the live printout and the offline report can never
+drift apart.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Pipeline stages in execution order (used for stable stage tables).
+CRAWL_STAGES = ("fetch", "filters", "repair", "parse", "boilerplate",
+                "classify")
+
+
+def format_stage_breakdown(stage_pages: Mapping[str, int],
+                           stage_seconds: Mapping[str, float],
+                           mode: str = "") -> list[str]:
+    """The per-stage table the crawl CLI prints.
+
+    ``stage_seconds`` may be empty (deterministic metric exports carry
+    no wall-clock); the seconds/rate columns are omitted then.
+    """
+    if not stage_pages:
+        return []
+    timed = bool(stage_seconds)
+    suffix = f" ({mode})" if mode else ""
+    lines = [f"stage breakdown{suffix}"
+             + ("; seconds are worker-attributed wall time:" if timed
+                else ":")]
+    known = [s for s in CRAWL_STAGES if s in stage_pages]
+    known += sorted(set(stage_pages) - set(CRAWL_STAGES))
+    for stage in known:
+        pages = stage_pages[stage]
+        if timed:
+            seconds = stage_seconds.get(stage, 0.0)
+            rate = pages / seconds if seconds > 0 else 0.0
+            lines.append(f"  {stage:<12} {pages:>6} pages  "
+                         f"{seconds:>8.3f} s  {rate:>9.0f} pages/s")
+        else:
+            lines.append(f"  {stage:<12} {pages:>6} pages")
+    return lines
+
+
+def format_failures(failure_reasons: Mapping[str, int],
+                    fetch_failures: int, retries: int,
+                    hosts_quarantined: int) -> list[str]:
+    """The failure summary the crawl CLI prints."""
+    if not failure_reasons:
+        return []
+    reasons = ", ".join(f"{reason} {count}" for reason, count
+                        in sorted(failure_reasons.items()))
+    return [f"failures by reason: {reasons}",
+            f"fetch failures {fetch_failures} | retries {retries} | "
+            f"hosts quarantined {hosts_quarantined}"]
+
+
+def _counter_values(registry: MetricsRegistry, name: str,
+                    label: str) -> dict[str, float]:
+    """{label_value: counter value} for every label set of ``name``."""
+    values: dict[str, float] = {}
+    for labels in registry.labels_of(name):
+        if label in labels:
+            values[labels[label]] = registry.value_of(name, **labels) or 0
+    return values
+
+
+def render_crawl_summary(registry: MetricsRegistry) -> list[str]:
+    """Rebuild the ``repro crawl`` summary from exported metrics.
+
+    Returns [] when the registry carries no crawl metrics.
+    """
+    pages = registry.value_of("crawl.pages_fetched")
+    if pages is None:
+        return []
+    clock = registry.value_of("crawl.clock_seconds") or 0.0
+    rate = pages / clock if clock > 0 else 0.0
+    relevant = int(registry.value_of("crawl.relevant_pages") or 0)
+    irrelevant = int(registry.value_of("crawl.irrelevant_pages") or 0)
+    classified = relevant + irrelevant
+    harvest = relevant / classified if classified else 0.0
+    lines = [
+        f"fetched {int(pages)} pages in {clock:.0f} simulated seconds "
+        f"({rate:.1f} docs/s)",
+        f"relevant {relevant} | irrelevant {irrelevant} | "
+        f"harvest {harvest:.0%}",
+    ]
+    stage_pages = {stage: int(value) for stage, value in
+                   _counter_values(registry, "crawl.stage_pages",
+                                   "stage").items()}
+    stage_seconds = _counter_values(registry, "crawl.stage_wall_seconds",
+                                    "stage")
+    lines += format_stage_breakdown(stage_pages, stage_seconds)
+    failures = {reason: int(value) for reason, value in
+                _counter_values(registry, "crawl.failures",
+                                "reason").items()}
+    lines += format_failures(
+        failures,
+        fetch_failures=int(registry.value_of("crawl.fetch_failures") or 0),
+        retries=int(registry.value_of("crawl.retries") or 0),
+        hosts_quarantined=int(
+            registry.value_of("crawl.hosts_quarantined") or 0))
+    return lines
+
+
+def render_metrics(registry: MetricsRegistry,
+                   include_volatile: bool = True) -> list[str]:
+    """Generic dump: one line per counter/gauge, a summary line per
+    histogram — the fallback for non-crawl metric files."""
+    lines: list[str] = []
+    for entry in registry.to_dict(include_volatile)["metrics"]:
+        labels = entry["labels"]
+        label_text = ("{" + ", ".join(f"{k}={v}" for k, v
+                                      in sorted(labels.items())) + "}"
+                      if labels else "")
+        name = f"{entry['name']}{label_text}"
+        if entry["type"] == "histogram":
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            lines.append(f"{name:<52} histogram  count {count:>8}  "
+                         f"sum {entry['sum']:>12.3f}  mean {mean:.4f}")
+        else:
+            value = entry["value"]
+            rendered = (f"{value:>12.3f}" if isinstance(value, float)
+                        and value != int(value) else f"{int(value):>12}")
+            lines.append(f"{name:<52} {entry['type']:<9} {rendered}")
+    return lines
+
+
+def render_trace_summary(lines: Iterable[str]) -> list[str]:
+    """Aggregate a trace JSONL export: span counts and total duration
+    per span name, in first-seen order."""
+    totals: dict[str, list[float]] = defaultdict(lambda: [0, 0.0])
+    order: list[str] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        span = json.loads(line)
+        name = span["name"]
+        if name not in totals:
+            order.append(name)
+        bucket = totals[name]
+        bucket[0] += 1
+        if span.get("end") is not None:
+            bucket[1] += span["end"] - span["start"]
+    out = [f"{'span':<24} {'count':>7} {'total':>12}"]
+    for name in order:
+        count, total = totals[name]
+        out.append(f"{name:<24} {int(count):>7} {total:>12.3f}")
+    return out
+
+
+def render_report(metrics_path: str | Path,
+                  trace_path: str | Path | None = None) -> list[str]:
+    """The full ``repro report`` output for a metrics (+trace) file."""
+    registry = MetricsRegistry.read_jsonl(metrics_path)
+    lines = render_crawl_summary(registry)
+    if lines:
+        lines.append("")
+    lines += render_metrics(registry)
+    if trace_path is not None:
+        trace_lines = Path(trace_path).read_text(
+            encoding="utf-8").splitlines()
+        lines.append("")
+        lines += render_trace_summary(trace_lines)
+    return lines
+
+
+def publish_report_metrics(report: Any,
+                           registry: MetricsRegistry) -> None:
+    """Mirror an :class:`~repro.dataflow.executor.ExecutionReport`'s
+    per-stage stats onto a registry (see
+    ``ExecutionReport.publish_to``, which delegates here to keep the
+    dataflow layer's import surface one-directional)."""
+    registry.counter("dataflow.executions").inc()
+    registry.counter("dataflow.total_seconds", volatile=True).inc(
+        report.total_seconds)
+    for stats in report.operator_stats:
+        stage = stats.name
+        registry.counter("dataflow.stage_records_in", stage=stage).inc(
+            stats.records_in)
+        registry.counter("dataflow.stage_records_out", stage=stage).inc(
+            stats.records_out)
+        registry.counter("dataflow.stage_seconds", stage=stage,
+                         volatile=True).inc(stats.seconds)
+        if stats.cache_hits or stats.cache_misses:
+            registry.counter("anno_cache.stage_hits", stage=stage,
+                             volatile=True).inc(stats.cache_hits)
+            registry.counter("anno_cache.stage_misses", stage=stage,
+                             volatile=True).inc(stats.cache_misses)

@@ -1,0 +1,49 @@
+"""Unit tests for the non-English filler text generators."""
+
+import random
+
+import pytest
+
+from repro.corpora.foreign import FOREIGN_WORDS, generate_foreign_text
+
+
+class TestInventories:
+    def test_three_languages(self):
+        assert set(FOREIGN_WORDS) == {"de", "fr", "es"}
+
+    def test_inventories_are_nontrivial_and_distinct(self):
+        for words in FOREIGN_WORDS.values():
+            assert len(words) >= 20
+            assert len(set(words)) == len(words)
+        assert set(FOREIGN_WORDS["de"]).isdisjoint(FOREIGN_WORDS["fr"])
+
+
+class TestGenerateForeignText:
+    @pytest.mark.parametrize("language", sorted(FOREIGN_WORDS))
+    def test_uses_only_inventory_words(self, language):
+        text = generate_foreign_text(language, 400, random.Random(1))
+        lowered = {word.lower() for word in FOREIGN_WORDS[language]}
+        for sentence in text.split("."):
+            for word in sentence.split():
+                assert word.lower() in lowered
+
+    def test_approximate_length(self):
+        text = generate_foreign_text("de", 500, random.Random(2))
+        # At least the requested budget, overshooting by at most one
+        # word + sentence punctuation per sentence.
+        assert 500 <= len(text) <= 700
+
+    def test_sentence_shape(self):
+        text = generate_foreign_text("fr", 300, random.Random(3))
+        sentences = [s for s in text.split(". ") if s]
+        assert len(sentences) >= 2
+        for sentence in sentences:
+            assert sentence[0].isupper()
+
+    def test_deterministic_given_rng(self):
+        assert generate_foreign_text("es", 300, random.Random(4)) == \
+            generate_foreign_text("es", 300, random.Random(4))
+
+    def test_unknown_language_raises(self):
+        with pytest.raises(ValueError):
+            generate_foreign_text("tlh", 100, random.Random(5))

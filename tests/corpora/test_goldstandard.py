@@ -1,0 +1,73 @@
+"""Unit tests for the gold-standard set builders."""
+
+from repro.corpora.goldstandard import (
+    build_boilerplate_gold, build_classifier_gold, build_ner_gold,
+)
+from repro.corpora.profiles import MEDLINE
+
+
+class TestClassifierGold:
+    def test_balanced_and_labelled(self, vocabulary):
+        pairs = build_classifier_gold(vocabulary, n_per_class=6)
+        assert len(pairs) == 12
+        labels = [label for _, label in pairs]
+        assert labels.count(True) == labels.count(False) == 6
+        assert all(isinstance(text, str) and text for text, _ in pairs)
+
+    def test_deterministic_given_seed(self, vocabulary):
+        first = build_classifier_gold(vocabulary, n_per_class=3, seed=23)
+        second = build_classifier_gold(vocabulary, n_per_class=3, seed=23)
+        assert first == second
+
+    def test_seed_changes_texts(self, vocabulary):
+        first = build_classifier_gold(vocabulary, n_per_class=3, seed=23)
+        second = build_classifier_gold(vocabulary, n_per_class=3, seed=24)
+        assert first != second
+
+    def test_classes_differ(self, vocabulary):
+        pairs = build_classifier_gold(vocabulary, n_per_class=4)
+        relevant = " ".join(t for t, label in pairs if label)
+        irrelevant = " ".join(t for t, label in pairs if not label)
+        assert relevant != irrelevant
+
+
+class TestBoilerplateGold:
+    def test_pairs_wrap_gold_text_in_markup(self, vocabulary):
+        pairs = build_boilerplate_gold(4, vocabulary=vocabulary)
+        assert len(pairs) == 4
+        for html, net_text in pairs:
+            assert html != net_text
+            assert "<" in html and net_text
+            # The gold net text is embedded in the rendered page.
+            assert net_text.split()[0] in html
+
+    def test_deterministic_given_seed(self, vocabulary):
+        assert build_boilerplate_gold(3, seed=29, vocabulary=vocabulary) \
+            == build_boilerplate_gold(3, seed=29, vocabulary=vocabulary)
+
+    def test_pages_vary(self, vocabulary):
+        pairs = build_boilerplate_gold(4, vocabulary=vocabulary)
+        assert len({net for _, net in pairs}) == len(pairs)
+
+
+class TestNerGold:
+    def test_documents_carry_gold_layers(self, vocabulary):
+        gold = build_ner_gold(vocabulary, MEDLINE, n_docs=3)
+        assert len(gold) == 3
+        for document in gold:
+            assert document.text
+            assert document.sentences
+            # The pipeline under test fills annotation layers; gold
+            # documents must arrive with them empty.
+            assert not document.document.sentences
+            for entity in document.entities:
+                mention = entity.mention
+                assert document.text[mention.start:mention.end] == \
+                    mention.text
+
+    def test_deterministic_given_seed(self, vocabulary):
+        first = build_ner_gold(vocabulary, MEDLINE, n_docs=2, seed=31)
+        second = build_ner_gold(vocabulary, MEDLINE, n_docs=2, seed=31)
+        assert [d.text for d in first] == [d.text for d in second]
+        assert [d.tagged_sentences() for d in first] == \
+            [d.tagged_sentences() for d in second]

@@ -22,8 +22,10 @@ from repro.crawler.checkpoint import (
 )
 from repro.crawler.crawl import CrawlConfig, FocusedCrawler
 from repro.crawler.frontier import CrawlDb
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.web.faults import FaultConfig
-from repro.web.server import SimulatedWeb
+from repro.web.server import SimulatedClock, SimulatedWeb
 
 MAX_PAGES = 90
 
@@ -37,12 +39,18 @@ FAULTS = {
 
 
 def _make_crawler(context, webgraph, web_seed, faults, workers,
-                  **config_overrides):
+                  observed=False, **config_overrides):
     web = SimulatedWeb(webgraph, seed=web_seed, faults=faults)
     config = CrawlConfig(max_pages=MAX_PAGES, batch_size=25,
                          parallel_workers=workers, **config_overrides)
+    clock = SimulatedClock()
+    metrics = tracer = None
+    if observed:
+        metrics = MetricsRegistry()
+        tracer = Tracer(clock=lambda: clock.now)
     return FocusedCrawler(web, context.pipeline.classifier,
-                          context.build_filter_chain(), config)
+                          context.build_filter_chain(), config,
+                          clock=clock, metrics=metrics, tracer=tracer)
 
 
 def _run(context, webgraph, web_seed, fault_name, workers):
@@ -144,6 +152,74 @@ class TestKillResumeWithWorkers:
                           FaultConfig.uniform(0.2, seed=22), workers=2),
             path).run(resume=True, checkpoint_every=20)
         assert result_to_dict(resumed) == result_to_dict(reference)
+
+
+class TestObservabilityDeterminism:
+    """Attaching the observability subsystem must be invisible in the
+    crawl results, and its own exports must be byte-identical at any
+    worker count and across kill+resume (docs/observability.md)."""
+
+    def _observed_run(self, context, webgraph, workers):
+        faults = FaultConfig.preset("default", seed=18)
+        crawler = _make_crawler(context, webgraph, 17, faults, workers,
+                                observed=True)
+        result = crawler.crawl(context.seed_batch("second").urls)
+        return crawler, result
+
+    def test_exports_byte_identical_across_worker_counts(
+            self, context, webgraph):
+        exports = []
+        for workers in (1, 2, 4):
+            crawler, _ = self._observed_run(context, webgraph, workers)
+            exports.append((crawler.metrics.export_lines(),
+                            crawler.tracer.export_lines()))
+        assert exports[0] == exports[1] == exports[2]
+        metrics_lines, trace_lines = exports[0]
+        assert any('"crawl.pages_fetched"' in line
+                   for line in metrics_lines)
+        assert any('"crawl.fetch"' in line for line in trace_lines)
+
+    def test_results_identical_with_metrics_on_vs_off(
+            self, context, webgraph):
+        for workers in (1, 3):
+            faults = FaultConfig.preset("default", seed=18)
+            plain = _make_crawler(context, webgraph, 17, faults, workers)
+            bare = plain.crawl(context.seed_batch("second").urls)
+            _, observed = self._observed_run(context, webgraph, workers)
+            assert result_to_dict(observed) == result_to_dict(bare)
+
+    def test_kill_resume_exports_byte_identical(self, context, webgraph,
+                                                tmp_path):
+        reference, _ = self._observed_run(context, webgraph, workers=2)
+        assert reference.metrics.value_of("crawl.pages_fetched") > 45
+
+        class Killed(RuntimeError):
+            pass
+
+        def kill_switch(partial):
+            if partial.pages_fetched >= 45:
+                raise Killed
+
+        faults = FaultConfig.preset("default", seed=18)
+        path = tmp_path / "cp.json"
+        killed = _make_crawler(context, webgraph, 17, faults, workers=2,
+                               observed=True)
+        with pytest.raises(Killed):
+            ResumableCrawl(killed, path).run(
+                context.seed_batch("second").urls, checkpoint_every=20,
+                page_callback=kill_switch)
+        assert path.exists()
+
+        resumed_crawler = _make_crawler(context, webgraph, 17,
+                                        FaultConfig.preset("default",
+                                                           seed=18),
+                                        workers=2, observed=True)
+        ResumableCrawl(resumed_crawler, path).run(resume=True,
+                                                  checkpoint_every=20)
+        assert resumed_crawler.metrics.export_lines() == \
+            reference.metrics.export_lines()
+        assert resumed_crawler.tracer.export_lines() == \
+            reference.tracer.export_lines()
 
 
 class TestParallelModeGuards:

@@ -1,0 +1,68 @@
+"""Unit tests for the annotation post-filters (the paper's TLA fix)."""
+
+from repro.annotations import EntityMention
+from repro.ner.postfilter import (
+    filter_short_mentions, filter_tla_mentions, is_tla,
+)
+
+
+def _mention(text, entity_type="gene", method="ml"):
+    return EntityMention(text=text, start=0, end=len(text),
+                         entity_type=entity_type, method=method)
+
+
+class TestIsTla:
+    def test_three_letter_all_caps(self):
+        assert is_tla("ABC")
+        assert is_tla("TNF")
+
+    def test_wrong_length(self):
+        assert not is_tla("AB")
+        assert not is_tla("ABCD")
+        assert not is_tla("")
+
+    def test_not_all_caps_or_not_alpha(self):
+        assert not is_tla("Abc")
+        assert not is_tla("abc")
+        assert not is_tla("AB1")
+        assert not is_tla("A-B")
+
+
+class TestFilterTlaMentions:
+    def test_drops_ml_gene_tlas_only(self):
+        mentions = [
+            _mention("TNF"),                              # dropped
+            _mention("TNF", method="dictionary"),         # kept: method
+            _mention("TNF", entity_type="drug"),          # kept: type
+            _mention("interleukin"),                      # kept: not TLA
+        ]
+        kept = filter_tla_mentions(mentions)
+        assert [m.text for m in kept] == ["TNF", "TNF", "interleukin"]
+        assert all(not (m.entity_type == "gene" and m.method == "ml"
+                        and is_tla(m.text)) for m in kept)
+
+    def test_preserves_order_and_objects(self):
+        mentions = [_mention("alpha"), _mention("beta")]
+        assert filter_tla_mentions(mentions) == mentions
+
+    def test_custom_type_and_method(self):
+        mentions = [_mention("ASA", entity_type="drug",
+                             method="dictionary")]
+        assert filter_tla_mentions(mentions) == mentions
+        assert filter_tla_mentions(mentions, entity_type="drug",
+                                   method="dictionary") == []
+
+    def test_empty(self):
+        assert filter_tla_mentions([]) == []
+
+
+class TestFilterShortMentions:
+    def test_drops_below_min_length(self):
+        mentions = [_mention("a"), _mention("ab"), _mention("abc")]
+        assert [m.text for m in filter_short_mentions(mentions)] == \
+            ["ab", "abc"]
+
+    def test_min_length_parameter(self):
+        mentions = [_mention("ab"), _mention("abcd")]
+        assert [m.text for m in
+                filter_short_mentions(mentions, min_length=3)] == ["abcd"]

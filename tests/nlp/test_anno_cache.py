@@ -36,7 +36,8 @@ class TestMemoryTier:
         assert cache.lookup(FP, WORDS) is None
         cache.store(FP, WORDS, LABELS)
         assert cache.lookup(FP, WORDS) == LABELS
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1,
+                                 "flushes": 0, "shards_written": 0}
 
     def test_models_are_isolated(self, cache):
         cache.store(FP, WORDS, LABELS)

@@ -1,0 +1,157 @@
+"""Unit tests for the metrics model (counters, gauges, histograms,
+registry snapshot/merge/export semantics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2)
+        counter.inc(0.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_histogram_bucketing(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 2.0, 10.0, 11.0):
+            histogram.observe(value)
+        # <=1.0 | (1.0, 10.0] | overflow
+        assert histogram.counts == [2, 2, 1]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(24.5)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0, 1.0))
+
+    def test_histogram_merge_requires_same_layout(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1.0,)).merge(Histogram(bounds=(2.0,)))
+
+    def test_histogram_merge_adds_counts_and_sum(self):
+        left, right = Histogram(bounds=(1.0,)), Histogram(bounds=(1.0,))
+        left.observe(0.5)
+        right.observe(2.0)
+        right.observe(3.0)
+        left.merge(right)
+        assert left.counts == [1, 2]
+        assert left.sum == pytest.approx(5.5)
+
+
+class TestRegistry:
+    def test_same_address_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", stage="x") is \
+            registry.counter("a", stage="x")
+        assert registry.counter("a", stage="x") is not \
+            registry.counter("a", stage="y")
+
+    def test_label_order_is_canonical(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", x=1, y=2) is \
+            registry.counter("a", y=2, x=1)
+
+    def test_kind_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ValueError):
+            registry.gauge("a")
+        with pytest.raises(ValueError):
+            registry.histogram("a")
+
+    def test_volatility_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a", volatile=True)
+        with pytest.raises(ValueError):
+            registry.counter("a")
+
+    def test_histogram_layout_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_value_of_and_labels_of(self):
+        registry = MetricsRegistry()
+        registry.counter("pages", stage="fetch").inc(3)
+        registry.counter("pages", stage="parse").inc(1)
+        assert registry.value_of("pages", stage="fetch") == 3
+        assert registry.value_of("pages", stage="nope") is None
+        assert registry.labels_of("pages") == [
+            {"stage": "fetch"}, {"stage": "parse"}]
+
+    def test_default_export_excludes_volatile(self):
+        registry = MetricsRegistry()
+        registry.counter("det").inc()
+        registry.counter("vol", volatile=True).inc()
+        names = [json.loads(line)["name"]
+                 for line in registry.export_lines()]
+        assert names == ["det"]
+        names = [json.loads(line)["name"]
+                 for line in registry.export_lines(include_volatile=True)]
+        assert names == ["det", "vol"]
+
+    def test_export_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c", stage="x").inc(7)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        path = registry.write_jsonl(tmp_path / "m.jsonl")
+        restored = MetricsRegistry.read_jsonl(path)
+        assert restored.export_lines() == registry.export_lines()
+        assert restored.value_of("c", stage="x") == 7
+        histogram = restored.histogram("h", buckets=(1.0, 2.0))
+        assert histogram.counts == [0, 1, 0]
+
+    def test_snapshot_load_round_trips_volatile_flag(self):
+        registry = MetricsRegistry()
+        registry.counter("vol", volatile=True).inc(2)
+        restored = MetricsRegistry()
+        restored.load_dict(registry.to_dict(include_volatile=True))
+        assert restored.export_lines() == []
+        assert restored.export_lines(include_volatile=True) == \
+            registry.export_lines(include_volatile=True)
+
+    def test_merge_semantics(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.counter("c").inc(1)
+        right.counter("c").inc(2)
+        left.gauge("g").set(1)
+        right.gauge("g").set(9)
+        left.histogram("h").observe(0.5)
+        right.histogram("h").observe(0.5)
+        left.merge(right)
+        assert left.value_of("c") == 3
+        assert left.value_of("g") == 9  # last write wins
+        assert left.histogram("h").count == 2
+
+    def test_merge_empty_is_identity(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(4)
+        before = registry.export_lines()
+        registry.merge(MetricsRegistry())
+        assert registry.export_lines() == before
+
+    def test_default_buckets_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

@@ -1,0 +1,85 @@
+"""Unit tests for span-based tracing with an injectable clock."""
+
+import json
+
+from repro.obs.trace import NULL_SPAN, Span, TickClock, Tracer, maybe_span
+
+
+class TestTracer:
+    def test_spans_nest_and_finish_in_completion_order(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in tracer.finished] == \
+            ["inner", "outer"]
+        inner = tracer.finished[0]
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sequential_ids_assigned_at_open(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            with tracer.span("c") as c:
+                pass
+        assert (a.span_id, b.span_id, c.span_id) == (0, 1, 2)
+
+    def test_tick_clock_gives_byte_stable_exports(self):
+        def run():
+            tracer = Tracer(clock=TickClock())
+            with tracer.span("batch", entries=3):
+                with tracer.span("fetch"):
+                    pass
+            return tracer.export_lines()
+
+        assert run() == run()
+
+    def test_attrs_and_duration(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("s", static=1) as span:
+            span.set(dynamic=2)
+        assert span.attrs == {"static": 1, "dynamic": 2}
+        assert span.duration == 1.0
+        payload = json.loads(tracer.export_lines()[0])
+        assert payload["attrs"] == {"static": 1, "dynamic": 2}
+
+    def test_span_round_trips_through_dict(self):
+        span = Span(span_id=3, parent_id=1, name="x", start=1.0,
+                    end=2.0, attrs={"k": "v"})
+        assert Span.from_dict(span.to_dict()) == span
+
+    def test_state_dict_resumes_id_counter(self):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("a"):
+            pass
+        resumed = Tracer(clock=TickClock(start=10))
+        resumed.load_state(tracer.state_dict())
+        with resumed.span("b") as b:
+            pass
+        assert b.span_id == 1
+        assert [span.name for span in resumed.finished] == ["a", "b"]
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = Tracer(clock=TickClock())
+        with tracer.span("only"):
+            pass
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "only"
+
+
+class TestMaybeSpan:
+    def test_none_tracer_yields_null_span(self):
+        with maybe_span(None, "anything", k=1) as span:
+            span.set(extra=2)  # must be a no-op, not an error
+        assert span is NULL_SPAN
+
+    def test_real_tracer_records(self):
+        tracer = Tracer(clock=TickClock())
+        with maybe_span(tracer, "real", k=1) as span:
+            span.set(extra=2)
+        assert len(tracer.finished) == 1
+        assert tracer.finished[0].attrs == {"k": 1, "extra": 2}

@@ -1,0 +1,69 @@
+"""Property tests for URL normalization.
+
+``normalize`` is the crawler's deduplication key, so it must be
+idempotent — otherwise the frontier could admit the same page twice —
+and it must preserve the parts that make two URLs genuinely different.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.web.urls import host_of, normalize, resolve
+
+hosts = st.from_regex(r"[a-z][a-z0-9-]{0,10}(\.[a-z]{2,7}){1,2}",
+                      fullmatch=True)
+paths = st.from_regex(r"(/[A-Za-z0-9._~-]{0,8}){0,4}", fullmatch=True)
+queries = st.one_of(st.just(""),
+                    st.from_regex(r"[a-z]{1,5}=[A-Za-z0-9]{0,6}",
+                                  fullmatch=True))
+fragments = st.one_of(st.just(""),
+                      st.from_regex(r"[A-Za-z0-9]{0,6}", fullmatch=True))
+ports = st.sampled_from(["", ":80", ":443", ":8080"])
+
+
+@st.composite
+def urls(draw):
+    scheme = draw(st.sampled_from(["http", "https", "HTTP", "Https"]))
+    host = draw(hosts)
+    if draw(st.booleans()):
+        host = host.upper()
+    url = f"{scheme}://{host}{draw(ports)}{draw(paths)}"
+    query = draw(queries)
+    if query:
+        url += f"?{query}"
+    fragment = draw(fragments)
+    if fragment:
+        url += f"#{fragment}"
+    return url
+
+
+@given(urls())
+def test_normalize_is_idempotent(url):
+    once = normalize(url)
+    assert normalize(once) == once
+
+
+@given(urls())
+def test_normalize_drops_fragment_and_lowercases_host(url):
+    normalized = normalize(url)
+    assert "#" not in normalized
+    assert host_of(normalized) == host_of(normalized).lower()
+
+
+@given(urls())
+def test_normalize_keeps_query(url):
+    query = url.split("#")[0].partition("?")[2]
+    normalized = normalize(url)
+    assert normalized.partition("?")[2] == query
+
+
+@given(urls())
+def test_fragment_only_variants_collapse(url):
+    base = url.split("#")[0]
+    assert normalize(base + "#section") == normalize(base)
+
+
+@given(urls())
+def test_resolve_absolute_is_normalize(url):
+    lowered = url.lower()
+    assert resolve("http://base.example.org/", lowered) == \
+        normalize(lowered)
