@@ -44,6 +44,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the per-page document "
                             "stage (byte-identical results at any N; "
                             "default 1)")
+    crawl.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="run the crawl as N host-sharded coordinator "
+                            "processes in BSP supersteps (merged "
+                            "artifacts byte-identical at any N; a "
+                            "different deterministic schedule from the "
+                            "single-coordinator default — see "
+                            "docs/crawling.md)")
     crawl.add_argument("--faults", default="none", metavar="SPEC",
                        help="fault injection: none | default | heavy | "
                             "a per-fetch failure rate like 0.2 "
@@ -143,6 +150,28 @@ def _parse_faults(spec: str, seed: int):
     return FaultConfig.uniform(rate, seed=seed)
 
 
+def _print_crawl_report(result, mode: str) -> None:
+    from repro.obs.report import format_failures, format_stage_breakdown
+
+    print(f"fetched {result.pages_fetched} pages in "
+          f"{result.clock_seconds:.0f} simulated seconds "
+          f"({result.download_rate:.1f} docs/s)")
+    print(f"relevant {len(result.relevant)} | irrelevant "
+          f"{len(result.irrelevant)} | harvest {result.harvest_rate:.0%}")
+    attrition = result.filter_attrition
+    print(f"filter attrition: mime {attrition['mime']:.1%}, language "
+          f"{attrition['language']:.1%}, length {attrition['length']:.1%}")
+    if result.stage_seconds:
+        for line in format_stage_breakdown(result.stage_pages,
+                                           result.stage_seconds, mode=mode):
+            print(line)
+    for line in format_failures(result.failure_reasons,
+                                result.fetch_failures, result.retries,
+                                result.hosts_quarantined):
+        print(line)
+    print(f"stop reason: {result.stop_reason}")
+
+
 def cmd_crawl(args) -> int:
     import os
 
@@ -152,6 +181,8 @@ def cmd_crawl(args) -> int:
     from repro.obs.trace import Tracer
     from repro.web.server import SimulatedClock, SimulatedWeb
 
+    if args.shards is not None:
+        return _cmd_crawl_sharded(args)
     ctx = _context(args, n_hosts=args.hosts, crawl_pages=args.pages)
     faults = _parse_faults(args.faults, seed=args.seed)
     web = SimulatedWeb(ctx.webgraph, seed=args.seed + 12, faults=faults)
@@ -192,33 +223,78 @@ def cmd_crawl(args) -> int:
                                page_callback=page_callback)
     else:
         result = crawler.crawl(seeds, page_callback=page_callback)
-    from repro.obs.report import format_failures, format_stage_breakdown
-
-    print(f"fetched {result.pages_fetched} pages in "
-          f"{result.clock_seconds:.0f} simulated seconds "
-          f"({result.download_rate:.1f} docs/s)")
-    print(f"relevant {len(result.relevant)} | irrelevant "
-          f"{len(result.irrelevant)} | harvest {result.harvest_rate:.0%}")
-    attrition = result.filter_attrition
-    print(f"filter attrition: mime {attrition['mime']:.1%}, language "
-          f"{attrition['language']:.1%}, length {attrition['length']:.1%}")
-    if result.stage_seconds:
-        mode = (f"{args.workers} workers" if args.workers > 1
-                else "sequential")
-        for line in format_stage_breakdown(result.stage_pages,
-                                           result.stage_seconds, mode=mode):
-            print(line)
-    for line in format_failures(result.failure_reasons,
-                                result.fetch_failures, result.retries,
-                                result.hosts_quarantined):
-        print(line)
-    print(f"stop reason: {result.stop_reason}")
+    mode = (f"{args.workers} workers" if args.workers > 1
+            else "sequential")
+    _print_crawl_report(result, mode)
     if metrics is not None:
         path = metrics.write_jsonl(args.metrics_out)
         print(f"wrote metrics: {path}")
     if tracer is not None:
         path = tracer.write_jsonl(args.trace)
         print(f"wrote trace: {path}")
+    return 0
+
+
+def _cmd_crawl_sharded(args) -> int:
+    import os
+
+    from repro.crawler.crawl import CrawlConfig
+    from repro.crawler.shard import ShardCrawler, ShardedCrawl
+    from repro.obs.metrics import MetricsRegistry
+    from repro.web.server import SimulatedClock, SimulatedWeb
+
+    if args.trace:
+        print("error: --trace is not supported with --shards "
+              "(span trees are per-process; use --metrics-out, "
+              "which merges deterministically)", file=sys.stderr)
+        return 2
+    if args.shards < 1:
+        print("error: --shards must be >= 1", file=sys.stderr)
+        return 2
+    ctx = _context(args, n_hosts=args.hosts, crawl_pages=args.pages)
+    faults_spec, base_seed = args.faults, args.seed
+    config = CrawlConfig(max_pages=args.pages,
+                         follow_irrelevant_steps=args.follow_irrelevant,
+                         parallel_workers=args.workers)
+    want_metrics = args.metrics_out is not None
+
+    def factory(shard_id: int) -> ShardCrawler:
+        # Each shard gets its own web/filters/metrics: hosts are
+        # disjoint across shards and the simulated web derives all
+        # per-host behaviour from the (shared) seed, so N copies
+        # behave exactly like one.
+        web = SimulatedWeb(ctx.webgraph, seed=base_seed + 12,
+                           faults=_parse_faults(faults_spec,
+                                                seed=base_seed))
+        return ShardCrawler(
+            shard_id, args.shards, web, ctx.pipeline.classifier,
+            ctx.build_filter_chain(), config, clock=SimulatedClock(),
+            metrics=MetricsRegistry() if want_metrics else None)
+
+    driver = ShardedCrawl(
+        factory, args.shards, args.pages,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
+        processes=args.shards > 1)
+    kill_after = args.kill_after
+
+    def barrier_callback(total_pages: int) -> None:
+        if kill_after is not None and total_pages >= kill_after:
+            print(f"kill-after reached at {total_pages} pages; "
+                  "hard exit")
+            sys.stdout.flush()
+            os._exit(9)
+
+    seeds = ctx.seed_batch("second").urls
+    resume = args.resume and args.checkpoint is not None
+    result = driver.run(list(seeds), resume=resume,
+                        barrier_callback=barrier_callback)
+    print(f"sharded crawl: {args.shards} shards, "
+          f"{driver.supersteps} supersteps")
+    _print_crawl_report(result, mode=f"{args.shards} shards")
+    if want_metrics and driver.metrics is not None:
+        path = driver.metrics.write_jsonl(args.metrics_out)
+        print(f"wrote metrics: {path}")
     return 0
 
 

@@ -192,24 +192,12 @@ class CheckpointState:
     crawler_state: dict | None = None
 
 
-def save_checkpoint(path: str | Path, frontier: CrawlDb,
-                    result: CrawlResult, clock_now: float,
-                    crawler_state: dict | None = None) -> Path:
-    """Persist mid-crawl state to one JSON file, atomically.
-
-    The payload is staged to a sibling tmp file, fsynced, and moved
-    into place with ``os.replace`` — a crash at any point leaves either
-    the previous checkpoint or the new one, never a torn write.
-    """
+def _atomic_write_json(path: str | Path, payload: dict) -> Path:
+    """Stage ``payload`` to a sibling tmp file, fsync, and move it into
+    place with ``os.replace`` — a crash at any point leaves either the
+    previous file or the new one, never a torn write."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {
-        "version": FORMAT_VERSION,
-        "clock_now": clock_now,
-        "frontier": frontier_to_dict(frontier),
-        "result": result_to_dict(result),
-        "crawler": crawler_state,
-    }
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(payload))
@@ -217,6 +205,19 @@ def save_checkpoint(path: str | Path, frontier: CrawlDb,
         os.fsync(handle.fileno())
     os.replace(tmp, path)
     return path
+
+
+def save_checkpoint(path: str | Path, frontier: CrawlDb,
+                    result: CrawlResult, clock_now: float,
+                    crawler_state: dict | None = None) -> Path:
+    """Persist mid-crawl state to one JSON file, atomically."""
+    return _atomic_write_json(path, {
+        "version": FORMAT_VERSION,
+        "clock_now": clock_now,
+        "frontier": frontier_to_dict(frontier),
+        "result": result_to_dict(result),
+        "crawler": crawler_state,
+    })
 
 
 def load_checkpoint(path: str | Path) -> CheckpointState:
@@ -251,6 +252,70 @@ def load_checkpoint(path: str | Path) -> CheckpointState:
         result=result_from_dict(payload["result"]),
         clock_now=float(payload["clock_now"]),
         crawler_state=payload.get("crawler"))
+
+
+def save_sharded_checkpoint(path: str | Path, *, n_shards: int,
+                            superstep: int, inbound: dict,
+                            shards: list[dict]) -> Path:
+    """Persist the *collective* state of a sharded crawl atomically.
+
+    One file holds every shard's (frontier, result, crawler state)
+    plus the driver's superstep counter and the cross-shard link
+    buffers pending application — the single consistency point of the
+    superstep barrier.  Written only by the coordinating parent, so a
+    crash of any shard (or the parent itself) can never leave shards
+    checkpointed at different supersteps.
+    """
+    return _atomic_write_json(path, {
+        "version": FORMAT_VERSION,
+        "kind": "sharded",
+        "n_shards": n_shards,
+        "superstep": superstep,
+        "inbound": {str(shard): [list(link) for link in links]
+                    for shard, links in inbound.items()},
+        "shards": shards,
+    })
+
+
+def load_sharded_checkpoint(path: str | Path) -> dict:
+    """Load a collective sharded checkpoint; validates shape.
+
+    Returns the raw payload dict; the shard driver rebuilds its
+    crawlers from the per-shard sections.  Raises
+    :class:`CheckpointError` on unreadable, truncated, or
+    wrong-kind payloads.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise CheckpointError(
+            f"cannot read checkpoint {path}: {error}") from error
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise CheckpointError(
+            f"corrupt checkpoint {path} (truncated write?): "
+            f"{error}") from error
+    if payload.get("kind") != "sharded":
+        raise CheckpointError(
+            f"{path} is not a sharded checkpoint "
+            f"(kind={payload.get('kind')!r})")
+    version = payload.get("version")
+    if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
+        raise CheckpointError(
+            f"unsupported checkpoint version: {version!r}")
+    for section in ("n_shards", "superstep", "inbound", "shards"):
+        if section not in payload:
+            raise CheckpointError(
+                f"sharded checkpoint {path} is missing its "
+                f"{section!r} section")
+    if len(payload["shards"]) != payload["n_shards"]:
+        raise CheckpointError(
+            f"sharded checkpoint {path} carries "
+            f"{len(payload['shards'])} shard sections for "
+            f"n_shards={payload['n_shards']}")
+    return payload
 
 
 class ResumableCrawl:

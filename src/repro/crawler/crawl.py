@@ -43,7 +43,7 @@ from repro.crawler.filters import FilterChain
 from repro.crawler.frontier import CrawlDb, FrontierEntry
 from repro.crawler.linkdb import LinkDb
 from repro.crawler.parallel import (
-    CrawlWorkerPool, DocumentOutcome, PageTask, ProcessingContext,
+    CrawlWorkerPool, DocumentOutcome, ProcessingContext,
     process_document,
 )
 from repro.crawler.robust import (
@@ -287,7 +287,8 @@ class FocusedCrawler:
             if hasattr(model, "precompute"):
                 model.precompute()
         return CrawlWorkerPool(workers, self._processing_context(),
-                               metrics=self.metrics)
+                               metrics=self.metrics,
+                               batch_hint=config.batch_size)
 
     def _processing_context(self) -> ProcessingContext:
         return ProcessingContext(boilerplate=self.boilerplate,
@@ -314,16 +315,24 @@ class FocusedCrawler:
         """Fetch sequentially, process the pure document stage (inline
         or fanned out), and merge state updates in batch order.
 
+        With a pool attached the two phases *pipeline*: each cleanly
+        fetched page is submitted to the workers immediately, so the
+        head of the batch is being parsed and classified while the
+        coordinator is still fetching the tail.  The merge phase then
+        replays every entry in batch order regardless of when (or on
+        which worker) its document stage ran, which is what keeps the
+        results byte-identical to the sequential loop.
+
         The phase spans are timed on the *simulated* clock (when a
         tracer is attached via :attr:`tracer` with ``clock=lambda:
         crawler.clock.now``), which only advances during the fetch
         phase — so the exported trace is identical for the sequential
-        and the pooled document stage even though the sequential loop
-        interleaves document processing with merging.
+        and the pooled document stage even though both the sequential
+        loop and the pipelined pool overlap document processing with
+        other phases.
         """
         config = self.config
-        if self.metrics is not None:
-            self.metrics.counter("crawl.batches").inc()
+        self._record_batch_start()
         with maybe_span(self.tracer, "crawl.batch") as batch_span:
             outcomes: list[_FetchOutcome] = []
             fetched = 0
@@ -339,6 +348,12 @@ class FocusedCrawler:
                     outcome = self._fetch_entry(entry)
                     if outcome.kind == "fetched":
                         fetched += 1
+                        if pool is not None and outcome.reason is None:
+                            # Pipelined dispatch: workers start on this
+                            # page while the fetch loop continues.
+                            pool.submit((index, outcome.fetch.url,
+                                         outcome.fetch.body,
+                                         outcome.fetch.content_type))
                     outcomes.append(outcome)
                 fetch_span.set(entries=len(batch), fetched=fetched)
             n_documents = sum(
@@ -348,13 +363,7 @@ class FocusedCrawler:
             with maybe_span(self.tracer, "crawl.document",
                             pages=n_documents):
                 if pool is not None:
-                    tasks: list[PageTask] = [
-                        (index, outcome.fetch.url, outcome.fetch.body,
-                         outcome.fetch.content_type)
-                        for index, outcome in enumerate(outcomes)
-                        if outcome.kind == "fetched"
-                        and outcome.reason is None]
-                    documents = pool.process_batch(tasks)
+                    documents = pool.drain()
             context = self._processing_context() if pool is None else None
             with maybe_span(self.tracer, "crawl.merge",
                             entries=len(batch)):
@@ -377,7 +386,26 @@ class FocusedCrawler:
                         page_callback(result)
             batch_span.set(entries=len(batch))
 
+    def _record_batch_start(self) -> None:
+        """Count one frontier batch.  The sharded crawler overrides
+        this to a no-op: how many (shard, superstep) batches a crawl
+        splits into depends on the shard count, so the driver records
+        the shard-invariant ``crawl.supersteps`` instead."""
+        if self.metrics is not None:
+            self.metrics.counter("crawl.batches").inc()
+
     # -- phase 1: fetch (stateful, clock-bearing) ------------------------------
+
+    def _clock_for(self, host: str) -> SimulatedClock:
+        """The clock that times interactions with ``host``.
+
+        The base crawler keeps one global clock.  The sharded crawler
+        overrides this with per-host clocks: politeness, breaker
+        cooldowns, and flaky-host recovery are all per-host phenomena,
+        and timing them on host-local clocks makes their evolution
+        independent of how hosts are interleaved across shards.
+        """
+        return self.clock
 
     def _fetch_entry(self, entry: FrontierEntry) -> _FetchOutcome:
         """Everything up to (and including) the fetch for one entry.
@@ -390,17 +418,18 @@ class FocusedCrawler:
         config = self.config
         started = time.perf_counter()
         host = host_of(entry.url)
+        clock = self._clock_for(host)
         if config.respect_robots and not self._robots(host).allows(entry.url):
             return _FetchOutcome("robots_denied",
                                  seconds=time.perf_counter() - started)
-        if not self.health.breaker(host).allow(self.clock.now):
+        if not self.health.breaker(host).allow(clock.now):
             # Host quarantined: drop the entry without fetching.
             return _FetchOutcome("circuit_open",
                                  seconds=time.perf_counter() - started)
         fetch, reason, retries = self._fetch_with_retries(entry.url, host)
         if reason is None:
             # The modelled serialized per-document processing cost.
-            self.clock.advance(config.processing_seconds)
+            clock.advance(config.processing_seconds)
         return _FetchOutcome("fetched", fetch=fetch, reason=reason,
                              retries=retries,
                              seconds=time.perf_counter() - started)
@@ -494,14 +523,27 @@ class FocusedCrawler:
         if relevant:
             result.relevant.append(harvested)
             for link in document.outlinks:
-                frontier.add(link, depth=entry.depth + 1,
-                             irrelevant_steps=0)
+                self._add_outlink(frontier, entry, link,
+                                  irrelevant_steps=0)
         else:
             result.irrelevant.append(harvested)
             if entry.irrelevant_steps < config.follow_irrelevant_steps:
                 for link in document.outlinks:
-                    frontier.add(link, depth=entry.depth + 1,
-                                 irrelevant_steps=entry.irrelevant_steps + 1)
+                    self._add_outlink(
+                        frontier, entry, link,
+                        irrelevant_steps=entry.irrelevant_steps + 1)
+
+    def _add_outlink(self, frontier: CrawlDb, entry: FrontierEntry,
+                     link: str, irrelevant_steps: int) -> None:
+        """Feed one discovered outlink into the frontier.
+
+        The sharded crawler overrides this to *buffer* links instead:
+        in superstep mode every discovered link — even one owned by the
+        discovering shard — is exchanged and applied at the barrier, so
+        the frontier evolves identically at any shard count.
+        """
+        frontier.add(link, depth=entry.depth + 1,
+                     irrelevant_steps=irrelevant_steps)
 
     def _record_stage(self, result: CrawlResult, stage: str,
                       seconds: float, pages: int = 1) -> None:
@@ -524,6 +566,7 @@ class FocusedCrawler:
         config = self.config
         policy = config.retry
         breaker = self.health.breaker(host)
+        clock = self._clock_for(host)
         fetch: FetchResult | None = None
         reason: str | None = None
         retries = 0
@@ -534,16 +577,16 @@ class FocusedCrawler:
                 backoff = policy.backoff_seconds(
                     url, attempt - 1,
                     retry_after=fetch.retry_after if fetch else 0.0)
-                self.clock.advance(backoff / config.fetcher_threads)
+                clock.advance(backoff / config.fetcher_threads)
                 if metrics is not None:
                     metrics.histogram(
                         "crawl.backoff_sim_seconds",
                         buckets=SIM_SECONDS_BUCKETS).observe(backoff)
             self._await_host(host)
             fetch = self.web.fetch(url, attempt=attempt,
-                                   now=self.clock.now)
-            self.clock.advance(min(fetch.elapsed, policy.attempt_timeout)
-                               / config.fetcher_threads)
+                                   now=clock.now)
+            clock.advance(min(fetch.elapsed, policy.attempt_timeout)
+                          / config.fetcher_threads)
             if metrics is not None:
                 metrics.counter("crawl.fetch_attempts").inc()
                 metrics.histogram(
@@ -552,13 +595,13 @@ class FocusedCrawler:
                         min(fetch.elapsed, policy.attempt_timeout))
             delay = max(config.politeness_delay,
                         self._robots(host).crawl_delay)
-            self._host_ready[host] = self.clock.now + delay
+            self._host_ready[host] = clock.now + delay
             reason = self._failure_reason(fetch, policy)
             if reason is None:
                 breaker.record_success()
                 return fetch, None, retries
             if reason in HOST_FAILURES:
-                opened = breaker.record_failure(self.clock.now)
+                opened = breaker.record_failure(clock.now)
                 if opened:
                     # Host just got quarantined; stop hammering it.
                     break
@@ -568,10 +611,11 @@ class FocusedCrawler:
 
     def _await_host(self, host: str) -> None:
         """Politeness: wait until the host allows another request."""
+        clock = self._clock_for(host)
         ready = self._host_ready.get(host, 0.0)
-        if ready > self.clock.now:
-            self.clock.advance(min(ready - self.clock.now,
-                                   self.config.politeness_delay))
+        if ready > clock.now:
+            clock.advance(min(ready - clock.now,
+                              self.config.politeness_delay))
 
     @staticmethod
     def _failure_reason(fetch: FetchResult,
@@ -596,9 +640,10 @@ class FocusedCrawler:
     def _robots(self, host: str) -> RobotsPolicy:
         policy = self._robots_cache.get(host)
         if policy is None:
+            clock = self._clock_for(host)
             response = self.web.fetch(f"http://{host}/robots.txt",
-                                      now=self.clock.now)
-            self.clock.advance(
+                                      now=clock.now)
+            clock.advance(
                 response.elapsed / self.config.fetcher_threads)
             policy = (parse_robots(response.body)
                       if response.ok else RobotsPolicy())

@@ -93,6 +93,25 @@ class CrawlDb:
         self._gc_empty()
         return batch
 
+    def next_batch_per_host(self, quota: int) -> list[FrontierEntry]:
+        """Dequeue up to ``quota`` entries from *every* non-empty host,
+        hosts visited in sorted order.
+
+        This is the superstep batch rule of the sharded crawl
+        (:mod:`repro.crawler.shard`): because each host's queue evolves
+        independently and hosts are drained in a canonical order, the
+        entries a host contributes per superstep are the same no matter
+        which shard owns it — the property that makes an N-shard crawl
+        reproduce the 1-shard crawl exactly.
+        """
+        batch: list[FrontierEntry] = []
+        for host in sorted(h for h, q in self._queues.items() if q):
+            queue = self._queues[host]
+            for _ in range(min(quota, len(queue))):
+                batch.append(queue.popleft())
+        self._gc_empty()
+        return batch
+
     def requeue_front(self, entries: list[FrontierEntry]) -> None:
         """Push dequeued-but-unprocessed entries back to the front of
         their host queues, preserving order.

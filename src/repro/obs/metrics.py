@@ -84,13 +84,20 @@ class Histogram:
 
     ``counts`` has ``len(bounds) + 1`` slots; the last is the +inf
     overflow bucket.  An observation lands in the first bucket whose
-    upper bound is >= the value.  ``sum`` tracks the running total of
-    observed values (float addition — exact for integral values, and
-    accumulated in observation order, which the callers keep
-    deterministic).
+    upper bound is >= the value.
+
+    ``sum`` is accumulated in integer nanosecond-scale units rather
+    than as a running float: float addition is not associative, so a
+    float total would depend on the order observations arrive and on
+    how partial histograms are grouped before :meth:`merge` — exactly
+    what varies between a 1-shard and an N-shard crawl.  Integer
+    addition is associative and commutative, so the exported ``sum``
+    is invariant under any regrouping of the same observations.
     """
 
-    __slots__ = ("bounds", "counts", "sum")
+    _SCALE = 1_000_000_000
+
+    __slots__ = ("bounds", "counts", "_sum_units")
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in bounds)
@@ -99,16 +106,24 @@ class Histogram:
                              "strictly increasing sequence")
         self.bounds = bounds
         self.counts = [0] * (len(bounds) + 1)
-        self.sum: float = 0.0
+        self._sum_units: int = 0
 
     @property
     def count(self) -> int:
         """Total observations — always the sum of the buckets."""
         return sum(self.counts)
 
+    @property
+    def sum(self) -> float:
+        return self._sum_units / self._SCALE
+
+    @sum.setter
+    def sum(self, value: float) -> None:
+        self._sum_units = round(value * self._SCALE)
+
     def observe(self, value: float) -> None:
         self.counts[bisect_left(self.bounds, value)] += 1
-        self.sum += value
+        self._sum_units += round(value * self._SCALE)
 
     def merge(self, other: "Histogram") -> None:
         """Add another histogram of the same layout into this one."""
@@ -118,7 +133,7 @@ class Histogram:
                 f"{self.bounds} vs {other.bounds}")
         for index, count in enumerate(other.counts):
             self.counts[index] += count
-        self.sum += other.sum
+        self._sum_units += other._sum_units
 
 
 class _Family:
