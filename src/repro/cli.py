@@ -51,6 +51,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "different deterministic schedule from the "
                             "single-coordinator default — see "
                             "docs/crawling.md)")
+    crawl.add_argument("--recrawl-rounds", type=int, default=1,
+                       metavar="N",
+                       help="crawl the (evolving) web N times from the "
+                            "same seeds; rounds after the first replay "
+                            "cached outcomes for unchanged pages and "
+                            "skip fetches for hosts not yet due "
+                            "(default 1 = single cold crawl)")
+    crawl.add_argument("--churn", type=float, default=0.0,
+                       metavar="RATE",
+                       help="per-round probability that a page's "
+                            "content changes between recrawl rounds "
+                            "(default 0.0 = static web)")
     crawl.add_argument("--faults", default="none", metavar="SPEC",
                        help="fault injection: none | default | heavy | "
                             "a per-fetch failure rate like 0.2 "
@@ -151,13 +163,20 @@ def _parse_faults(spec: str, seed: int):
 
 
 def _print_crawl_report(result, mode: str) -> None:
-    from repro.obs.report import format_failures, format_stage_breakdown
+    from repro.obs.report import (
+        format_failures, format_recrawl, format_stage_breakdown,
+    )
 
     print(f"fetched {result.pages_fetched} pages in "
           f"{result.clock_seconds:.0f} simulated seconds "
           f"({result.download_rate:.1f} docs/s)")
     print(f"relevant {len(result.relevant)} | irrelevant "
           f"{len(result.irrelevant)} | harvest {result.harvest_rate:.0%}")
+    for line in format_recrawl(result.replay_hits,
+                               result.fetches_skipped,
+                               result.pages_changed,
+                               result.pages_near_unchanged):
+        print(line)
     attrition = result.filter_attrition
     print(f"filter attrition: mime {attrition['mime']:.1%}, language "
           f"{attrition['language']:.1%}, length {attrition['length']:.1%}")
@@ -172,6 +191,17 @@ def _print_crawl_report(result, mode: str) -> None:
     print(f"stop reason: {result.stop_reason}")
 
 
+def _print_round_reports(reports) -> None:
+    for report in reports:
+        print(f"round {report['round']}: fetched "
+              f"{report['pages_fetched']} | skipped "
+              f"{report['fetches_skipped']} | replayed "
+              f"{report['replay_hits']} | changed "
+              f"{report['pages_changed']} "
+              f"({report['pages_near_unchanged']} near-unchanged) | "
+              f"relevant {report['relevant']}")
+
+
 def cmd_crawl(args) -> int:
     import os
 
@@ -181,11 +211,18 @@ def cmd_crawl(args) -> int:
     from repro.obs.trace import Tracer
     from repro.web.server import SimulatedClock, SimulatedWeb
 
+    if args.recrawl_rounds < 1:
+        print("error: --recrawl-rounds must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.churn <= 1.0:
+        print("error: --churn must be in [0, 1]", file=sys.stderr)
+        return 2
     if args.shards is not None:
         return _cmd_crawl_sharded(args)
     ctx = _context(args, n_hosts=args.hosts, crawl_pages=args.pages)
     faults = _parse_faults(args.faults, seed=args.seed)
-    web = SimulatedWeb(ctx.webgraph, seed=args.seed + 12, faults=faults)
+    web = SimulatedWeb(ctx.webgraph, seed=args.seed + 12, faults=faults,
+                       churn_rate=args.churn)
     config = CrawlConfig(max_pages=args.pages,
                          follow_irrelevant_steps=args.follow_irrelevant,
                          parallel_workers=args.workers)
@@ -213,7 +250,21 @@ def cmd_crawl(args) -> int:
             sys.stdout.flush()
             os._exit(9)
 
-    if args.checkpoint:
+    if args.recrawl_rounds > 1:
+        from repro.crawler.recrawl import (
+            IncrementalCrawl, PageMemory, RecrawlScheduler,
+        )
+
+        crawler.memory = PageMemory()
+        crawler.scheduler = RecrawlScheduler(seed=args.seed)
+        driver = IncrementalCrawl(
+            crawler, rounds=args.recrawl_rounds,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every=args.checkpoint_every)
+        result = driver.run(list(seeds), resume=args.resume,
+                            page_callback=page_callback)
+        _print_round_reports(driver.round_reports)
+    elif args.checkpoint:
         resumable = ResumableCrawl(crawler, args.checkpoint)
         if args.resume and not resumable.checkpoint_path.exists():
             print(f"no checkpoint at {args.checkpoint}; starting fresh")
@@ -258,21 +309,36 @@ def _cmd_crawl_sharded(args) -> int:
                          parallel_workers=args.workers)
     want_metrics = args.metrics_out is not None
 
+    rounds = args.recrawl_rounds
+
     def factory(shard_id: int) -> ShardCrawler:
         # Each shard gets its own web/filters/metrics: hosts are
         # disjoint across shards and the simulated web derives all
         # per-host behaviour from the (shared) seed, so N copies
-        # behave exactly like one.
+        # behave exactly like one.  Page memory and scheduler are
+        # likewise per-shard: keyed by URL / host, they never overlap.
         web = SimulatedWeb(ctx.webgraph, seed=base_seed + 12,
                            faults=_parse_faults(faults_spec,
-                                                seed=base_seed))
+                                                seed=base_seed),
+                           churn_rate=args.churn)
+        recrawl_kwargs = {}
+        if rounds > 1:
+            from repro.crawler.recrawl import (
+                PageMemory, RecrawlScheduler,
+            )
+
+            recrawl_kwargs = {
+                "memory": PageMemory(),
+                "scheduler": RecrawlScheduler(seed=base_seed),
+            }
         return ShardCrawler(
             shard_id, args.shards, web, ctx.pipeline.classifier,
             ctx.build_filter_chain(), config, clock=SimulatedClock(),
-            metrics=MetricsRegistry() if want_metrics else None)
+            metrics=MetricsRegistry() if want_metrics else None,
+            **recrawl_kwargs)
 
     driver = ShardedCrawl(
-        factory, args.shards, args.pages,
+        factory, args.shards, args.pages, rounds=rounds,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every if args.checkpoint else 0,
         processes=args.shards > 1)
@@ -291,6 +357,7 @@ def _cmd_crawl_sharded(args) -> int:
                         barrier_callback=barrier_callback)
     print(f"sharded crawl: {args.shards} shards, "
           f"{driver.supersteps} supersteps")
+    _print_round_reports(driver.round_reports)
     _print_crawl_report(result, mode=f"{args.shards} shards")
     if want_metrics and driver.metrics is not None:
         path = driver.metrics.write_jsonl(args.metrics_out)

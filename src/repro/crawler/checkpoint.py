@@ -35,15 +35,20 @@ from repro.web.robots import RobotsPolicy
 #: Version 2 adds failure_reasons / retries / hosts_quarantined /
 #: document raw bodies to the result, and the crawler-state section.
 #: Version 3 adds the deterministic per-stage page counters
-#: (``stage_pages``).  Older payloads still load (missing fields
-#: default).  Per-stage *seconds* are deliberately not checkpointed:
-#: they are wall-clock observability, meaningless across process
-#: restarts, and excluded from resume-equivalence guarantees.  The
-#: crawler-state section may carry an optional ``obs`` subsection
-#: (deterministic metrics + finished trace spans) when observability
-#: is attached; its absence is always valid, so the version is
-#: unchanged.
-FORMAT_VERSION = 3
+#: (``stage_pages``).  Version 4 adds the incremental-recrawl state:
+#: the recrawl counters on the result, the crawler-state ``recrawl``
+#: subsection (round, page memory, revisit scheduler), the optional
+#: ``neardup`` subsection, and — for sharded checkpoints — the round
+#: marker and completion flag.  Older payloads still load (missing
+#: fields default); payloads with a *newer* version are rejected with
+#: a clear :class:`CheckpointError` instead of surfacing as a stray
+#: ``KeyError`` deep in restore.  Per-stage *seconds* are deliberately
+#: not checkpointed: they are wall-clock observability, meaningless
+#: across process restarts, and excluded from resume-equivalence
+#: guarantees.  The crawler-state section may carry an optional
+#: ``obs`` subsection (deterministic metrics + finished trace spans)
+#: when observability is attached; its absence is always valid.
+FORMAT_VERSION = 4
 
 
 class CheckpointError(ValueError):
@@ -105,6 +110,11 @@ def result_to_dict(result: CrawlResult) -> dict:
         "retries": result.retries,
         "hosts_quarantined": result.hosts_quarantined,
         "stage_pages": dict(result.stage_pages),
+        "fetches_skipped": result.fetches_skipped,
+        "pages_unchanged": result.pages_unchanged,
+        "pages_changed": result.pages_changed,
+        "pages_near_unchanged": result.pages_near_unchanged,
+        "replay_hits": result.replay_hits,
     }
 
 
@@ -122,7 +132,12 @@ def result_from_dict(payload: dict) -> CrawlResult:
         failure_reasons=dict(payload.get("failure_reasons", {})),
         retries=payload.get("retries", 0),
         hosts_quarantined=payload.get("hosts_quarantined", 0),
-        stage_pages=dict(payload.get("stage_pages", {})))
+        stage_pages=dict(payload.get("stage_pages", {})),
+        fetches_skipped=payload.get("fetches_skipped", 0),
+        pages_unchanged=payload.get("pages_unchanged", 0),
+        pages_changed=payload.get("pages_changed", 0),
+        pages_near_unchanged=payload.get("pages_near_unchanged", 0),
+        replay_hits=payload.get("replay_hits", 0))
     linkdb = LinkDb()
     for source, targets in payload["outlinks"].items():
         linkdb.add_edges(source, targets)
@@ -152,6 +167,16 @@ def crawler_state_to_dict(crawler: FocusedCrawler) -> dict:
         "filters": {name: [stats.accepted, stats.rejected]
                     for name, stats in crawler.filters.stats.items()},
     }
+    if (crawler.round or crawler.memory is not None
+            or crawler.scheduler is not None):
+        recrawl: dict = {"round": crawler.round}
+        if crawler.memory is not None:
+            recrawl["memory"] = crawler.memory.to_dict()
+        if crawler.scheduler is not None:
+            recrawl["scheduler"] = crawler.scheduler.state_dict()
+        payload["recrawl"] = recrawl
+    if crawler.neardup is not None:
+        payload["neardup"] = crawler.neardup.state_dict()
     obs = {}
     if crawler.metrics is not None:
         obs["metrics"] = crawler.metrics.to_dict()
@@ -175,6 +200,22 @@ def restore_crawler_state(crawler: FocusedCrawler, payload: dict) -> None:
             stats = crawler.filters.stats[name]
             stats.accepted = accepted
             stats.rejected = rejected
+    recrawl = payload.get("recrawl")
+    if recrawl:
+        from repro.crawler.recrawl import PageMemory, RecrawlScheduler
+
+        crawler.round = int(recrawl.get("round", 0))
+        if "memory" in recrawl:
+            if crawler.memory is None:
+                crawler.memory = PageMemory()
+            crawler.memory.load_dict(recrawl["memory"])
+        if "scheduler" in recrawl:
+            if crawler.scheduler is None:
+                crawler.scheduler = RecrawlScheduler()
+            crawler.scheduler.load_state(recrawl["scheduler"])
+    neardup_state = payload.get("neardup")
+    if neardup_state is not None and crawler.neardup is not None:
+        crawler.neardup.load_state(neardup_state)
     obs = payload.get("obs", {})
     if crawler.metrics is not None and "metrics" in obs:
         crawler.metrics.load_dict(obs["metrics"])
@@ -239,11 +280,8 @@ def load_checkpoint(path: str | Path) -> CheckpointState:
         raise CheckpointError(
             f"corrupt checkpoint {path} (truncated write?): "
             f"{error}") from error
-    version = payload.get("version")
-    if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
-        raise CheckpointError(
-            f"unsupported checkpoint version: {version!r}")
-    for section in ("frontier", "result"):
+    _check_version(path, payload)
+    for section in ("frontier", "result", "clock_now"):
         if section not in payload:
             raise CheckpointError(
                 f"checkpoint {path} is missing its {section!r} section")
@@ -254,9 +292,31 @@ def load_checkpoint(path: str | Path) -> CheckpointState:
         crawler_state=payload.get("crawler"))
 
 
+def _check_version(path: Path, payload: dict) -> None:
+    """Reject unknown checkpoint versions with a *clear* error.
+
+    A payload written by a newer build is distinguished from a
+    malformed one: refusing to downgrade is a deliberate decision (the
+    newer format may carry state this build would silently drop), not
+    a parse failure.
+    """
+    version = payload.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise CheckpointError(
+            f"unsupported checkpoint version: {version!r}")
+    if version > FORMAT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has format version {version}, but this "
+            f"build supports at most version {FORMAT_VERSION}; "
+            "refusing to load a checkpoint from a newer build "
+            "(downgrade detected)")
+
+
 def save_sharded_checkpoint(path: str | Path, *, n_shards: int,
                             superstep: int, inbound: dict,
-                            shards: list[dict]) -> Path:
+                            shards: list[dict], round_: int = 0,
+                            round_complete: bool = False,
+                            stop_reason: str = "") -> Path:
     """Persist the *collective* state of a sharded crawl atomically.
 
     One file holds every shard's (frontier, result, crawler state)
@@ -264,13 +324,19 @@ def save_sharded_checkpoint(path: str | Path, *, n_shards: int,
     buffers pending application — the single consistency point of the
     superstep barrier.  Written only by the coordinating parent, so a
     crash of any shard (or the parent itself) can never leave shards
-    checkpointed at different supersteps.
+    checkpointed at different supersteps.  ``round_`` is the recrawl
+    round the barrier belongs to; ``round_complete`` marks the final
+    barrier of a round (a resume continues with the *next* round) and
+    carries the driver-level ``stop_reason``.
     """
     return _atomic_write_json(path, {
         "version": FORMAT_VERSION,
         "kind": "sharded",
         "n_shards": n_shards,
         "superstep": superstep,
+        "round": round_,
+        "round_complete": round_complete,
+        "stop_reason": stop_reason,
         "inbound": {str(shard): [list(link) for link in links]
                     for shard, links in inbound.items()},
         "shards": shards,
@@ -301,10 +367,7 @@ def load_sharded_checkpoint(path: str | Path) -> dict:
         raise CheckpointError(
             f"{path} is not a sharded checkpoint "
             f"(kind={payload.get('kind')!r})")
-    version = payload.get("version")
-    if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
-        raise CheckpointError(
-            f"unsupported checkpoint version: {version!r}")
+    _check_version(path, payload)
     for section in ("n_shards", "superstep", "inbound", "shards"):
         if section not in payload:
             raise CheckpointError(
@@ -355,7 +418,7 @@ class ResumableCrawl:
         elif seeds is None:
             raise ValueError("a fresh crawl requires seeds")
         saver = _PeriodicSaver(self, checkpoint_every,
-                               result.pages_fetched if result else 0)
+                               result.pages_visited if result else 0)
         return self.crawler.crawl(seeds, frontier=frontier, result=result,
                                   checkpoint=saver, page_callback=page_callback)
 
@@ -417,11 +480,11 @@ class _PeriodicSaver:
         self.saves = 0
 
     def __call__(self, frontier: CrawlDb, result: CrawlResult) -> None:
-        due = (result.pages_fetched - self.pages_at_last_save
+        due = (result.pages_visited - self.pages_at_last_save
                >= self.every)
         final = bool(result.stop_reason)
         if not (due or final):
             return
         self.resumable._save(frontier, result)
-        self.pages_at_last_save = result.pages_fetched
+        self.pages_at_last_save = result.pages_visited
         self.saves += 1

@@ -44,7 +44,11 @@ from repro.crawler.frontier import CrawlDb, FrontierEntry
 from repro.crawler.linkdb import LinkDb
 from repro.crawler.parallel import (
     CrawlWorkerPool, DocumentOutcome, ProcessingContext,
-    process_document,
+    outcome_from_wire, outcome_to_wire, process_document,
+)
+from repro.crawler.recrawl import (
+    PageMemory, PageRecord, RecrawlScheduler, content_fingerprint,
+    near_unchanged, revision_signature, strip_stage_seconds,
 )
 from repro.crawler.robust import (
     HOST_FAILURES, BreakerConfig, HostHealth, RetryPolicy,
@@ -126,6 +130,28 @@ class CrawlResult:
     #: not elapsed time).  Observability only: NOT deterministic, not
     #: checkpointed, excluded from equivalence comparisons.
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: Incremental recrawl accounting (all zero on single-round
+    #: crawls).  ``fetches_skipped`` counts frontier entries replayed
+    #: without any network interaction (host not due for revisit);
+    #: ``pages_unchanged`` counts provably-unchanged visits (304 or
+    #: matching content hash); ``replay_hits`` counts pages whose
+    #: stored DocumentOutcome was replayed instead of reprocessed
+    #: (= unchanged + skipped); ``pages_changed`` counts refetched
+    #: pages whose content differed, of which ``pages_near_unchanged``
+    #: were near-identical revisions by shingle similarity.
+    fetches_skipped: int = 0
+    pages_unchanged: int = 0
+    pages_changed: int = 0
+    pages_near_unchanged: int = 0
+    replay_hits: int = 0
+
+    @property
+    def pages_visited(self) -> int:
+        """Frontier entries consumed: real fetches plus skipped
+        replays.  This is what the page budget bounds — a warm round
+        that skips most fetches must still terminate like a cold one.
+        """
+        return self.pages_fetched + self.fetches_skipped
 
     @property
     def harvest_rate(self) -> float:
@@ -167,6 +193,15 @@ class _FetchOutcome:
     retries: int = 0
     #: Real wall-clock the coordinator spent fetching this entry.
     seconds: float = 0.0
+    #: Stored record to replay instead of reprocessing (content
+    #: provably unchanged, or host not due for revisit).
+    replay: PageRecord | None = None
+    #: True when no network interaction happened at all (scheduler
+    #: skip); the fetch is synthesized from the record.
+    skipped: bool = False
+    #: Content hash of a freshly fetched body (only computed when a
+    #: page memory is attached).
+    fingerprint: str | None = None
 
 
 class FocusedCrawler:
@@ -177,7 +212,10 @@ class FocusedCrawler:
                  boilerplate: BoilerplateDetector | None = None,
                  clock: SimulatedClock | None = None,
                  metrics: MetricsRegistry | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 memory: PageMemory | None = None,
+                 scheduler: RecrawlScheduler | None = None,
+                 neardup=None) -> None:
         self.web = web
         self.classifier = classifier
         self.filters = filters
@@ -185,6 +223,14 @@ class FocusedCrawler:
         self.boilerplate = boilerplate or BoilerplateDetector()
         self.clock = clock or SimulatedClock()
         self.health = HostHealth(config=self.config.breaker)
+        #: Incremental recrawl state (docs/crawling.md): the replay
+        #: store, the per-host revisit scheduler, an optional
+        #: NearDuplicateFilter carried across rounds/checkpoints, and
+        #: the current round.  All None/0 for single-round crawls.
+        self.memory = memory
+        self.scheduler = scheduler
+        self.neardup = neardup
+        self.round = 0
         #: Optional observability (docs/observability.md).  Recording
         #: only ever *reads* crawl state, so enabling metrics/tracing
         #: never changes any crawl output; every deterministic metric
@@ -202,6 +248,40 @@ class FocusedCrawler:
                              event=event).inc()
 
     # -- public API -----------------------------------------------------------
+
+    def begin_round(self, rnd: int) -> None:
+        """Enter recrawl round ``rnd``: evolve the web to that epoch,
+        fold the scheduler's observations into fresh revisit
+        intervals, and reset the near-dup filter's epoch.  Each round
+        then crawls from the seeds with a fresh frontier; the page
+        memory turns unchanged pages into replays."""
+        if self.memory is not None and self.config.online_learning:
+            raise ValueError(
+                "incremental recrawl replays cached document outcomes, "
+                "which online_learning (classifier updates between "
+                "pages) cannot reproduce; disable one of them")
+        self.round = rnd
+        self.web.set_epoch(rnd)
+        # Round-transient robustness state starts fresh: breaker trips
+        # and politeness stamps belong to a crawl session, and keeping
+        # them would make a warm round's trajectory diverge from a
+        # cold crawl of the same epoch.  Knowledge (robots cache, page
+        # memory, scheduler history) carries over.
+        self.health.reset()
+        self._host_ready = {}
+        if self.scheduler is not None:
+            self.scheduler.begin_round(rnd)
+        if self.neardup is not None:
+            self.neardup.begin_epoch(rnd)
+        if self.metrics is not None:
+            self.metrics.gauge("crawl.round").set(rnd)
+
+    def resume_round(self) -> None:
+        """Re-enter the round a restored checkpoint was taken in.
+        Only the web epoch needs re-establishing — scheduler, memory,
+        and near-dup state come from the checkpoint, and folding the
+        scheduler again (``begin_round``) would double-apply it."""
+        self.web.set_epoch(self.round)
 
     def crawl(self, seeds: list[str] | None = None, *,
               frontier: CrawlDb | None = None,
@@ -240,7 +320,7 @@ class FocusedCrawler:
         crawl_start = self.clock.now - result.clock_seconds
         try:
             while True:
-                if result.pages_fetched >= config.max_pages:
+                if result.pages_visited >= config.max_pages:
                     result.stop_reason = "page_budget"
                     break
                 if frontier.is_empty():
@@ -338,7 +418,7 @@ class FocusedCrawler:
             fetched = 0
             with maybe_span(self.tracer, "crawl.fetch") as fetch_span:
                 for index, entry in enumerate(batch):
-                    if result.pages_fetched + fetched >= config.max_pages:
+                    if result.pages_visited + fetched >= config.max_pages:
                         # Budget hit mid-batch: the leftovers survive
                         # into the frontier (and any checkpoint)
                         # instead of being dropped.
@@ -348,9 +428,12 @@ class FocusedCrawler:
                     outcome = self._fetch_entry(entry)
                     if outcome.kind == "fetched":
                         fetched += 1
-                        if pool is not None and outcome.reason is None:
+                        if (pool is not None and outcome.reason is None
+                                and outcome.replay is None):
                             # Pipelined dispatch: workers start on this
                             # page while the fetch loop continues.
+                            # Replayed pages never reach the workers —
+                            # that is the whole point of the replay.
                             pool.submit((index, outcome.fetch.url,
                                          outcome.fetch.body,
                                          outcome.fetch.content_type))
@@ -358,7 +441,8 @@ class FocusedCrawler:
                 fetch_span.set(entries=len(batch), fetched=fetched)
             n_documents = sum(
                 1 for outcome in outcomes
-                if outcome.kind == "fetched" and outcome.reason is None)
+                if outcome.kind == "fetched" and outcome.reason is None
+                and outcome.replay is None)
             documents: dict[int, DocumentOutcome] = {}
             with maybe_span(self.tracer, "crawl.document",
                             pages=n_documents):
@@ -370,16 +454,21 @@ class FocusedCrawler:
                 for index, (entry, outcome) in enumerate(
                         zip(batch, outcomes)):
                     document = documents.get(index)
-                    if (document is None and context is not None
-                            and outcome.kind == "fetched"
+                    if (document is None and outcome.kind == "fetched"
                             and outcome.reason is None):
-                        # Sequential document stage, interleaved with
-                        # merging so online-learning updates stay
-                        # ordered.
-                        fetch = outcome.fetch
-                        document = process_document(
-                            fetch.url, fetch.body, fetch.content_type,
-                            context)
+                        if outcome.replay is not None:
+                            # Unchanged page: replay the stored
+                            # outcome instead of reprocessing.
+                            document = outcome_from_wire(
+                                outcome.replay.outcome)
+                        elif context is not None:
+                            # Sequential document stage, interleaved
+                            # with merging so online-learning updates
+                            # stay ordered.
+                            fetch = outcome.fetch
+                            document = process_document(
+                                fetch.url, fetch.body,
+                                fetch.content_type, context)
                     self._merge_entry(entry, outcome, document,
                                       frontier, result)
                     if page_callback is not None:
@@ -422,17 +511,60 @@ class FocusedCrawler:
         if config.respect_robots and not self._robots(host).allows(entry.url):
             return _FetchOutcome("robots_denied",
                                  seconds=time.perf_counter() - started)
+        record = (self.memory.get(entry.url)
+                  if self.memory is not None else None)
+        if (record is not None and self.scheduler is not None
+                and not self.scheduler.due(host)):
+            # Host not due for revisit: replay the stored outcome as
+            # assumed-unchanged with no network interaction at all
+            # (no clock advance, no politeness, no breaker traffic).
+            return _FetchOutcome(
+                "fetched", fetch=self._assumed_unchanged(entry.url,
+                                                         record),
+                replay=record, skipped=True,
+                seconds=time.perf_counter() - started)
         if not self.health.breaker(host).allow(clock.now):
             # Host quarantined: drop the entry without fetching.
             return _FetchOutcome("circuit_open",
                                  seconds=time.perf_counter() - started)
-        fetch, reason, retries = self._fetch_with_retries(entry.url, host)
+        fetch, reason, retries = self._fetch_with_retries(
+            entry.url, host,
+            if_version=record.version if record is not None else None)
+        replay = None
+        fingerprint = None
         if reason is None:
-            # The modelled serialized per-document processing cost.
-            clock.advance(config.processing_seconds)
+            if fetch.not_modified:
+                # Conditional GET hit: version unchanged, no body sent.
+                replay = record
+            elif self.memory is not None:
+                fingerprint = content_fingerprint(fetch.body)
+                if (record is not None
+                        and record.fingerprint == fingerprint):
+                    # Version bumped but content identical (e.g. a
+                    # revision chain that round-tripped): exact-hash
+                    # replay.
+                    replay = record
+            if replay is None:
+                # The modelled serialized per-document processing cost
+                # — not paid on replays, which skip the document stage.
+                clock.advance(config.processing_seconds)
         return _FetchOutcome("fetched", fetch=fetch, reason=reason,
-                             retries=retries,
+                             retries=retries, replay=replay,
+                             fingerprint=fingerprint,
                              seconds=time.perf_counter() - started)
+
+    @staticmethod
+    def _assumed_unchanged(url: str, record: PageRecord) -> FetchResult:
+        """Synthesize the FetchResult a skipped entry replays under:
+        shaped like a 304 (so the merge path treats it uniformly) with
+        the canonical redirect replayed from the record."""
+        fetch = FetchResult(url=record.final_url, status=304,
+                            content_type="", body="", elapsed=0.0,
+                            not_modified=True,
+                            content_version=record.version)
+        if record.final_url != url:
+            fetch.redirected_from = url
+        return fetch
 
     # -- phase 3: merge (batch order) ------------------------------------------
 
@@ -461,13 +593,19 @@ class FocusedCrawler:
                                 reason="circuit_open").inc()
             return
         fetch = outcome.fetch
-        result.pages_fetched += 1
-        result.retries += outcome.retries
-        self._record_stage(result, "fetch", outcome.seconds)
-        if metrics is not None:
-            metrics.counter("crawl.pages_fetched").inc()
-            if outcome.retries:
-                metrics.counter("crawl.retries").inc(outcome.retries)
+        replay = outcome.replay
+        if outcome.skipped:
+            result.fetches_skipped += 1
+            if metrics is not None:
+                metrics.counter("crawl.fetches_skipped").inc()
+        else:
+            result.pages_fetched += 1
+            result.retries += outcome.retries
+            self._record_stage(result, "fetch", outcome.seconds)
+            if metrics is not None:
+                metrics.counter("crawl.pages_fetched").inc()
+                if outcome.retries:
+                    metrics.counter("crawl.retries").inc(outcome.retries)
         if fetch.redirected_from:
             frontier.mark_seen(fetch.url)
         if outcome.reason is not None:
@@ -478,7 +616,53 @@ class FocusedCrawler:
                 metrics.counter("crawl.failures",
                                 reason=outcome.reason).inc()
             return
-        # The worker-accumulated per-stage deltas, merged batch-order.
+        fresh_record: PageRecord | None = None
+        if replay is not None:
+            result.replay_hits += 1
+            result.pages_unchanged += 1
+            self._record_stage(result, "replay", 0.0)
+            if metrics is not None:
+                metrics.counter("crawl.replay_hits").inc()
+                metrics.counter("crawl.pages_unchanged").inc()
+            if not outcome.skipped:
+                # A real visit confirmed the content: refresh the
+                # record's bookkeeping and tell the scheduler the host
+                # looks stable.
+                replay.last_round = self.round
+                if not fetch.not_modified:
+                    replay.version = fetch.content_version
+                if self.scheduler is not None:
+                    self.scheduler.observe(host_of(entry.url),
+                                           changed=False)
+        elif self.memory is not None:
+            # Fresh content: detect (near-)changes against the stored
+            # revision, feed the scheduler, and store the new outcome
+            # for future replays.  Runs on the coordinator in batch
+            # order, so it is worker- and shard-count invariant.
+            signature = revision_signature(fetch.body)
+            previous = self.memory.get(entry.url)
+            if previous is not None:
+                result.pages_changed += 1
+                near = near_unchanged(previous.signature, signature)
+                if near:
+                    result.pages_near_unchanged += 1
+                if metrics is not None:
+                    metrics.counter("crawl.pages_changed").inc()
+                    if near:
+                        metrics.counter(
+                            "crawl.pages_near_unchanged").inc()
+                if self.scheduler is not None:
+                    self.scheduler.observe(host_of(entry.url),
+                                           changed=not near)
+            fresh_record = PageRecord(
+                final_url=fetch.url, version=fetch.content_version,
+                fingerprint=outcome.fingerprint, signature=signature,
+                outcome=strip_stage_seconds(outcome_to_wire(document)),
+                body=None, content_type=fetch.content_type,
+                last_round=self.round)
+            self.memory.put(entry.url, fresh_record)
+        # The worker-accumulated per-stage deltas, merged batch-order
+        # (empty on replays: stored outcomes carry no wall-clock).
         for stage, seconds in document.stage_seconds.items():
             self._record_stage(result, stage, seconds)
         self.filters.record_payload(document.mime_ok)
@@ -505,10 +689,21 @@ class FocusedCrawler:
                                 filter=document.rejected_by).inc()
             return
         net_text = document.net_text
+        if replay is not None and fetch.not_modified:
+            # 304s and skips carry no body; the record does.
+            raw_body = replay.body or ""
+            content_type = replay.content_type
+        else:
+            raw_body = fetch.body
+            content_type = fetch.content_type
+        if fresh_record is not None:
+            # Only classified pages land in a corpus and need their
+            # raw body replayable; filtered pages never stored one.
+            fresh_record.body = raw_body
         harvested = Document(
-            doc_id=fetch.url, text=net_text, raw=fetch.body,
+            doc_id=fetch.url, text=net_text, raw=raw_body,
             meta={"url": fetch.url, "depth": entry.depth,
-                  "content_type": fetch.content_type,
+                  "content_type": content_type,
                   "title": document.title})
         relevant = document.relevant
         harvested.meta["relevant"] = relevant
@@ -559,10 +754,14 @@ class FocusedCrawler:
     # -- fetch path ------------------------------------------------------------
 
     def _fetch_with_retries(self, url: str, host: str,
+                            if_version: int | None = None,
                             ) -> tuple[FetchResult, str | None, int]:
         """Fetch with politeness, per-attempt timeout, bounded backoff
         and breaker accounting; returns (last fetch, terminal reason or
-        None on success, retry attempts consumed)."""
+        None on success, retry attempts consumed).  ``if_version``
+        makes the GET conditional (incremental recrawl): a matching
+        content version comes back as a body-less not-modified
+        success."""
         config = self.config
         policy = config.retry
         breaker = self.health.breaker(host)
@@ -584,7 +783,8 @@ class FocusedCrawler:
                         buckets=SIM_SECONDS_BUCKETS).observe(backoff)
             self._await_host(host)
             fetch = self.web.fetch(url, attempt=attempt,
-                                   now=clock.now)
+                                   now=clock.now,
+                                   if_version=if_version)
             clock.advance(min(fetch.elapsed, policy.attempt_timeout)
                           / config.fetcher_threads)
             if metrics is not None:
@@ -625,6 +825,9 @@ class FocusedCrawler:
             return "timeout"
         if fetch.failure is not None:
             return fetch.failure
+        if fetch.not_modified:
+            # Conditional-GET hit: a clean (body-less) success.
+            return None
         if fetch.ok:
             return None
         if fetch.status == 0:

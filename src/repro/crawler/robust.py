@@ -176,6 +176,15 @@ class HostHealth:
             hook = self.on_event
             breaker.on_event = lambda event: hook(host, event)
 
+    def reset(self) -> None:
+        """Forget all breaker state (the observability hook survives).
+
+        Recrawl rounds call this at round boundaries: breaker trips are
+        session-scoped robustness, and carrying them into the next
+        round would make a warm round's trajectory diverge from a cold
+        crawl of the same web epoch."""
+        self.breakers = {}
+
     @property
     def quarantined_hosts(self) -> int:
         """Hosts whose breaker has opened at least once."""

@@ -152,6 +152,30 @@ class ShardCrawler(FocusedCrawler):
     def _record_batch_start(self) -> None:
         pass
 
+    # -- recrawl rounds ------------------------------------------------------
+
+    def begin_round(self, rnd: int) -> None:
+        """Enter recrawl round ``rnd`` on this shard: evolve the web
+        epoch / fold the scheduler (the inherited hook), then start the
+        round from a fresh frontier and a fresh per-round result —
+        exactly what :class:`~repro.crawler.recrawl.IncrementalCrawl`
+        does for the single-coordinator crawl.  Host clocks persist
+        across rounds (a host's timeline is continuous), as does all
+        host-keyed robustness state."""
+        super().begin_round(rnd)
+        self.frontier = CrawlDb(
+            host_fetch_list_cap=self.config.host_fetch_list_cap,
+            max_urls_per_host=self.config.max_urls_per_host)
+        self.result = CrawlResult()
+
+    def round_report(self, rnd: int) -> dict:
+        """This shard's per-round counter summary (merged by the
+        driver; documents are not shipped — just the line items)."""
+        from repro.crawler.recrawl import round_summary
+
+        self.finalize_totals()
+        return round_summary(rnd, self.result)
+
     # -- superstep interface -------------------------------------------------
 
     def apply_inbound(self, links: list[LinkRecord]) -> None:
@@ -269,6 +293,12 @@ def merge_shard_payloads(finals: list[dict], stop_reason: str,
         merged.filtered_out += payload["filtered_out"]
         merged.retries += payload["retries"]
         merged.hosts_quarantined += payload["hosts_quarantined"]
+        merged.fetches_skipped += payload.get("fetches_skipped", 0)
+        merged.pages_unchanged += payload.get("pages_unchanged", 0)
+        merged.pages_changed += payload.get("pages_changed", 0)
+        merged.pages_near_unchanged += payload.get(
+            "pages_near_unchanged", 0)
+        merged.replay_hits += payload.get("replay_hits", 0)
         merged.clock_seconds = max(merged.clock_seconds,
                                    payload["clock_seconds"])
         for reason, count in payload["failure_reasons"].items():
@@ -324,13 +354,15 @@ def _shard_child_main(factory: Callable[[int], ShardCrawler],
     """Command loop of one forked shard process.
 
     Protocol (parent -> child): ``("apply", links)``, ``("step",
-    host_quota)``, ``("snapshot",)``, ``("final",)``, ``("stop",)``.
-    Every command gets exactly one reply.  The child exits on "stop"
-    or when the parent's pipe closes.
+    host_quota)``, ``("round", rnd)``, ``("summary", rnd)``,
+    ``("snapshot",)``, ``("final",)``, ``("stop",)``.  Every command
+    gets exactly one reply.  The child exits on "stop" or when the
+    parent's pipe closes.
     """
     crawler = factory(shard_id)
     if restore_payload is not None:
         crawler.restore_state(restore_payload)
+        crawler.resume_round()
     # Same GC discipline as the worker pool: the base state built by
     # the factory is immortal for this crawl; cycles from parsed pages
     # are collected explicitly at superstep boundaries.
@@ -346,12 +378,17 @@ def _shard_child_main(factory: Callable[[int], ShardCrawler],
             command = message[0]
             if command == "apply":
                 crawler.apply_inbound(message[1])
-                conn.send((crawler.result.pages_fetched,
+                conn.send((crawler.result.pages_visited,
                            crawler.frontier.is_empty()))
             elif command == "step":
                 links = crawler.run_superstep(message[1])
                 gc.collect()
-                conn.send((links, crawler.result.pages_fetched))
+                conn.send((links, crawler.result.pages_visited))
+            elif command == "round":
+                crawler.begin_round(message[1])
+                conn.send(True)
+            elif command == "summary":
+                conn.send(crawler.round_report(message[1]))
             elif command == "snapshot":
                 conn.send(crawler.state_to_dict())
             elif command == "final":
@@ -432,6 +469,7 @@ class ShardedCrawl:
     def __init__(self, factory: Callable[[int], ShardCrawler],
                  n_shards: int, max_pages: int, *,
                  host_quota: int = 4,
+                 rounds: int = 1,
                  checkpoint_path: str | Path | None = None,
                  checkpoint_every: int = 0,
                  processes: bool = False) -> None:
@@ -439,10 +477,13 @@ class ShardedCrawl:
             raise ValueError("n_shards must be >= 1")
         if host_quota < 1:
             raise ValueError("host_quota must be >= 1")
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
         self.factory = factory
         self.n_shards = n_shards
         self.max_pages = max_pages
         self.host_quota = host_quota
+        self.rounds = rounds
         self.checkpoint_path = (Path(checkpoint_path)
                                 if checkpoint_path else None)
         self.checkpoint_every = checkpoint_every
@@ -452,6 +493,8 @@ class ShardedCrawl:
         #: Child pids in process mode (for kill-one-shard tests).
         self.child_pids: list[int] = []
         self.supersteps = 0
+        #: Per-round merged counter summaries (multi-round runs only).
+        self.round_reports: list[dict] = []
 
     # -- public API ----------------------------------------------------------
 
@@ -461,14 +504,19 @@ class ShardedCrawl:
             ) -> CrawlResult:
         """Crawl to completion; returns the merged result.
 
-        ``barrier_callback(total_pages_fetched)`` fires after every
+        ``barrier_callback(total_pages_visited)`` fires after every
         superstep barrier (post-checkpoint) — the sharded analog of
         the page callback, used by kill/resume harnesses.
         """
         superstep = 0
+        start_round = 0
+        need_begin = self.rounds > 1
         inbound: dict[int, list[LinkRecord]] = {
             shard: [] for shard in range(self.n_shards)}
         restore_payloads: list[dict | None] = [None] * self.n_shards
+        if self.rounds > 1 and seeds is None:
+            raise ValueError("a multi-round sharded crawl requires "
+                             "seeds (every round re-crawls from them)")
         if resume and self.checkpoint_path is not None \
                 and self.checkpoint_path.exists():
             payload = load_sharded_checkpoint(self.checkpoint_path)
@@ -478,24 +526,41 @@ class ShardedCrawl:
                     f"driver has {self.n_shards}; the shard count of "
                     "a crawl is fixed at its first checkpoint")
             superstep = payload["superstep"]
-            for shard, links in payload["inbound"].items():
-                inbound[int(shard)] = [tuple(link) for link in links]
+            start_round = int(payload.get("round", 0))
             restore_payloads = list(payload["shards"])
+            if payload.get("round_complete", False):
+                # The checkpoint sits at a round boundary: either the
+                # whole crawl finished (rebuild its merged result) or
+                # the next round starts fresh from the restored state.
+                if start_round >= self.rounds - 1:
+                    return self._finished_result(
+                        superstep, restore_payloads,
+                        payload.get("stop_reason", ""))
+                start_round += 1
+                need_begin = True
+            else:
+                need_begin = False
+                for shard, links in payload["inbound"].items():
+                    inbound[int(shard)] = [tuple(link)
+                                           for link in links]
         elif seeds is None:
             raise ValueError("a fresh sharded crawl requires seeds")
-        else:
-            for index, url in enumerate(seeds):
-                owner = shard_of(host_of(normalize(url)), self.n_shards)
-                inbound[owner].append(("", index, url, 0, 0))
+        elif self.rounds == 1:
+            # Single-round crawls never call begin_round (bit-compat
+            # with the pre-recrawl schedule); seeds route up front.
+            inbound = self._seed_inbound(seeds)
         if self.processes:
-            return self._run_forked(superstep, inbound,
-                                    restore_payloads, barrier_callback)
-        return self._run_inline(superstep, inbound, restore_payloads,
+            return self._run_forked(superstep, start_round, need_begin,
+                                    seeds, inbound, restore_payloads,
+                                    barrier_callback)
+        return self._run_inline(superstep, start_round, need_begin,
+                                seeds, inbound, restore_payloads,
                                 barrier_callback)
 
     # -- in-process mode -----------------------------------------------------
 
-    def _run_inline(self, superstep, inbound, restore_payloads,
+    def _run_inline(self, superstep, start_round, need_begin, seeds,
+                    inbound, restore_payloads,
                     barrier_callback) -> CrawlResult:
         shards = [self.factory(shard_id)
                   for shard_id in range(self.n_shards)]
@@ -503,96 +568,126 @@ class ShardedCrawl:
         for crawler, payload in zip(shards, restore_payloads):
             if payload is not None:
                 crawler.restore_state(payload)
+                crawler.resume_round()
         pages_at_last_save = self._restored_pages(restore_payloads)
+
+        def snapshot() -> list[dict]:
+            return [crawler.state_to_dict() for crawler in shards]
+
         try:
-            while True:
-                for crawler in shards:
-                    crawler.apply_inbound(inbound[crawler.shard_id])
-                inbound = {shard: [] for shard in range(self.n_shards)}
-                total = sum(crawler.result.pages_fetched
-                            for crawler in shards)
-                stop_reason = self._stop_reason(
-                    total, all(crawler.frontier.is_empty()
-                               for crawler in shards))
-                if stop_reason:
-                    break
-                emitted: list[LinkRecord] = []
-                for crawler in shards:
-                    emitted.extend(
-                        crawler.run_superstep(self.host_quota))
-                superstep += 1
-                self._route(emitted, inbound)
-                total = sum(crawler.result.pages_fetched
-                            for crawler in shards)
-                pages_at_last_save = self._maybe_checkpoint(
-                    superstep, inbound, total, pages_at_last_save,
-                    lambda: [crawler.state_to_dict()
-                             for crawler in shards])
-                if barrier_callback is not None:
-                    barrier_callback(total)
+            for rnd in range(start_round, self.rounds):
+                if need_begin:
+                    for crawler in shards:
+                        crawler.begin_round(rnd)
+                    inbound = self._seed_inbound(seeds)
+                    pages_at_last_save = 0
+                need_begin = True
+                while True:
+                    for crawler in shards:
+                        crawler.apply_inbound(inbound[crawler.shard_id])
+                    inbound = {shard: []
+                               for shard in range(self.n_shards)}
+                    total = sum(crawler.result.pages_visited
+                                for crawler in shards)
+                    stop_reason = self._stop_reason(
+                        total, all(crawler.frontier.is_empty()
+                                   for crawler in shards))
+                    if stop_reason:
+                        break
+                    emitted: list[LinkRecord] = []
+                    for crawler in shards:
+                        emitted.extend(
+                            crawler.run_superstep(self.host_quota))
+                    superstep += 1
+                    self._route(emitted, inbound)
+                    total = sum(crawler.result.pages_visited
+                                for crawler in shards)
+                    pages_at_last_save = self._maybe_checkpoint(
+                        rnd, superstep, inbound, total,
+                        pages_at_last_save, snapshot)
+                    if barrier_callback is not None:
+                        barrier_callback(total)
+                if self.rounds > 1:
+                    self.round_reports.append(self._merge_round_reports(
+                        rnd, [crawler.round_report(rnd)
+                              for crawler in shards]))
+                if rnd < self.rounds - 1:
+                    self._round_checkpoint(rnd, superstep, stop_reason,
+                                           snapshot)
             self.supersteps = superstep
             finals = [crawler.final_payload() for crawler in shards]
         finally:
             for crawler in shards:
                 crawler.close()
-        return self._finish(finals, stop_reason, superstep, inbound,
-                            lambda: [crawler.state_to_dict()
-                                     for crawler in shards])
+        return self._finish(finals, stop_reason, self.rounds - 1,
+                            superstep, inbound, snapshot)
 
     # -- forked mode ---------------------------------------------------------
 
-    def _run_forked(self, superstep, inbound, restore_payloads,
+    def _run_forked(self, superstep, start_round, need_begin, seeds,
+                    inbound, restore_payloads,
                     barrier_callback) -> CrawlResult:
         shards = [_ForkedShard(self.factory, shard_id,
                                restore_payloads[shard_id])
                   for shard_id in range(self.n_shards)]
         self.child_pids = [shard.pid for shard in shards]
         pages_at_last_save = self._restored_pages(restore_payloads)
+
+        def snapshot() -> list[dict]:
+            for shard in shards:
+                shard.send(("snapshot",))
+            return [shard.recv() for shard in shards]
+
         try:
-            while True:
-                for shard in shards:
-                    shard.send(("apply", inbound[shard.shard_id]))
-                inbound = {shard_id: []
-                           for shard_id in range(self.n_shards)}
-                replies = [shard.recv() for shard in shards]
-                total = sum(pages for pages, _empty in replies)
-                stop_reason = self._stop_reason(
-                    total, all(empty for _pages, empty in replies))
-                if stop_reason:
-                    break
-                for shard in shards:
-                    shard.send(("step", self.host_quota))
-                emitted: list[LinkRecord] = []
-                total = 0
-                for shard in shards:
-                    links, pages = shard.recv()
-                    emitted.extend(links)
-                    total += pages
-                superstep += 1
-                self._route(emitted, inbound)
-
-                def snapshot() -> list[dict]:
+            for rnd in range(start_round, self.rounds):
+                if need_begin:
                     for shard in shards:
-                        shard.send(("snapshot",))
-                    return [shard.recv() for shard in shards]
-
-                pages_at_last_save = self._maybe_checkpoint(
-                    superstep, inbound, total, pages_at_last_save,
-                    snapshot)
-                if barrier_callback is not None:
-                    barrier_callback(total)
+                        shard.send(("round", rnd))
+                    for shard in shards:
+                        shard.recv()
+                    inbound = self._seed_inbound(seeds)
+                    pages_at_last_save = 0
+                need_begin = True
+                while True:
+                    for shard in shards:
+                        shard.send(("apply", inbound[shard.shard_id]))
+                    inbound = {shard_id: []
+                               for shard_id in range(self.n_shards)}
+                    replies = [shard.recv() for shard in shards]
+                    total = sum(pages for pages, _empty in replies)
+                    stop_reason = self._stop_reason(
+                        total, all(empty for _pages, empty in replies))
+                    if stop_reason:
+                        break
+                    for shard in shards:
+                        shard.send(("step", self.host_quota))
+                    emitted: list[LinkRecord] = []
+                    total = 0
+                    for shard in shards:
+                        links, pages = shard.recv()
+                        emitted.extend(links)
+                        total += pages
+                    superstep += 1
+                    self._route(emitted, inbound)
+                    pages_at_last_save = self._maybe_checkpoint(
+                        rnd, superstep, inbound, total,
+                        pages_at_last_save, snapshot)
+                    if barrier_callback is not None:
+                        barrier_callback(total)
+                if self.rounds > 1:
+                    for shard in shards:
+                        shard.send(("summary", rnd))
+                    self.round_reports.append(self._merge_round_reports(
+                        rnd, [shard.recv() for shard in shards]))
+                if rnd < self.rounds - 1:
+                    self._round_checkpoint(rnd, superstep, stop_reason,
+                                           snapshot)
             self.supersteps = superstep
             for shard in shards:
                 shard.send(("final",))
             finals = [shard.recv() for shard in shards]
-
-            def snapshot() -> list[dict]:
-                for shard in shards:
-                    shard.send(("snapshot",))
-                return [shard.recv() for shard in shards]
-
-            return self._finish(finals, stop_reason, superstep,
-                                inbound, snapshot)
+            return self._finish(finals, stop_reason, self.rounds - 1,
+                                superstep, inbound, snapshot)
         finally:
             for shard in shards:
                 shard.stop()
@@ -628,12 +723,22 @@ class ShardedCrawl:
             owner = shard_of(host_of(normalize(link[2])), self.n_shards)
             inbound[owner].append(link)
 
+    def _seed_inbound(self, seeds: list[str]
+                      ) -> dict[int, list[LinkRecord]]:
+        inbound: dict[int, list[LinkRecord]] = {
+            shard: [] for shard in range(self.n_shards)}
+        for index, url in enumerate(seeds):
+            owner = shard_of(host_of(normalize(url)), self.n_shards)
+            inbound[owner].append(("", index, url, 0, 0))
+        return inbound
+
     def _restored_pages(self, restore_payloads) -> int:
         return sum(payload["result"]["pages_fetched"]
+                   + payload["result"].get("fetches_skipped", 0)
                    for payload in restore_payloads
                    if payload is not None)
 
-    def _maybe_checkpoint(self, superstep, inbound, total_pages,
+    def _maybe_checkpoint(self, round_, superstep, inbound, total_pages,
                           pages_at_last_save,
                           snapshot: Callable[[], list[dict]]) -> int:
         if self.checkpoint_path is None:
@@ -644,10 +749,63 @@ class ShardedCrawl:
             return pages_at_last_save
         save_sharded_checkpoint(
             self.checkpoint_path, n_shards=self.n_shards,
-            superstep=superstep, inbound=inbound, shards=snapshot())
+            superstep=superstep, inbound=inbound, shards=snapshot(),
+            round_=round_)
         return total_pages
 
-    def _finish(self, finals, stop_reason, superstep, inbound,
+    def _round_checkpoint(self, round_, superstep, stop_reason,
+                          snapshot: Callable[[], list[dict]]) -> None:
+        """Mark a completed non-final round at its closing barrier; a
+        resume from this file starts the *next* round."""
+        if self.checkpoint_path is None:
+            return
+        save_sharded_checkpoint(
+            self.checkpoint_path, n_shards=self.n_shards,
+            superstep=superstep,
+            inbound={shard: [] for shard in range(self.n_shards)},
+            shards=snapshot(), round_=round_, round_complete=True,
+            stop_reason=stop_reason)
+
+    def _finished_result(self, superstep, restore_payloads,
+                         stop_reason) -> CrawlResult:
+        """The checkpoint says the final round already completed:
+        rebuild the merged result from the per-shard snapshots without
+        re-running anything (resume of a finished crawl)."""
+        shards = [self.factory(shard_id)
+                  for shard_id in range(self.n_shards)]
+        self._check_shards(shards)
+        try:
+            for crawler, payload in zip(shards, restore_payloads):
+                if payload is not None:
+                    crawler.restore_state(payload)
+            finals = [crawler.final_payload() for crawler in shards]
+        finally:
+            for crawler in shards:
+                crawler.close()
+        self.supersteps = superstep
+        merged, metrics = merge_shard_payloads(finals, stop_reason,
+                                               superstep)
+        self.metrics = metrics
+        return merged
+
+    @staticmethod
+    def _merge_round_reports(rnd: int, reports: list[dict]) -> dict:
+        """Sum per-shard round summaries (clock is a max — the busiest
+        host anywhere, same rule as the result merge)."""
+        merged = dict.fromkeys(reports[0], 0)
+        merged["round"] = rnd
+        merged["clock_seconds"] = 0.0
+        for report in reports:
+            for key, value in report.items():
+                if key == "round":
+                    continue
+                if key == "clock_seconds":
+                    merged[key] = max(merged[key], value)
+                else:
+                    merged[key] += value
+        return merged
+
+    def _finish(self, finals, stop_reason, round_, superstep, inbound,
                 snapshot) -> CrawlResult:
         merged, metrics = merge_shard_payloads(finals, stop_reason,
                                                superstep)
@@ -655,9 +813,12 @@ class ShardedCrawl:
         if self.checkpoint_path is not None:
             # Final collective checkpoint (mirrors the single-crawler
             # final save): byte-identical for a resumed and an
-            # uninterrupted run of the same topology.
+            # uninterrupted run of the same topology.  Marked
+            # round-complete so a re-resume rebuilds instead of
+            # re-crawling.
             save_sharded_checkpoint(
                 self.checkpoint_path, n_shards=self.n_shards,
                 superstep=superstep, inbound=inbound,
-                shards=snapshot())
+                shards=snapshot(), round_=round_,
+                round_complete=True, stop_reason=stop_reason)
         return merged

@@ -86,11 +86,67 @@ class NearDuplicateFilter:
             raise ValueError("bands must divide n_hashes")
         self.threshold = threshold
         self.bands = bands
+        self.n_hashes = n_hashes
         self.rows = n_hashes // bands
+        self.seed = seed
         self._hasher = MinHasher(n_hashes=n_hashes, seed=seed)
         self._buckets: dict[tuple[int, tuple[int, ...]], list[int]] = {}
         self._signatures: list[tuple[int, ...]] = []
         self.dropped = 0
+        #: Current epoch (recrawl round); bumped by :meth:`begin_epoch`.
+        self.epoch = 0
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+    def reset(self) -> None:
+        """Drop all registered signatures and buckets (the ``dropped``
+        counter survives — it is a lifetime statistic)."""
+        self._buckets.clear()
+        self._signatures.clear()
+
+    def begin_epoch(self, epoch: int, carry: bool = False) -> None:
+        """Move to a new epoch.  By default the signature store is
+        reset — each recrawl round deduplicates within itself, and the
+        store cannot grow without bound across rounds.  ``carry=True``
+        keeps the store (cross-round dedup) for callers that want it.
+        """
+        if epoch < self.epoch:
+            raise ValueError(
+                f"epoch may not move backwards ({self.epoch} -> {epoch})")
+        if epoch != self.epoch and not carry:
+            self.reset()
+        self.epoch = epoch
+
+    # -- checkpoint (de)serialization ----------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-safe snapshot of the mutable state.  Buckets are
+        derivable from the signatures, so only signatures, the drop
+        counter, and the epoch are stored."""
+        return {
+            "epoch": self.epoch,
+            "dropped": self.dropped,
+            "signatures": [list(sig) for sig in self._signatures],
+        }
+
+    def load_state(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot; dedup decisions after
+        a kill+resume are identical to an uninterrupted run."""
+        self.reset()
+        self.epoch = int(payload.get("epoch", 0))
+        self.dropped = int(payload.get("dropped", 0))
+        for index, sig in enumerate(payload.get("signatures", [])):
+            signature = tuple(int(v) for v in sig)
+            if len(signature) != self.n_hashes:
+                raise ValueError(
+                    "near-dup signature length mismatch: checkpoint has "
+                    f"{len(signature)} hashes, filter expects "
+                    f"{self.n_hashes}")
+            self._signatures.append(signature)
+            for band in range(self.bands):
+                chunk = signature[band * self.rows:(band + 1) * self.rows]
+                self._buckets.setdefault((band, chunk), []).append(index)
 
     def is_duplicate(self, text: str) -> bool:
         """Check and register a text; True if it near-duplicates a

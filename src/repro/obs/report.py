@@ -64,6 +64,18 @@ def format_failures(failure_reasons: Mapping[str, int],
             f"hosts quarantined {hosts_quarantined}"]
 
 
+def format_recrawl(replay_hits: int, fetches_skipped: int,
+                   pages_changed: int,
+                   pages_near_unchanged: int) -> list[str]:
+    """The incremental-recrawl summary line (empty on cold crawls)."""
+    if not (replay_hits or fetches_skipped or pages_changed):
+        return []
+    return [f"recrawl: {replay_hits} outcomes replayed "
+            f"({fetches_skipped} fetches skipped) | "
+            f"{pages_changed} pages changed "
+            f"({pages_near_unchanged} near-unchanged)"]
+
+
 def _counter_values(registry: MetricsRegistry, name: str,
                     label: str) -> dict[str, float]:
     """{label_value: counter value} for every label set of ``name``."""
@@ -94,6 +106,14 @@ def render_crawl_summary(registry: MetricsRegistry) -> list[str]:
         f"relevant {relevant} | irrelevant {irrelevant} | "
         f"harvest {harvest:.0%}",
     ]
+    lines += format_recrawl(
+        replay_hits=int(registry.value_of("crawl.replay_hits") or 0),
+        fetches_skipped=int(
+            registry.value_of("crawl.fetches_skipped") or 0),
+        pages_changed=int(
+            registry.value_of("crawl.pages_changed") or 0),
+        pages_near_unchanged=int(
+            registry.value_of("crawl.pages_near_unchanged") or 0))
     stage_pages = {stage: int(value) for stage, value in
                    _counter_values(registry, "crawl.stage_pages",
                                    "stage").items()}

@@ -9,12 +9,18 @@ retry, backoff, and quarantine machinery can be exercised (and its
 behaviour asserted) without any real network.
 
 Determinism contract: every fault decision is a pure function of
-``(config.seed, url, attempt)`` plus the per-host trait assignment
-(a pure function of ``(config.seed, host)``) and, for flaky hosts, the
-simulated clock.  Re-fetching the same URL at the same attempt number
-always yields the same outcome, which is what makes a killed crawl
-resumable to byte-identical results — and retries meaningful, because
-attempt ``n+1`` draws a fresh outcome.
+``(config.seed, url, attempt, epoch)`` plus the per-host trait
+assignment (a pure function of ``(config.seed, host)``) and, for flaky
+hosts, the simulated clock.  Re-fetching the same URL at the same
+attempt number in the same epoch always yields the same outcome, which
+is what makes a killed crawl resumable to byte-identical results — and
+retries meaningful, because attempt ``n+1`` draws a fresh outcome.
+The ``epoch`` component exists for incremental recrawl: without it,
+every recrawl round would deterministically re-experience the exact
+same faults on the exact same pages, which is both unrealistic and
+masks recovery behaviour.  ``epoch=0`` reproduces the historical
+``(seed, url, attempt)`` stream bit for bit, so single-round crawls
+are unaffected.
 """
 
 from __future__ import annotations
@@ -177,8 +183,14 @@ class FaultInjector:
     # -- per-fetch decisions ------------------------------------------------
 
     def decide(self, url: str, attempt: int = 0,
-               now: float | None = None) -> FaultDecision | None:
-        """The fault (if any) injected into this fetch attempt."""
+               now: float | None = None,
+               epoch: int = 0) -> FaultDecision | None:
+        """The fault (if any) injected into this fetch attempt.
+
+        ``epoch`` is the recrawl round; it is mixed into the decision
+        hash only when nonzero so that epoch 0 reproduces the original
+        ``(seed, url, attempt)`` stream exactly.
+        """
         host = host_of(url)
         trait = self.host_trait(host)
         if trait == "dead":
@@ -186,7 +198,11 @@ class FaultInjector:
         if trait == "flaky" and (now or 0.0) < self.recovery_time(host):
             return FaultDecision("unavailable")
         rates = self.config.per_host.get(host, self.config.rates)
-        rng = seeded_rng(self.config.seed, "fault", url, attempt)
+        if epoch:
+            rng = seeded_rng(self.config.seed, "fault", url, attempt,
+                             epoch)
+        else:
+            rng = seeded_rng(self.config.seed, "fault", url, attempt)
         roll = rng.random()
         edge = rates.error
         if roll < edge:

@@ -183,3 +183,78 @@ class TestResumableCrawl:
                                    tmp_path / "missing.json")
         with pytest.raises(ValueError, match="seeds"):
             resumable.run(None, resume=True)
+
+
+class TestVersioning:
+    def test_future_version_is_a_downgrade_error(self, tmp_path):
+        """A checkpoint from a newer build must fail with a clear
+        refusal, not a KeyError deep in payload parsing."""
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, CrawlDb(), CrawlResult(), clock_now=0.0)
+        payload = json.loads(path.read_text())
+        payload["version"] += 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="refusing"):
+            load_checkpoint(path)
+        with pytest.raises(CheckpointError, match="downgrade"):
+            load_checkpoint(path)
+
+    def test_nonsense_version_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        path.write_text(json.dumps({"version": "banana"}))
+        with pytest.raises(CheckpointError, match="version"):
+            load_checkpoint(path)
+
+    def test_missing_clock_rejected(self, tmp_path):
+        path = tmp_path / "cp.json"
+        save_checkpoint(path, CrawlDb(), CrawlResult(), clock_now=0.0)
+        payload = json.loads(path.read_text())
+        del payload["clock_now"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="clock_now"):
+            load_checkpoint(path)
+
+
+class TestRecrawlStateSerialization:
+    def test_recrawl_sections_round_trip(self, context, web):
+        from repro.crawler.recrawl import (
+            PageMemory, PageRecord, RecrawlScheduler,
+            content_fingerprint, revision_signature,
+        )
+        from repro.html.neardup import NearDuplicateFilter
+
+        crawler = FocusedCrawler(
+            web, context.pipeline.classifier,
+            context.build_filter_chain(), CrawlConfig(max_pages=10),
+            memory=PageMemory(), scheduler=RecrawlScheduler(seed=4),
+            neardup=NearDuplicateFilter())
+        body = "alpha beta gamma delta"
+        crawler.memory.put("http://h.org/p", PageRecord(
+            final_url="http://h.org/p", version=1,
+            fingerprint=content_fingerprint(body),
+            signature=revision_signature(body),
+            outcome=(True, True, "net", "t", (), "", True, {}),
+            body=body, content_type="text/html", last_round=1))
+        crawler.scheduler.observe("h.org", changed=False)
+        crawler.scheduler.begin_round(1)
+        crawler.neardup.is_duplicate(body)
+        crawler.round = 1
+        state = crawler_state_to_dict(crawler)
+        assert json.loads(json.dumps(state)) == state  # JSON-clean
+        restored = FocusedCrawler(
+            web, context.pipeline.classifier,
+            context.build_filter_chain(), CrawlConfig(max_pages=10),
+            memory=PageMemory(), scheduler=RecrawlScheduler(),
+            neardup=NearDuplicateFilter())
+        restore_crawler_state(restored, state)
+        assert restored.round == 1
+        assert crawler_state_to_dict(restored) == state
+
+    def test_cold_crawler_state_has_no_recrawl_section(self, context,
+                                                       web):
+        crawler = FocusedCrawler(
+            web, context.pipeline.classifier,
+            context.build_filter_chain(), CrawlConfig(max_pages=10))
+        state = crawler_state_to_dict(crawler)
+        assert "recrawl" not in state
+        assert "neardup" not in state

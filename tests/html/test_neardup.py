@@ -98,3 +98,51 @@ class TestNearDuplicateFilter:
         operator = make_operator("dedup_near_duplicates", threshold=0.7)
         documents = [Document("1", BASE), Document("2", BASE)]
         assert len(list(operator.process(documents))) == 1
+
+
+class TestEpochsAndCheckpointing:
+    def _texts(self):
+        return [f"document number {i} about topic {i % 3} with "
+                f"plenty of distinct filler words item{i} value{i}"
+                for i in range(8)]
+
+    def test_state_round_trip_preserves_decisions(self):
+        full = NearDuplicateFilter(n_hashes=32, bands=8)
+        resumed = NearDuplicateFilter(n_hashes=32, bands=8)
+        texts = self._texts() + self._texts()  # second half duplicates
+        for text in texts[:8]:
+            full.is_duplicate(text)
+        resumed.load_state(full.state_dict())
+        assert len(resumed) == len(full)
+        for text in texts[8:]:
+            assert resumed.is_duplicate(text) == full.is_duplicate(text)
+        assert resumed.state_dict() == full.state_dict()
+
+    def test_signature_width_mismatch_rejected(self):
+        narrow = NearDuplicateFilter(n_hashes=32, bands=8)
+        narrow.is_duplicate("some text to register here")
+        wide = NearDuplicateFilter(n_hashes=64, bands=16)
+        with pytest.raises(ValueError, match="length mismatch"):
+            wide.load_state(narrow.state_dict())
+
+    def test_begin_epoch_resets_store_but_not_lifetime_drops(self):
+        filt = NearDuplicateFilter()
+        assert not filt.is_duplicate(BASE)
+        assert filt.is_duplicate(BASE)
+        assert filt.dropped == 1
+        filt.begin_epoch(1)
+        assert len(filt) == 0
+        assert filt.dropped == 1
+        assert not filt.is_duplicate(BASE)  # dedups within the epoch
+
+    def test_begin_epoch_carry_keeps_store(self):
+        filt = NearDuplicateFilter()
+        filt.is_duplicate(BASE)
+        filt.begin_epoch(1, carry=True)
+        assert filt.is_duplicate(BASE)
+
+    def test_epoch_may_not_move_backwards(self):
+        filt = NearDuplicateFilter()
+        filt.begin_epoch(2)
+        with pytest.raises(ValueError, match="backwards"):
+            filt.begin_epoch(1)

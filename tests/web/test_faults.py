@@ -162,3 +162,23 @@ class TestInjectedFetches:
                    if p.kind == "article")
         result = web.fetch(url)
         assert result.failure is None and result.ok
+
+
+class TestEpochMixing:
+    def test_epoch_zero_reproduces_the_historical_stream(self, webgraph):
+        config = FaultConfig(seed=5, rates=FaultRates(timeout=0.3, error=0.3))
+        injector = FaultInjector(config)
+        urls = list(webgraph.pages)[:60]
+        for url in urls:
+            assert injector.decide(url, 0) == injector.decide(
+                url, 0, epoch=0)
+
+    def test_nonzero_epoch_redraws_outcomes(self, webgraph):
+        config = FaultConfig(seed=5, rates=FaultRates(timeout=0.3, error=0.3))
+        injector = FaultInjector(config)
+        urls = list(webgraph.pages)[:60]
+        differs = sum(
+            1 for url in urls
+            if injector.decide(url, 0) != injector.decide(url, 0,
+                                                          epoch=1))
+        assert differs > 5, "epoch 1 should redraw some fault outcomes"

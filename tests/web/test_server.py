@@ -111,3 +111,72 @@ class TestFetchResult:
         assert FetchResult("u", 200, "text/html", "", 0.1).ok
         assert not FetchResult("u", 404, "text/html", "", 0.1).ok
         assert not FetchResult("u", 0, "", "", 0.1).ok
+
+
+class TestContentChurn:
+    def _web(self, webgraph, churn=0.5):
+        return SimulatedWeb(webgraph, seed=8, error_rate=0.0,
+                            timeout_rate=0.0, redirect_rate=0.0,
+                            churn_rate=churn)
+
+    def _article(self, webgraph):
+        return next(u for u, p in webgraph.pages.items()
+                    if p.kind == "article" and p.language == "en"
+                    and p.content_type == "text/html")
+
+    def test_epoch_zero_is_the_original_snapshot(self, webgraph):
+        web = self._web(webgraph)
+        url = self._article(webgraph)
+        assert web.content_version(url) == 0
+        static = self._web(webgraph, churn=0.0)
+        static.set_epoch(5)
+        assert static.content_version(url) == 0
+
+    def test_versions_are_monotone_and_deterministic(self, webgraph):
+        url = self._article(webgraph)
+        versions = []
+        for epoch in range(6):
+            web = self._web(webgraph)
+            web.set_epoch(epoch)
+            versions.append(web.content_version(url))
+        assert versions == sorted(versions)
+        assert versions[-1] >= 1  # churn 0.5 over 5 epochs
+        # Incremental cache agrees with from-scratch computation.
+        incremental = self._web(webgraph)
+        for epoch in range(6):
+            incremental.set_epoch(epoch)
+            assert incremental.content_version(url) == versions[epoch]
+
+    def test_conditional_fetch_returns_304_only_on_match(self, webgraph):
+        web = self._web(webgraph)
+        url = self._article(webgraph)
+        web.set_epoch(4)
+        version = web.content_version(url)
+        hit = web.fetch(url, if_version=version)
+        assert hit.not_modified and hit.status == 304 and hit.body == ""
+        assert hit.content_version == version
+        assert not hit.ok
+        miss = web.fetch(url, if_version=version + 1)
+        assert not miss.not_modified and miss.status == 200
+        assert miss.body
+
+    def test_bodies_change_with_version_and_replay_exactly(
+            self, webgraph):
+        web = self._web(webgraph)
+        url = self._article(webgraph)
+        original = web.fetch(url).body
+        web.set_epoch(4)
+        version = web.content_version(url)
+        assert version >= 1
+        evolved = web.fetch(url).body
+        assert evolved != original
+        assert web.fetch(url).body == evolved  # same epoch, same bytes
+        fresh = self._web(webgraph)
+        fresh.set_epoch(4)
+        assert fresh.fetch(url).body == evolved  # instance-independent
+        web.set_epoch(0)
+        assert web.fetch(url).body == original
+
+    def test_negative_epoch_rejected(self, webgraph):
+        with pytest.raises(ValueError):
+            self._web(webgraph).set_epoch(-1)
