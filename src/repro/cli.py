@@ -9,6 +9,11 @@ Subcommands cover the main workflows:
 * ``repro scalability`` — the simulated-cluster sweeps (Figs. 4-5);
 * ``repro seeds``       — seed generation statistics (Table 1);
 * ``repro facts``       — crawl, extract, and export a fact database;
+* ``repro serve``       — long-lived batched extraction server
+  (docs/serving.md): frozen kernels loaded once, requests coalesced
+  into batches, workers forked copy-on-write;
+* ``repro loadgen``     — drive a running server with deterministic
+  closed-loop load and print latency/throughput/digest;
 * ``repro report``      — render an exported metrics/trace file back
   into the human-readable crawl summary (docs/observability.md).
 
@@ -114,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
     flow.add_argument("--pos-beam", type=int, default=None, metavar="N",
                       help="Viterbi beam width for the frozen POS kernel"
                            " (default: exact search)")
+    flow.add_argument("--repeat", type=int, default=1, metavar="N",
+                      help="run the flow N times through one reusable "
+                           "FlowSession (plan/executor built once; "
+                           "warm runs measure execution, not setup)")
     flow.add_argument("--report", default=None, metavar="PATH",
                       help="write the execution report as JSON")
     flow.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -135,6 +144,70 @@ def build_parser() -> argparse.ArgumentParser:
     facts.add_argument("--out", default="facts",
                        help="output directory (default ./facts)")
     facts.add_argument("--pages", type=int, default=400)
+
+    serve = subparsers.add_parser(
+        "serve", help="long-lived batched extraction server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default 0 = ephemeral; the "
+                            "chosen port is printed and written to "
+                            "--port-file)")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port to PATH once "
+                            "listening (for scripted clients)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="extraction worker processes forked after "
+                            "warmup, sharing model memory "
+                            "copy-on-write (0 = run batches inline; "
+                            "default 1)")
+    serve.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="hard cap on requests per coalesced batch "
+                            "(default 32)")
+    serve.add_argument("--max-delay-ms", type=float, default=10.0,
+                       metavar="MS",
+                       help="batching deadline: an unfilled batch "
+                            "closes this long after its oldest "
+                            "request arrived (default 10)")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       metavar="N",
+                       help="admission queue bound; beyond it requests "
+                            "are shed with a retryable error "
+                            "(default 256)")
+    serve.add_argument("--quota", action="append", metavar="SPEC",
+                       help="per-tenant token quota [tenant=]rate:burst"
+                            " (repeatable; no tenant = default quota "
+                            "for unlisted tenants)")
+    serve.add_argument("--anno-cache", default=None, metavar="DIR",
+                       help="persistent annotation cache directory "
+                            "shared with the batch CLI")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the deterministic metrics export on "
+                            "shutdown")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive a running server with closed-loop load")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=None)
+    loadgen.add_argument("--port-file", default=None, metavar="PATH",
+                         help="read the port from PATH (written by "
+                              "repro serve --port-file)")
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument("--concurrency", type=int, default=4,
+                         help="client connections (default 4)")
+    loadgen.add_argument("--window", type=int, default=8,
+                         help="pipelined in-flight requests per "
+                              "connection (default 8)")
+    loadgen.add_argument("--unique-texts", type=int, default=64,
+                         help="distinct sentences in the generated "
+                              "workload (default 64)")
+    loadgen.add_argument("--tenant", default="default")
+    loadgen.add_argument("--expect-multi-batch", action="store_true",
+                         help="exit 1 unless the server coalesced at "
+                              "least one multi-request batch")
+    loadgen.add_argument("--shutdown", action="store_true",
+                         help="send a shutdown op when done")
+    loadgen.add_argument("--json", default=None, metavar="PATH",
+                         help="also write the summary as JSON")
 
     report = subparsers.add_parser(
         "report", help="render an exported metrics file as a summary")
@@ -387,10 +460,12 @@ def cmd_analyze(args) -> int:
 def cmd_flow(args) -> int:
     import os
 
-    from repro.core.flows import (
-        build_fig2_flow, flush_annotation_caches, make_executor,
-    )
+    from repro.core.flows import FlowSession
     from repro.web.htmlgen import PageRenderer
+
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
 
     ctx = _context(args, corpus_docs=max(8, args.docs),
                    dictionary_cache_dir=args.dict_cache,
@@ -420,12 +495,15 @@ def cmd_flow(args) -> int:
         from repro.obs.trace import Tracer
 
         tracer = Tracer()
-    executor = make_executor(args.mode, dop=dop,
-                             batch_size=args.batch_size,
-                             metrics=metrics, tracer=tracer)
-    plan = build_fig2_flow(ctx.pipeline)
-    outputs, report = executor.execute(plan, documents)
-    flushed = flush_annotation_caches(plan, metrics=metrics)
+    session = FlowSession(ctx.pipeline, mode=args.mode, dop=dop,
+                          batch_size=args.batch_size,
+                          metrics=metrics, tracer=tracer)
+    for run_index in range(args.repeat):
+        outputs, report = session.run(documents)
+        if args.repeat > 1:
+            print(f"run {run_index + 1}: {report.total_seconds:.2f} s "
+                  f"({report.total_records_per_second:.1f} docs/s)")
+    flushed = session.close()
     print(f"mode {report.mode} (dop {report.dop}) | "
           f"{len(documents)} documents in {report.total_seconds:.2f} s "
           f"({report.total_records_per_second:.1f} docs/s)")
@@ -515,6 +593,107 @@ def cmd_facts(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from pathlib import Path
+
+    from repro.serve.quotas import parse_quota_spec
+    from repro.serve.server import ExtractionServer, ServeConfig
+    from repro.serve.session import ExtractionSession
+
+    quotas: dict[str, tuple[float, float]] = {}
+    default_quota = None
+    for spec in args.quota or []:
+        try:
+            tenant, rate, burst = parse_quota_spec(spec)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if tenant is None:
+            default_quota = (rate, burst)
+        else:
+            quotas[tenant] = (rate, burst)
+    ctx = _context(args)
+    session = ExtractionSession(ctx.pipeline,
+                                annotation_cache=args.anno_cache)
+    config = ServeConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
+        queue_limit=args.queue_limit, quotas=quotas,
+        default_quota=default_quota, metrics_out=args.metrics_out)
+    server = ExtractionServer(session, config).start()
+    host, port = server.address
+    print(f"serving on {host}:{port} | workers {config.workers} | "
+          f"batch <= {config.policy().max_requests} | "
+          f"deadline {config.max_delay_ms:g} ms | "
+          f"queue limit {config.queue_limit}")
+    sys.stdout.flush()
+    if args.port_file:
+        Path(args.port_file).write_text(f"{port}\n", encoding="utf-8")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    stats = server.engine.stats()
+    print(f"served {sum(stats['requests'].values())} requests in "
+          f"{stats['batches']} batches "
+          f"({stats['multi_request_batches']} multi-request) | "
+          f"shed {stats['shed']} | quota-rejected "
+          f"{stats['quota_rejected']}")
+    if config.metrics_out:
+        print(f"wrote metrics: {config.metrics_out}")
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.serve.loadgen import (
+        LoadGenerator, ServeClient, generate_workload,
+    )
+
+    port = args.port
+    if port is None and args.port_file:
+        port = int(Path(args.port_file).read_text().strip())
+    if port is None:
+        print("error: need --port or --port-file", file=sys.stderr)
+        return 2
+    workload = generate_workload(args.requests, seed=args.seed,
+                                 unique_texts=args.unique_texts)
+    generator = LoadGenerator(args.host, port,
+                              concurrency=args.concurrency,
+                              window=args.window)
+    generator.run(workload, tenant=args.tenant)
+    summary = generator.summary()
+    with ServeClient(args.host, port) as client:
+        stats = client.call("stats")["result"]
+        if args.shutdown:
+            client.call("shutdown")
+    summary["server"] = {key: stats[key] for key in
+                         ("batches", "multi_request_batches", "shed",
+                          "quota_rejected", "worker_failures")}
+    print(f"{summary['requests']} requests | ok {summary['ok']} | "
+          f"errors {summary['errors'] or 'none'}")
+    print(f"throughput {summary['throughput_rps']:.0f} req/s | "
+          f"p50 {summary['p50_ms']:.2f} ms | "
+          f"p99 {summary['p99_ms']:.2f} ms")
+    print(f"server batches {stats['batches']} "
+          f"({stats['multi_request_batches']} multi-request) | "
+          f"shed {stats['shed']} | quota-rejected "
+          f"{stats['quota_rejected']}")
+    print(f"digest {summary['digest']}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"wrote summary: {args.json}")
+    if args.expect_multi_batch and not stats["multi_request_batches"]:
+        print("error: no multi-request batch was coalesced",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.obs.report import render_report
 
@@ -530,6 +709,8 @@ _COMMANDS = {
     "scalability": cmd_scalability,
     "seeds": cmd_seeds,
     "facts": cmd_facts,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "report": cmd_report,
 }
 

@@ -222,6 +222,51 @@ def run_flow(plan: LogicalPlan, records: Sequence[Any],
     return result
 
 
+class FlowSession:
+    """Reusable flow-execution session: plan and executor built once,
+    many record batches run through them.
+
+    The serve layer's discipline applied to the dataflow path: per-run
+    construction (plan building, executor setup, operator state) is
+    paid once, so repeated runs measure execution, not setup — and a
+    long-lived process (``repro serve``, a notebook, a driver loop)
+    reuses warm operators, caches, and frozen kernels across calls.
+    :meth:`close` flushes annotation caches once at the end instead of
+    after every run.
+    """
+
+    def __init__(self, pipeline: TextAnalyticsPipeline,
+                 mode: str = "fused", dop: int = 1, batch_size: int = 32,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None,
+                 build=build_fig2_flow) -> None:
+        self.pipeline = pipeline
+        self.plan = build(pipeline)
+        self.executor = make_executor(mode, dop=dop,
+                                      batch_size=batch_size,
+                                      metrics=metrics, tracer=tracer)
+        self.metrics = metrics
+        self.runs = 0
+        self.last_report: ExecutionReport | None = None
+
+    def run(self, records: Sequence[Any],
+            ) -> tuple[dict[str, list[Any]], ExecutionReport]:
+        outputs, report = self.executor.execute(self.plan, records)
+        self.runs += 1
+        self.last_report = report
+        return outputs, report
+
+    def close(self) -> int:
+        """Flush annotation caches; returns dirty shard files written."""
+        return flush_annotation_caches(self.plan, metrics=self.metrics)
+
+    def __enter__(self) -> "FlowSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 def flush_annotation_caches(plan: LogicalPlan,
                             metrics: MetricsRegistry | None = None) -> int:
     """Persist every annotation cache attached to the plan's operators;

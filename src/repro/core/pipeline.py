@@ -147,3 +147,68 @@ class TextAnalyticsPipeline:
             if "ml" in methods:
                 self.ml_taggers[entity_type].annotate(document)
         return document
+
+    def analyze_batch(self, documents: list[Document],
+                      methods: tuple[str, ...] = ("dictionary", "ml"),
+                      entity_types: tuple[str, ...] = ENTITY_TYPES,
+                      with_pos: bool = False) -> list[Document]:
+        """Batch :meth:`analyze`: identical per-document results, with
+        the POS and CRF decode batched *across* documents.
+
+        This is the kernel entry point the serve-layer coalescer uses:
+        one ``tag_batch`` call covers every sentence of every document
+        and one ``predict_batch`` per entity type covers every uncached
+        sentence in the batch, so per-call overhead amortizes across
+        request boundaries.  Per-document entity order (dictionary then
+        ML, per entity type) matches :meth:`analyze`.
+        """
+        for document in documents:
+            if not document.sentences:
+                self.preprocess(document)
+        if with_pos:
+            self._pos_tag_documents(documents)
+        for document in documents:
+            self.linguistics.analyze(document)
+        for entity_type in entity_types:
+            if "dictionary" in methods:
+                for document in documents:
+                    self.dictionary_taggers[entity_type].annotate(
+                        document)
+            if "ml" in methods:
+                self.ml_taggers[entity_type].annotate_many(documents)
+        return documents
+
+    def _pos_tag_documents(self, documents: list[Document]) -> None:
+        """POS-tag every sentence of every document in one batched
+        decode, with :meth:`analyze`'s per-sentence crash accounting
+        (over-limit sentences count into ``meta["pos_crashes"]`` and
+        keep their untagged tokens)."""
+        from repro.nlp.pos_hmm import TaggerCrash
+
+        limit = self.pos_tagger.crash_token_limit
+        jobs: list[tuple[Document, object]] = []
+        for document in documents:
+            for sentence in document.sentences:
+                if limit is not None and len(sentence.tokens) > limit:
+                    document.meta["pos_crashes"] = (
+                        document.meta.get("pos_crashes", 0) + 1)
+                else:
+                    jobs.append((document, sentence))
+        if not jobs:
+            return
+        try:
+            tagged = self.pos_tagger.tag_tokens_batch(
+                [sentence.tokens for _doc, sentence in jobs])
+        except TaggerCrash:
+            # Pathological model states (e.g. empty tagset) crash per
+            # sentence in analyze(); mirror that accounting here.
+            for document, sentence in jobs:
+                try:
+                    sentence.tokens = self.pos_tagger.tag_tokens(
+                        sentence.tokens)
+                except TaggerCrash:
+                    document.meta["pos_crashes"] = (
+                        document.meta.get("pos_crashes", 0) + 1)
+            return
+        for (document, sentence), tokens in zip(jobs, tagged):
+            sentence.tokens = tokens

@@ -93,14 +93,33 @@ class MlEntityTagger:
         sentences are decoded in a single ``predict_batch`` call, so
         per-sentence Python overhead is paid once per document.
         """
-        sentences = document.sentences or split_sentences(document.text)
+        return self.annotate_many([document])[0]
+
+    def annotate_many(self, documents: Sequence[Document],
+                      ) -> list[list[EntityMention]]:
+        """Tag several documents with one cross-document decode.
+
+        The batch form of :meth:`annotate`, used by the serve-layer
+        request coalescer: uncached sentences from *every* document
+        feed a single ``predict_batch`` call, so the flat-encode numpy
+        path amortizes across request boundaries, not just within one
+        document.  Per-document results (mention lists, ``entities``
+        extension, cache traffic) are identical to calling
+        :meth:`annotate` on each document in order.
+        """
         tokenized: list[tuple[list, list[str]]] = []
-        for sentence in sentences:
-            tokens = sentence.tokens or tokenize(sentence.text,
-                                                 base_offset=sentence.start)
-            words = [t.text for t in tokens]
-            if words:
-                tokenized.append((tokens, words))
+        doc_slices: list[tuple[Document, int, int]] = []
+        for document in documents:
+            sentences = document.sentences or split_sentences(
+                document.text)
+            first = len(tokenized)
+            for sentence in sentences:
+                tokens = sentence.tokens or tokenize(
+                    sentence.text, base_offset=sentence.start)
+                words = [t.text for t in tokens]
+                if words:
+                    tokenized.append((tokens, words))
+            doc_slices.append((document, first, len(tokenized)))
         cache = self.annotation_cache
         decoded: list[list[str] | None] = [None] * len(tokenized)
         if cache is not None:
@@ -123,16 +142,21 @@ class MlEntityTagger:
                 decoded[index] = labels
                 if cache is not None:
                     cache.store(fingerprint, tokenized[index][1], labels)
-        mentions: list[EntityMention] = []
-        for (tokens, _words), labels in zip(tokenized, decoded):
-            for token_start, token_end in bio_to_spans(labels):
-                start = tokens[token_start].start
-                end = tokens[token_end - 1].end
-                mentions.append(EntityMention(
-                    text=document.text[start:end], start=start, end=end,
-                    entity_type=self.entity_type, method="ml"))
-        document.entities.extend(mentions)
-        return mentions
+        results: list[list[EntityMention]] = []
+        for document, first, last in doc_slices:
+            mentions: list[EntityMention] = []
+            for (tokens, _words), labels in zip(tokenized[first:last],
+                                                decoded[first:last]):
+                for token_start, token_end in bio_to_spans(labels):
+                    start = tokens[token_start].start
+                    end = tokens[token_end - 1].end
+                    mentions.append(EntityMention(
+                        text=document.text[start:end], start=start,
+                        end=end, entity_type=self.entity_type,
+                        method="ml"))
+            document.entities.extend(mentions)
+            results.append(mentions)
+        return results
 
     def startup_seconds(self) -> float:
         """Model-load cost: negligible next to dictionary builds."""

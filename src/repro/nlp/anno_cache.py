@@ -27,9 +27,11 @@ dict serves repeat lookups in the same process, and marshal-serialized
 shard files serve fresh processes.  Entries are grouped into
 ``anno-<model>-<shard>.bin`` files (sharded by sentence hash) so disk
 I/O amortizes over many sentences instead of paying one file per
-sentence.  Shard writes are atomic (write-temp-then-rename); marshal
-payloads embed the interpreter version and are treated as a miss on
-any mismatch.
+sentence.  Shard writes are atomic (write-temp-then-rename) and
+*merging*: a flush unions its entries with whatever is on disk under
+an advisory file lock, so two processes flushing the same shard union
+their work instead of last-writer-wins.  Marshal payloads embed the
+interpreter version and are treated as a miss on any mismatch.
 
 The cache directory resolves, in order, to the explicit constructor
 argument, ``$REPRO_ANNOTATION_CACHE``, or ``~/.cache/repro/annotations``.
@@ -44,8 +46,14 @@ import marshal
 import os
 import sys
 import threading
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Sequence
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: Bump to invalidate every cached annotation on on-disk format change.
 CACHE_FORMAT_VERSION = 1
@@ -173,7 +181,17 @@ class AnnotationCache:
     # -- persistence ---------------------------------------------------------
 
     def flush(self) -> int:
-        """Write dirty shards to disk (atomic); returns shards written."""
+        """Write dirty shards to disk (atomic); returns shards written.
+
+        Each shard is written read-merge-write under an exclusive file
+        lock: entries another process flushed since this process loaded
+        the shard are merged in (this process's entries win on key
+        collisions — both sides decoded the same model, so values can
+        only differ on a format change) rather than overwritten, and
+        are folded back into the memory tier so they serve future
+        lookups here too.  The visible write stays a single atomic
+        temp-file replace.
+        """
         with self._lock:
             dirty = [(slot, dict(self._shards[slot]))
                      for slot in sorted(self._dirty)]
@@ -183,17 +201,48 @@ class AnnotationCache:
             return 0
         self.cache_dir.mkdir(parents=True, exist_ok=True)
         for (model_fingerprint, shard), entries in dirty:
-            payload = {"version": CACHE_FORMAT_VERSION,
-                       "python": _PYTHON_TAG,
-                       "model": model_fingerprint,
-                       "entries": entries}
             path = self.path_for(model_fingerprint, shard)
-            temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
-            temp.write_bytes(marshal.dumps(payload))
-            temp.replace(path)
+            with self._flush_lock(path):
+                on_disk = self._load_shard(model_fingerprint, shard)
+                if on_disk:
+                    merged = on_disk
+                    merged.update(entries)
+                else:
+                    merged = entries
+                payload = {"version": CACHE_FORMAT_VERSION,
+                           "python": _PYTHON_TAG,
+                           "model": model_fingerprint,
+                           "entries": merged}
+                temp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+                temp.write_bytes(marshal.dumps(payload))
+                temp.replace(path)
+            if len(merged) > len(entries):
+                with self._lock:
+                    resident = self._shards.get((model_fingerprint,
+                                                 shard))
+                    if resident is not None:
+                        for key, labels in merged.items():
+                            resident.setdefault(key, labels)
         self.flushes += 1
         self.shards_written += len(dirty)
         return len(dirty)
+
+    @contextmanager
+    def _flush_lock(self, path: Path):
+        """Exclusive advisory lock serializing concurrent flushes of
+        one shard file across processes; a no-op where ``fcntl`` is
+        unavailable (merge-on-flush still covers the sequential case
+        there)."""
+        if fcntl is None:
+            yield
+            return
+        lock_path = path.with_name(f"{path.name}.lock")
+        with open(lock_path, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
 
     def clear(self) -> int:
         """Drop both tiers; returns the number of disk files removed."""

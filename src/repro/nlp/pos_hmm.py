@@ -98,7 +98,7 @@ class _FrozenHmm:
 
     __slots__ = ("ext_tags", "start_id", "trans", "trans_list",
                  "word_table", "shape_table", "beam_width", "n_tags",
-                 "exact_table")
+                 "exact_table", "emission_rows", "_emission_row_list")
 
     def __init__(self, tagger: "HmmPosTagger",
                  beam_width: int | None = None) -> None:
@@ -119,6 +119,11 @@ class _FrozenHmm:
                     trans[i2, i1, index[tag]] = value
         self.trans = trans
         self.trans_list = trans.tolist()
+        # Dense full-tagset emission rows, one per table entry (row 0
+        # is the all--inf padding row); decode_batch gathers per-token
+        # emission matrices from this with one fancy index.
+        self._emission_row_list: list[np.ndarray] = [
+            np.full(n_ext, -np.inf)]
         self.word_table: dict[str, tuple] = {}
         for word, tags in tagger._word_tags.items():
             ids = np.array([index[t] for t in tags], dtype=np.intp)
@@ -139,17 +144,22 @@ class _FrozenHmm:
         #: lookup; grows with distinct forms seen, which natural text
         #: bounds tightly (Heaps' law) relative to tokens decoded.
         self.exact_table: dict[str, tuple] = {}
+        self.emission_rows = np.stack(self._emission_row_list)
 
-    @staticmethod
-    def _entry(ids: np.ndarray, emis: np.ndarray) -> tuple:
+    def _entry(self, ids: np.ndarray, emis: np.ndarray) -> tuple:
         """One lookup-table entry, with everything the decode loop
         would otherwise rebuild per step precomputed: plain-list ids
-        and emissions, (id, emission) pairs, and a shared zero
-        backpointer row."""
+        and emissions, (id, emission) pairs, a shared zero backpointer
+        row, and the entry's row index in ``emission_rows``."""
         ids_list = ids.tolist()
         emis_list = emis.tolist()
+        row = np.full(len(self.ext_tags), -np.inf)
+        row[ids] = emis
+        row_index = len(self._emission_row_list)
+        self._emission_row_list.append(row)
         return (ids, emis, ids_list, emis_list,
-                list(zip(ids_list, emis_list)), [0] * len(ids_list))
+                list(zip(ids_list, emis_list)), [0] * len(ids_list),
+                row_index)
 
     def _lookup(self, word: str) -> tuple:
         entry = self.word_table.get(word.lower())
@@ -222,7 +232,7 @@ class _FrozenHmm:
                     if entry is None:
                         entry = shape_table[_shape(word)]
                     exact_table[word] = entry
-            cand_np, emis_np, cand, emis, pairs, zero_row = entry
+            cand_np, emis_np, cand, emis, pairs, zero_row, _row = entry
             if not cand:
                 raise TaggerCrash("no viable tag path (empty model?)")
             n_pp = len(pp_ids)
@@ -280,6 +290,97 @@ class _FrozenHmm:
             scores = new_scores
             i += 1
         return self._backtrace(scores, steps)
+
+    def decode_batch(self, batch: Sequence[Sequence[str]],
+                     ) -> list[list[str]]:
+        """Viterbi over many sentences in one padded tensor pass.
+
+        Sentences are packed into a single ``(B, E, E)`` state tensor
+        over the *full* extended tagset: non-candidate tags carry
+        ``-inf`` emissions, so they can never win a max against a live
+        path (transition log-probs are floored at -50.0, never -inf,
+        and live-path scores stay finite).  Active cells therefore see
+        the exact same float operations, in the same association
+        ``(score + trans) + emis``, as every per-sentence lane — and
+        because ascending tag ids are lexicographic order, the full-
+        space first-maximum ``argmax`` resolves ties identically.
+        Output is bit-identical to ``[decode(s) for s in batch]``.
+
+        Shorter sentences retire from the active prefix as the time
+        loop passes their length (batch is processed longest-first and
+        unsorted on return); each sentence's final-state matrix is
+        snapshotted at its own last step.
+        """
+        if self.beam_width is not None:
+            # Beam pruning is a per-sentence top-k; batching would
+            # change which states survive. Keep exact per-sentence
+            # semantics by falling back.
+            return [self.decode(words) for words in batch]
+        results: list[list[str] | None] = [None] * len(batch)
+        jobs: list[tuple[int, Sequence[str]]] = []
+        for idx, words in enumerate(batch):
+            if words:
+                jobs.append((idx, words))
+            else:
+                results[idx] = []
+        if not jobs:
+            return results
+        if len(jobs) == 1:
+            idx, words = jobs[0]
+            results[idx] = self.decode(words)
+            return results
+        jobs.sort(key=lambda job: -len(job[1]))
+        lengths = [len(words) for _idx, words in jobs]
+        n_batch, n_steps = len(jobs), lengths[0]
+        n_ext = len(self.ext_tags)
+        word_table = self.word_table
+        shape_table = self.shape_table
+        exact_table = self.exact_table
+        index_rows = [[0] * n_steps for _ in range(n_batch)]
+        for b, (_idx, words) in enumerate(jobs):
+            row = index_rows[b]
+            for t, word in enumerate(words):
+                entry = exact_table.get(word)
+                if entry is None:
+                    entry = word_table.get(word.lower())
+                    if entry is None:
+                        entry = shape_table[_shape(word)]
+                    exact_table[word] = entry
+                if not entry[2]:
+                    raise TaggerCrash("no viable tag path (empty model?)")
+                row[t] = entry[6]
+        emissions = self.emission_rows[
+            np.asarray(index_rows, dtype=np.intp)]
+        trans = self.trans
+        scores = np.full((n_batch, n_ext, n_ext), -np.inf)
+        scores[:, self.start_id, self.start_id] = 0.0
+        steps: list[np.ndarray] = []
+        finals: list[np.ndarray | None] = [None] * n_batch
+        active = n_batch
+        for t in range(n_steps):
+            while active and lengths[active - 1] <= t:
+                active -= 1
+            expanded = scores[:active, :, :, None] + trans
+            args = expanded.argmax(axis=1)
+            new_scores = expanded.max(axis=1) + emissions[:active, t,
+                                                          None, :]
+            for b in range(active):
+                if lengths[b] == t + 1:
+                    finals[b] = new_scores[b]
+            scores[:active] = new_scores
+            steps.append(args)
+        names = self.ext_tags
+        for b, (idx, words) in enumerate(jobs):
+            n = len(words)
+            final = finals[b]
+            x, y = divmod(int(final.argmax()), n_ext)
+            tags = [""] * n
+            tags[n - 1] = names[y]
+            for t in range(n - 1, 0, -1):
+                tags[t - 1] = names[x]
+                x, y = int(steps[t][b][x, y]), x
+            results[idx] = tags
+        return results
 
     def _backtrace(self, scores, steps) -> list[str]:
         # Final state: first maximum in (t_prev2, t_prev1) id order —
@@ -506,6 +607,59 @@ class HmmPosTagger:
         if cache is not None:
             cache.store(fingerprint, words, tags)
         return tags
+
+    def tag_batch(self, batch: Sequence[Sequence[str]],
+                  ) -> list[list[str]]:
+        """Decode many sentences at once, bit-identical to
+        ``[tag(s) for s in batch]``.
+
+        With the frozen kernel, cache misses are packed into one
+        padded tensor decode (:meth:`_FrozenHmm.decode_batch`), so
+        per-call overhead amortizes across the batch — the kernel the
+        serve-layer request coalescer feeds.  Cache lookups, stores,
+        and crash semantics match the per-sentence path exactly; any
+        over-limit sentence raises :class:`TaggerCrash` before any
+        work is done, like mapping :meth:`tag` would on its first
+        offender.
+        """
+        sentences = [list(words) for words in batch]
+        for words in sentences:
+            self._check_input(words)
+        results: list[list[str] | None] = [None] * len(sentences)
+        pending: list[int] = []
+        cache = self.annotation_cache
+        fingerprint = ""
+        if cache is not None:
+            fingerprint = self.fingerprint()
+        for i, words in enumerate(sentences):
+            if not words:
+                results[i] = []
+                continue
+            if cache is not None:
+                cached = cache.lookup(fingerprint, words)
+                if cached is not None:
+                    results[i] = list(cached)
+                    continue
+            pending.append(i)
+        if pending:
+            if self._frozen is not None:
+                decoded = self._frozen.decode_batch(
+                    [sentences[i] for i in pending])
+            else:
+                decoded = [self._tag_dict(sentences[i]) for i in pending]
+            for i, tags in zip(pending, decoded):
+                results[i] = tags
+                if cache is not None:
+                    cache.store(fingerprint, sentences[i], tags)
+        return results
+
+    def tag_tokens_batch(self, token_lists: Sequence[Sequence]) -> list[list]:
+        """Batch :meth:`tag_tokens`: returns per-sentence lists of
+        Token copies with ``pos`` filled."""
+        tag_lists = self.tag_batch(
+            [[t.text for t in tokens] for tokens in token_lists])
+        return [[tok.with_pos(tag) for tok, tag in zip(tokens, tags)]
+                for tokens, tags in zip(token_lists, tag_lists)]
 
     def tag_reference(self, words: Sequence[str]) -> list[str]:
         """The original dict-of-tuples Viterbi, bypassing both the

@@ -226,6 +226,13 @@ class MetricsRegistry:
         return [dict(label_key) for metric_name, label_key
                 in sorted(self._metrics) if metric_name == name]
 
+    def histogram_of(self, name: str, **labels: Any) -> Histogram | None:
+        """The histogram at ``(name, labels)``, or None if absent (or
+        the name is a counter/gauge).  Read-only access for renderers
+        that need bucket counts, e.g. percentile estimation."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        return metric if isinstance(metric, Histogram) else None
+
     # -- snapshot / merge -----------------------------------------------------
 
     def to_dict(self, include_volatile: bool = False) -> dict[str, Any]:

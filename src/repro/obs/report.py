@@ -132,6 +132,77 @@ def render_crawl_summary(registry: MetricsRegistry) -> list[str]:
     return lines
 
 
+def _histogram_percentile(histogram: Any, q: float) -> float:
+    """Percentile estimate from cumulative bucket counts (upper bound
+    of the bucket the q-th observation falls in; +Inf bucket reports
+    the largest finite bound)."""
+    total = histogram.count
+    if not total:
+        return 0.0
+    target = max(1, -(-int(q * total) // 100))  # ceil(q% of total)
+    seen = 0
+    for bound, count in zip(histogram.bounds, histogram.counts):
+        seen += count
+        if seen >= target:
+            return bound
+    return histogram.bounds[-1] if histogram.bounds else 0.0
+
+
+def _histogram_bars(histogram: Any, unit_scale: float = 1.0,
+                    unit: str = "", width: int = 30) -> list[str]:
+    """ASCII bucket histogram, one line per non-empty bucket."""
+    if not histogram.count:
+        return []
+    peak = max(histogram.counts)
+    lines = []
+    for bound, count in zip(list(histogram.bounds) + [float("inf")],
+                            histogram.counts):
+        if not count:
+            continue
+        bar = "#" * max(1, round(count / peak * width))
+        bound_text = ("+Inf" if bound == float("inf")
+                      else f"{bound * unit_scale:g}")
+        lines.append(f"  <= {bound_text:>8}{unit}  {count:>8}  {bar}")
+    return lines
+
+
+def render_serve_summary(registry: MetricsRegistry) -> list[str]:
+    """The ``repro serve`` section: request counts per op, latency
+    histogram with p50/p99, batch-size histogram, shed/quota/worker
+    counters.  Returns [] when the registry carries no serve metrics.
+    """
+    requests = _counter_values(registry, "serve.requests", "op")
+    if not requests:
+        return []
+    total = int(sum(requests.values()))
+    per_op = " | ".join(f"{op} {int(count)}" for op, count
+                        in sorted(requests.items()))
+    lines = [f"serve: {total} requests ({per_op})"]
+    batches = int(registry.value_of("serve.batches") or 0)
+    multi = int(registry.value_of("serve.multi_request_batches") or 0)
+    if batches:
+        lines.append(f"batches {batches} ({multi} multi-request, "
+                     f"{total / batches:.1f} requests/batch mean)")
+    shed = int(registry.value_of("serve.shed") or 0)
+    quota = int(registry.value_of("serve.quota_rejected") or 0)
+    failures = int(registry.value_of("serve.worker_failures") or 0)
+    if shed or quota or failures:
+        lines.append(f"shed {shed} | quota-rejected {quota} | "
+                     f"worker failures {failures}")
+    latency = registry.histogram_of("serve.latency_seconds")
+    if latency is not None and latency.count:
+        p50 = _histogram_percentile(latency, 50) * 1e3
+        p99 = _histogram_percentile(latency, 99) * 1e3
+        lines.append(f"latency: p50 <= {p50:g} ms, p99 <= {p99:g} ms "
+                     f"({latency.count} observations)")
+        lines += _histogram_bars(latency, unit_scale=1e3, unit=" ms")
+    batch_size = registry.histogram_of("serve.batch_size")
+    if batch_size is not None and batch_size.count:
+        lines.append("batch size:")
+        lines += _histogram_bars(batch_size)
+    return lines
+
+
 def render_metrics(registry: MetricsRegistry,
                    include_volatile: bool = True) -> list[str]:
     """Generic dump: one line per counter/gauge, a summary line per
@@ -184,6 +255,10 @@ def render_report(metrics_path: str | Path,
     """The full ``repro report`` output for a metrics (+trace) file."""
     registry = MetricsRegistry.read_jsonl(metrics_path)
     lines = render_crawl_summary(registry)
+    serve_lines = render_serve_summary(registry)
+    if lines and serve_lines:
+        lines.append("")
+    lines += serve_lines
     if lines:
         lines.append("")
     lines += render_metrics(registry)

@@ -1,0 +1,232 @@
+"""Request coalescing: the serve layer's batching mechanism.
+
+Concurrent requests queue here; dispatcher threads pull *batches* that
+feed the batch kernels (``tag_batch`` / ``predict_batch``) as a unit,
+so per-request call overhead — kernel entry, worker IPC round-trip,
+thread wakeups — amortizes across the batch.
+
+Two parts, separable for testing:
+
+* :class:`BatchPolicy` — the deterministic closing rule, mirroring the
+  crawl executor's ``ChunkPlanner``: a batch closes when it reaches a
+  request target or a token target, whichever comes first, both
+  computed from configuration only (never from timing).  The *only*
+  timing input is the latency deadline: a batch that hasn't filled by
+  ``max_delay`` seconds after its oldest request arrived closes
+  anyway, bounding the latency cost a request can pay for batching.
+  The size/token boundaries a request stream produces are therefore a
+  pure function of the stream (property-tested: contiguous,
+  exact-cover, identical streaming vs. offline).
+* :class:`RequestCoalescer` — the thread-safe queue applying the
+  policy.  Multiple dispatchers may pull concurrently; each batch is a
+  contiguous slice of the arrival order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Sequence
+
+
+class BatchPolicy:
+    """Deterministic batch-closing rule (size/token/deadline).
+
+    The request target splits the admission queue across
+    ``workers * PIPELINE_DEPTH`` batches — each worker sees a couple
+    of batches' worth of queue even at full depth, so one giant batch
+    never serializes a drained queue behind a single decode — bounded
+    to [``MIN_REQUESTS``, ``MAX_REQUESTS``].  The token target keeps a
+    run of oversized requests from ballooning one batch's latency.
+    Both inputs are configuration, so the same request stream always
+    partitions identically (the ChunkPlanner rule, applied to
+    requests).
+    """
+
+    #: Batches a dispatcher should see per full admission queue.
+    PIPELINE_DEPTH = 2
+    MIN_REQUESTS = 1
+    MAX_REQUESTS = 64
+    TOKEN_TARGET = 4096
+
+    def __init__(self, max_requests: int = 32,
+                 token_target: int | None = None,
+                 max_delay: float = 0.010) -> None:
+        if max_requests < 1:
+            raise ValueError("BatchPolicy needs max_requests >= 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be >= 0")
+        self.max_requests = max_requests
+        self.token_target = token_target or self.TOKEN_TARGET
+        self.max_delay = max_delay
+        self._requests = 0
+        self._tokens = 0
+
+    @classmethod
+    def for_config(cls, workers: int, queue_limit: int,
+                   max_delay: float = 0.010,
+                   token_target: int | None = None) -> "BatchPolicy":
+        """Derive the request target from serve configuration, the way
+        ``ChunkPlanner`` derives its page target from the crawl's."""
+        dispatchers = max(1, workers)
+        target = -(-queue_limit // (dispatchers * cls.PIPELINE_DEPTH))
+        target = max(cls.MIN_REQUESTS, min(cls.MAX_REQUESTS, target))
+        return cls(max_requests=target, token_target=token_target,
+                   max_delay=max_delay)
+
+    def add(self, tokens: int) -> bool:
+        """Account one request; True means "close the batch now"."""
+        self._requests += 1
+        self._tokens += tokens
+        if (self._requests >= self.max_requests
+                or self._tokens >= self.token_target):
+            self.reset()
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._requests = 0
+        self._tokens = 0
+
+    def plan(self, token_counts: Sequence[int]) -> list[tuple[int, int]]:
+        """Offline partition of a request stream by token counts.
+
+        Returns ``[(start, end), ...]`` half-open ranges that are
+        contiguous, order-preserving, and exactly cover
+        ``range(len(token_counts))`` — the same boundaries the
+        streaming :meth:`add` produces fed one request at a time
+        (property-tested, like ``adaptive_chunks``).
+        """
+        self.reset()
+        bounds: list[tuple[int, int]] = []
+        start = 0
+        for index, tokens in enumerate(token_counts):
+            if self.add(tokens):
+                bounds.append((start, index + 1))
+                start = index + 1
+        if start < len(token_counts):
+            bounds.append((start, len(token_counts)))
+        self.reset()
+        return bounds
+
+
+class PendingRequest:
+    """One admitted request travelling through the batch engine.
+
+    Carries the response back to the submitter: ``deliver`` stores the
+    response dict, fires the optional callback (the socket writer),
+    and wakes anyone blocked in ``wait``.  ``stream`` (any object with
+    ``send_message``/``send_raw``) lets the engine gather a batch's
+    responses into one write per connection instead of calling a
+    per-response callback.
+    """
+
+    __slots__ = ("request_id", "op", "text", "tenant", "tokens",
+                 "enqueued_at", "on_done", "stream", "response",
+                 "_event")
+
+    def __init__(self, request_id: str, op: str, text: str,
+                 tenant: str = "default", tokens: int = 0,
+                 enqueued_at: float = 0.0,
+                 on_done: Callable[[dict], None] | None = None,
+                 stream=None) -> None:
+        self.request_id = request_id
+        self.op = op
+        self.text = text
+        self.tenant = tenant
+        self.tokens = tokens
+        self.enqueued_at = enqueued_at
+        self.on_done = on_done
+        self.stream = stream
+        self.response: dict | None = None
+        self._event = threading.Event()
+
+    def deliver(self, response: dict) -> None:
+        self.response = response
+        self._event.set()
+        if self.on_done is not None:
+            self.on_done(response)
+
+    def wait(self, timeout: float | None = None) -> dict | None:
+        """Block until delivered; the response dict, or None on
+        timeout."""
+        if not self._event.wait(timeout):
+            return None
+        return self.response
+
+
+class RequestCoalescer:
+    """Thread-safe batching queue applying a :class:`BatchPolicy`.
+
+    ``submit`` never blocks (admission control happens before it);
+    ``take`` blocks until a batch closes — by size/tokens as soon as
+    enough requests queue, or by the latency deadline — and returns
+    it.  After :meth:`close`, ``take`` drains what's queued and then
+    returns None to each caller.
+    """
+
+    def __init__(self, policy: BatchPolicy,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._queue: list[PendingRequest] = []
+        self._closed = False
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (admission control reads this)."""
+        with self._cond:
+            return len(self._queue)
+
+    def submit(self, pending: PendingRequest) -> None:
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("coalescer is closed")
+            pending.enqueued_at = self._clock()
+            self._queue.append(pending)
+            self._cond.notify()
+
+    def close(self) -> None:
+        """Stop accepting; wake every ``take`` to drain and exit."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def take(self) -> list[PendingRequest] | None:
+        """The next closed batch (a contiguous slice of arrival
+        order), or None once closed and drained."""
+        policy = self.policy
+        with self._cond:
+            while True:
+                if self._queue:
+                    count = self._ready_count()
+                    if count:
+                        batch = self._queue[:count]
+                        del self._queue[:count]
+                        return batch
+                    oldest = self._queue[0].enqueued_at
+                    remaining = oldest + policy.max_delay - self._clock()
+                    self._cond.wait(max(remaining, 0.0005))
+                elif self._closed:
+                    return None
+                else:
+                    self._cond.wait()
+
+    def _ready_count(self) -> int:
+        """How many queued requests form a closed batch right now
+        (0 = keep waiting).  Caller holds the lock."""
+        policy = self.policy
+        policy.reset()
+        for index, pending in enumerate(self._queue):
+            if policy.add(pending.tokens):
+                return index + 1
+        policy.reset()
+        # Not full: close anyway if the oldest request has waited out
+        # the deadline, or if no more requests can ever arrive.
+        if self._closed:
+            return len(self._queue)
+        oldest = self._queue[0].enqueued_at
+        if self._clock() - oldest >= policy.max_delay:
+            return len(self._queue)
+        return 0

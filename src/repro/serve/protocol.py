@@ -1,0 +1,151 @@
+"""Wire protocol for ``repro serve``: newline-delimited JSON.
+
+One request or response per line, UTF-8, canonical serialization
+(sorted keys, no whitespace) — so a response body is a deterministic
+function of its payload and byte-identity between the batched and
+unbatched execution paths can be asserted at the wire level.
+
+Requests::
+
+    {"id": "client-chosen", "op": "extract", "text": "...",
+     "tenant": "optional"}
+
+Batch ops (``extract`` / ``annotate`` / ``classify``) flow through the
+request coalescer; control ops (``ping`` / ``metrics`` / ``stats`` /
+``shutdown``) are answered inline by the connection reader and are
+never batched.
+
+Responses::
+
+    {"id": ..., "ok": true, "result": {...}}
+    {"id": ..., "ok": false, "error": {"code": "shed",
+     "message": "...", "retryable": true}}
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+#: Operations that flow through the coalescer, as (op -> handler name).
+BATCH_OPS = ("extract", "annotate", "classify")
+#: Operations answered inline by the connection reader.
+CONTROL_OPS = ("ping", "metrics", "stats", "shutdown")
+
+#: Upper bound on one serialized message; guards the reader against
+#: unframed garbage streams.
+MAX_LINE_BYTES = 4_000_000
+
+
+class ProtocolError(ValueError):
+    """Malformed request (missing fields, unknown op, oversized)."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated inbound request."""
+
+    request_id: str
+    op: str
+    text: str
+    tenant: str = "default"
+    include_volatile: bool = True
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "Request":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request must be a JSON object")
+        op = payload.get("op")
+        if op not in BATCH_OPS and op not in CONTROL_OPS:
+            raise ProtocolError(f"unknown op {op!r}")
+        request_id = payload.get("id")
+        if not isinstance(request_id, (str, int)):
+            raise ProtocolError("request needs a string or int 'id'")
+        text = payload.get("text", "")
+        if not isinstance(text, str):
+            raise ProtocolError("'text' must be a string")
+        if op in BATCH_OPS and not text.strip():
+            raise ProtocolError(f"op {op!r} needs non-empty 'text'")
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError("'tenant' must be a non-empty string")
+        return cls(request_id=str(request_id), op=op, text=text,
+                   tenant=tenant,
+                   include_volatile=bool(payload.get(
+                       "include_volatile", True)))
+
+
+def encode_message(payload: dict) -> bytes:
+    """Canonical one-line JSON encoding (sorted keys, compact)."""
+    return json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> dict:
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("message exceeds MAX_LINE_BYTES")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object")
+    return payload
+
+
+def ok_response(request_id: str, result: dict) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(request_id: str, code: str, message: str,
+                   retryable: bool) -> dict:
+    return {"id": request_id, "ok": False,
+            "error": {"code": code, "message": message,
+                      "retryable": retryable}}
+
+
+class MessageStream:
+    """Line-framed JSON messages over one socket.
+
+    Reads are single-threaded (the connection's reader loop); writes
+    are serialized by a lock because batch dispatcher threads deliver
+    responses concurrently with inline control responses.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self._write_lock = threading.Lock()
+
+    def read_message(self) -> dict | None:
+        """Next inbound message, or None on a cleanly closed peer."""
+        line = self._reader.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            return None
+        if not line.endswith(b"\n"):
+            raise ProtocolError("unterminated (oversized?) message")
+        if line.strip() == b"":
+            return self.read_message()
+        return decode_message(line)
+
+    def send_message(self, payload: dict) -> None:
+        self.send_raw(encode_message(payload))
+
+    def send_raw(self, data: bytes) -> None:
+        """Write pre-encoded message bytes (possibly several messages
+        gathered into one syscall — the pipelined-client fast path)."""
+        with self._write_lock:
+            self._sock.sendall(data)
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,511 @@
+"""The batched extraction server: engine + socket frontend.
+
+Two layers, separable for testing:
+
+* :class:`BatchEngine` — admission control (bounded queue with
+  retryable load-shed), per-tenant quotas, the request coalescer, and
+  dispatcher threads that feed closed batches to COW-forked workers
+  (or run them inline with ``workers=0``).  No sockets; the hypothesis
+  concurrency suite drives this layer directly.
+* :class:`ExtractionServer` — a TCP frontend speaking
+  :mod:`repro.serve.protocol`: one reader thread per connection,
+  control ops answered inline, batch ops submitted to the engine with
+  the connection's stream attached.  The engine gathers a batch's
+  responses into one write per connection, so batching amortizes the
+  response syscalls too, and requests pipelined on one connection
+  complete out of order and in parallel.
+
+Fork layout (the PR-6 crawl-pool discipline): the parent builds and
+:meth:`~repro.serve.session.ExtractionSession.warm`\\ s the session,
+then ``gc.collect(); gc.freeze()`` pins the model heap into the
+permanent generation before ``fork`` so reference-count updates in
+children don't unshare pages; each child disables automatic gc and
+collects explicitly every few batches.  Worker IPC is marshal over a
+pipe — plain tuples in, plain dicts out, nothing pickles model state.
+
+Metrics keep the obs registry's deterministic/volatile split: request
+counts per op are deterministic (a fixed workload exports
+byte-identically regardless of timing, batching, or worker count);
+latencies, batch sizes, queue depth, shed/quota counts are volatile.
+"""
+
+from __future__ import annotations
+
+import gc
+import marshal
+import multiprocessing
+import os
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import protocol
+from repro.serve.coalescer import (
+    BatchPolicy, PendingRequest, RequestCoalescer,
+)
+from repro.serve.quotas import QuotaManager, count_tokens
+from repro.serve.session import ExtractionSession
+
+#: Latency histogram buckets (seconds): finer than DEFAULT_BUCKETS in
+#: the sub-100ms range where serve latencies live.
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+#: Batch-size histogram buckets (requests per batch).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Child workers run a full gc this often (batches); automatic gc is
+#: disabled post-fork to keep the COW heap stable.
+_WORKER_GC_EVERY = 64
+
+
+@dataclass
+class ServeConfig:
+    """Everything the server layer derives its behaviour from.
+
+    All batching inputs are deterministic configuration; the only
+    timing knob is ``max_delay_ms``, the coalescer's latency deadline.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = 1
+    max_batch: int = 32
+    max_delay_ms: float = 10.0
+    queue_limit: int = 256
+    token_target: int | None = None
+    quotas: dict[str, tuple[float, float]] = field(default_factory=dict)
+    default_quota: tuple[float, float] | None = None
+    metrics_out: str | None = None
+
+    def policy(self) -> BatchPolicy:
+        policy = BatchPolicy.for_config(
+            workers=self.workers, queue_limit=self.queue_limit,
+            max_delay=self.max_delay_ms / 1000.0,
+            token_target=self.token_target)
+        policy.max_requests = min(policy.max_requests, self.max_batch)
+        return policy
+
+
+class _ForkedWorker:
+    """Parent-side handle of one forked extraction worker."""
+
+    def __init__(self, session: ExtractionSession, index: int) -> None:
+        context = multiprocessing.get_context("fork")
+        self.index = index
+        parent_conn, child_conn = context.Pipe()
+        self.conn = parent_conn
+        self.process = context.Process(
+            target=_worker_main, args=(child_conn, session),
+            name=f"repro-serve-worker-{index}", daemon=True)
+        self.process.start()
+        child_conn.close()
+
+    def run_batch(self, requests: list[tuple[str, str]]) -> list[dict]:
+        self.conn.send_bytes(marshal.dumps(requests))
+        return marshal.loads(self.conn.recv_bytes())
+
+    def stop(self, timeout: float = 10.0) -> None:
+        try:
+            self.conn.send_bytes(b"")
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout)
+        self.conn.close()
+
+
+def _worker_main(conn, session: ExtractionSession) -> None:
+    """Child loop: marshal batches in, marshal result lists out.
+
+    Inherits the warmed session read-only through fork; the parent
+    froze the heap pre-fork, so the child only disables automatic gc
+    (its own allocations are collected explicitly every few batches).
+    """
+    gc.disable()
+    batches = 0
+    while True:
+        try:
+            payload = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        if not payload:
+            break
+        requests = marshal.loads(payload)
+        try:
+            results = session.run_batch(requests)
+        except Exception as exc:  # noqa: BLE001 - keep the worker up
+            message = f"{type(exc).__name__}: {exc}"
+            results = [{"_error": message}] * len(requests)
+        try:
+            conn.send_bytes(marshal.dumps(results))
+        except (OSError, ValueError):
+            break
+        batches += 1
+        if batches % _WORKER_GC_EVERY == 0:
+            gc.collect()
+    conn.close()
+
+
+class BatchEngine:
+    """Admission → coalesce → dispatch, no sockets.
+
+    ``workers=0`` executes batches inline on the dispatcher thread —
+    the right shape for 1-core hosts (no IPC round-trip, same wire
+    semantics) and for deterministic tests.  ``workers>=1`` forks that
+    many COW workers, one dispatcher thread each.
+    """
+
+    def __init__(self, session: ExtractionSession, config: ServeConfig,
+                 metrics: MetricsRegistry | None = None,
+                 clock=time.monotonic) -> None:
+        self.session = session
+        self.config = config
+        self.metrics = metrics if metrics is not None else \
+            MetricsRegistry()
+        self.clock = clock
+        self.quotas = QuotaManager(quotas=config.quotas,
+                                   default=config.default_quota,
+                                   clock=clock)
+        self.coalescer = RequestCoalescer(config.policy(), clock=clock)
+        self._workers: list[_ForkedWorker] = []
+        self._dispatchers: list[threading.Thread] = []
+        self._started = False
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Warm, freeze, fork, then start dispatchers.
+
+        Fork happens before any engine thread exists — a forked child
+        must never inherit a running thread's locks mid-flight.
+        """
+        if self._started:
+            raise RuntimeError("engine already started")
+        self._started = True
+        self.session.warm()
+        if self.config.workers >= 1:
+            gc.collect()
+            gc.freeze()
+            self._workers = [_ForkedWorker(self.session, index)
+                             for index in range(self.config.workers)]
+        worker_slots = self._workers or [None]
+        self._dispatchers = [
+            threading.Thread(target=self._dispatch_loop, args=(worker,),
+                             name=f"repro-serve-dispatch-{index}",
+                             daemon=True)
+            for index, worker in enumerate(worker_slots)]
+        for thread in self._dispatchers:
+            thread.start()
+
+    def stop(self) -> None:
+        """Drain the queue, stop dispatchers and workers."""
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        self.coalescer.close()
+        for thread in self._dispatchers:
+            thread.join(timeout=30)
+        for worker in self._workers:
+            worker.stop()
+        if self._workers:
+            gc.unfreeze()
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, op: str, text: str, tenant: str = "default",
+               request_id: str = "", on_done=None,
+               stream=None) -> PendingRequest:
+        """Admit one request; always returns a PendingRequest (already
+        delivered with an error response when not admitted)."""
+        tokens = count_tokens(text)
+        pending = PendingRequest(request_id=request_id, op=op,
+                                 text=text, tenant=tenant,
+                                 tokens=tokens, on_done=on_done,
+                                 stream=stream)
+        self.metrics.counter("serve.requests", op=op).inc()
+        self.metrics.counter("serve.request_tokens", op=op).inc(tokens)
+        if self._stopped or not self._started:
+            self._deliver_one(pending, protocol.error_response(
+                request_id, "unavailable", "server is shutting down",
+                retryable=True))
+            return pending
+        depth = self.coalescer.depth
+        self.metrics.gauge("serve.queue_depth", volatile=True).set(depth)
+        if depth >= self.config.queue_limit:
+            self.metrics.counter("serve.shed", volatile=True).inc()
+            self._deliver_one(pending, protocol.error_response(
+                request_id, "shed",
+                f"admission queue full ({depth} queued)",
+                retryable=True))
+            return pending
+        if not self.quotas.admit(tenant, tokens):
+            self.metrics.counter("serve.quota_rejected",
+                                 volatile=True).inc()
+            self._deliver_one(pending, protocol.error_response(
+                request_id, "quota",
+                f"tenant {tenant!r} is out of token budget",
+                retryable=True))
+            return pending
+        try:
+            self.coalescer.submit(pending)
+        except RuntimeError:
+            self._deliver_one(pending, protocol.error_response(
+                request_id, "unavailable", "server is shutting down",
+                retryable=True))
+        return pending
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self, worker: _ForkedWorker | None) -> None:
+        while True:
+            batch = self.coalescer.take()
+            if batch is None:
+                return
+            self._observe_batch(batch)
+            requests = [(pending.op, pending.text) for pending in batch]
+            try:
+                if worker is None:
+                    results = self.session.run_batch(requests)
+                else:
+                    results = worker.run_batch(requests)
+            except Exception as exc:  # noqa: BLE001 - worker death
+                self.metrics.counter("serve.worker_failures",
+                                     volatile=True).inc()
+                message = f"worker failed: {type(exc).__name__}: {exc}"
+                self._deliver_batch([
+                    (pending, protocol.error_response(
+                        pending.request_id, "worker_failed", message,
+                        retryable=True))
+                    for pending in batch])
+                continue
+            now = self.clock()
+            latency = self.metrics.histogram(
+                "serve.latency_seconds", buckets=LATENCY_BUCKETS,
+                volatile=True)
+            deliveries = []
+            for pending, result in zip(batch, results):
+                if "_error" in result:
+                    response = protocol.error_response(
+                        pending.request_id, "failed", result["_error"],
+                        retryable=False)
+                else:
+                    response = protocol.ok_response(pending.request_id,
+                                                    result)
+                latency.observe(max(0.0, now - pending.enqueued_at))
+                deliveries.append((pending, response))
+            self._deliver_batch(deliveries)
+
+    def _deliver_one(self, pending: PendingRequest,
+                     response: dict) -> None:
+        if pending.stream is not None:
+            try:
+                pending.stream.send_message(response)
+            except (OSError, ValueError):
+                pass  # peer vanished; still mark the request done
+        pending.deliver(response)
+
+    def _deliver_batch(
+            self, deliveries: list[tuple[PendingRequest, dict]]) -> None:
+        """Deliver a closed batch's responses, gathering all responses
+        bound for the same connection into one write — the batch path
+        amortizes response syscalls the same way it amortizes dispatch
+        wakeups and worker IPC."""
+        by_stream: dict[int, tuple[object, list[dict]]] = {}
+        for pending, response in deliveries:
+            if pending.stream is not None:
+                by_stream.setdefault(
+                    id(pending.stream),
+                    (pending.stream, []))[1].append(response)
+        for stream, responses in by_stream.values():
+            try:
+                stream.send_raw(b"".join(
+                    protocol.encode_message(response)
+                    for response in responses))
+            except (OSError, ValueError):
+                pass  # peer vanished; still mark the requests done
+        for pending, response in deliveries:
+            pending.deliver(response)
+
+    def _observe_batch(self, batch: list[PendingRequest]) -> None:
+        metrics = self.metrics
+        metrics.counter("serve.batches", volatile=True).inc()
+        if len(batch) > 1:
+            metrics.counter("serve.multi_request_batches",
+                            volatile=True).inc()
+        metrics.histogram("serve.batch_size",
+                          buckets=BATCH_SIZE_BUCKETS,
+                          volatile=True).observe(len(batch))
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict:
+        metrics = self.metrics
+        ops = {labels["op"]: int(metrics.value_of("serve.requests",
+                                                  **labels) or 0)
+               for labels in metrics.labels_of("serve.requests")}
+        return {
+            "requests": ops,
+            "queue_depth": self.coalescer.depth,
+            "batches": int(metrics.value_of("serve.batches") or 0),
+            "multi_request_batches": int(
+                metrics.value_of("serve.multi_request_batches") or 0),
+            "shed": int(metrics.value_of("serve.shed") or 0),
+            "quota_rejected": int(
+                metrics.value_of("serve.quota_rejected") or 0),
+            "worker_failures": int(
+                metrics.value_of("serve.worker_failures") or 0),
+            "workers": len(self._workers),
+            "quota_buckets": self.quotas.snapshot(),
+        }
+
+
+class ExtractionServer:
+    """TCP frontend over a :class:`BatchEngine`.
+
+    ``start()`` binds (port 0 = ephemeral; read :attr:`address`),
+    forks workers, and returns; ``serve_forever()`` blocks until a
+    ``shutdown`` op or :meth:`request_shutdown`.  Shutdown drains
+    in-flight batches, stops workers, flushes the annotation cache,
+    and writes the deterministic metrics export when configured.
+    """
+
+    def __init__(self, session: ExtractionSession, config: ServeConfig,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.config = config
+        self.engine = BatchEngine(session, config, metrics=metrics)
+        self.metrics = self.engine.metrics
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._connections: set[protocol.MessageStream] = set()
+        self._connections_lock = threading.Lock()
+        self._shutdown_event = threading.Event()
+        self._done = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ExtractionServer":
+        # Fork workers before any server thread exists.
+        self.engine.start()
+        listener = socket.create_server(
+            (self.config.host, self.config.port), reuse_port=False)
+        listener.listen(128)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until shutdown is requested, then run it."""
+        self._shutdown_event.wait()
+        self.shutdown()
+
+    def request_shutdown(self) -> None:
+        self._shutdown_event.set()
+
+    def shutdown(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        self._shutdown_event.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        self.engine.stop()
+        with self._connections_lock:
+            streams = list(self._connections)
+            self._connections.clear()
+        for stream in streams:
+            stream.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        self.engine.session.close()
+        if self.config.metrics_out:
+            # Latency/batch histograms are the point of this export;
+            # include them.  The deterministic subset stays available
+            # via the `metrics` op with include_volatile=false.
+            self.metrics.write_jsonl(self.config.metrics_out,
+                                     include_volatile=True)
+
+    # -- connection handling -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while not self._shutdown_event.is_set():
+            try:
+                conn, _addr = listener.accept()
+            except OSError:
+                return
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            stream = protocol.MessageStream(conn)
+            with self._connections_lock:
+                self._connections.add(stream)
+            threading.Thread(target=self._client_loop, args=(stream,),
+                             name="repro-serve-client",
+                             daemon=True).start()
+
+    def _client_loop(self, stream: protocol.MessageStream) -> None:
+        try:
+            while True:
+                try:
+                    payload = stream.read_message()
+                except protocol.ProtocolError as exc:
+                    stream.send_message(protocol.error_response(
+                        "", "bad_request", str(exc), retryable=False))
+                    return
+                if payload is None:
+                    return
+                try:
+                    request = protocol.Request.from_payload(payload)
+                except protocol.ProtocolError as exc:
+                    stream.send_message(protocol.error_response(
+                        str(payload.get("id", "")), "bad_request",
+                        str(exc), retryable=False))
+                    continue
+                if request.op in protocol.CONTROL_OPS:
+                    self._handle_control(stream, request)
+                    if request.op == "shutdown":
+                        return
+                else:
+                    self.engine.submit(
+                        op=request.op, text=request.text,
+                        tenant=request.tenant,
+                        request_id=request.request_id,
+                        stream=stream)
+        except (OSError, ValueError):
+            pass  # peer vanished mid-write; connection teardown below
+        finally:
+            with self._connections_lock:
+                self._connections.discard(stream)
+            stream.close()
+
+    def _handle_control(self, stream: protocol.MessageStream,
+                        request: protocol.Request) -> None:
+        if request.op == "ping":
+            result = {"pong": True, "pid": os.getpid()}
+        elif request.op == "metrics":
+            result = self.metrics.to_dict(
+                include_volatile=request.include_volatile)
+        elif request.op == "stats":
+            result = self.engine.stats()
+        else:  # shutdown
+            result = {"stopping": True}
+        stream.send_message(protocol.ok_response(request.request_id,
+                                                 result))
+        if request.op == "shutdown":
+            self.request_shutdown()

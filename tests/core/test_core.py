@@ -55,6 +55,35 @@ class TestPipeline:
         pipeline.analyze(document, methods=("dictionary",))
         assert all(m.method == "dictionary" for m in document.entities)
 
+    def test_analyze_batch_matches_analyze(self, pipeline, context):
+        """Cross-document batch analysis is equivalent per document:
+        same entities in the same order, same POS tags, same meta."""
+        originals = context.corpus_documents("relevant")[:5]
+        singles = [pipeline.analyze(doc.copy_shallow(), with_pos=True)
+                   for doc in originals]
+        batched = pipeline.analyze_batch(
+            [doc.copy_shallow() for doc in originals], with_pos=True)
+        for single, batch in zip(singles, batched):
+            assert batch.entities == single.entities
+            assert batch.meta == single.meta
+            for s_sent, b_sent in zip(single.sentences,
+                                      batch.sentences):
+                assert [t.pos for t in b_sent.tokens] == \
+                    [t.pos for t in s_sent.tokens]
+
+    def test_analyze_batch_counts_pos_crashes(self, pipeline):
+        from repro.annotations import Document
+
+        limit = pipeline.pos_tagger.crash_token_limit
+        text = " ".join(["word"] * (limit + 1)) + "."
+        batched = pipeline.analyze_batch([Document("long", text)],
+                                         with_pos=True)[0]
+        single = pipeline.analyze(Document("long", text),
+                                  with_pos=True)
+        assert batched.meta.get("pos_crashes") == \
+            single.meta.get("pos_crashes")
+        assert batched.meta.get("pos_crashes", 0) >= 1
+
 
 class TestFlows:
     def test_fig2_has_38_operators(self, pipeline):

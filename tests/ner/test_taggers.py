@@ -79,6 +79,27 @@ class TestMlTaggers:
     def test_startup_cost_small(self, pipeline):
         assert pipeline.ml_taggers["drug"].startup_seconds() < 5
 
+    def test_annotate_many_matches_per_document(self, pipeline,
+                                                relevant_generator):
+        """Cross-document batch decode is equivalent to per-document
+        annotate, mention for mention."""
+        golds = [relevant_generator.document(i) for i in range(80, 88)]
+        for tagger in pipeline.ml_taggers.values():
+            singles = [tagger.annotate(g.document.copy_shallow())
+                       for g in golds]
+            batch_docs = [g.document.copy_shallow() for g in golds]
+            batched = tagger.annotate_many(batch_docs)
+            assert batched == singles
+            for document, mentions in zip(batch_docs, batched):
+                assert document.entities == mentions
+
+    def test_annotate_many_empty_and_blank_documents(self, pipeline):
+        tagger = pipeline.ml_taggers["disease"]
+        assert tagger.annotate_many([]) == []
+        blank = Document("blank", "")
+        assert tagger.annotate_many([blank]) == [[]]
+        assert blank.entities == []
+
 
 class TestPostFilter:
     def test_is_tla(self):

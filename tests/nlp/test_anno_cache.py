@@ -1,6 +1,7 @@
 """Tests for the content-addressed annotation cache."""
 
 import marshal
+from pathlib import Path
 
 import pytest
 
@@ -91,6 +92,108 @@ class TestDiskTier:
         assert cache.n_entries == 0
         assert not list(tmp_path.glob("anno-*.bin"))
         assert cache.lookup(FP, WORDS) is None
+
+
+def _same_shard_sentences(n):
+    """Distinct single-word sentences that all hash to one shard."""
+    target = AnnotationCache._shard_of(sentence_key(["w0"]))
+    found = [["w0"]]
+    index = 1
+    while len(found) < n:
+        candidate = [f"w{index}"]
+        if AnnotationCache._shard_of(sentence_key(candidate)) == target:
+            found.append(candidate)
+        index += 1
+    return found
+
+
+class TestCrossProcessFlush:
+    def test_flush_merges_entries_already_on_disk(self, tmp_path):
+        """Two cache instances (stand-ins for two processes) that both
+        loaded a shard before either flushed must union their entries,
+        not last-writer-wins."""
+        first_words, second_words = _same_shard_sentences(2)
+        first = AnnotationCache(tmp_path, autosave_every=None)
+        second = AnnotationCache(tmp_path, autosave_every=None)
+        first.store(FP, first_words, ("A",))
+        second.store(FP, second_words, ("B",))
+        assert first.flush() == 1
+        assert second.flush() == 1
+        fresh = AnnotationCache(tmp_path)
+        assert fresh.lookup(FP, first_words) == ("A",)
+        assert fresh.lookup(FP, second_words) == ("B",)
+        assert fresh.misses == 0
+
+    def test_flush_folds_sibling_entries_into_memory_tier(self,
+                                                          tmp_path):
+        """Entries merged in from disk during a flush serve later
+        lookups in the flushing process without touching disk again."""
+        first_words, second_words = _same_shard_sentences(2)
+        first = AnnotationCache(tmp_path, autosave_every=None)
+        second = AnnotationCache(tmp_path, autosave_every=None)
+        second.store(FP, second_words, ("B",))
+        first.store(FP, first_words, ("A",))
+        first.flush()
+        second.flush()
+        assert second.lookup(FP, first_words) == ("A",)
+
+    def test_own_entries_win_key_collisions(self, tmp_path):
+        words = ["collide"]
+        first = AnnotationCache(tmp_path, autosave_every=None)
+        second = AnnotationCache(tmp_path, autosave_every=None)
+        first.store(FP, words, ("OLD",))
+        second.store(FP, words, ("NEW",))
+        first.flush()
+        second.flush()
+        assert AnnotationCache(tmp_path).lookup(FP, words) == ("NEW",)
+
+    def test_two_os_processes_flush_without_losing_entries(self,
+                                                           tmp_path):
+        """Regression: two real processes that both load an empty
+        shard, then flush one entry each, must both survive."""
+        import subprocess
+        import sys
+        import textwrap
+
+        first_words, second_words = _same_shard_sentences(2)
+        script = textwrap.dedent("""
+            import sys, time
+            from pathlib import Path
+            from repro.nlp.anno_cache import AnnotationCache
+
+            cache_dir, word, own_marker, other_marker = sys.argv[1:5]
+            cache = AnnotationCache(cache_dir, autosave_every=None)
+            cache.store("%s", [word], (word.upper(),))
+            Path(own_marker).write_text("ready")
+            deadline = time.monotonic() + 30
+            while not Path(other_marker).exists():
+                if time.monotonic() > deadline:
+                    sys.exit(2)
+                time.sleep(0.01)
+            cache.flush()
+        """ % FP)
+        import os
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        cache_dir = tmp_path / "cache"
+        markers = [tmp_path / "m1", tmp_path / "m2"]
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(cache_dir), words[0],
+                 str(own), str(other)],
+                env={**os.environ, "PYTHONPATH": src_dir})
+            for words, own, other in [
+                (first_words, markers[0], markers[1]),
+                (second_words, markers[1], markers[0])]
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        fresh = AnnotationCache(cache_dir)
+        assert fresh.lookup(FP, first_words) == (first_words[0].upper(),)
+        assert fresh.lookup(FP, second_words) == \
+            (second_words[0].upper(),)
 
 
 class TestExecutorSurfacing:

@@ -1,0 +1,93 @@
+"""The ``repro report`` serve section: percentile estimation from
+histogram buckets and the rendered summary lines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    _histogram_percentile, render_report, render_serve_summary,
+)
+from repro.serve.server import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS
+
+
+def make_serve_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("serve.requests", op="extract").inc(60)
+    registry.counter("serve.requests", op="classify").inc(40)
+    registry.counter("serve.batches", volatile=True).inc(20)
+    registry.counter("serve.multi_request_batches", volatile=True).inc(15)
+    latency = registry.histogram("serve.latency_seconds",
+                                 buckets=LATENCY_BUCKETS, volatile=True)
+    for _ in range(99):
+        latency.observe(0.004)
+    latency.observe(0.2)
+    batch_size = registry.histogram("serve.batch_size",
+                                    buckets=BATCH_SIZE_BUCKETS,
+                                    volatile=True)
+    for _ in range(20):
+        batch_size.observe(5)
+    return registry
+
+
+class TestHistogramPercentile:
+    def test_bucket_upper_bound(self):
+        registry = make_serve_registry()
+        latency = registry.histogram_of("serve.latency_seconds")
+        # 99 of 100 observations sit in the <=0.005 bucket; the 100th
+        # in <=0.25.
+        assert _histogram_percentile(latency, 50) == 0.005
+        assert _histogram_percentile(latency, 99) == 0.005
+        assert _histogram_percentile(latency, 100) == 0.25
+
+    def test_empty_histogram_is_zero(self):
+        registry = MetricsRegistry()
+        empty = registry.histogram("h", buckets=(1.0,), volatile=True)
+        assert _histogram_percentile(empty, 99) == 0.0
+
+
+class TestRenderServeSummary:
+    def test_absent_without_serve_metrics(self):
+        assert render_serve_summary(MetricsRegistry()) == []
+
+    def test_summary_lines(self):
+        lines = render_serve_summary(make_serve_registry())
+        assert lines[0] == "serve: 100 requests (classify 40 | " \
+                           "extract 60)"
+        assert lines[1] == "batches 20 (15 multi-request, " \
+                           "5.0 requests/batch mean)"
+        text = "\n".join(lines)
+        assert "latency: p50 <= 5 ms, p99 <= 5 ms" in text
+        assert "batch size:" in text
+        # No shed/quota/failure line when those counters are zero.
+        assert "shed" not in text
+
+    def test_shed_line_appears_when_nonzero(self):
+        registry = make_serve_registry()
+        registry.counter("serve.shed", volatile=True).inc(3)
+        text = "\n".join(render_serve_summary(registry))
+        assert "shed 3 | quota-rejected 0 | worker failures 0" in text
+
+    def test_deterministic_export_still_renders_counts(self):
+        """A deterministic-only export (no volatile histograms) keeps
+        the request-count line and drops the histogram sections."""
+        registry = make_serve_registry()
+        roundtrip = MetricsRegistry()
+        roundtrip.load_dict(registry.to_dict(include_volatile=False))
+        lines = render_serve_summary(roundtrip)
+        assert lines[0].startswith("serve: 100 requests")
+        assert not any("latency" in line for line in lines)
+
+
+class TestRenderReport:
+    @pytest.fixture()
+    def metrics_path(self, tmp_path):
+        path = tmp_path / "serve-metrics.jsonl"
+        make_serve_registry().write_jsonl(path, include_volatile=True)
+        return path
+
+    def test_report_includes_serve_section(self, metrics_path):
+        text = "\n".join(render_report(metrics_path))
+        assert "serve: 100 requests" in text
+        assert "serve.requests" in text  # generic dump still follows

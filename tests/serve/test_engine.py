@@ -1,0 +1,220 @@
+"""BatchEngine tests over a stub session: the batching layer must be
+response-invariant — every request gets the exact response it would
+get alone, no matter how requests coalesce — plus admission control
+(load-shed, quotas) and failure isolation."""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.server import BatchEngine, ServeConfig
+
+
+class StubSession:
+    """Deterministic per-request results; records batch shapes."""
+
+    def __init__(self, fail_texts: frozenset[str] = frozenset()) -> None:
+        self.fail_texts = fail_texts
+        self.batches: list[list[tuple[str, str]]] = []
+        self._lock = threading.Lock()
+
+    def warm(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def run_batch(self, requests):
+        with self._lock:
+            self.batches.append(list(requests))
+        results = []
+        for op, text in requests:
+            if text in self.fail_texts:
+                results.append({"_error": f"boom: {text}"})
+            else:
+                results.append({"op": op, "echo": text,
+                                "tokens": len(text.split())})
+        return results
+
+
+def make_engine(session=None, **overrides) -> BatchEngine:
+    config = ServeConfig(workers=0, max_batch=8, max_delay_ms=2.0,
+                         queue_limit=64)
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    engine = BatchEngine(session or StubSession(), config,
+                         metrics=MetricsRegistry())
+    engine.start()
+    return engine
+
+
+ops_strategy = st.sampled_from(["extract", "annotate", "classify"])
+texts_strategy = st.text(
+    alphabet=st.sampled_from("abc xyz"), min_size=1, max_size=20
+).filter(str.strip)
+requests_strategy = st.lists(st.tuples(ops_strategy, texts_strategy),
+                             min_size=1, max_size=40)
+threads_strategy = st.integers(min_value=1, max_value=6)
+
+
+class TestResponseInvariance:
+    @given(requests=requests_strategy, n_threads=threads_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_batched_responses_match_single_request_responses(
+            self, requests, n_threads):
+        """Satellite property: at any concurrency, every response is
+        byte-identical to what a sequential single-request engine
+        produces for the same (id, op, text)."""
+        session = StubSession()
+        engine = make_engine(session)
+        try:
+            slices = [requests[index::n_threads]
+                      for index in range(n_threads)]
+            received: dict[str, dict] = {}
+            lock = threading.Lock()
+
+            def client(thread_index: int, jobs) -> None:
+                for seq, (op, text) in enumerate(jobs):
+                    request_id = f"t{thread_index}.{seq}"
+                    pending = engine.submit(op, text,
+                                            request_id=request_id)
+                    response = pending.wait(timeout=30)
+                    with lock:
+                        received[request_id] = response
+
+            threads = [threading.Thread(target=client, args=(i, jobs))
+                       for i, jobs in enumerate(slices) if jobs]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        finally:
+            engine.stop()
+        # Expected: exactly the single-request response, per request.
+        for thread_index, jobs in enumerate(slices):
+            for seq, (op, text) in enumerate(jobs):
+                request_id = f"t{thread_index}.{seq}"
+                expected = {"id": request_id, "ok": True,
+                            "result": {"op": op, "echo": text,
+                                       "tokens": len(text.split())}}
+                assert received[request_id] == expected
+
+    def test_batches_are_actually_formed(self):
+        session = StubSession()
+        engine = make_engine(session, max_delay_ms=50.0)
+        try:
+            pendings = [engine.submit("classify", f"text {i}",
+                                      request_id=str(i))
+                        for i in range(8)]
+            for pending in pendings:
+                assert pending.wait(timeout=30)["ok"]
+        finally:
+            engine.stop()
+        # 8 requests with max_batch=8 and a long deadline: the queue
+        # closes on size into few batches, at least one multi-request.
+        assert any(len(batch) > 1 for batch in session.batches)
+        assert engine.metrics.value_of("serve.multi_request_batches")
+
+
+class TestAdmissionControl:
+    def test_shed_beyond_queue_limit(self):
+        # Block the dispatcher with an in-flight batch, then overfill.
+        gate = threading.Event()
+
+        class SlowSession(StubSession):
+            def run_batch(self, requests):
+                gate.wait(timeout=30)
+                return super().run_batch(requests)
+
+        engine = make_engine(SlowSession(), queue_limit=4,
+                             max_delay_ms=0.0)
+        try:
+            pendings = [engine.submit("classify", "x",
+                                      request_id=str(i))
+                        for i in range(30)]
+            shed = [p for p in pendings
+                    if p.response and not p.response["ok"]]
+            assert shed, "overfilled queue must shed"
+            for pending in shed:
+                error = pending.response["error"]
+                assert error["code"] == "shed"
+                assert error["retryable"] is True
+            assert engine.metrics.value_of("serve.shed") == len(shed)
+            gate.set()
+            for pending in pendings:
+                if pending not in shed:
+                    assert pending.wait(timeout=30)["ok"]
+        finally:
+            gate.set()
+            engine.stop()
+
+    def test_quota_rejection(self):
+        engine = make_engine(default_quota=(0.001, 4.0))
+        try:
+            first = engine.submit("classify", "a b c d",
+                                  request_id="1")
+            assert first.wait(timeout=30)["ok"]
+            second = engine.submit("classify", "a b c d",
+                                   request_id="2")
+            assert second.response is not None
+            assert second.response["error"]["code"] == "quota"
+            assert engine.metrics.value_of(
+                "serve.quota_rejected") == 1
+        finally:
+            engine.stop()
+
+    def test_submit_after_stop_is_unavailable(self):
+        engine = make_engine()
+        engine.stop()
+        pending = engine.submit("classify", "x", request_id="1")
+        assert pending.response["error"]["code"] == "unavailable"
+        assert pending.response["error"]["retryable"] is True
+
+
+class TestFailureIsolation:
+    def test_failed_request_does_not_poison_batch(self):
+        session = StubSession(fail_texts=frozenset({"bad"}))
+        engine = make_engine(session, max_delay_ms=50.0)
+        try:
+            good = engine.submit("classify", "good", request_id="g")
+            bad = engine.submit("classify", "bad", request_id="b")
+            good_response = good.wait(timeout=30)
+            bad_response = bad.wait(timeout=30)
+        finally:
+            engine.stop()
+        assert good_response["ok"]
+        assert not bad_response["ok"]
+        assert bad_response["error"]["code"] == "failed"
+        assert "boom" in bad_response["error"]["message"]
+
+    def test_session_crash_fails_batch_retryably(self):
+        class CrashingSession(StubSession):
+            def run_batch(self, requests):
+                raise RuntimeError("kernel exploded")
+
+        engine = make_engine(CrashingSession())
+        try:
+            pending = engine.submit("classify", "x", request_id="1")
+            response = pending.wait(timeout=30)
+        finally:
+            engine.stop()
+        assert response["error"]["code"] == "worker_failed"
+        assert response["error"]["retryable"] is True
+        assert engine.metrics.value_of("serve.worker_failures") == 1
+
+
+class TestStats:
+    def test_stats_shape(self):
+        engine = make_engine()
+        try:
+            engine.submit("extract", "x", request_id="1").wait(30)
+            stats = engine.stats()
+        finally:
+            engine.stop()
+        assert stats["requests"] == {"extract": 1}
+        assert stats["workers"] == 0
+        assert stats["shed"] == 0

@@ -1,0 +1,62 @@
+"""Wire-protocol tests: canonical encoding, request validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import protocol
+
+
+class TestEncoding:
+    def test_canonical_one_line(self):
+        data = protocol.encode_message({"b": 1, "a": [2, 3]})
+        assert data == b'{"a":[2,3],"b":1}\n'
+
+    def test_roundtrip(self):
+        payload = {"id": "x", "op": "extract", "text": "héllo"}
+        assert protocol.decode_message(
+            protocol.encode_message(payload).rstrip(b"\n")) == payload
+
+    def test_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(b"[1,2]")
+
+    def test_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.decode_message(b"\xff{not json")
+
+
+class TestRequestValidation:
+    def test_valid_batch_op(self):
+        request = protocol.Request.from_payload(
+            {"id": 7, "op": "classify", "text": "hi"})
+        assert request.request_id == "7"
+        assert request.tenant == "default"
+
+    def test_control_op_needs_no_text(self):
+        request = protocol.Request.from_payload(
+            {"id": "a", "op": "ping"})
+        assert request.op == "ping"
+
+    @pytest.mark.parametrize("payload", [
+        "not a dict",
+        {"id": "a", "op": "nope", "text": "x"},
+        {"op": "extract", "text": "x"},
+        {"id": None, "op": "extract", "text": "x"},
+        {"id": "a", "op": "extract", "text": "   "},
+        {"id": "a", "op": "extract"},
+        {"id": "a", "op": "extract", "text": 5},
+        {"id": "a", "op": "extract", "text": "x", "tenant": ""},
+    ])
+    def test_invalid_payloads(self, payload):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.Request.from_payload(payload)
+
+
+def test_response_shapes():
+    assert protocol.ok_response("i", {"x": 1}) == {
+        "id": "i", "ok": True, "result": {"x": 1}}
+    error = protocol.error_response("i", "shed", "busy", retryable=True)
+    assert error["ok"] is False
+    assert error["error"] == {"code": "shed", "message": "busy",
+                              "retryable": True}

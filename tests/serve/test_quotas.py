@@ -1,0 +1,102 @@
+"""Token-bucket quota tests (deterministic via an injected clock)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.quotas import (
+    QuotaManager, TokenBucket, count_tokens, parse_quota_spec,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=10.0, burst=20.0)
+        assert bucket.admit(20, now=0.0)
+        assert not bucket.admit(1, now=0.0)
+        # One second refills 10 tokens.
+        assert bucket.admit(10, now=1.0)
+        assert not bucket.admit(1, now=1.0)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=5.0)
+        assert bucket.admit(5, now=0.0)
+        assert bucket.admit(5, now=1000.0)
+        assert not bucket.admit(6, now=1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1, burst=0)
+
+
+class TestParseQuotaSpec:
+    def test_default_spec(self):
+        assert parse_quota_spec("10:50") == (None, 10.0, 50.0)
+
+    def test_tenant_spec(self):
+        assert parse_quota_spec("acme=2.5:100") == ("acme", 2.5, 100.0)
+
+    @pytest.mark.parametrize("bad", ["", "10", "a=b:c", "=1:2"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_quota_spec(bad)
+
+
+class TestQuotaManager:
+    def test_no_spec_admits_everything(self):
+        manager = QuotaManager(clock=FakeClock())
+        assert manager.admit("anyone", 10 ** 9)
+        assert manager.rejections == 0
+
+    def test_per_tenant_buckets_are_independent(self):
+        clock = FakeClock()
+        manager = QuotaManager(default=(1.0, 5.0), clock=clock)
+        assert manager.admit("a", 5)
+        assert not manager.admit("a", 1)
+        assert manager.admit("b", 5)
+        assert manager.rejections == 1
+
+    def test_configured_overrides_default(self):
+        clock = FakeClock()
+        manager = QuotaManager(quotas={"vip": (100.0, 1000.0)},
+                               default=(1.0, 2.0), clock=clock)
+        assert manager.admit("vip", 500)
+        assert not manager.admit("pleb", 500)
+
+    def test_refill_via_clock(self):
+        clock = FakeClock()
+        manager = QuotaManager(default=(10.0, 10.0), clock=clock)
+        assert manager.admit("t", 10)
+        assert not manager.admit("t", 10)
+        clock.now = 1.0
+        assert manager.admit("t", 10)
+
+    def test_snapshot_reports_levels(self):
+        clock = FakeClock()
+        manager = QuotaManager(default=(1.0, 8.0), clock=clock)
+        manager.admit("t", 3)
+        snapshot = manager.snapshot()
+        assert snapshot == {"t": {"rate": 1.0, "burst": 8.0,
+                                  "tokens": 5.0}}
+
+    def test_configure_resets_bucket(self):
+        clock = FakeClock()
+        manager = QuotaManager(default=(1.0, 5.0), clock=clock)
+        assert manager.admit("t", 5)
+        manager.configure("t", 1.0, 100.0)
+        assert manager.admit("t", 100)
+
+
+def test_count_tokens_is_whitespace_split():
+    assert count_tokens("one two  three\nfour") == 4
+    assert count_tokens("") == 0
