@@ -9,7 +9,7 @@ this mirrors the Sopremo annotation scheme the paper's IE package uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 
@@ -48,7 +48,10 @@ class Token:
         return Span(self.start, self.end)
 
     def with_pos(self, pos: str) -> "Token":
-        return replace(self, pos=pos)
+        # Direct construction: ``dataclasses.replace`` re-derives the
+        # field list per call, and this runs once per token per POS
+        # pass.
+        return Token(self.text, self.start, self.end, pos)
 
 
 @dataclass(frozen=True)
@@ -90,12 +93,18 @@ class LinguisticMention:
 
 @dataclass
 class Sentence:
-    """A sentence span with its tokens and sentence-local annotations."""
+    """A sentence span with its tokens and sentence-local annotations.
+
+    ``tokens`` distinguishes *never tokenized* (``None``) from
+    *tokenized, empty* (``[]``): consumers that lazily tokenize
+    (:mod:`repro.ner.taggers`) only recompute in the ``None`` state,
+    so a legitimately empty token list is never re-derived.
+    """
 
     start: int
     end: int
     text: str
-    tokens: list[Token] = field(default_factory=list)
+    tokens: list[Token] | None = None
     entities: list[EntityMention] = field(default_factory=list)
 
     def __len__(self) -> int:
@@ -109,14 +118,19 @@ class Document:
     ``text`` is the (net) text being analyzed; ``raw`` optionally keeps
     the original payload (e.g. HTML) before cleansing; ``meta`` carries
     provenance (URL, corpus name, content type, ...).  Annotation
-    layers start empty and are filled by pipeline operators.
+    layers are filled by pipeline operators.
+
+    ``sentences`` uses ``None`` for *never split* and ``[]`` for
+    *split, no sentences found* (e.g. empty net text), so lazy
+    consumers can reuse a computed-but-empty result instead of
+    re-running the splitter.
     """
 
     doc_id: str
     text: str
     raw: str = ""
     meta: dict[str, Any] = field(default_factory=dict)
-    sentences: list[Sentence] = field(default_factory=list)
+    sentences: list[Sentence] | None = None
     entities: list[EntityMention] = field(default_factory=list)
     linguistics: list[LinguisticMention] = field(default_factory=list)
 
@@ -124,8 +138,8 @@ class Document:
         return len(self.text)
 
     def iter_tokens(self) -> Iterator[Token]:
-        for sentence in self.sentences:
-            yield from sentence.tokens
+        for sentence in self.sentences or ():
+            yield from sentence.tokens or ()
 
     def entities_of(self, entity_type: str,
                     method: str | None = None) -> list[EntityMention]:
@@ -136,7 +150,9 @@ class Document:
     def copy_shallow(self) -> "Document":
         return Document(
             doc_id=self.doc_id, text=self.text, raw=self.raw,
-            meta=dict(self.meta), sentences=list(self.sentences),
+            meta=dict(self.meta),
+            sentences=(None if self.sentences is None
+                       else list(self.sentences)),
             entities=list(self.entities),
             linguistics=list(self.linguistics),
         )

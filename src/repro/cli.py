@@ -123,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run the flow N times through one reusable "
                            "FlowSession (plan/executor built once; "
                            "warm runs measure execution, not setup)")
+    flow.add_argument("--reference-annotators", action="store_true",
+                      help="run the elementary annotate operator chain "
+                           "instead of substituting the fused one-pass "
+                           "annotation stage (outputs are identical; "
+                           "this exposes the reference path for "
+                           "comparison)")
     flow.add_argument("--report", default=None, metavar="PATH",
                       help="write the execution report as JSON")
     flow.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -497,7 +503,11 @@ def cmd_flow(args) -> int:
         tracer = Tracer()
     session = FlowSession(ctx.pipeline, mode=args.mode, dop=dop,
                           batch_size=args.batch_size,
-                          metrics=metrics, tracer=tracer)
+                          metrics=metrics, tracer=tracer,
+                          fuse_annotators=not args.reference_annotators)
+    if session.fused_stages:
+        print(f"fused {session.fused_stages} one-pass annotation "
+              f"stage(s) into the plan")
     for run_index in range(args.repeat):
         outputs, report = session.run(documents)
         if args.repeat > 1:

@@ -111,8 +111,9 @@ def accumulate_document(stats: CorpusStats, document: Document) -> None:
     stats.n_docs += 1
     stats.total_chars += len(document.text)
     stats.doc_lengths.append(len(document.text))
-    stats.n_sentences += len(document.sentences)
-    token_counts = [len(s.tokens) for s in document.sentences if s.tokens]
+    stats.n_sentences += len(document.sentences or ())
+    token_counts = [len(s.tokens) for s in document.sentences or ()
+                    if s.tokens]
     if token_counts:
         stats.mean_sentence_lengths.append(mean(token_counts))
     negations = parentheses = 0

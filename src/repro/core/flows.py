@@ -207,14 +207,24 @@ def run_flow(plan: LogicalPlan, records: Sequence[Any],
              mode: str = "fused", dop: int = 1, batch_size: int = 32,
              metrics: MetricsRegistry | None = None,
              tracer: Tracer | None = None,
+             fuse_annotators: bool = True,
              ) -> tuple[dict[str, list[Any]], ExecutionReport]:
     """Execute any flow plan with the chosen physical mode.
 
-    Annotation caches attached to the plan's operators are flushed to
-    disk after the run, so the next (cold) process starts warm.  When a
-    ``metrics`` registry is attached, per-stage stats and the cache
-    flush are mirrored onto it.
+    ``fuse_annotators`` (default on) substitutes one-pass fused
+    annotation stages for elementary annotate sub-chains
+    (:func:`~repro.dataflow.optimizer.fuse_annotation_stage`) on a
+    structural copy, leaving the caller's plan untouched; outputs are
+    byte-identical either way.  Annotation caches attached to the
+    plan's operators are flushed to disk after the run, so the next
+    (cold) process starts warm.  When a ``metrics`` registry is
+    attached, per-stage stats and the cache flush are mirrored onto it.
     """
+    if fuse_annotators:
+        from repro.dataflow.optimizer import fuse_annotation_stage
+
+        plan = plan.copy_structure()
+        fuse_annotation_stage(plan)
     result = make_executor(mode, dop=dop, batch_size=batch_size,
                            metrics=metrics,
                            tracer=tracer).execute(plan, records)
@@ -239,9 +249,15 @@ class FlowSession:
                  mode: str = "fused", dop: int = 1, batch_size: int = 32,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None,
-                 build=build_fig2_flow) -> None:
+                 build=build_fig2_flow,
+                 fuse_annotators: bool = True) -> None:
         self.pipeline = pipeline
         self.plan = build(pipeline)
+        self.fused_stages = 0
+        if fuse_annotators:
+            from repro.dataflow.optimizer import fuse_annotation_stage
+
+            self.fused_stages = len(fuse_annotation_stage(self.plan))
         self.executor = make_executor(mode, dop=dop,
                                       batch_size=batch_size,
                                       metrics=metrics, tracer=tracer)

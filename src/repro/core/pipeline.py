@@ -21,6 +21,7 @@ from repro.html.boilerplate import BoilerplateDetector
 from repro.ner.cache import AutomatonCache
 from repro.nlp.anno_cache import AnnotationCache
 from repro.ner.dictionary import DictionaryTagger
+from repro.ner.onepass import OnePassAnnotator
 from repro.ner.taggers import (
     ENTITY_TYPES, MlEntityTagger, build_dictionary_taggers, build_ml_taggers,
 )
@@ -46,6 +47,9 @@ class TextAnalyticsPipeline:
     linguistics: LinguisticAnalyzer = field(default_factory=LinguisticAnalyzer)
     #: Shared per-sentence POS/NER result cache (None = disabled).
     annotation_cache: AnnotationCache | None = None
+    #: One-pass engines per (methods, entity_types, with_pos) — built
+    #: lazily; the merged dictionary automaton inside is shared.
+    _one_pass_memo: dict = field(default_factory=dict, repr=False)
 
     @classmethod
     def build(cls, vocabulary: BiomedicalVocabulary | None = None,
@@ -127,8 +131,15 @@ class TextAnalyticsPipeline:
                 methods: tuple[str, ...] = ("dictionary", "ml"),
                 entity_types: tuple[str, ...] = ENTITY_TYPES,
                 with_pos: bool = False) -> Document:
-        """Full linguistic + entity annotation of one document."""
-        if not document.sentences:
+        """Full linguistic + entity annotation of one document.
+
+        This is the one-step-at-a-time reference path; the equivalence
+        tests hold :meth:`analyze_batch` (the one-pass engine) to it.
+        ``document.sentences is None`` means "never computed" and
+        triggers preprocessing; an empty list means the split genuinely
+        produced nothing and is trusted as-is.
+        """
+        if document.sentences is None:
             self.preprocess(document)
         if with_pos:
             from repro.nlp.pos_hmm import TaggerCrash
@@ -136,7 +147,7 @@ class TextAnalyticsPipeline:
             for sentence in document.sentences:
                 try:
                     sentence.tokens = self.pos_tagger.tag_tokens(
-                        sentence.tokens)
+                        sentence.tokens or ())
                 except TaggerCrash:
                     document.meta["pos_crashes"] = (
                         document.meta.get("pos_crashes", 0) + 1)
@@ -148,34 +159,48 @@ class TextAnalyticsPipeline:
                 self.ml_taggers[entity_type].annotate(document)
         return document
 
+    def one_pass_annotator(self,
+                           methods: tuple[str, ...] = ("dictionary", "ml"),
+                           entity_types: tuple[str, ...] = ENTITY_TYPES,
+                           with_pos: bool = False) -> OnePassAnnotator:
+        """The (memoized) one-pass engine matching :meth:`analyze`'s
+        step order for the given configuration: per entity type,
+        dictionary then ML."""
+        key = (tuple(methods), tuple(entity_types), bool(with_pos))
+        engine = self._one_pass_memo.get(key)
+        if engine is None:
+            steps = []
+            for entity_type in entity_types:
+                if "dictionary" in methods:
+                    steps.append(self.dictionary_taggers[entity_type])
+                if "ml" in methods:
+                    steps.append(self.ml_taggers[entity_type])
+            engine = OnePassAnnotator(
+                steps, splitter=self.splitter, split="missing",
+                pos_tagger=self.pos_tagger if with_pos else None)
+            self._one_pass_memo[key] = engine
+        return engine
+
     def analyze_batch(self, documents: list[Document],
                       methods: tuple[str, ...] = ("dictionary", "ml"),
                       entity_types: tuple[str, ...] = ENTITY_TYPES,
                       with_pos: bool = False) -> list[Document]:
-        """Batch :meth:`analyze`: identical per-document results, with
-        the POS and CRF decode batched *across* documents.
+        """Batch :meth:`analyze` on the one-pass engine: identical
+        per-document results with all the shared-work kernels engaged.
 
         This is the kernel entry point the serve-layer coalescer uses:
-        one ``tag_batch`` call covers every sentence of every document
+        sentences split and tokenize once into a shared arena, one
+        merged-automaton pass matches every dictionary type, one
+        ``tag_batch`` call covers every sentence of every document,
         and one ``predict_batch`` per entity type covers every uncached
-        sentence in the batch, so per-call overhead amortizes across
-        request boundaries.  Per-document entity order (dictionary then
-        ML, per entity type) matches :meth:`analyze`.
+        sentence in the batch (with feature extraction shared between
+        taggers of the same configuration).  Per-document entity order
+        (dictionary then ML, per entity type) matches :meth:`analyze`.
         """
-        for document in documents:
-            if not document.sentences:
-                self.preprocess(document)
-        if with_pos:
-            self._pos_tag_documents(documents)
+        engine = self.one_pass_annotator(methods, entity_types, with_pos)
+        engine.annotate_batch(documents)
         for document in documents:
             self.linguistics.analyze(document)
-        for entity_type in entity_types:
-            if "dictionary" in methods:
-                for document in documents:
-                    self.dictionary_taggers[entity_type].annotate(
-                        document)
-            if "ml" in methods:
-                self.ml_taggers[entity_type].annotate_many(documents)
         return documents
 
     def _pos_tag_documents(self, documents: list[Document]) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.dataflow.operators import Operator
-from repro.dataflow.plan import LogicalPlan
+from repro.dataflow.plan import LogicalPlan, PlanNode
 
 
 @dataclass
@@ -85,3 +85,112 @@ class SofaOptimizer:
                     report.swaps.append((left.name, right.name))
                     changed = True
         return ops
+
+
+# -- annotation-stage fusion ------------------------------------------------
+
+#: Structural stage of each fusable elementary operator.  A run is
+#: fusable when its stage indices are non-decreasing (split before
+#: tokenize before POS before taggers) — the only order the flow
+#: builders produce.
+_FUSABLE_STAGES = {"annotate_sentences": 0, "annotate_tokens": 1,
+                   "annotate_pos": 2}
+_ENTITY_STAGE = 3
+
+
+def _fusable_stage(node: PlanNode) -> int | None:
+    stage = _FUSABLE_STAGES.get(node.operator.name)
+    if stage is not None:
+        return stage
+    name = node.operator.name
+    if (name.startswith("annotate_")
+            and (name.endswith("_dict") or name.endswith("_ml"))
+            and getattr(node.operator, "tagger", None) is not None):
+        return _ENTITY_STAGE
+    return None
+
+
+def fuse_annotation_stage(plan: LogicalPlan) -> list[PlanNode]:
+    """Substitute one-pass annotation operators into ``plan`` in place.
+
+    Finds every maximal run ``[annotate_sentences]? [annotate_tokens]?
+    [annotate_pos]? (annotate_<type>s_{dict,ml})*`` inside the plan's
+    linear segments and replaces it with a single
+    ``annotate_entities_fused`` operator wrapping a
+    :class:`~repro.ner.onepass.OnePassAnnotator` built from the run's
+    harvested tools (splitter, POS tagger, taggers in order).  Runs
+    shorter than two operators, runs without a POS or entity stage,
+    and runs crossing interior sinks are left alone.  The substituted
+    operator's outputs are byte-identical to the replaced chain's (the
+    engine's contract); its cost/startup annotations are the run's
+    sums and its memory annotation the run's maximum, so downstream
+    cost modeling sees an equivalent stage.
+
+    Returns the list of substituted nodes (empty when nothing fused).
+    """
+    from repro.dataflow.packages import make_operator
+    from repro.ner.onepass import OnePassAnnotator
+
+    fused_nodes: list[PlanNode] = []
+    changed = True
+    while changed:
+        changed = False
+        for segment in plan.linear_segments():
+            run: list[PlanNode] = []
+            last_stage = -1
+            best: list[PlanNode] = []
+            sink_ids = {id(sink) for sink in plan.sinks.values()}
+
+            def flush() -> None:
+                nonlocal best
+                if len(run) > len(best):
+                    best = list(run)
+            for node in segment:
+                stage = _fusable_stage(node)
+                # Interior sinks would be orphaned by substitution;
+                # only a run-final sink can be remapped, so a sink
+                # node closes the run after itself.
+                if stage is None or stage < last_stage:
+                    flush()
+                    run = []
+                    last_stage = -1
+                if stage is not None and stage >= last_stage:
+                    run.append(node)
+                    last_stage = stage
+                    if id(node) in sink_ids:
+                        flush()
+                        run = []
+                        last_stage = -1
+            flush()
+            if len(best) < 2 or all(
+                    _fusable_stage(node) < 2 for node in best):
+                continue
+            stages = [_fusable_stage(node) for node in best]
+            if 0 in stages and 1 not in stages and max(stages) >= 2:
+                continue  # would tokenize where the chain would crash
+            annotator = OnePassAnnotator(
+                steps=[node.operator.tagger for node in best
+                       if _fusable_stage(node) == _ENTITY_STAGE],
+                splitter=next(
+                    (node.operator.splitter for node in best
+                     if node.operator.name == "annotate_sentences"), None),
+                split="always" if 0 in stages else "never",
+                retokenize=1 in stages,
+                pos_tagger=next(
+                    (node.operator.tagger for node in best
+                     if node.operator.name == "annotate_pos"), None),
+                skip_pos_crashes=next(
+                    (node.operator.skip_crashes for node in best
+                     if node.operator.name == "annotate_pos"), True))
+            operators = [node.operator for node in best]
+            fused = make_operator(
+                "annotate_entities_fused", annotator=annotator,
+                cost=sum(op.cost_per_record for op in operators),
+                memory_mb=max(op.memory_mb for op in operators),
+                startup=sum(op.startup_seconds for op in operators),
+                reads=frozenset().union(*(op.reads for op in operators)),
+                writes=frozenset().union(*(op.writes for op in operators)))
+            fused_nodes.append(plan.replace_run(best, fused))
+            changed = True
+            break  # segments are stale after surgery; recompute
+    return fused_nodes

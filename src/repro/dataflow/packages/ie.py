@@ -18,7 +18,7 @@ from repro.dataflow.operators import (
     FlatMapOperator, MapOperator, Operator, UdfOperator,
 )
 from repro.dataflow.packages import register
-from repro.nlp.linguistics import LinguisticAnalyzer
+from repro.nlp.linguistics import LinguisticAnalyzer, analyze_text
 from repro.nlp.pos_hmm import HmmPosTagger, TaggerCrash
 from repro.nlp.sentence import SentenceSplitter
 from repro.nlp.tokenize import tokenize
@@ -34,13 +34,17 @@ def _annotate_sentences(max_sentence_chars: int | None = None,
         return document
     ann.setdefault("writes", frozenset({"sentences"}))
     ann.setdefault("reads", frozenset({"text"}))
-    return MapOperator("annotate_sentences", annotate, **ann)
+    operator = MapOperator("annotate_sentences", annotate, **ann)
+    # Harvested by fuse_annotation_stage when this operator is folded
+    # into a fused one-pass annotation stage.
+    operator.splitter = splitter
+    return operator
 
 
 @register("annotate_tokens", "ie", "Tokenize each sentence")
 def _annotate_tokens(**ann) -> Operator:
     def annotate(document: Document) -> Document:
-        for sentence in document.sentences:
+        for sentence in document.sentences or ():
             sentence.tokens = tokenize(sentence.text,
                                        base_offset=sentence.start)
         return document
@@ -54,9 +58,9 @@ def _annotate_tokens(**ann) -> Operator:
 def _annotate_pos(tagger: HmmPosTagger, skip_crashes: bool = True,
                   **ann) -> Operator:
     def annotate(document: Document) -> Document:
-        for sentence in document.sentences:
+        for sentence in document.sentences or ():
             try:
-                sentence.tokens = tagger.tag_tokens(sentence.tokens)
+                sentence.tokens = tagger.tag_tokens(sentence.tokens or ())
             except TaggerCrash:
                 if not skip_crashes:
                     raise
@@ -70,6 +74,9 @@ def _annotate_pos(tagger: HmmPosTagger, skip_crashes: bool = True,
     # Executors snapshot this cache's counters around the operator's
     # run to attribute per-stage annotation-cache hits/misses.
     operator.annotation_cache = getattr(tagger, "annotation_cache", None)
+    # Harvested by fuse_annotation_stage.
+    operator.tagger = tagger
+    operator.skip_crashes = skip_crashes
     return operator
 
 
@@ -88,13 +95,19 @@ def _annotate_linguistics(**ann) -> Operator:
 
 def _category_annotator(name: str, category: str, **ann) -> Operator:
     """One linguistic category only — the paper's flow runs pronouns,
-    negation, and parentheses as separate regex operators."""
-    analyzer = LinguisticAnalyzer()
+    negation, and parentheses as separate regex operators.
+
+    All three operators filter the same memoized
+    :func:`~repro.nlp.linguistics.analyze_text` result, so a chain of
+    category annotators pays one regex analysis per document instead
+    of one per category (the pass is a pure function of the text, and
+    the previous per-operator re-analysis of a shallow copy always
+    recomputed it in full)."""
 
     def annotate(document: Document) -> Document:
         existing = [m for m in document.linguistics
                     if m.category != category]
-        fresh = [m for m in analyzer.analyze(document.copy_shallow())
+        fresh = [m for m in analyze_text(document.text)
                  if m.category == category]
         document.linguistics = sorted(existing + fresh,
                                       key=lambda m: (m.start, m.end))
@@ -131,6 +144,8 @@ def _entity_operator(name: str, tagger, cost: float, memory_mb: float,
                            memory_mb=memory_mb, startup_seconds=startup,
                            **ann)
     operator.annotation_cache = getattr(tagger, "annotation_cache", None)
+    # Harvested by fuse_annotation_stage.
+    operator.tagger = tagger
     return operator
 
 
@@ -158,6 +173,59 @@ def _register_entity_ops() -> None:
 
 
 _register_entity_ops()
+
+
+class _FusedAnnotateOperator(MapOperator):
+    """Micro-batching 1:1 operator around a one-pass annotator.
+
+    Streams documents through :meth:`OnePassAnnotator.annotate_batch`
+    in bounded chunks, so the cross-document batch kernels (packed POS
+    decode, whole-batch CRF prediction) engage inside flows too — per-
+    record mapping would hand them one document at a time.  Outputs
+    and order are identical to the per-record form; chunk state is
+    call-local, so concurrent partitions (thread mode) are safe.
+    """
+
+    #: Documents per ``annotate_batch`` call — bounds arena memory
+    #: while keeping batch kernels saturated.
+    chunk_size = 32
+
+    def _process(self, records):
+        chunk: list[Document] = []
+        for record in records:
+            chunk.append(record)
+            if len(chunk) >= self.chunk_size:
+                yield from self.fused_annotator.annotate_batch(chunk)
+                chunk = []
+        if chunk:
+            yield from self.fused_annotator.annotate_batch(chunk)
+
+
+@register("annotate_entities_fused", "ie",
+          "Fused one-pass annotation stage (sentences/tokens/POS/entities)")
+def _annotate_entities_fused(annotator, cost: float = 1.0,
+                             memory_mb: float = 256,
+                             startup: float = 0.0, **ann) -> Operator:
+    """The substitution target of
+    :func:`repro.dataflow.optimizer.fuse_annotation_stage`: one
+    operator running a :class:`~repro.ner.onepass.OnePassAnnotator`
+    over document micro-batches — the merged-automaton dictionary
+    scan, batched POS decode, and feature-shared CRF taggers of the
+    replaced sub-chain, with byte-identical outputs.  Cost/memory/
+    startup annotations are supplied by the optimizer from the
+    replaced run.
+    """
+    def annotate(document: Document) -> Document:
+        return annotator.annotate(document)
+    ann.setdefault("reads", frozenset({"text"}))
+    ann.setdefault("writes", frozenset(
+        {"sentences", "tokens", "pos", "entities"}))
+    operator = _FusedAnnotateOperator(
+        "annotate_entities_fused", annotate, cost_per_record=cost,
+        memory_mb=memory_mb, startup_seconds=startup, **ann)
+    operator.annotation_cache = annotator.annotation_cache
+    operator.fused_annotator = annotator
+    return operator
 
 
 @register("merge_annotations", "ie",
@@ -220,10 +288,10 @@ def _linguistics_to_records(**ann) -> Operator:
 @register("sentences_to_records", "ie", "Emit one record per sentence")
 def _sentences_to_records(**ann) -> Operator:
     def explode(document: Document) -> Iterable[dict]:
-        for index, sentence in enumerate(document.sentences):
+        for index, sentence in enumerate(document.sentences or ()):
             yield {"doc_id": document.doc_id, "sentence_id": index,
                    "start": sentence.start, "end": sentence.end,
-                   "n_tokens": len(sentence.tokens),
+                   "n_tokens": len(sentence.tokens or ()),
                    "text": sentence.text}
     return FlatMapOperator("sentences_to_records", explode,
                            reads=frozenset({"sentences"}), **ann)

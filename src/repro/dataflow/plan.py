@@ -61,6 +61,77 @@ class LogicalPlan:
     def mark_sink(self, name: str, node: PlanNode) -> None:
         self.sinks[name] = node
 
+    # -- surgery ------------------------------------------------------------
+
+    def replace_run(self, run: list[PlanNode],
+                    operator: Operator) -> PlanNode:
+        """Substitute one node for a contiguous single-consumer run.
+
+        The new node inherits the run head's inputs; consumers of the
+        run tail are rewired onto it.  Interior nodes must have no
+        consumers or sinks outside the run (the shape
+        :meth:`linear_segments` guarantees); node ids are renumbered
+        to stay dense.  Returns the new node.
+        """
+        if not run:
+            raise ValueError("empty run")
+        run_ids = {id(node) for node in run}
+        tail = run[-1]
+        for outside in self._nodes:
+            if id(outside) in run_ids:
+                continue
+            for parent in outside.inputs:
+                if id(parent) in run_ids and parent is not tail:
+                    raise ValueError(
+                        f"node {outside.name!r} consumes interior run "
+                        f"node {parent.name!r}")
+        for name, sink in self.sinks.items():
+            if id(sink) in run_ids and sink is not tail:
+                raise ValueError(
+                    f"sink {name!r} is an interior node of the run")
+        new_node = PlanNode(operator=operator, inputs=list(run[0].inputs))
+        for outside in self._nodes:
+            if id(outside) in run_ids:
+                continue
+            outside.inputs = [new_node if parent is tail else parent
+                              for parent in outside.inputs]
+        for name, sink in list(self.sinks.items()):
+            if sink is tail:
+                self.sinks[name] = new_node
+        position = next(index for index, node in enumerate(self._nodes)
+                        if node is run[0])
+        self._nodes = [node for node in self._nodes
+                       if id(node) not in run_ids]
+        self._nodes.insert(position, new_node)
+        for index, node in enumerate(self._nodes):
+            node.node_id = index
+        if self.source is not None and id(self.source) in run_ids:
+            self.source = new_node
+        return new_node
+
+    def copy_structure(self) -> "LogicalPlan":
+        """A structural copy: fresh nodes, shared operator objects.
+
+        Plan surgery (optimization, fusion substitution) on the copy
+        leaves the original intact; operators are shared because they
+        carry tool state (automata, models, caches) that must not be
+        duplicated.
+        """
+        copy = LogicalPlan()
+        mapping: dict[int, PlanNode] = {}
+        for node in self._nodes:
+            fresh = PlanNode(
+                operator=node.operator,
+                inputs=[mapping[id(parent)] for parent in node.inputs],
+                node_id=node.node_id)
+            mapping[id(node)] = fresh
+            copy._nodes.append(fresh)
+        copy.sinks = {name: mapping[id(sink)]
+                      for name, sink in self.sinks.items()}
+        copy.source = (mapping[id(self.source)]
+                       if self.source is not None else None)
+        return copy
+
     # -- introspection ------------------------------------------------------------
 
     @property

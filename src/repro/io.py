@@ -28,8 +28,8 @@ def document_to_dict(document: Document, include_raw: bool = False) -> dict:
         "sentences": [{
             "start": s.start, "end": s.end, "text": s.text,
             "tokens": [[t.text, t.start, t.end, t.pos]
-                       for t in s.tokens],
-        } for s in document.sentences],
+                       for t in s.tokens or ()],
+        } for s in document.sentences or ()],
         "entities": [{
             "text": m.text, "start": m.start, "end": m.end,
             "entity_type": m.entity_type, "method": m.method,
@@ -50,11 +50,17 @@ def document_from_dict(payload: dict) -> Document:
     document = Document(
         doc_id=payload["doc_id"], text=payload["text"],
         raw=payload.get("raw", ""), meta=dict(payload.get("meta", {})))
+    sentences: list[Sentence] = []
     for s in payload.get("sentences", []):
         sentence = Sentence(start=s["start"], end=s["end"], text=s["text"])
         sentence.tokens = [Token(text, start, end, pos)
-                           for text, start, end, pos in s.get("tokens", [])]
-        document.sentences.append(sentence)
+                           for text, start, end, pos
+                           in s.get("tokens", [])] or None
+        sentences.append(sentence)
+    # The serialized form does not distinguish "never split" from
+    # "split, empty" — restore an empty list as the never-computed
+    # state (re-splitting empty annotations is output-equivalent).
+    document.sentences = sentences or None
     document.entities = [
         EntityMention(text=e["text"], start=e["start"], end=e["end"],
                       entity_type=e["entity_type"],

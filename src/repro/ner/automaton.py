@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 #: Bits reserved for the character codepoint in a flat transition key
 #: (max codepoint 0x10FFFF needs 21 bits).
@@ -58,6 +58,7 @@ class AhoCorasickAutomaton:
         self._fail: list[int] = [0]
         self._outputs: list[Any] = [[]]
         self._patterns: list[str] = []
+        self._payloads: list[Any] | None = None
         self._edges: dict[int, int] = {}
         self._built = False
 
@@ -100,6 +101,38 @@ class AhoCorasickAutomaton:
 
     def pattern(self, pattern_id: int) -> str:
         return self._patterns[pattern_id]
+
+    @property
+    def patterns(self) -> list[str]:
+        """The ordered pattern list (pattern ids are positional)."""
+        return self._patterns
+
+    # -- per-pattern payloads ------------------------------------------------
+
+    @property
+    def payloads(self) -> list[Any] | None:
+        """Optional per-pattern payload table (parallel to patterns).
+
+        Multi-type dictionary scans attach ``(entity_type, term_id,
+        canonical)`` tuples here so one matching pass can resolve every
+        hit without a second lookup structure; the table rides along in
+        the frozen serialized form (see :meth:`to_state`).
+        """
+        return self._payloads
+
+    def set_payloads(self, payloads: Sequence[Any]) -> None:
+        """Attach one payload per pattern (any marshal-able value)."""
+        payloads = list(payloads)
+        if len(payloads) != len(self._patterns):
+            raise ValueError(
+                f"{len(payloads)} payloads for {len(self._patterns)} "
+                f"patterns")
+        self._payloads = payloads
+
+    def payload(self, pattern_id: int) -> Any:
+        if self._payloads is None:
+            raise RuntimeError("automaton has no payload table")
+        return self._payloads[pattern_id]
 
     def build(self) -> None:
         """Compute failure links (BFS), merge outputs, and freeze.
@@ -154,6 +187,42 @@ class AhoCorasickAutomaton:
     def find_all(self, text: str) -> list[Match]:
         return list(self.iter_matches(text))
 
+    def find_aligned(self, text: str,
+                     boundary_chars: frozenset[str]) -> list[Match]:
+        """All matches whose span is word-aligned in ``text`` — no
+        word character adjacent on either side.
+
+        Same matches, in the same end-position order, as filtering
+        :meth:`iter_matches` through an alignment check; inlined into
+        one loop (no generator frames, the right-boundary test hoisted
+        per position) because this is the merged dictionary scan's
+        hot path.
+        """
+        if not self._built:
+            raise RuntimeError("automaton not built; call build() first")
+        edges = self._edges
+        fail = self._fail
+        outputs = self._outputs
+        patterns = self._patterns
+        n = len(text)
+        node = 0
+        found: list[Match] = []
+        append = found.append
+        for position, char in enumerate(text):
+            code = ord(char)
+            while node and (node << _CHAR_BITS) | code not in edges:
+                node = fail[node]
+            node = edges.get((node << _CHAR_BITS) | code, 0)
+            out = outputs[node]
+            if out:
+                end = position + 1
+                if end >= n or text[end] in boundary_chars:
+                    for pattern_id in out:
+                        start = end - len(patterns[pattern_id])
+                        if start == 0 or text[start - 1] in boundary_chars:
+                            append(Match(start, end, pattern_id))
+        return found
+
     def approx_memory_bytes(self) -> int:
         """Rough resident-size estimate of the automaton.
 
@@ -178,11 +247,19 @@ class AhoCorasickAutomaton:
     # -- serialization (see repro.ner.cache) --------------------------------
 
     def to_state(self) -> dict[str, Any]:
-        """Snapshot of a *built* automaton for persistent caching."""
+        """Snapshot of a *built* automaton for persistent caching.
+
+        The payload table (when attached) is part of the frozen form,
+        so a warm cache load restores the full multi-type scan state
+        without consulting the source dictionaries.
+        """
         if not self._built:
             raise RuntimeError("automaton not built; call build() first")
-        return {"edges": self._edges, "fail": self._fail,
-                "outputs": self._outputs, "patterns": self._patterns}
+        state = {"edges": self._edges, "fail": self._fail,
+                 "outputs": self._outputs, "patterns": self._patterns}
+        if self._payloads is not None:
+            state["payloads"] = self._payloads
+        return state
 
     @classmethod
     def from_state(cls, state: dict[str, Any]) -> "AhoCorasickAutomaton":
@@ -194,5 +271,6 @@ class AhoCorasickAutomaton:
         automaton._fail = state["fail"]
         automaton._outputs = state["outputs"]
         automaton._patterns = state["patterns"]
+        automaton._payloads = state.get("payloads")
         automaton._built = True
         return automaton

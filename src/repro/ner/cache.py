@@ -36,7 +36,7 @@ import marshal
 import os
 import sys
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.ner.automaton import AhoCorasickAutomaton
 
@@ -62,6 +62,22 @@ def content_key(patterns: Iterable[str], salt: str = "") -> str:
     hasher.update(f"aho:{CACHE_FORMAT_VERSION}:{salt}".encode("utf-8"))
     hasher.update("\x00".join(patterns).encode("utf-8"))
     return hasher.hexdigest()
+
+
+def payload_salt(payloads: Sequence[Sequence[str]]) -> str:
+    """Cache-key component for a per-pattern payload table.
+
+    The merged multi-type automaton is keyed by patterns *and*
+    payloads: the same surface list annotated with different
+    ``(entity_type, term_id, canonical)`` tuples (e.g. after a
+    vocabulary re-identification) must never serve a stale table.
+    """
+    hasher = hashlib.sha256()
+    for payload in payloads:
+        hasher.update("\x1f".join(str(part) for part in payload)
+                      .encode("utf-8"))
+        hasher.update(b"\x00")
+    return f"payload:{hasher.hexdigest()}"
 
 
 class AutomatonCache:
@@ -117,21 +133,33 @@ class AutomatonCache:
         return path
 
     def get_or_build(self, patterns: Sequence[str], salt: str = "",
+                     payloads: Sequence[Any] | None = None,
                      ) -> tuple[AhoCorasickAutomaton, bool]:
         """(automaton, cache_hit) for an ordered pattern list.
 
         On a miss the automaton is built, stored, and returned; on a
         hit the deserialized build is returned without touching the
         trie-construction path at all.
+
+        ``payloads`` (one per pattern) attaches a payload table that
+        rides along in the frozen form; the content key then covers the
+        payload table too, so the same surfaces with different payloads
+        occupy distinct cache entries.
         """
+        if payloads is not None:
+            payloads = list(payloads)
+            salt = f"{salt}:{payload_salt(payloads)}"
         key = content_key(patterns, salt=salt)
         cached = self.load(key)
-        if cached is not None and len(cached) == len(patterns):
+        if (cached is not None and len(cached) == len(patterns)
+                and (payloads is None or cached.payloads is not None)):
             self.hits += 1
             return cached, True
         self.misses += 1
         automaton = AhoCorasickAutomaton()
         automaton.add_all(patterns)
+        if payloads is not None:
+            automaton.set_payloads(payloads)
         automaton.build()
         self.store(key, automaton)
         return automaton, False

@@ -283,8 +283,8 @@ class LinearChainCrf:
         for features in sentences:
             lengths.append(len(features))
             for position in features:
-                ids = {fid for fid in map(index_get, position)
-                       if fid is not None}
+                ids = {fid for fid in map(index_get, position)}
+                ids.discard(None)
                 flat_ids.extend(sorted(ids))
                 boundaries.append(len(flat_ids))
         emissions = self._emissions_from_flat(flat_ids, boundaries,
@@ -334,21 +334,57 @@ class LinearChainCrf:
         n_labels = len(rows[0])
         scores = rows[0]
         pointers: list[list[int]] = []
-        for row in rows[1:]:
-            next_scores = []
-            step_pointers = []
-            for label in range(n_labels):
-                best = scores[0] + transitions[0][label]
-                best_prev = 0
-                for prev in range(1, n_labels):
-                    value = scores[prev] + transitions[prev][label]
-                    if value > best:
-                        best = value
-                        best_prev = prev
-                next_scores.append(best + row[label])
-                step_pointers.append(best_prev)
-            scores = next_scores
-            pointers.append(step_pointers)
+        if n_labels == 3:
+            # Unrolled BIO lane: same additions in the same order and
+            # the same strictly-greater (first-maximum) tie-breaking
+            # as the generic loop below, minus all index arithmetic.
+            (t00, t01, t02), (t10, t11, t12), (t20, t21, t22) = \
+                transitions
+            s0, s1, s2 = scores
+            for row in rows[1:]:
+                r0, r1, r2 = row
+                v0 = s0 + t00
+                v1 = s1 + t10
+                v2 = s2 + t20
+                if v1 > v0:
+                    n0, p0 = (v2, 2) if v2 > v1 else (v1, 1)
+                else:
+                    n0, p0 = (v2, 2) if v2 > v0 else (v0, 0)
+                v0 = s0 + t01
+                v1 = s1 + t11
+                v2 = s2 + t21
+                if v1 > v0:
+                    n1, p1 = (v2, 2) if v2 > v1 else (v1, 1)
+                else:
+                    n1, p1 = (v2, 2) if v2 > v0 else (v0, 0)
+                v0 = s0 + t02
+                v1 = s1 + t12
+                v2 = s2 + t22
+                if v1 > v0:
+                    n2, p2 = (v2, 2) if v2 > v1 else (v1, 1)
+                else:
+                    n2, p2 = (v2, 2) if v2 > v0 else (v0, 0)
+                s0 = n0 + r0
+                s1 = n1 + r1
+                s2 = n2 + r2
+                pointers.append([p0, p1, p2])
+            scores = [s0, s1, s2]
+        else:
+            for row in rows[1:]:
+                next_scores = []
+                step_pointers = []
+                for label in range(n_labels):
+                    best = scores[0] + transitions[0][label]
+                    best_prev = 0
+                    for prev in range(1, n_labels):
+                        value = scores[prev] + transitions[prev][label]
+                        if value > best:
+                            best = value
+                            best_prev = prev
+                    next_scores.append(best + row[label])
+                    step_pointers.append(best_prev)
+                scores = next_scores
+                pointers.append(step_pointers)
         best = 0
         for label in range(1, n_labels):
             if scores[label] > scores[best]:

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Iterable, Sequence
+from weakref import WeakValueDictionary
 
 from repro.annotations import Document, EntityMention
 from repro.ner.automaton import AhoCorasickAutomaton, Match
@@ -87,6 +89,7 @@ class EntityDictionary:
                  cache: "AutomatonCache | None" = None) -> None:
         self.entity_type = entity_type
         self.fuzzy = fuzzy
+        self.cache = cache
         self.n_entries = len(entries)
         surfaces: list[str] = []
         self._info: list[_PatternInfo] = []
@@ -119,6 +122,16 @@ class EntityDictionary:
     @property
     def n_patterns(self) -> int:
         return len(self._automaton)
+
+    @property
+    def patterns(self) -> list[str]:
+        """Ordered surface list (parallel to :attr:`info`)."""
+        return self._automaton.patterns
+
+    @property
+    def info(self) -> list[_PatternInfo]:
+        """Per-pattern term resolution, parallel to :attr:`patterns`."""
+        return self._info
 
     def approx_memory_bytes(self) -> int:
         return self._automaton.approx_memory_bytes()
@@ -180,3 +193,120 @@ def _longest_non_overlapping(matches: list[Match]) -> list[Match]:
         occupied.append((match.start, match.end))
     chosen.sort(key=lambda m: m.start)
     return chosen
+
+
+class MultiTypeDictionary:
+    """All entity types compiled into one automaton: one scan per text.
+
+    Merges the pattern lists of several single-type
+    :class:`EntityDictionary` instances into one Aho-Corasick automaton
+    whose per-pattern payloads carry ``(entity_type, term_id,
+    canonical)``, so each document is scanned once instead of once per
+    type.  Overlap resolution stays *per type* — each type's mentions
+    are exactly what its own dictionary would have produced, because
+    the types tag independently in the reference path.
+
+    The merged pattern list is canonical (entity types in sorted
+    order; each type's surfaces in its dictionary's deterministic
+    order), so every builder of the same type set shares one
+    :class:`~repro.ner.cache.AutomatonCache` entry.  Duplicate
+    surfaces across types are retained — each keeps its own pattern
+    id, so one hit position fires once per owning type.
+    """
+
+    def __init__(self, dictionaries: Iterable[EntityDictionary],
+                 cache: "AutomatonCache | None" = None) -> None:
+        ordered = sorted(dictionaries, key=lambda d: d.entity_type)
+        if len({d.entity_type for d in ordered}) != len(ordered):
+            raise ValueError("duplicate entity types in merged dictionary")
+        if not ordered:
+            raise ValueError("merged dictionary needs at least one type")
+        self.dictionaries = {d.entity_type: d for d in ordered}
+        self.entity_types: tuple[str, ...] = tuple(
+            d.entity_type for d in ordered)
+        patterns: list[str] = []
+        payloads: list[tuple[str, str, str]] = []
+        for dictionary in ordered:
+            etype = dictionary.entity_type
+            for surface, info in zip(dictionary.patterns, dictionary.info):
+                patterns.append(surface)
+                payloads.append((etype, info.term_id, info.canonical))
+        started = time.perf_counter()
+        if cache is None:
+            cache = next((d.cache for d in ordered if d.cache is not None),
+                         None)
+        if cache is not None:
+            self._automaton, self.cache_hit = cache.get_or_build(
+                patterns, payloads=payloads)
+        else:
+            self._automaton = AhoCorasickAutomaton()
+            self._automaton.add_all(patterns)
+            self._automaton.set_payloads(payloads)
+            self._automaton.build()
+            self.cache_hit = False
+        self.build_seconds = time.perf_counter() - started
+
+    @property
+    def n_patterns(self) -> int:
+        return len(self._automaton)
+
+    def approx_memory_bytes(self) -> int:
+        return self._automaton.approx_memory_bytes()
+
+    def scan(self, text: str) -> dict[str, list[EntityMention]]:
+        """One pass over ``text``; per-type mention lists.
+
+        Byte-identical to running each component dictionary's
+        ``annotate`` on the text: matches are partitioned by owning
+        type, then each type resolves overlaps independently.  (Within
+        one type, two distinct patterns can never share a span — the
+        per-type surface dedup guarantees it — so the greedy resolution
+        has no order-dependent ties.)
+        """
+        lowered = text.lower()
+        payloads = self._automaton.payloads
+        per_type: dict[str, list[Match]] = {
+            etype: [] for etype in self.entity_types}
+        for match in self._automaton.find_aligned(lowered,
+                                                  _BOUNDARY_CHARS):
+            per_type[payloads[match.pattern_id][0]].append(match)
+        mentions: dict[str, list[EntityMention]] = {}
+        for etype in self.entity_types:
+            resolved: list[EntityMention] = []
+            for match in _longest_non_overlapping(per_type[etype]):
+                _, term_id, _canonical = payloads[match.pattern_id]
+                resolved.append(EntityMention(
+                    text=text[match.start:match.end],
+                    start=match.start, end=match.end, entity_type=etype,
+                    method="dictionary", term_id=term_id))
+            mentions[etype] = resolved
+        return mentions
+
+
+#: Merged automata are expensive; share one per live component set.
+#: Keys are component object ids — stable while the merged dictionary
+#: (which holds strong references to its components) is alive, and the
+#: weak value lets the whole group be collected together.
+_MERGED_MEMO: "WeakValueDictionary[tuple[int, ...], MultiTypeDictionary]" = (
+    WeakValueDictionary())
+
+
+def merged_dictionary_for(dictionaries: Sequence[EntityDictionary],
+                          cache: "AutomatonCache | None" = None,
+                          ) -> MultiTypeDictionary:
+    """The (memoized) merged dictionary over ``dictionaries``."""
+    key = tuple(sorted(id(d) for d in dictionaries))
+    merged = _MERGED_MEMO.get(key)
+    if merged is None:
+        merged = MultiTypeDictionary(dictionaries, cache=cache)
+        _MERGED_MEMO[key] = merged
+        # Pin the memo entry to the components' lifetime: consumers
+        # (fused plan stages, one-pass annotators) are short-lived, so
+        # without a back-reference the weak value dies between runs
+        # and every run rebuilds the automaton.  The resulting cycle
+        # (component -> merged -> component) is collectable, and the
+        # id-tuple key can only be reused after the components — and
+        # with them the pinned value — are gone.
+        for component in merged.dictionaries.values():
+            component._merged_pin = merged
+    return merged

@@ -52,14 +52,44 @@ def _distance_bucket(d: int) -> str:
     return "dfar"
 
 
+def token_analysis(words: Sequence[str],
+                   ) -> tuple[list[str], list[str]]:
+    """Per-token derived state the feature templates re-derive
+    otherwise: ``(lowercase forms, shapes)``, position-aligned with
+    ``words``.
+
+    The context-window templates consult each token's lowercase form
+    and shape up to three times (as the focus token and as either
+    neighbour); computing the arrays once per sentence and passing
+    them to :func:`sentence_features` yields identical features for a
+    third of the derivation work.  The one-pass engine shares one
+    analysis across every tagger scanning the same arena.
+    """
+    return [word.lower() for word in words], \
+        [token_shape(word) for word in words]
+
+
 def extract_features(words: Sequence[str], position: int,
-                     quadratic_context: bool = False) -> list[str]:
-    """Feature strings for one token in its sentence."""
+                     quadratic_context: bool = False,
+                     analysis: tuple[Sequence[str], Sequence[str]]
+                     | None = None) -> list[str]:
+    """Feature strings for one token in its sentence.
+
+    ``analysis`` is an optional :func:`token_analysis` result for
+    ``words``; output is byte-identical with or without it.
+    """
     word = words[position]
-    lowered = word.lower()
+    if analysis is None:
+        lowers, shapes = None, None
+        lowered = word.lower()
+        shape = token_shape(word)
+    else:
+        lowers, shapes = analysis
+        lowered = lowers[position]
+        shape = shapes[position]
     features = [
         f"w={lowered}",
-        f"shape={token_shape(word)}",
+        f"shape={shape}",
         f"suf3={lowered[-3:]}",
         f"suf4={lowered[-4:]}",
         f"pre3={lowered[:3]}",
@@ -73,28 +103,47 @@ def extract_features(words: Sequence[str], position: int,
         features.append("has_hyphen")
     if word.isupper() and 2 <= len(word) <= 5:
         features.append("short_caps")
-    prev_word = words[position - 1].lower() if position > 0 else "<bos>"
-    next_word = (words[position + 1].lower()
-                 if position + 1 < len(words) else "<eos>")
+    if position > 0:
+        prev_word = (lowers[position - 1] if lowers is not None
+                     else words[position - 1].lower())
+    else:
+        prev_word = "<bos>"
+    if position + 1 < len(words):
+        next_word = (lowers[position + 1] if lowers is not None
+                     else words[position + 1].lower())
+    else:
+        next_word = "<eos>"
     features.append(f"w-1={prev_word}")
     features.append(f"w+1={next_word}")
     if position > 0:
-        features.append(f"shape-1={token_shape(words[position - 1])}")
+        prev_shape = (shapes[position - 1] if shapes is not None
+                      else token_shape(words[position - 1]))
+        features.append(f"shape-1={prev_shape}")
     if position + 1 < len(words):
-        features.append(f"shape+1={token_shape(words[position + 1])}")
+        next_shape = (shapes[position + 1] if shapes is not None
+                      else token_shape(words[position + 1]))
+        features.append(f"shape+1={next_shape}")
     if quadratic_context:
-        shape = token_shape(word)
         for other, other_word in enumerate(words):
             if other == position:
                 continue
+            other_shape = (shapes[other] if shapes is not None
+                           else token_shape(other_word))
             features.append(
-                f"pair={shape}|{token_shape(other_word)}"
+                f"pair={shape}|{other_shape}"
                 f"|{_distance_bucket(abs(other - position))}")
     return features
 
 
 def sentence_features(words: Sequence[str],
-                      quadratic_context: bool = False) -> list[list[str]]:
-    """Features for every position of a sentence."""
-    return [extract_features(words, i, quadratic_context)
+                      quadratic_context: bool = False,
+                      analysis: tuple[Sequence[str], Sequence[str]]
+                      | None = None) -> list[list[str]]:
+    """Features for every position of a sentence.
+
+    ``analysis`` (a :func:`token_analysis` result for ``words``) is
+    optional shared per-token state; the features are byte-identical
+    with or without it.
+    """
+    return [extract_features(words, i, quadratic_context, analysis)
             for i in range(len(words))]

@@ -1,0 +1,169 @@
+"""One-pass annotation engine.
+
+The reference entity-annotation chain scans each document many times:
+the three dictionary taggers each lower-case the text and run their
+own automaton over it, the POS tagger and each CRF tagger rebuild the
+word list per sentence, and each CRF tagger re-extracts features the
+others already computed.  :class:`OnePassAnnotator` runs the same
+logical steps over shared state instead:
+
+* sentences are split and tokenized once into an
+  :class:`~repro.nlp.arena.AnnotatedText` arena;
+* all dictionary types are matched in a single pass over the text via
+  a merged :class:`~repro.ner.dictionary.MultiTypeDictionary`
+  automaton (overlap resolution stays per type);
+* the POS decode is one cross-sentence ``tag_batch`` call with the
+  reference path's per-sentence crash accounting;
+* CRF taggers consume the arena's word lists directly and share one
+  feature memo, so taggers with the same feature configuration extract
+  features once per sentence instead of once per tagger.
+
+Outputs are byte-identical to running the elementary steps in order:
+the same mentions in the same ``document.entities`` order, the same
+``sentence.tokens`` replacements, the same annotation-cache lookups
+and stores.  The dataflow optimizer substitutes this engine for the
+``annotate_sentences → annotate_tokens → annotate_pos → taggers``
+sub-chain (:func:`repro.dataflow.optimizer.fuse_annotation_stage`);
+the batch form backs :meth:`TextAnalyticsPipeline.analyze_batch` and
+therefore the serve path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.annotations import Document
+from repro.ner.dictionary import MultiTypeDictionary, merged_dictionary_for
+from repro.nlp.arena import AnnotatedText, SentenceSlot
+from repro.nlp.pos_hmm import TaggerCrash
+from repro.nlp.sentence import SentenceSplitter
+
+
+class OnePassAnnotator:
+    """Fused split/tokenize/POS/entity annotation over shared state.
+
+    ``steps`` is the ordered tagger list — dictionary taggers
+    (``method == "dictionary"``) and ML taggers (``method == "ml"``)
+    interleaved exactly as the reference chain would run them; each
+    document's ``entities`` list is extended in that order.
+    """
+
+    def __init__(self, steps: Sequence, *,
+                 splitter: SentenceSplitter | None = None,
+                 split: str = "never", retokenize: bool = False,
+                 pos_tagger=None, skip_pos_crashes: bool = True,
+                 automaton_cache=None) -> None:
+        self.steps = list(steps)
+        self.splitter = splitter
+        self.split = split
+        self.retokenize = retokenize
+        self.pos_tagger = pos_tagger
+        self.skip_pos_crashes = skip_pos_crashes
+        dictionaries = [step.dictionary for step in self.steps
+                        if step.method == "dictionary"]
+        self.merged: MultiTypeDictionary | None = (
+            merged_dictionary_for(dictionaries, cache=automaton_cache)
+            if dictionaries else None)
+
+    @property
+    def annotation_cache(self):
+        """The per-sentence result cache the engine's kernels consult
+        (for executor cache-traffic attribution; the pipeline shares
+        one cache between POS and the ML taggers)."""
+        if self.pos_tagger is not None:
+            cache = getattr(self.pos_tagger, "annotation_cache", None)
+            if cache is not None:
+                return cache
+        for step in self.steps:
+            cache = getattr(step, "annotation_cache", None)
+            if cache is not None:
+                return cache
+        return None
+
+    def startup_seconds(self) -> float:
+        total = sum(step.startup_seconds() for step in self.steps)
+        return total + (0.5 if self.pos_tagger is not None else 0.0)
+
+    def annotate(self, document: Document) -> Document:
+        """Fully annotate one document (the fused flow operator)."""
+        self.annotate_batch([document])
+        return document
+
+    def annotate_batch(self, documents: Sequence[Document],
+                       ) -> Sequence[Document]:
+        """Annotate a batch; POS and CRF decodes span the whole batch.
+
+        Per-document results are identical to :meth:`annotate` on each
+        document in order — which in turn is identical to the
+        elementary reference chain.
+        """
+        arenas = [AnnotatedText.build(document, splitter=self.splitter,
+                                      split=self.split,
+                                      retokenize=self.retokenize)
+                  for document in documents]
+        if self.pos_tagger is not None:
+            self._pos_tag(arenas)
+        # Pairs reference post-POS tokens; words lists stay arena-owned
+        # so the id-keyed feature memo below is valid for this batch.
+        pairs_per_doc = [arena.pairs() for arena in arenas]
+        feature_cache: dict = {}
+        scans: list[dict | None] = [None] * len(documents)
+        for step in self.steps:
+            if step.method == "dictionary":
+                merged = self.merged
+                for index, document in enumerate(documents):
+                    if scans[index] is None:
+                        scans[index] = merged.scan(document.text)
+                    document.entities.extend(
+                        scans[index][step.entity_type])
+            else:
+                step.annotate_many(documents, tokenized=pairs_per_doc,
+                                   feature_cache=feature_cache)
+        return documents
+
+    def _pos_tag(self, arenas: list[AnnotatedText]) -> None:
+        """Batched POS pass with the reference chain's crash behavior.
+
+        Over-limit sentences are pre-filtered (counting into
+        ``meta["pos_crashes"]`` with no cache traffic — matching the
+        per-sentence path, where the crash fires before the cache
+        lookup); everything else decodes in one ``tag_batch`` call.  A
+        batch-level crash (pathological model state) falls back to the
+        per-sentence path so accounting stays identical.
+        """
+        tagger = self.pos_tagger
+        if not self.skip_pos_crashes:
+            # Reference semantics: raise on the first crashing sentence.
+            for arena in arenas:
+                for slot in arena.slots:
+                    slot.sentence.tokens = tagger.tag_tokens(
+                        slot.sentence.tokens)
+            return
+        limit = tagger.crash_token_limit
+        jobs: list[tuple[Document, SentenceSlot]] = []
+        for arena in arenas:
+            document = arena.document
+            for slot in arena.slots:
+                if limit is not None and len(slot.words) > limit:
+                    document.meta["pos_crashes"] = (
+                        document.meta.get("pos_crashes", 0) + 1)
+                else:
+                    jobs.append((document, slot))
+        if not jobs:
+            return
+        try:
+            tag_lists = tagger.tag_batch(
+                [slot.words for _document, slot in jobs])
+        except TaggerCrash:
+            for document, slot in jobs:
+                try:
+                    slot.sentence.tokens = tagger.tag_tokens(
+                        slot.sentence.tokens)
+                except TaggerCrash:
+                    document.meta["pos_crashes"] = (
+                        document.meta.get("pos_crashes", 0) + 1)
+            return
+        for (_document, slot), tags in zip(jobs, tag_lists):
+            slot.sentence.tokens = [
+                token.with_pos(tag)
+                for token, tag in zip(slot.sentence.tokens, tags)]

@@ -13,6 +13,7 @@ what large-scale systems actually run first.
 from __future__ import annotations
 
 import re
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from itertools import combinations
 
@@ -72,13 +73,24 @@ class RelationExtractor:
 
     def extract(self, document: Document) -> list[EntityRelation]:
         """Relations from an annotated document (needs sentences and
-        entities)."""
+        entities).
+
+        Mentions are grouped into sentences in one pass (bisect on the
+        sentence start offsets) when sentences are disjoint and in
+        order — always true for splitter output — instead of filtering
+        the full entity list per sentence; per-pair token distances
+        bisect each sentence's precomputed token offsets.  Overlapping
+        or out-of-order sentences fall back to the per-sentence filter,
+        so results match the reference in every case.
+        """
+        sentences = document.sentences or ()
         relations: list[EntityRelation] = []
-        for index, sentence in enumerate(document.sentences):
-            mentions = [m for m in document.entities
-                        if sentence.start <= m.start
-                        and m.end <= sentence.end]
-            mentions = _dedup_spans(mentions)
+        grouped = _group_by_sentence(sentences, document.entities)
+        for index, sentence in enumerate(sentences):
+            mentions = _dedup_spans(grouped[index])
+            if len(mentions) < 2:
+                continue
+            offsets = _token_offsets(sentence)
             for a, b in combinations(mentions, 2):
                 pair = self._orient(a, b)
                 if pair is None:
@@ -87,7 +99,7 @@ class RelationExtractor:
                 verb = self._connecting_verb(document, sentence,
                                              subject, object_)
                 distance = self._token_distance(sentence, subject,
-                                                object_)
+                                                object_, offsets)
                 if distance > self.max_token_distance:
                     continue
                 between = document.text[min(subject.end, object_.end):
@@ -120,11 +132,19 @@ class RelationExtractor:
 
     @staticmethod
     def _token_distance(sentence: Sentence, a: EntityMention,
-                        b: EntityMention) -> int:
+                        b: EntityMention,
+                        offsets: tuple[list[int], list[int]] | None = None,
+                        ) -> int:
         if not sentence.tokens:
             return abs(a.start - b.start) // 6  # chars-to-tokens guess
         left = min(a.end, b.end)
         right = max(a.start, b.start)
+        if offsets is None:
+            offsets = _token_offsets(sentence)
+        if offsets is not None:
+            starts, ends = offsets
+            return max(0, bisect_right(ends, right)
+                       - bisect_left(starts, left))
         return sum(1 for t in sentence.tokens
                    if left <= t.start and t.end <= right)
 
@@ -143,6 +163,65 @@ def relations_to_records(relations: list[EntityRelation]) -> list[dict]:
         "negated": r.negated,
         "confidence": round(r.confidence, 3),
     } for r in relations]
+
+
+def _token_offsets(sentence: Sentence,
+                   ) -> tuple[list[int], list[int]] | None:
+    """Sorted (starts, ends) of the sentence's tokens, or None when
+    the token stream is unsorted (then callers fall back to the linear
+    scan).  Tokenizer output is always in order, so the fast path is
+    the normal one."""
+    tokens = sentence.tokens
+    if not tokens:
+        return None
+    starts = [t.start for t in tokens]
+    ends = [t.end for t in tokens]
+    if any(later < earlier for earlier, later in zip(starts, starts[1:])):
+        return None
+    if any(later < earlier for earlier, later in zip(ends, ends[1:])):
+        return None
+    return starts, ends
+
+
+def _group_by_sentence(sentences, mentions) -> list[list[EntityMention]]:
+    """Mentions of each sentence (containment test), preserving the
+    original mention order per group.
+
+    When sentences are disjoint and in order — splitter output always
+    is — each mention's containing sentence is found by one bisect on
+    the sentence starts instead of testing every sentence against
+    every mention.  Degenerate (empty-span) mentions and overlapping
+    sentence lists take the reference per-sentence filter, so the
+    result is identical in every case.
+    """
+    groups: list[list[EntityMention]] = [[] for _ in sentences]
+    if not sentences or not mentions:
+        return groups
+    disjoint = all(prev.end <= nxt.start
+                   for prev, nxt in zip(sentences, sentences[1:]))
+    if not disjoint:
+        for index, sentence in enumerate(sentences):
+            groups[index] = [m for m in mentions
+                            if sentence.start <= m.start
+                            and m.end <= sentence.end]
+        return groups
+    starts = [sentence.start for sentence in sentences]
+    for mention in mentions:
+        if mention.end <= mention.start:
+            # Empty span: can sit on a boundary shared by two
+            # sentences; mirror the reference containment test.
+            for index, sentence in enumerate(sentences):
+                if (sentence.start <= mention.start
+                        and mention.end <= sentence.end):
+                    groups[index].append(mention)
+            continue
+        index = bisect_right(starts, mention.start) - 1
+        if index >= 0:
+            sentence = sentences[index]
+            if (sentence.start <= mention.start
+                    and mention.end <= sentence.end):
+                groups[index].append(mention)
+    return groups
 
 
 def _dedup_spans(mentions: list[EntityMention]) -> list[EntityMention]:

@@ -25,7 +25,7 @@ from repro.corpora.vocabulary import BiomedicalVocabulary
 from repro.ner.cache import AutomatonCache
 from repro.ner.crf import LinearChainCrf, bio_to_spans
 from repro.ner.dictionary import DictionaryTagger, EntityDictionary
-from repro.ner.features import sentence_features
+from repro.ner.features import sentence_features, token_analysis
 from repro.nlp.sentence import split_sentences
 from repro.nlp.tokenize import tokenize
 
@@ -96,6 +96,8 @@ class MlEntityTagger:
         return self.annotate_many([document])[0]
 
     def annotate_many(self, documents: Sequence[Document],
+                      tokenized: "Sequence[Sequence[tuple[list, list[str]]]] | None" = None,
+                      feature_cache: dict | None = None,
                       ) -> list[list[EntityMention]]:
         """Tag several documents with one cross-document decode.
 
@@ -106,46 +108,90 @@ class MlEntityTagger:
         document.  Per-document results (mention lists, ``entities``
         extension, cache traffic) are identical to calling
         :meth:`annotate` on each document in order.
+
+        ``tokenized`` (one ``(tokens, words)`` sequence per document,
+        empty-word sentences already excluded) skips the split/tokenize
+        pass — the one-pass engine supplies its shared arena here.
+        ``feature_cache`` is a mutable mapping keyed by
+        ``(id(words), quadratic_context)`` memoizing extracted feature
+        lists; taggers with the same feature configuration scanning the
+        same arena share extraction work through it.  The ``id`` keys
+        are only valid while the caller keeps the ``words`` lists
+        alive, so the cache must not outlive the batch.
+
+        Sentence/token annotations distinguish ``None`` (never
+        computed — recompute here) from ``[]`` (computed, genuinely
+        empty — trust it); an empty split result must not trigger a
+        re-split.
         """
-        tokenized: list[tuple[list, list[str]]] = []
+        flat: list[tuple[list, list[str]]] = []
         doc_slices: list[tuple[Document, int, int]] = []
-        for document in documents:
-            sentences = document.sentences or split_sentences(
-                document.text)
-            first = len(tokenized)
-            for sentence in sentences:
-                tokens = sentence.tokens or tokenize(
-                    sentence.text, base_offset=sentence.start)
-                words = [t.text for t in tokens]
-                if words:
-                    tokenized.append((tokens, words))
-            doc_slices.append((document, first, len(tokenized)))
+        if tokenized is None:
+            for document in documents:
+                sentences = (document.sentences
+                             if document.sentences is not None
+                             else split_sentences(document.text))
+                first = len(flat)
+                for sentence in sentences:
+                    tokens = (sentence.tokens
+                              if sentence.tokens is not None
+                              else tokenize(sentence.text,
+                                            base_offset=sentence.start))
+                    words = [t.text for t in tokens]
+                    if words:
+                        flat.append((tokens, words))
+                doc_slices.append((document, first, len(flat)))
+        else:
+            for document, pairs in zip(documents, tokenized):
+                first = len(flat)
+                flat.extend(pairs)
+                doc_slices.append((document, first, len(flat)))
         cache = self.annotation_cache
-        decoded: list[list[str] | None] = [None] * len(tokenized)
+        decoded: list[list[str] | None] = [None] * len(flat)
         if cache is not None:
             fingerprint = self.fingerprint()
             pending = []
-            for index, (_tokens, words) in enumerate(tokenized):
+            for index, (_tokens, words) in enumerate(flat):
                 hit = cache.lookup(fingerprint, words)
                 if hit is None:
                     pending.append(index)
                 else:
                     decoded[index] = list(hit)
         else:
-            pending = list(range(len(tokenized)))
+            pending = list(range(len(flat)))
         if pending:
-            fresh = self.crf.predict_batch(
-                [sentence_features(tokenized[index][1],
-                                   self.quadratic_context)
-                 for index in pending])
+            quadratic = self.quadratic_context
+            if feature_cache is None:
+                features = [sentence_features(flat[index][1], quadratic)
+                            for index in pending]
+            else:
+                features = []
+                for index in pending:
+                    words = flat[index][1]
+                    key = (id(words), quadratic)
+                    cached = feature_cache.get(key)
+                    if cached is None:
+                        # Per-token derived state (lowercase forms,
+                        # shapes) is shared across every feature
+                        # configuration scanning this arena.
+                        akey = ("analysis", id(words))
+                        analysis = feature_cache.get(akey)
+                        if analysis is None:
+                            analysis = token_analysis(words)
+                            feature_cache[akey] = analysis
+                        cached = sentence_features(words, quadratic,
+                                                   analysis)
+                        feature_cache[key] = cached
+                    features.append(cached)
+            fresh = self.crf.predict_batch(features)
             for index, labels in zip(pending, fresh):
                 decoded[index] = labels
                 if cache is not None:
-                    cache.store(fingerprint, tokenized[index][1], labels)
+                    cache.store(fingerprint, flat[index][1], labels)
         results: list[list[EntityMention]] = []
         for document, first, last in doc_slices:
             mentions: list[EntityMention] = []
-            for (tokens, _words), labels in zip(tokenized[first:last],
+            for (tokens, _words), labels in zip(flat[first:last],
                                                 decoded[first:last]):
                 for token_start, token_end in bio_to_spans(labels):
                     start = tokens[token_start].start

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.annotations import Document, LinguisticMention
 from repro.corpora.textgen import COREFERENCE_CLASSES, PRONOUN_CLASSES
@@ -43,27 +44,41 @@ class LinguisticSummary:
         return 1000.0 * count / self.doc_chars if self.doc_chars else 0.0
 
 
+@lru_cache(maxsize=256)
+def analyze_text(text: str) -> tuple[LinguisticMention, ...]:
+    """All linguistic mentions of ``text``, sorted by ``(start, end)``.
+
+    A pure function of the text, memoized so the per-category flow
+    operators (negation, pronouns, parentheses — which the paper runs
+    as three separate regex operators over the same document) share
+    one regex pass instead of re-analyzing per category.  Mentions are
+    frozen dataclasses, safe to share between documents with
+    identical text (re-crawled pages, boilerplate residue).
+    """
+    mentions: list[LinguisticMention] = []
+    for match in _NEGATION_RE.finditer(text):
+        mentions.append(LinguisticMention(
+            text=match.group(), start=match.start(), end=match.end(),
+            category="negation"))
+    for cls, pattern in _PRONOUN_RES.items():
+        for match in pattern.finditer(text):
+            mentions.append(LinguisticMention(
+                text=match.group(), start=match.start(),
+                end=match.end(), category="pronoun", subtype=cls))
+    for match in _PARENTHESIS_RE.finditer(text):
+        mentions.append(LinguisticMention(
+            text=match.group(), start=match.start(), end=match.end(),
+            category="parenthesis"))
+    mentions.sort(key=lambda m: (m.start, m.end))
+    return tuple(mentions)
+
+
 class LinguisticAnalyzer:
     """Finds negation cues, pronouns, and parenthesized text."""
 
     def analyze(self, document: Document) -> list[LinguisticMention]:
         """Annotate ``document.linguistics`` in place and return it."""
-        mentions: list[LinguisticMention] = []
-        text = document.text
-        for match in _NEGATION_RE.finditer(text):
-            mentions.append(LinguisticMention(
-                text=match.group(), start=match.start(), end=match.end(),
-                category="negation"))
-        for cls, pattern in _PRONOUN_RES.items():
-            for match in pattern.finditer(text):
-                mentions.append(LinguisticMention(
-                    text=match.group(), start=match.start(),
-                    end=match.end(), category="pronoun", subtype=cls))
-        for match in _PARENTHESIS_RE.finditer(text):
-            mentions.append(LinguisticMention(
-                text=match.group(), start=match.start(), end=match.end(),
-                category="parenthesis"))
-        mentions.sort(key=lambda m: (m.start, m.end))
+        mentions = list(analyze_text(document.text))
         document.linguistics = mentions
         return mentions
 
@@ -73,7 +88,7 @@ class LinguisticAnalyzer:
             self.analyze(document)
         summary = LinguisticSummary(
             doc_id=document.doc_id, doc_chars=len(document.text),
-            n_sentences=len(document.sentences))
+            n_sentences=len(document.sentences or ()))
         for mention in document.linguistics:
             if mention.category == "negation":
                 summary.negations += 1

@@ -48,6 +48,12 @@ _UNK_SHAPES = (
 #: the tiny steps that known words with few candidate tags produce.
 _SMALL_STEP_CELLS = 192
 
+#: ``decode_batch`` kernel dispatch: one scalar trellis cell (python
+#: loop) costs about this many padded tensor cells (numpy).  Measured
+#: on the flow-throughput bench; only the crossover point depends on
+#: it, never the output.
+_SCALAR_BATCH_COST_RATIO = 32
+
 #: Shared backpointer matrix for forced (single-cell) trellis steps;
 #: read-only in backtrace, so one instance serves every step.
 _ARG0 = [[0]]
@@ -310,6 +316,10 @@ class _FrozenHmm:
         loop passes their length (batch is processed longest-first and
         unsorted on return); each sentence's final-state matrix is
         snapshotted at its own last step.
+
+        Batches dominated by narrow candidate sets dispatch to the
+        per-sentence scalar kernel instead — same output, the padded
+        tensor just cannot beat the forced-run lane there.
         """
         if self.beam_width is not None:
             # Beam pruning is a per-sentence top-k; batching would
@@ -337,8 +347,10 @@ class _FrozenHmm:
         shape_table = self.shape_table
         exact_table = self.exact_table
         index_rows = [[0] * n_steps for _ in range(n_batch)]
+        scalar_cells = 0
         for b, (_idx, words) in enumerate(jobs):
             row = index_rows[b]
+            width_pp = width_p = 1
             for t, word in enumerate(words):
                 entry = exact_table.get(word)
                 if entry is None:
@@ -346,9 +358,25 @@ class _FrozenHmm:
                     if entry is None:
                         entry = shape_table[_shape(word)]
                     exact_table[word] = entry
-                if not entry[2]:
+                width = len(entry[2])
+                if not width:
                     raise TaggerCrash("no viable tag path (empty model?)")
+                scalar_cells += width_pp * width_p * width
+                width_pp, width_p = width_p, width
                 row[t] = entry[6]
+        # Kernel dispatch by predicted cost.  The padded tensor pass
+        # spends n_ext**3 cells per (sentence, step) no matter how
+        # narrow the candidate sets are, while the scalar kernel's
+        # trellis is bounded by the product of adjacent candidate
+        # widths — near-free on the single-tag runs that dominate
+        # natural text.  The tensor only pays off when wide candidate
+        # sets (unknown shapes, rich tagsets) dominate the batch;
+        # both kernels are bit-identical, so this is invisible.
+        if scalar_cells * _SCALAR_BATCH_COST_RATIO < \
+                sum(lengths) * n_ext ** 3:
+            for idx, words in jobs:
+                results[idx] = self.decode(words)
+            return results
         emissions = self.emission_rows[
             np.asarray(index_rows, dtype=np.intp)]
         trans = self.trans

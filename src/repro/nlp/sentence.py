@@ -36,6 +36,21 @@ class SentenceSplitter:
         self.max_sentence_chars = max_sentence_chars
 
     def split(self, text: str, base_offset: int = 0) -> list[Sentence]:
+        # Fast path: no candidate boundary at all (short fragments,
+        # navigation lists, titles) — one strip, no boundary scan
+        # bookkeeping.  Output-identical to the general path below.
+        first = _BOUNDARY_RE.search(text)
+        if first is None:
+            stripped = text.strip()
+            if not stripped:
+                return []
+            lead = len(text) - len(text.lstrip())
+            if (self.max_sentence_chars is not None
+                    and len(stripped) > self.max_sentence_chars):
+                return self._hard_split(stripped, lead, base_offset)
+            return [Sentence(start=base_offset + lead,
+                             end=base_offset + lead + len(stripped),
+                             text=stripped)]
         boundaries = [0]
         for match in _BOUNDARY_RE.finditer(text):
             if self._is_abbreviation(text, match.start()):

@@ -10,6 +10,7 @@ downstream annotations compose.
 from __future__ import annotations
 
 import re
+from sys import intern as _intern
 
 from repro.annotations import Token
 
@@ -43,6 +44,27 @@ class Tokenizer:
             for m in self.pattern.finditer(text)
         ]
 
+    def tokenize_with_surfaces(self, text: str, base_offset: int = 0,
+                               ) -> tuple[list[Token], list[str]]:
+        """One regex pass producing both :class:`Token` objects and the
+        flat surface-string list.
+
+        Downstream kernels (HMM decode, CRF features, dictionary
+        alignment) consume plain word lists; materializing them here
+        saves every consumer a ``[t.text for t in tokens]`` rebuild.
+        Surfaces are ``sys.intern``-ed so the many dict probes keyed by
+        token text (HMM vocabulary, CRF feature index, word-id tables)
+        hash pointer-equal strings.
+        """
+        tokens: list[Token] = []
+        surfaces: list[str] = []
+        for m in self.pattern.finditer(text):
+            surface = _intern(m.group())
+            tokens.append(Token(surface, base_offset + m.start(),
+                                base_offset + m.end()))
+            surfaces.append(surface)
+        return tokens, surfaces
+
 
 _DEFAULT = Tokenizer()
 
@@ -50,3 +72,10 @@ _DEFAULT = Tokenizer()
 def tokenize(text: str, base_offset: int = 0) -> list[Token]:
     """Tokenize with the default tokenizer."""
     return _DEFAULT.tokenize(text, base_offset)
+
+
+def tokenize_with_surfaces(text: str, base_offset: int = 0,
+                           ) -> tuple[list[Token], list[str]]:
+    """Default-tokenizer form of
+    :meth:`Tokenizer.tokenize_with_surfaces`."""
+    return _DEFAULT.tokenize_with_surfaces(text, base_offset)

@@ -4,8 +4,9 @@ A :class:`ExtractionSession` wraps a trained
 :class:`~repro.core.pipeline.TextAnalyticsPipeline` with the batch
 entry points the serve layer needs: a whole coalesced batch of
 requests runs through the cross-request kernels
-(``pipeline.analyze_batch`` → ``tag_batch`` / ``predict_batch``) in
-one call.  Results are plain JSON-able dicts, and each request's
+(``pipeline.analyze_batch`` → the one-pass annotation engine's merged
+dictionary scan, ``tag_batch``, and feature-shared ``predict_batch``)
+in one call.  Results are plain JSON-able dicts, and each request's
 result is a pure function of its ``(op, text)`` — independent of what
 else shares the batch — which is what makes batched responses
 byte-identical to sequential single-request responses.

@@ -1,0 +1,127 @@
+"""One-pass annotation engine: parity with the reference path.
+
+``pipeline.analyze`` is the one-step-at-a-time reference;
+``pipeline.analyze_batch`` runs the fused engine.  Beyond the mention
+equivalence covered in ``test_core``, these tests pin the two paths'
+*cache* behavior (identical stored entries under identical keys) and
+the serve layer's digest parity against the reference chain.
+"""
+
+import pytest
+
+from repro.annotations import Document
+from repro.nlp.anno_cache import AnnotationCache
+from repro.serve.session import ExtractionSession
+
+
+@pytest.fixture(scope="module")
+def texts(relevant_generator):
+    return [relevant_generator.document(i).text for i in range(4)]
+
+
+def _cache_contents(cache):
+    return {key: dict(entries)
+            for key, entries in cache._shards.items() if entries}
+
+
+class TestCacheParity:
+    def test_fused_path_stores_same_entries_as_reference(
+            self, pipeline, texts, tmp_path):
+        reference_cache = AnnotationCache(tmp_path / "reference")
+        session = ExtractionSession(pipeline,
+                                    annotation_cache=reference_cache)
+        try:
+            for index, text in enumerate(texts):
+                pipeline.analyze(Document(f"r{index}", text),
+                                 with_pos=True)
+        finally:
+            session.close()
+
+        fused_cache = AnnotationCache(tmp_path / "fused")
+        session = ExtractionSession(pipeline,
+                                    annotation_cache=fused_cache)
+        try:
+            pipeline.analyze_batch(
+                [Document(f"f{index}", text)
+                 for index, text in enumerate(texts)], with_pos=True)
+            assert _cache_contents(fused_cache) == \
+                _cache_contents(reference_cache)
+            assert fused_cache.n_entries > 0
+            # A second batch over the same texts is pure cache hits.
+            misses_before = fused_cache.misses
+            pipeline.analyze_batch(
+                [Document(f"g{index}", text)
+                 for index, text in enumerate(texts)], with_pos=True)
+            assert fused_cache.misses == misses_before
+            assert fused_cache.hits > 0
+        finally:
+            session.close()
+
+    def test_warm_cache_results_identical_to_cold(self, pipeline,
+                                                  texts, tmp_path):
+        cold = [Document(f"c{i}", t) for i, t in enumerate(texts)]
+        warm = [Document(f"w{i}", t) for i, t in enumerate(texts)]
+        session = ExtractionSession(
+            pipeline, annotation_cache=AnnotationCache(tmp_path / "a"))
+        try:
+            pipeline.analyze_batch(cold, with_pos=True)
+            pipeline.analyze_batch(warm, with_pos=True)
+        finally:
+            session.close()
+        for cold_doc, warm_doc in zip(cold, warm):
+            assert warm_doc.entities == cold_doc.entities
+            for cold_sent, warm_sent in zip(cold_doc.sentences,
+                                            warm_doc.sentences):
+                assert [t.pos for t in warm_sent.tokens] == \
+                    [t.pos for t in cold_sent.tokens]
+
+
+class TestServeDigestParity:
+    def test_extract_batch_matches_reference_chain(self, pipeline,
+                                                   texts):
+        session = ExtractionSession(pipeline)
+        outputs = session.run_batch([("extract", text)
+                                     for text in texts])
+        for text, output in zip(texts, outputs):
+            reference = pipeline.analyze(Document("serve", text))
+            expected = [{"text": m.text, "start": m.start,
+                         "end": m.end, "type": m.entity_type,
+                         "method": m.method}
+                        for m in reference.entities]
+            assert output["entities"] == expected
+            assert output["sentences"] == len(reference.sentences)
+        assert any(output["entities"] for output in outputs)
+
+    def test_batched_equals_singletons(self, pipeline, texts):
+        session = ExtractionSession(pipeline)
+        batched = session.extract_batch(texts)
+        singles = [session.extract_batch([text])[0] for text in texts]
+        assert batched == singles
+
+
+class TestEngineConstruction:
+    def test_one_pass_annotator_memoized(self, pipeline):
+        first = pipeline.one_pass_annotator()
+        again = pipeline.one_pass_annotator()
+        assert first is again
+        with_pos = pipeline.one_pass_annotator(with_pos=True)
+        assert with_pos is not first
+        assert with_pos.pos_tagger is pipeline.pos_tagger
+        assert first.pos_tagger is None
+
+    def test_engines_share_one_merged_automaton(self, pipeline):
+        plain = pipeline.one_pass_annotator()
+        with_pos = pipeline.one_pass_annotator(with_pos=True)
+        assert plain.merged is with_pos.merged
+
+    def test_dictionary_only_engine(self, pipeline, texts):
+        engine = pipeline.one_pass_annotator(methods=("dictionary",))
+        document = Document("d", texts[0])
+        engine.annotate(document)
+        reference = pipeline.analyze(Document("d", texts[0]),
+                                     methods=("dictionary",))
+        assert document.entities == reference.entities
+
+    def test_ml_only_engine_has_no_merged_dictionary(self, pipeline):
+        engine = pipeline.one_pass_annotator(methods=("ml",))
+        assert engine.merged is None

@@ -1,0 +1,234 @@
+"""Merged multi-type dictionary: one scan, per-type-identical output.
+
+The load-bearing property is union equivalence: for every text, the
+merged automaton's per-type mention lists must equal — spans, types,
+term ids, and order included — what each single-type
+:class:`EntityDictionary` produces on its own.  The frozen flat-edge
+form and the :class:`AutomatonCache` key must both cover the payload
+table, so a cache hit can never silently drop type resolution.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annotations import Document
+from repro.corpora.vocabulary import TermEntry
+from repro.ner.automaton import AhoCorasickAutomaton
+from repro.ner.cache import AutomatonCache, content_key, payload_salt
+from repro.ner.dictionary import (
+    EntityDictionary, MultiTypeDictionary, merged_dictionary_for,
+)
+
+#: Term pools with deliberate cross-type surface collisions ("malexia"
+#: is both a drug and a disease; "abraxol" both a drug and a gene) and
+#: shared prefixes/suffixes to stress overlap resolution.
+_POOLS = {
+    "disease": ["carditis", "neuropathy", "malexia", "fibrosis-2"],
+    "drug": ["abraxol", "zintamab", "corvex-9", "malexia"],
+    "gene": ["brca1", "tp53", "abraxol", "nf-kb", "corvex"],
+}
+_FILLER = ["alpha", "beta", "the", "dose", "of", "regulates"]
+_SURFACES = [w for pool in _POOLS.values() for w in pool]
+
+
+def _dictionaries(chosen: dict[str, list[str]],
+                  cache: AutomatonCache | None = None,
+                  ) -> list[EntityDictionary]:
+    return [
+        EntityDictionary(etype,
+                         [TermEntry(term, (), f"{etype[0].upper()}:{i}")
+                          for i, term in enumerate(terms)],
+                         cache=cache)
+        for etype, terms in chosen.items() if terms]
+
+
+def _reference(dictionaries, text):
+    """Per-type reference: each dictionary tags the text on its own."""
+    expected = {}
+    for dictionary in dictionaries:
+        document = Document("ref", text)
+        expected[dictionary.entity_type] = dictionary.annotate(document)
+    return expected
+
+
+class TestScanEquivalence:
+    TEXT = ("The dose of Abraxol and corvex 9 reduced malexia; "
+            "BRCA1 and nf-kb regulate corvex-9 but not zintamabs.")
+
+    def test_scan_matches_per_type_reference(self):
+        dictionaries = _dictionaries(_POOLS)
+        merged = MultiTypeDictionary(dictionaries)
+        scan = merged.scan(self.TEXT)
+        assert scan == _reference(dictionaries, self.TEXT)
+
+    def test_shared_surface_fires_once_per_type(self):
+        """A surface in two dictionaries keeps one pattern id per
+        owning type, so both types report the hit."""
+        dictionaries = _dictionaries({"drug": ["malexia"],
+                                      "disease": ["malexia"]})
+        merged = MultiTypeDictionary(dictionaries)
+        scan = merged.scan("malexia was observed.")
+        assert [m.entity_type for m in scan["drug"]] == ["drug"]
+        assert [m.entity_type for m in scan["disease"]] == ["disease"]
+        assert scan["drug"][0].span == scan["disease"][0].span
+
+    def test_per_type_overlap_resolution_is_independent(self):
+        """gene "corvex" and drug "corvex-9" overlap in the text; each
+        type must resolve against its own matches only."""
+        dictionaries = _dictionaries({"gene": ["corvex"],
+                                      "drug": ["corvex-9"]})
+        merged = MultiTypeDictionary(dictionaries)
+        scan = merged.scan("corvex-9 binds corvex.")
+        assert scan == _reference(dictionaries, "corvex-9 binds corvex.")
+        assert [m.text for m in scan["drug"]] == ["corvex-9"]
+
+    def test_single_type_merge_matches_component(self):
+        dictionaries = _dictionaries({"gene": _POOLS["gene"]})
+        merged = MultiTypeDictionary(dictionaries)
+        assert merged.scan(self.TEXT) == _reference(dictionaries,
+                                                    self.TEXT)
+
+
+class TestConstruction:
+    def test_entity_types_sorted(self):
+        merged = MultiTypeDictionary(_dictionaries(_POOLS))
+        assert merged.entity_types == ("disease", "drug", "gene")
+
+    def test_duplicate_type_rejected(self):
+        twice = _dictionaries({"gene": ["brca1"]}) + \
+            _dictionaries({"gene": ["tp53"]})
+        with pytest.raises(ValueError):
+            MultiTypeDictionary(twice)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiTypeDictionary([])
+
+    def test_merged_dictionary_for_memoizes(self):
+        dictionaries = _dictionaries(_POOLS)
+        first = merged_dictionary_for(dictionaries)
+        again = merged_dictionary_for(list(reversed(dictionaries)))
+        assert first is again
+        other = merged_dictionary_for(_dictionaries(_POOLS))
+        assert other is not first
+
+
+class TestPayloadCache:
+    PATTERNS = ["brca1", "malexia", "tp53"]
+    PAYLOADS = [("gene", "G:0", "BRCA1"), ("disease", "D:0", "Malexia"),
+                ("gene", "G:1", "TP53")]
+
+    def test_payload_salt_deterministic_and_discriminating(self):
+        assert payload_salt(self.PAYLOADS) == payload_salt(
+            [tuple(p) for p in self.PAYLOADS])
+        changed = [self.PAYLOADS[0], ("drug", "D:0", "Malexia"),
+                   self.PAYLOADS[2]]
+        assert payload_salt(self.PAYLOADS) != payload_salt(changed)
+        assert payload_salt(self.PAYLOADS) != payload_salt(
+            self.PAYLOADS[::-1])
+
+    def test_miss_then_hit_preserves_payloads(self, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        built, hit1 = cache.get_or_build(self.PATTERNS,
+                                         payloads=self.PAYLOADS)
+        assert not hit1 and built.payloads == self.PAYLOADS
+        # Fresh instance: must deserialize the payload table from disk.
+        loaded, hit2 = AutomatonCache(tmp_path).get_or_build(
+            self.PATTERNS, payloads=self.PAYLOADS)
+        assert hit2 and loaded.payloads == self.PAYLOADS
+        assert loaded.find_all("brca1 near malexia") == \
+            built.find_all("brca1 near malexia")
+
+    def test_payload_key_separate_from_plain_key(self, tmp_path):
+        """Same patterns with and without payloads must not share an
+        entry — a plain automaton has no type resolution to serve."""
+        cache = AutomatonCache(tmp_path)
+        cache.get_or_build(self.PATTERNS)
+        with_payloads, hit = cache.get_or_build(self.PATTERNS,
+                                                payloads=self.PAYLOADS)
+        assert not hit
+        assert with_payloads.payloads == self.PAYLOADS
+
+    def test_different_payloads_different_entries(self, tmp_path):
+        cache = AutomatonCache(tmp_path)
+        cache.get_or_build(self.PATTERNS, payloads=self.PAYLOADS)
+        changed = [("drug", *p[1:]) for p in self.PAYLOADS]
+        other, hit = cache.get_or_build(self.PATTERNS, payloads=changed)
+        assert not hit
+        assert other.payloads == changed
+
+    def test_frozen_state_round_trips_payloads(self):
+        automaton = AhoCorasickAutomaton()
+        automaton.add_all(self.PATTERNS)
+        automaton.set_payloads(self.PAYLOADS)
+        automaton.build()
+        restored = AhoCorasickAutomaton.from_state(automaton.to_state())
+        assert restored.payloads == self.PAYLOADS
+        assert restored.find_all("tp53 and brca1") == \
+            automaton.find_all("tp53 and brca1")
+
+    def test_plain_state_has_no_payloads(self):
+        automaton = AhoCorasickAutomaton()
+        automaton.add_all(self.PATTERNS)
+        automaton.build()
+        assert "payloads" not in automaton.to_state()
+        restored = AhoCorasickAutomaton.from_state(automaton.to_state())
+        assert restored.payloads is None
+
+    def test_merged_dictionary_warm_from_component_cache(self, tmp_path):
+        """The merged automaton inherits a component's cache and is
+        byte-equivalent after a cold reload."""
+        cold = MultiTypeDictionary(
+            _dictionaries(_POOLS, cache=AutomatonCache(tmp_path)))
+        assert not cold.cache_hit
+        warm = MultiTypeDictionary(
+            _dictionaries(_POOLS, cache=AutomatonCache(tmp_path)))
+        assert warm.cache_hit
+        text = TestScanEquivalence.TEXT
+        assert warm.scan(text) == cold.scan(text)
+
+    def test_content_key_covers_payload_salt(self):
+        plain = content_key(self.PATTERNS)
+        salted = content_key(self.PATTERNS,
+                             salt=payload_salt(self.PAYLOADS))
+        assert plain != salted
+
+
+@st.composite
+def _scenarios(draw):
+    chosen = {etype: draw(st.lists(st.sampled_from(pool), unique=True,
+                                   min_size=0, max_size=len(pool)))
+              for etype, pool in _POOLS.items()}
+    if not any(chosen.values()):
+        chosen["gene"] = ["brca1"]
+    words = draw(st.lists(
+        st.sampled_from(_SURFACES + _FILLER +
+                        ["Malexia", "corvex 9", "ABRAXOL", "brca1s"]),
+        min_size=1, max_size=25))
+    return chosen, " ".join(words) + "."
+
+
+class TestPropertyUnionEquivalence:
+    @given(_scenarios())
+    @settings(max_examples=120, deadline=None)
+    def test_property_merged_equals_per_type_union(self, scenario):
+        chosen, text = scenario
+        dictionaries = _dictionaries(chosen)
+        merged = MultiTypeDictionary(dictionaries)
+        scan = merged.scan(text)
+        expected = _reference(dictionaries, text)
+        # Full equality: spans, surfaces, types, term ids, order.
+        assert scan == expected
+        assert set(scan) == {d.entity_type for d in dictionaries}
+
+    @given(_scenarios())
+    @settings(max_examples=60, deadline=None)
+    def test_property_frozen_round_trip_preserves_scan(self, scenario):
+        chosen, text = scenario
+        merged = MultiTypeDictionary(_dictionaries(chosen))
+        state = merged._automaton.to_state()
+        restored = AhoCorasickAutomaton.from_state(state)
+        assert restored.payloads == merged._automaton.payloads
+        lowered = text.lower()
+        assert restored.find_all(lowered) == \
+            merged._automaton.find_all(lowered)
