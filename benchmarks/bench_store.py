@@ -1,0 +1,135 @@
+"""Entity-store ingest, aggregation, persistence, and query timings.
+
+The store's determinism contract is cheap to state (sets + order-free
+aggregation) but must stay cheap to *run*: this bench times each
+stage of the store lifecycle — ingesting analyzed documents, the
+snapshot aggregation (union-find + fact grouping), the atomic save,
+the typed load, and corroboration-ranked queries — over a bench-scale
+analyzed corpus, asserting the byte-identity invariant (forward vs
+reversed ingest order, save → load → save) on every round.
+
+Artifacts: repo-root ``BENCH_store.json`` and
+``out/entity_store.txt``.  ``BENCH_SMOKE=1`` shrinks the corpus and
+skips the throughput gate (CI timings are noise); the byte-identity
+assertions always hold.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from reporting import format_table, write_report
+
+from repro.store import EntityStore, QueryEngine, ingest_documents
+
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+N_DOCS = 10 if SMOKE else 30
+ROUNDS = 3
+N_QUERIES = 50
+
+#: Ingest must not dominate extraction: analyzed documents should
+#: enter the store at hundreds per second even on one core.
+MIN_INGEST_DOCS_PER_S = 50.0
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _analyzed_documents(ctx):
+    documents = []
+    for index, document in enumerate(
+            ctx.corpus_documents("relevant")[:N_DOCS]):
+        copy = document.copy_shallow()
+        copy.meta["url"] = f"http://host{index % 7}.example.org/p{index}"
+        ctx.pipeline.analyze(copy)
+        documents.append(copy)
+    return documents
+
+
+def test_store_lifecycle(ctx, tmp_path):
+    documents = _analyzed_documents(ctx)
+    vocabulary = ctx.vocabulary
+
+    timings = {"ingest": [], "snapshot": [], "save": [], "load": [],
+               "query": []}
+    reference_bytes = None
+    n_facts = n_entities = 0
+
+    for round_ in range(ROUNDS):
+        store = EntityStore(vocabulary=vocabulary)
+        started = time.perf_counter()
+        ingest_documents(store, documents)
+        timings["ingest"].append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        snapshot = store.snapshot()
+        timings["snapshot"].append(time.perf_counter() - started)
+        n_facts, n_entities = snapshot.n_facts, snapshot.n_entities
+
+        target = tmp_path / f"round{round_}.json"
+        started = time.perf_counter()
+        store.save(target)
+        timings["save"].append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        loaded = EntityStore.load(target)
+        timings["load"].append(time.perf_counter() - started)
+
+        # Invariants, every round: reversed ingest order and the
+        # save -> load -> save round trip are byte-identical.
+        reversed_store = EntityStore(vocabulary=vocabulary)
+        ingest_documents(reversed_store, list(reversed(documents)))
+        assert (reversed_store.save(tmp_path / "rev.json").read_bytes()
+                == target.read_bytes())
+        assert (loaded.save(tmp_path / "reload.json").read_bytes()
+                == target.read_bytes())
+        if reference_bytes is None:
+            reference_bytes = target.read_bytes()
+        else:
+            assert target.read_bytes() == reference_bytes
+
+        engine = QueryEngine(loaded)
+        aliases = [e["name"] for e in engine.entities()][:N_QUERIES]
+        started = time.perf_counter()
+        for alias in aliases:
+            engine.facts(alias=alias, limit=10)
+        timings["query"].append(
+            (time.perf_counter() - started) / max(1, len(aliases)))
+
+    best = {stage: min(values) for stage, values in timings.items()}
+    ingest_rate = len(documents) / best["ingest"]
+
+    rows = [
+        ["ingest", f"{best['ingest'] * 1e3:.1f} ms",
+         f"{ingest_rate:.0f} docs/s"],
+        ["snapshot", f"{best['snapshot'] * 1e3:.1f} ms",
+         f"{n_facts} facts / {n_entities} entities"],
+        ["save", f"{best['save'] * 1e3:.1f} ms", "atomic + fsync"],
+        ["load", f"{best['load'] * 1e3:.1f} ms", "typed validation"],
+        ["query", f"{best['query'] * 1e6:.0f} us",
+         "per alias lookup, limit 10"],
+    ]
+    lines = format_table(["stage", "best-of-3", "note"], rows)
+    lines.append("")
+    lines.append(f"{len(documents)} analyzed documents; byte-identity "
+                 f"asserted each round (reversed order, reload)")
+    write_report("entity_store", "Entity store lifecycle", lines)
+
+    payload = {
+        "n_documents": len(documents),
+        "n_facts": n_facts,
+        "n_entities": n_entities,
+        "seconds": {stage: round(value, 6)
+                    for stage, value in best.items()},
+        "ingest_docs_per_s": round(ingest_rate, 1),
+        "smoke": SMOKE,
+    }
+    (REPO_ROOT / "BENCH_store.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    if not SMOKE:
+        assert ingest_rate >= MIN_INGEST_DOCS_PER_S, (
+            f"store ingest {ingest_rate:.0f} docs/s under the "
+            f"{MIN_INGEST_DOCS_PER_S} docs/s floor")

@@ -9,6 +9,9 @@ Subcommands cover the main workflows:
 * ``repro scalability`` — the simulated-cluster sweeps (Figs. 4-5);
 * ``repro seeds``       — seed generation statistics (Table 1);
 * ``repro facts``       — crawl, extract, and export a fact database;
+* ``repro query``       — query a persisted entity/fact store
+  (docs/entity_store.md): facts by entity/alias/predicate/URL, ranked
+  by corroboration;
 * ``repro serve``       — long-lived batched extraction server
   (docs/serving.md): frozen kernels loaded once, requests coalesced
   into batches, workers forked copy-on-write;
@@ -83,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="hard-exit (os._exit 9) after N fetched "
                             "pages — crash-safety testing")
+    crawl.add_argument("--store", default=None, metavar="DIR",
+                       help="analyze the relevant pages and persist an "
+                            "entity/fact store under DIR (query it with "
+                            "'repro query'; byte-identical at any "
+                            "--workers/--shards count)")
     crawl.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="export deterministic crawl metrics as "
                             "JSON lines (byte-identical at any "
@@ -129,6 +137,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "annotation stage (outputs are identical; "
                            "this exposes the reference path for "
                            "comparison)")
+    flow.add_argument("--store", default=None, metavar="DIR",
+                      help="ingest the entities/relations sinks into an "
+                           "entity/fact store persisted under DIR")
     flow.add_argument("--report", default=None, metavar="PATH",
                       help="write the execution report as JSON")
     flow.add_argument("--metrics-out", default=None, metavar="PATH",
@@ -189,6 +200,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the deterministic metrics export on "
                             "shutdown")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="serve the entity/fact store at DIR through "
+                            "the 'query' op")
+
+    query = subparsers.add_parser(
+        "query", help="query a persisted entity/fact store")
+    query.add_argument("store", metavar="STORE",
+                       help="store directory written by --store "
+                            "(or the store.json file itself)")
+    query.add_argument("--entity", default=None, metavar="NAME",
+                       help="facts whose subject or object has this "
+                            "canonical name or id")
+    query.add_argument("--alias", default=None, metavar="SURFACE",
+                       help="facts mentioning this surface form "
+                            "(any alias of the canonical entity)")
+    query.add_argument("--predicate", default=None, metavar="VERB",
+                       help="facts with this predicate (a connecting "
+                            "verb, or 'associated_with')")
+    query.add_argument("--url", default=None, metavar="URL",
+                       help="facts with provenance from this source URL")
+    query.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="at most N facts (default: all)")
+    query.add_argument("--format", default="table",
+                       choices=["table", "json"],
+                       help="output format (default table)")
+    query.add_argument("--entities", action="store_true",
+                       help="list canonical entities instead of facts")
 
     loadgen = subparsers.add_parser(
         "loadgen", help="drive a running server with closed-loop load")
@@ -281,6 +319,24 @@ def _print_round_reports(reports) -> None:
               f"relevant {report['relevant']}")
 
 
+def _build_store_from_crawl(ctx, result, store_dir,
+                            metrics=None) -> None:
+    """Shared crawl-sink ingestion: analyze relevant pages, persist the
+    store, and publish its (deterministic) metrics before export."""
+    from repro.store import EntityStore, ingest_crawl_result
+
+    store = EntityStore(vocabulary=ctx.vocabulary)
+    n_docs = ingest_crawl_result(store, result, ctx.pipeline)
+    if metrics is not None:
+        store.publish_metrics(metrics)
+    path = store.save(store_dir)
+    snapshot = store.snapshot()
+    print(f"store: {snapshot.n_facts} facts "
+          f"({snapshot.n_corroborated} corroborated) from {n_docs} "
+          f"documents | {snapshot.n_entities} entities, "
+          f"{snapshot.n_alias_merges} alias merges -> {path}")
+
+
 def cmd_crawl(args) -> int:
     import os
 
@@ -356,6 +412,8 @@ def cmd_crawl(args) -> int:
     mode = (f"{args.workers} workers" if args.workers > 1
             else "sequential")
     _print_crawl_report(result, mode)
+    if args.store:
+        _build_store_from_crawl(ctx, result, args.store, metrics=metrics)
     if metrics is not None:
         path = metrics.write_jsonl(args.metrics_out)
         print(f"wrote metrics: {path}")
@@ -438,6 +496,9 @@ def _cmd_crawl_sharded(args) -> int:
           f"{driver.supersteps} supersteps")
     _print_round_reports(driver.round_reports)
     _print_crawl_report(result, mode=f"{args.shards} shards")
+    if args.store:
+        _build_store_from_crawl(ctx, result, args.store,
+                                metrics=driver.metrics)
     if want_metrics and driver.metrics is not None:
         path = driver.metrics.write_jsonl(args.metrics_out)
         print(f"wrote metrics: {path}")
@@ -531,6 +592,18 @@ def cmd_flow(args) -> int:
         print(f"{stats.name[:58]:<58} {stats.records_in:>6} "
               f"{stats.records_out:>6} {stats.seconds:>8.3f} "
               f"{stats.records_per_second:>9.0f}")
+    if args.store:
+        from repro.store import EntityStore, ingest_flow_outputs
+
+        store = EntityStore(vocabulary=ctx.vocabulary)
+        n_entities, n_relations = ingest_flow_outputs(store, outputs)
+        if metrics is not None:
+            store.publish_metrics(metrics)
+        path = store.save(args.store)
+        snapshot = store.snapshot()
+        print(f"store: {snapshot.n_facts} facts from {n_relations} "
+              f"relation / {n_entities} entity records | "
+              f"{snapshot.n_entities} entities -> {path}")
     if args.report:
         from pathlib import Path
 
@@ -603,6 +676,52 @@ def cmd_facts(args) -> int:
     return 0
 
 
+def cmd_query(args) -> int:
+    import json
+
+    from repro.store import (
+        EntityStore, QueryEngine, StoreError, format_fact_table,
+    )
+
+    try:
+        store = EntityStore.load(args.store)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    engine = QueryEngine(store)
+    if args.entities:
+        entities = engine.entities(alias=args.alias)
+        if args.limit is not None:
+            entities = entities[:args.limit]
+        if args.format == "json":
+            print(json.dumps({"count": len(entities),
+                              "entities": entities},
+                             indent=2, sort_keys=True))
+        else:
+            for entity in entities:
+                aliases = ", ".join(entity["aliases"][:4])
+                print(f"{entity['id']:<24} {entity['name']:<24} "
+                      f"mentions {entity['mentions']:>4} | "
+                      f"sources {entity['sources']:>3} | {aliases}")
+            if not entities:
+                print("no matching entities")
+        return 0
+    try:
+        facts = engine.facts(entity=args.entity, alias=args.alias,
+                             predicate=args.predicate, url=args.url,
+                             limit=args.limit)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps({"count": len(facts), "facts": facts},
+                         indent=2, sort_keys=True))
+    else:
+        for line in format_fact_table(facts):
+            print(line)
+    return 0
+
+
 def cmd_serve(args) -> int:
     from pathlib import Path
 
@@ -610,6 +729,15 @@ def cmd_serve(args) -> int:
     from repro.serve.server import ExtractionServer, ServeConfig
     from repro.serve.session import ExtractionSession
 
+    query_engine = None
+    if args.store:
+        from repro.store import EntityStore, QueryEngine, StoreError
+
+        try:
+            query_engine = QueryEngine(EntityStore.load(args.store))
+        except StoreError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     quotas: dict[str, tuple[float, float]] = {}
     default_quota = None
     for spec in args.quota or []:
@@ -630,12 +758,17 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch, max_delay_ms=args.max_delay_ms,
         queue_limit=args.queue_limit, quotas=quotas,
         default_quota=default_quota, metrics_out=args.metrics_out)
-    server = ExtractionServer(session, config).start()
+    server = ExtractionServer(session, config,
+                              query_engine=query_engine).start()
     host, port = server.address
     print(f"serving on {host}:{port} | workers {config.workers} | "
           f"batch <= {config.policy().max_requests} | "
           f"deadline {config.max_delay_ms:g} ms | "
           f"queue limit {config.queue_limit}")
+    if query_engine is not None:
+        print(f"store: {query_engine.snapshot.n_facts} facts / "
+              f"{query_engine.snapshot.n_entities} entities from "
+              f"{args.store} (query op enabled)")
     sys.stdout.flush()
     if args.port_file:
         Path(args.port_file).write_text(f"{port}\n", encoding="utf-8")
@@ -719,6 +852,7 @@ _COMMANDS = {
     "scalability": cmd_scalability,
     "seeds": cmd_seeds,
     "facts": cmd_facts,
+    "query": cmd_query,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
     "report": cmd_report,

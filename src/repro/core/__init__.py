@@ -4,8 +4,9 @@ analytics.
 * :mod:`repro.core.pipeline` — one object bundling every trained tool
   (classifier, splitter, HMM tagger, six entity taggers, boilerplate
   detector, language identifier);
-* :mod:`repro.core.flows` — the consolidated Fig. 2 data flow (38
-  elementary operators) and its linguistic / entity sub-flows;
+* :mod:`repro.core.flows` — the consolidated Fig. 2 data flow (the
+  paper's 38 elementary operators plus the relation-records sink) and
+  its linguistic / entity sub-flows;
 * :mod:`repro.core.analysis` — the Section 4.3 content analysis
   (linguistic properties, entity statistics, overlaps, divergences);
 * :mod:`repro.core.experiment` — a cached experiment context shared by

@@ -1,8 +1,11 @@
 """The consolidated analysis data flows (Fig. 2 of the paper).
 
-``build_fig2_flow`` constructs the complete flow — 38 elementary
-operators — with a shared web-preprocessing prefix fanning out into a
-linguistic branch and an entity branch, each feeding record sinks.
+``build_fig2_flow`` constructs the complete flow — the paper's 38
+elementary operators plus a relation-records sink (39 nodes) — with a
+shared web-preprocessing prefix fanning out into a linguistic branch
+and an entity branch, each feeding record sinks.  The ``relations``
+sink carries provenance-rich co-occurrence relation records, the
+flow-side feed of the entity store (docs/entity_store.md).
 ``build_linguistic_flow`` / ``build_entity_flow`` are the two separate
 flows the scalability experiments use (Section 4.2).
 
@@ -72,7 +75,8 @@ def _web_prefix(plan: LogicalPlan, pipeline: TextAnalyticsPipeline):
 
 
 def build_fig2_flow(pipeline: TextAnalyticsPipeline) -> LogicalPlan:
-    """The complete consolidated flow: 38 elementary operators."""
+    """The complete consolidated flow: the paper's 38 elementary
+    operators plus the relation-records sink (39 nodes)."""
     plan = LogicalPlan()
     prefix = _web_prefix(plan, pipeline)                           # 12 ops
     # Linguistic branch (6 ops).
@@ -109,14 +113,20 @@ def build_fig2_flow(pipeline: TextAnalyticsPipeline) -> LogicalPlan:
         make_operator("conflict_resolution"),
         make_operator("validate_offsets"),
         make_operator("filter_tla_gene_annotations"),
-        make_operator("entities_to_records"),
     ], after=entity)
-    plan.mark_sink("entities", entity)
+    entity_records = plan.add(make_operator("entities_to_records"),
+                              entity)
+    plan.mark_sink("entities", entity_records)
     frequencies = plan.chain([
         make_operator("count_entities_by_name"),
         make_operator("sort", key=lambda r: -r["frequency"]),
-    ], after=entity)
+    ], after=entity_records)
     plan.mark_sink("entity_frequencies", frequencies)
+    # Relation branch (1 op): provenance-rich co-occurrence relation
+    # records off the final merged annotations — the entity store's
+    # flow-side feed (docs/entity_store.md).
+    relations = plan.add(make_operator("extract_relations"), entity)
+    plan.mark_sink("relations", relations)
     # Link-graph branch (2 ops).
     edges = plan.chain([
         make_operator("outlinks_to_records"),

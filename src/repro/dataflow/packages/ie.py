@@ -264,8 +264,10 @@ def _filter_entity_type(entity_type: str, **ann) -> Operator:
           "Emit one record per entity mention")
 def _entities_to_records(**ann) -> Operator:
     def explode(document: Document) -> Iterable[dict]:
+        url = document.meta.get("url", "")
         for mention in document.entities:
-            yield {"doc_id": document.doc_id, "text": mention.text,
+            yield {"doc_id": document.doc_id, "url": url,
+                   "text": mention.text,
                    "start": mention.start, "end": mention.end,
                    "entity_type": mention.entity_type,
                    "method": mention.method, "term_id": mention.term_id}
@@ -346,7 +348,8 @@ def _extract_relations(max_token_distance: int = 30, **ann) -> Operator:
     extractor = RelationExtractor(max_token_distance=max_token_distance)
 
     def explode(document: Document):
-        yield from relations_to_records(extractor.extract(document))
+        yield from relations_to_records(extractor.extract(document),
+                                        url=document.meta.get("url", ""))
     return FlatMapOperator("extract_relations", explode,
                            reads=frozenset({"entities", "sentences"}),
                            **ann)

@@ -149,16 +149,33 @@ class RelationExtractor:
                    if left <= t.start and t.end <= right)
 
 
-def relations_to_records(relations: list[EntityRelation]) -> list[dict]:
-    """Flat dict records (for the dataflow and fact-database export)."""
+def relations_to_records(relations: list[EntityRelation],
+                         url: str = "") -> list[dict]:
+    """Flat dict records (for the dataflow, the fact-database export,
+    and the entity store).
+
+    Records carry the full mention provenance — document character
+    offsets, tagger method, resolved term id for both endpoints, and
+    the source ``url`` when the caller knows it — so downstream
+    consumers never need the :class:`EntityRelation` objects back.
+    """
     return [{
         "doc_id": r.doc_id,
+        "url": url,
         "sentence": r.sentence_index,
         "relation_type": r.relation_type,
         "subject": r.subject.text,
         "subject_type": r.subject.entity_type,
+        "subject_start": r.subject.start,
+        "subject_end": r.subject.end,
+        "subject_method": r.subject.method,
+        "subject_term_id": r.subject.term_id,
         "object": r.object.text,
         "object_type": r.object.entity_type,
+        "object_start": r.object.start,
+        "object_end": r.object.end,
+        "object_method": r.object.method,
+        "object_term_id": r.object.term_id,
         "verb": r.verb,
         "negated": r.negated,
         "confidence": round(r.confidence, 3),

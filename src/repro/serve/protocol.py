@@ -12,8 +12,13 @@ Requests::
 
 Batch ops (``extract`` / ``annotate`` / ``classify``) flow through the
 request coalescer; control ops (``ping`` / ``metrics`` / ``stats`` /
-``shutdown``) are answered inline by the connection reader and are
-never batched.
+``query`` / ``shutdown``) are answered inline by the connection reader
+and are never batched.  ``query`` looks up facts in the entity store
+the server was started with (``repro serve --store DIR``); its
+filters travel in an optional ``params`` object::
+
+    {"id": "1", "op": "query",
+     "params": {"alias": "aspirin", "limit": 5}}
 
 Responses::
 
@@ -33,7 +38,7 @@ from typing import Any
 #: Operations that flow through the coalescer, as (op -> handler name).
 BATCH_OPS = ("extract", "annotate", "classify")
 #: Operations answered inline by the connection reader.
-CONTROL_OPS = ("ping", "metrics", "stats", "shutdown")
+CONTROL_OPS = ("ping", "metrics", "stats", "query", "shutdown")
 
 #: Upper bound on one serialized message; guards the reader against
 #: unframed garbage streams.
@@ -53,6 +58,7 @@ class Request:
     text: str
     tenant: str = "default"
     include_volatile: bool = True
+    params: Any = None
 
     @classmethod
     def from_payload(cls, payload: Any) -> "Request":
@@ -72,10 +78,14 @@ class Request:
         tenant = payload.get("tenant", "default")
         if not isinstance(tenant, str) or not tenant:
             raise ProtocolError("'tenant' must be a non-empty string")
+        params = payload.get("params")
+        if params is not None and not isinstance(params, dict):
+            raise ProtocolError("'params' must be a JSON object")
         return cls(request_id=str(request_id), op=op, text=text,
                    tenant=tenant,
                    include_volatile=bool(payload.get(
-                       "include_volatile", True)))
+                       "include_volatile", True)),
+                   params=params)
 
 
 def encode_message(payload: dict) -> bytes:

@@ -376,10 +376,14 @@ class ExtractionServer:
     """
 
     def __init__(self, session: ExtractionSession, config: ServeConfig,
-                 metrics: MetricsRegistry | None = None) -> None:
+                 metrics: MetricsRegistry | None = None,
+                 query_engine=None) -> None:
         self.config = config
         self.engine = BatchEngine(session, config, metrics=metrics)
         self.metrics = self.engine.metrics
+        #: Optional :class:`repro.store.QueryEngine` backing the
+        #: ``query`` control op (``repro serve --store DIR``).
+        self.query_engine = query_engine
         self._listener: socket.socket | None = None
         self._accept_thread: threading.Thread | None = None
         self._connections: set[protocol.MessageStream] = set()
@@ -503,9 +507,42 @@ class ExtractionServer:
                 include_volatile=request.include_volatile)
         elif request.op == "stats":
             result = self.engine.stats()
+        elif request.op == "query":
+            result = self._handle_query(stream, request)
+            if result is None:
+                return
         else:  # shutdown
             result = {"stopping": True}
         stream.send_message(protocol.ok_response(request.request_id,
                                                  result))
         if request.op == "shutdown":
             self.request_shutdown()
+
+    def _handle_query(self, stream: protocol.MessageStream,
+                      request: protocol.Request) -> dict | None:
+        """Answer a ``query`` op from the attached store; returns the
+        result payload, or None after sending an error response."""
+        if self.query_engine is None:
+            stream.send_message(protocol.error_response(
+                request.request_id, "no_store",
+                "server was started without --store; "
+                "the query op is unavailable", retryable=False))
+            return None
+        from repro.store.query import QUERY_FILTERS
+
+        params = dict(request.params or {})
+        unknown = sorted(set(params) - set(QUERY_FILTERS))
+        if unknown:
+            stream.send_message(protocol.error_response(
+                request.request_id, "bad_request",
+                f"unknown query params {unknown}; "
+                f"supported: {sorted(QUERY_FILTERS)}", retryable=False))
+            return None
+        try:
+            facts = self.query_engine.facts(**params)
+        except (TypeError, ValueError) as exc:
+            stream.send_message(protocol.error_response(
+                request.request_id, "bad_request", str(exc),
+                retryable=False))
+            return None
+        return {"count": len(facts), "facts": facts}

@@ -1,0 +1,75 @@
+"""Ingestion helpers: crawl results and flow sink records into a store.
+
+Two equivalent paths feed an :class:`~repro.store.store.EntityStore`:
+
+* **document path** — annotated :class:`~repro.annotations.Document`
+  objects (the crawl sink analyzes each relevant page, then ingests
+  mentions + extracted relations);
+* **record path** — ``entities`` / ``relations`` sink records from a
+  flow run (:func:`repro.core.flows.build_fig2_flow`).
+
+Both reduce to the same observation tuples, so a store built either
+way from the same annotated documents exports byte-identically —
+asserted in ``tests/store/test_store_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+from repro.annotations import Document
+from repro.store.store import EntityStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.pipeline import TextAnalyticsPipeline
+    from repro.crawler.crawl import CrawlResult
+
+
+def ingest_documents(store: EntityStore,
+                     documents: Iterable[Document],
+                     pipeline: "TextAnalyticsPipeline | None" = None,
+                     extractor=None, round_: int = 0) -> int:
+    """Ingest annotated documents; with ``pipeline``, analyze a
+    shallow copy of each first (originals untouched).  Returns the
+    number of documents ingested."""
+    if extractor is None:
+        from repro.ner.relations import RelationExtractor
+
+        extractor = RelationExtractor()
+    count = 0
+    for document in documents:
+        if pipeline is not None:
+            document = document.copy_shallow()
+            pipeline.analyze(document)
+        store.ingest_document(document,
+                              relations=extractor.extract(document),
+                              round_=round_)
+        count += 1
+    return count
+
+
+def ingest_crawl_result(store: EntityStore, result: "CrawlResult",
+                        pipeline: "TextAnalyticsPipeline",
+                        round_: int = 0) -> int:
+    """Analyze and ingest a crawl's relevant documents.
+
+    ``result.relevant`` is byte-identical at any worker/shard count
+    and across kill+resume, and analysis + ingestion are
+    deterministic, so the resulting store inherits those guarantees.
+    """
+    return ingest_documents(store, result.relevant, pipeline=pipeline,
+                            round_=round_)
+
+
+def ingest_flow_outputs(store: EntityStore,
+                        outputs: Mapping[str, list],
+                        round_: int = 0) -> tuple[int, int]:
+    """Ingest a flow run's ``entities`` and ``relations`` sink
+    records; returns (entity_records, relation_records) counts."""
+    entity_records = outputs.get("entities", [])
+    relation_records = outputs.get("relations", [])
+    for record in entity_records:
+        store.ingest_entity_record(record, round_=round_)
+    for record in relation_records:
+        store.ingest_relation_record(record, round_=round_)
+    return len(entity_records), len(relation_records)

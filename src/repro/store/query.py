@@ -1,0 +1,109 @@
+"""Query layer over an :class:`~repro.store.store.EntityStore`.
+
+Library API for fact lookup — by entity, alias, predicate, or source
+URL — ranked by corroboration, shared by the ``repro query`` CLI and
+the extraction server's ``query`` op so all three answer identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.store.store import EntityStore, StoreSnapshot, alias_key
+
+#: Filter keywords accepted by :meth:`QueryEngine.facts` — the wire
+#: contract for the serve ``query`` op's ``params`` object.
+QUERY_FILTERS = ("entity", "alias", "predicate", "url", "limit")
+
+
+class QueryEngine:
+    """Reusable query view: the snapshot is aggregated once."""
+
+    def __init__(self, store: EntityStore) -> None:
+        self._snapshot: StoreSnapshot = store.snapshot()
+        # alias_key -> canonical ids, for alias-driven fact lookup.
+        self._ids_by_alias: dict[str, set[str]] = {}
+        self._ids_by_name: dict[str, set[str]] = {}
+        for entity in self._snapshot.entities:
+            for alias in entity["aliases"]:
+                self._ids_by_alias.setdefault(
+                    alias_key(alias), set()).add(entity["id"])
+            self._ids_by_name.setdefault(
+                alias_key(entity["name"]), set()).add(entity["id"])
+            self._ids_by_name.setdefault(
+                entity["id"].lower(), set()).add(entity["id"])
+
+    # -- lookups --------------------------------------------------------------
+
+    @property
+    def snapshot(self) -> StoreSnapshot:
+        return self._snapshot
+
+    def entities(self, alias: str | None = None) -> list[dict]:
+        """Entity entries, optionally restricted to one alias."""
+        entries = list(self._snapshot.entities)
+        if alias is not None:
+            wanted = self._ids_by_alias.get(alias_key(alias), set())
+            entries = [e for e in entries if e["id"] in wanted]
+        return entries
+
+    def facts(self, entity: str | None = None, alias: str | None = None,
+              predicate: str | None = None, url: str | None = None,
+              limit: int | None = None) -> list[dict]:
+        """Facts ranked by corroboration (then support, confidence,
+        canonical key).
+
+        ``entity`` matches a canonical id or canonical name;
+        ``alias`` matches any observed surface form; ``predicate``
+        matches exactly; ``url`` keeps facts with provenance from that
+        source.
+        """
+        if limit is not None and (not isinstance(limit, int)
+                                  or isinstance(limit, bool) or limit < 0):
+            raise ValueError(f"limit must be a non-negative integer, "
+                             f"got {limit!r}")
+        facts: Iterable[dict] = self._snapshot.facts
+        if entity is not None:
+            wanted = self._ids_by_name.get(alias_key(entity), set())
+            wanted = wanted | self._ids_by_name.get(entity.lower(), set())
+            facts = [f for f in facts
+                     if f["subject_id"] in wanted
+                     or f["object_id"] in wanted]
+        if alias is not None:
+            wanted = self._ids_by_alias.get(alias_key(alias), set())
+            facts = [f for f in facts
+                     if f["subject_id"] in wanted
+                     or f["object_id"] in wanted]
+        if predicate is not None:
+            facts = [f for f in facts if f["predicate"] == predicate]
+        if url is not None:
+            facts = [f for f in facts
+                     if any(p["url"] == url for p in f["provenance"])]
+        ranked = sorted(facts, key=_rank_key)
+        if limit is not None:
+            ranked = ranked[:limit]
+        return ranked
+
+
+def _rank_key(fact: dict):
+    return (-fact["corroboration"], -fact["support"],
+            -fact["confidence"], fact["subject_id"], fact["predicate"],
+            fact["object_id"], fact["negated"])
+
+
+def format_fact_table(facts: list[dict]) -> list[str]:
+    """Fixed-width table lines for terminal output."""
+    if not facts:
+        return ["no matching facts"]
+    header = (f"{'subject':<24} {'predicate':<16} {'object':<24} "
+              f"{'corr':>4} {'docs':>4} {'conf':>5}")
+    lines = [header, "-" * len(header)]
+    for fact in facts:
+        subject = fact["subject"]
+        if fact["negated"]:
+            subject = f"!{subject}"
+        lines.append(
+            f"{subject[:24]:<24} {fact['predicate'][:16]:<16} "
+            f"{fact['object'][:24]:<24} {fact['corroboration']:>4} "
+            f"{fact['documents']:>4} {fact['confidence']:>5.2f}")
+    return lines

@@ -86,15 +86,18 @@ class TestPipeline:
 
 
 class TestFlows:
-    def test_fig2_has_38_operators(self, pipeline):
-        assert len(build_fig2_flow(pipeline)) == 38
+    def test_fig2_operator_count(self, pipeline):
+        # The paper's 38 elementary operators plus the relation-records
+        # sink feeding the entity store.
+        assert len(build_fig2_flow(pipeline)) == 39
 
     def test_fig2_executes_end_to_end(self, pipeline, web_documents):
         plan = build_fig2_flow(pipeline)
         outputs, _report = LocalExecutor().execute(
             plan, [d.copy_shallow() for d in web_documents])
         assert set(outputs) == {"sentences", "linguistics", "entities",
-                                "entity_frequencies", "edges"}
+                                "entity_frequencies", "edges",
+                                "relations"}
         assert outputs["sentences"]
         assert outputs["entities"]
 

@@ -90,7 +90,8 @@ class TestSubstitution:
         assert "annotate_tokens" in names
         assert "annotate_pos" not in names
         assert set(plan.sinks) == {"sentences", "linguistics", "entities",
-                                   "entity_frequencies", "edges"}
+                                   "entity_frequencies", "edges",
+                                   "relations"}
         plan.topological_order()
         annotator = fused[0].operator.fused_annotator
         assert annotator.split == "never"

@@ -120,7 +120,8 @@ class TestFusePlan:
         assert fused.n_fused >= 3
         assert len(fused.stages) < sum(len(s.nodes) for s in fused.stages)
         assert set(fused.sinks) == {"sentences", "linguistics", "entities",
-                                    "entity_frequencies", "edges"}
+                                    "entity_frequencies", "edges",
+                                    "relations"}
 
 
 def _random_plan(rng):

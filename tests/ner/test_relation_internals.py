@@ -1,0 +1,169 @@
+"""Edge-case coverage for the relation extractor's building blocks:
+span dedup ties, verb detection limits, pair orientation, and the
+offset fidelity of the record export (the entity store's input
+contract).
+"""
+
+from __future__ import annotations
+
+from repro.annotations import Document, EntityMention
+from repro.ner.relations import (
+    RelationExtractor, _dedup_spans, relations_to_records,
+)
+from repro.nlp.sentence import split_sentences
+from repro.nlp.tokenize import tokenize
+
+
+def _mention(text, start, entity_type, method="dictionary",
+             term_id=""):
+    return EntityMention(text=text, start=start,
+                         end=start + len(text),
+                         entity_type=entity_type, method=method,
+                         term_id=term_id)
+
+
+def _document(text, mentions):
+    document = Document(doc_id="doc", text=text, entities=mentions)
+    document.sentences = split_sentences(text)
+    for sentence in document.sentences:
+        sentence.tokens = tokenize(sentence.text,
+                                   base_offset=sentence.start)
+    return document
+
+
+class TestDedupSpans:
+    def test_dictionary_evidence_wins_either_order(self):
+        ml = _mention("aspirin", 0, "drug", method="ml")
+        dictionary = _mention("aspirin", 0, "drug",
+                              method="dictionary", term_id="DRUG:1")
+        for order in ([ml, dictionary], [dictionary, ml]):
+            kept = _dedup_spans(order)
+            assert kept == [dictionary]
+
+    def test_tie_between_equal_methods_keeps_first(self):
+        first = _mention("aspirin", 0, "drug", method="ml",
+                         term_id="A")
+        second = _mention("aspirin", 0, "drug", method="ml",
+                          term_id="B")
+        assert _dedup_spans([first, second]) == [first]
+        assert _dedup_spans([second, first]) == [second]
+
+    def test_same_span_different_types_both_kept(self):
+        drug = _mention("aspirin", 0, "drug")
+        gene = _mention("aspirin", 0, "gene")
+        assert sorted(m.entity_type
+                      for m in _dedup_spans([drug, gene])) == [
+            "drug", "gene"]
+
+    def test_output_sorted_by_start(self):
+        late = _mention("TP53", 20, "gene")
+        early = _mention("aspirin", 3, "drug")
+        assert [m.start for m in _dedup_spans([late, early])] == [3, 20]
+
+
+class TestConnectingVerb:
+    def _verb(self, text, a_text, b_text, a_type="drug",
+              b_type="disease"):
+        a = _mention(a_text, text.index(a_text), a_type)
+        b = _mention(b_text, text.index(b_text), b_type)
+        document = _document(text, [a, b])
+        sentence = document.sentences[0]
+        return RelationExtractor._connecting_verb(document, sentence,
+                                                  a, b)
+
+    def test_interaction_verb_between_mentions(self):
+        assert self._verb("Aspirin reduces migraine risk.",
+                          "Aspirin", "migraine") == "reduces"
+
+    def test_no_verb_between_mentions(self):
+        assert self._verb("Aspirin and migraine were studied.",
+                          "Aspirin", "migraine") == ""
+
+    def test_verb_outside_the_between_span_ignored(self):
+        # "reduces" appears only after the second mention.
+        assert self._verb("Aspirin and migraine: the drug reduces "
+                          "nothing here.", "Aspirin", "migraine") == ""
+
+    def test_mention_order_does_not_matter(self):
+        text = "Migraine is treated; aspirin induces relief."
+        disease = _mention("Migraine", 0, "disease")
+        drug = _mention("aspirin", text.index("aspirin"), "drug")
+        document = _document(text, [disease, drug])
+        sentence = document.sentences[0]
+        forward = RelationExtractor._connecting_verb(
+            document, sentence, disease, drug)
+        backward = RelationExtractor._connecting_verb(
+            document, sentence, drug, disease)
+        assert forward == backward == "treated"
+
+
+class TestOrient:
+    def test_symmetric_pair_is_canonically_oriented(self):
+        extractor = RelationExtractor()
+        drug = _mention("aspirin", 0, "drug")
+        disease = _mention("migraine", 10, "disease")
+        assert extractor._orient(drug, disease) == (drug, disease)
+        assert extractor._orient(disease, drug) == (drug, disease)
+
+    def test_unlisted_pair_is_dropped(self):
+        extractor = RelationExtractor()
+        gene_a = _mention("TP53", 0, "gene")
+        gene_b = _mention("BRCA1", 10, "gene")
+        assert extractor._orient(gene_a, gene_b) is None
+
+
+class TestRecordFidelity:
+    def test_offsets_slice_the_source_text(self):
+        text = ("Aspirin reduces migraine severity. "
+                "TP53 does not cause migraine relapse.")
+        mentions = [
+            _mention("Aspirin", 0, "drug", term_id="DRUG:9"),
+            _mention("migraine", text.index("migraine"), "disease"),
+            _mention("TP53", text.index("TP53"), "gene", method="crf"),
+            _mention("migraine relapse",
+                     text.index("migraine relapse"), "disease"),
+        ]
+        document = _document(text, mentions)
+        relations = RelationExtractor().extract(document)
+        assert len(relations) == 2
+        records = relations_to_records(relations,
+                                       url="http://x.example.org/p")
+        for record in records:
+            assert record["url"] == "http://x.example.org/p"
+            assert (text[record["subject_start"]:record["subject_end"]]
+                    == record["subject"])
+            assert (text[record["object_start"]:record["object_end"]]
+                    == record["object"])
+            assert record["confidence"] == round(record["confidence"],
+                                                 3)
+        by_verb = {r["verb"]: r for r in records}
+        reduces = by_verb["reduces"]
+        assert (reduces["subject"], reduces["object"]) == ("Aspirin",
+                                                           "migraine")
+        assert reduces["sentence"] == 0
+        assert reduces["subject_term_id"] == "DRUG:9"
+        assert not reduces["negated"]
+        caused = by_verb["cause"] if "cause" in by_verb else None
+        assert caused is None  # "cause" is not an interaction verb
+        other = next(r for r in records if r is not reduces)
+        assert other["sentence"] == 1
+        assert other["negated"]
+        assert other["subject_method"] == "crf"
+
+    def test_negation_halves_confidence(self):
+        plain_text = "TP53 induces migraine onset."
+        plain = _document(plain_text, [
+            _mention("TP53", 0, "gene"),
+            _mention("migraine", plain_text.index("migraine"),
+                     "disease")])
+        negated_text = "TP53, though not proven, induces migraine onset."
+        negated = _document(negated_text, [
+            _mention("TP53", 0, "gene"),
+            _mention("migraine", negated_text.index("migraine"),
+                     "disease")])
+        extractor = RelationExtractor()
+        plain_rel = extractor.extract(plain)[0]
+        negated_rel = extractor.extract(negated)[0]
+        assert plain_rel.verb == "induces"
+        assert negated_rel.negated and not plain_rel.negated
+        assert negated_rel.confidence < plain_rel.confidence

@@ -1,0 +1,154 @@
+"""Fixtures for the store battery.
+
+Hand-annotated documents over the session vocabulary, with surface
+variants (synonym, upper-case, dash, unlinked) of the same dictionary
+entries spread across distinct URLs — the smallest corpus on which
+alias merging, corroboration counting, and the store's determinism
+guarantees are all observable and checkable by hand.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotations import Document, EntityMention
+from repro.nlp.sentence import split_sentences
+from repro.nlp.tokenize import tokenize
+from repro.store import EntityStore, ingest_documents
+
+
+def annotate(document: Document) -> Document:
+    document.sentences = split_sentences(document.text)
+    for sentence in document.sentences:
+        sentence.tokens = tokenize(sentence.text,
+                                   base_offset=sentence.start)
+    return document
+
+
+def make_document(doc_id: str, url: str, text: str) -> Document:
+    return annotate(Document(doc_id=doc_id, text=text,
+                             meta={"url": url}))
+
+
+def add_mention(document: Document, surface: str, entity_type: str,
+                method: str = "dictionary", term_id: str = "") -> None:
+    start = document.text.index(surface)
+    document.entities.append(EntityMention(
+        text=surface, start=start, end=start + len(surface),
+        entity_type=entity_type, method=method, term_id=term_id))
+
+
+@pytest.fixture(scope="session")
+def store_entries(vocabulary):
+    """One drug, disease, and gene entry, each with a synonym."""
+    drug = next(e for e in vocabulary.drugs if e.synonyms)
+    disease = next(e for e in vocabulary.diseases if e.synonyms)
+    gene = next(e for e in vocabulary.genes if e.synonyms)
+    return drug, disease, gene
+
+
+@pytest.fixture(scope="session")
+def store_documents(store_entries):
+    """Seven annotated documents exercising every merge/corroboration
+    path:
+
+    * ``inhibits`` fact asserted from three documents on two distinct
+      URLs (corroboration counts sources, not assertions), through
+      two different drug surfaces (canonical, synonym) and two disease
+      surfaces (canonical, synonym);
+    * a negated no-verb pair (``associated_with`` + ``negated``);
+    * an out-of-vocabulary surface (canonicalized under a SURF: id).
+    """
+    drug, disease, gene = store_entries
+    documents = []
+
+    doc = make_document(
+        "doc-a", "http://a.example.org/1",
+        f"{drug.canonical} inhibits {disease.canonical} in trials.")
+    add_mention(doc, drug.canonical, "drug", term_id=drug.term_id)
+    add_mention(doc, disease.canonical, "disease",
+                term_id=disease.term_id)
+    documents.append(doc)
+
+    doc = make_document(
+        "doc-b", "http://b.example.org/2",
+        f"Reports say {drug.synonyms[0]} inhibits {disease.canonical}.")
+    add_mention(doc, drug.synonyms[0], "drug", term_id=drug.term_id)
+    # No explicit term id: the store's normalizer must resolve it.
+    add_mention(doc, disease.canonical, "disease", method="ml")
+    documents.append(doc)
+
+    doc = make_document(
+        "doc-c", "http://c.example.org/3",
+        f"{gene.canonical} causes {disease.synonyms[0]} in mice.")
+    add_mention(doc, gene.canonical, "gene", term_id=gene.term_id)
+    add_mention(doc, disease.synonyms[0], "disease",
+                term_id=disease.term_id)
+    documents.append(doc)
+
+    doc = make_document(
+        "doc-d", "http://d.example.org/4",
+        f"{drug.canonical.upper()} treats {disease.canonical} in the "
+        f"clinic.")
+    # Case variant, ML-tagged, no term id: merged via alias folding.
+    add_mention(doc, drug.canonical.upper(), "drug", method="ml")
+    add_mention(doc, disease.canonical, "disease",
+                term_id=disease.term_id)
+    documents.append(doc)
+
+    doc = make_document(
+        "doc-e", "http://e.example.org/5",
+        f"{drug.canonical} was not linked to {gene.canonical} here.")
+    add_mention(doc, drug.canonical, "drug", term_id=drug.term_id)
+    add_mention(doc, gene.canonical, "gene", term_id=gene.term_id)
+    documents.append(doc)
+
+    doc = make_document(
+        "doc-f", "http://f.example.org/6",
+        f"Compound Qzx-17 reduces {disease.canonical} markers.")
+    # Out-of-vocabulary surface: stays under a SURF: canonical id.
+    add_mention(doc, "Qzx-17", "drug", method="ml")
+    add_mention(doc, disease.canonical, "disease",
+                term_id=disease.term_id)
+    documents.append(doc)
+
+    # Same URL as doc-a: bumps support, not corroboration.
+    doc = make_document(
+        "doc-g", "http://a.example.org/1",
+        f"{drug.synonyms[0]} inhibits {disease.synonyms[0]} again.")
+    add_mention(doc, drug.synonyms[0], "drug", term_id=drug.term_id)
+    add_mention(doc, disease.synonyms[0], "disease",
+                term_id=disease.term_id)
+    documents.append(doc)
+
+    return documents
+
+
+@pytest.fixture(scope="session")
+def store_builder(vocabulary, store_documents):
+    """Builds a fresh store from the fixture corpus.
+
+    ``order`` permutes the documents; ``repeats`` re-ingests documents
+    (by index) after the first pass — the idempotence probe.
+    """
+    def build(order=None, repeats=()):
+        documents = (list(store_documents) if order is None
+                     else [store_documents[i] for i in order])
+        store = EntityStore(vocabulary=vocabulary)
+        ingest_documents(store, documents)
+        for index in repeats:
+            ingest_documents(store, [store_documents[index]])
+        return store
+    return build
+
+
+@pytest.fixture(scope="session")
+def reference_store(store_builder):
+    """Read-only canonical store over the fixture corpus.  Tests that
+    ingest must build their own via ``store_builder``."""
+    return store_builder()
+
+
+@pytest.fixture(scope="session")
+def reference_digest(reference_store):
+    return reference_store.digest()

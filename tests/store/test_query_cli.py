@@ -1,0 +1,133 @@
+"""Query layer and ``repro query`` CLI over the reference store.
+
+The library API, the CLI, and the serve op share one
+:class:`~repro.store.query.QueryEngine`; these tests pin the ranking
+contract, the filter semantics, and the CLI's typed-error exit path
+(exit code 2 + one-line stderr, never a traceback).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.store import QueryEngine, format_fact_table
+
+
+@pytest.fixture(scope="module")
+def engine(reference_store):
+    return QueryEngine(reference_store)
+
+
+@pytest.fixture()
+def store_dir(reference_store, tmp_path):
+    reference_store.save(tmp_path)
+    return str(tmp_path)
+
+
+class TestQueryEngine:
+    def test_facts_ranked_by_corroboration(self, engine):
+        facts = engine.facts()
+        ranks = [(f["corroboration"], f["support"], f["confidence"])
+                 for f in facts]
+        assert ranks == sorted(ranks, reverse=True)
+        assert facts[0]["predicate"] == "inhibits"
+
+    def test_alias_filter_reaches_canonical_facts(self, engine,
+                                                  store_entries):
+        drug, _, _ = store_entries
+        # Query by the synonym surface; match facts about the entity.
+        for surface in (drug.synonyms[0], drug.canonical.upper()):
+            facts = engine.facts(alias=surface)
+            assert facts
+            assert all(f["subject_id"] == drug.term_id
+                       or f["object_id"] == drug.term_id
+                       for f in facts)
+
+    def test_entity_filter_accepts_id_and_name(self, engine,
+                                               store_entries):
+        drug, _, _ = store_entries
+        by_id = engine.facts(entity=drug.term_id.lower())
+        by_name = engine.facts(entity=drug.canonical)
+        assert by_id and by_id == by_name
+
+    def test_predicate_and_url_filters(self, engine):
+        inhibits = engine.facts(predicate="inhibits")
+        assert all(f["predicate"] == "inhibits" for f in inhibits)
+        url = "http://e.example.org/5"
+        from_url = engine.facts(url=url)
+        assert from_url
+        assert all(any(p["url"] == url for p in f["provenance"])
+                   for f in from_url)
+
+    def test_limit_truncates_after_ranking(self, engine):
+        all_facts = engine.facts()
+        assert engine.facts(limit=2) == all_facts[:2]
+        assert engine.facts(limit=0) == []
+
+    @pytest.mark.parametrize("bad", [-1, True, "3", 2.5])
+    def test_limit_is_validated(self, engine, bad):
+        with pytest.raises(ValueError, match="limit"):
+            engine.facts(limit=bad)
+
+    def test_entities_listing_restricts_by_alias(self, engine,
+                                                 store_entries):
+        drug, _, _ = store_entries
+        entries = engine.entities(alias=drug.synonyms[0])
+        assert [e["id"] for e in entries] == [drug.term_id]
+        assert len(engine.entities()) > 1
+
+    def test_fact_table_rendering(self, engine):
+        lines = format_fact_table(engine.facts())
+        assert "subject" in lines[0] and "corr" in lines[0]
+        assert any(line.startswith("!") for line in lines[2:])
+        assert format_fact_table([]) == ["no matching facts"]
+
+
+class TestQueryCli:
+    def test_json_output_schema(self, store_dir, capsys):
+        rc = cli.main(["query", store_dir, "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["facts"])
+        fact = payload["facts"][0]
+        for field in ("subject_id", "predicate", "object_id",
+                      "corroboration", "provenance"):
+            assert field in fact
+        assert {"url", "doc_id", "sentence", "subject_span"} <= set(
+            fact["provenance"][0])
+
+    def test_cli_matches_library(self, store_dir, engine, capsys):
+        rc = cli.main(["query", store_dir, "--format", "json",
+                       "--predicate", "inhibits"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["facts"] == json.loads(
+            json.dumps(engine.facts(predicate="inhibits")))
+
+    def test_table_and_entity_listing(self, store_dir, store_entries,
+                                      capsys):
+        drug, _, _ = store_entries
+        assert cli.main(["query", store_dir]) == 0
+        assert "predicate" in capsys.readouterr().out
+        assert cli.main(["query", store_dir, "--entities",
+                         "--alias", drug.synonyms[0]]) == 0
+        assert drug.term_id in capsys.readouterr().out
+
+    def test_missing_store_exits_2_without_traceback(self, tmp_path,
+                                                     capsys):
+        rc = cli.main(["query", str(tmp_path / "missing")])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.err.startswith("error:")
+        assert "--store" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_invalid_limit_exits_2(self, store_dir, capsys):
+        rc = cli.main(["query", store_dir, "--limit", "-3"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "limit" in captured.err
+        assert "Traceback" not in captured.err

@@ -1,0 +1,260 @@
+"""Property battery for the entity store.
+
+The store claims its determinism *structurally* (sets of observation
+tuples, order-free aggregation at snapshot time).  These tests check
+the claim from the outside: any ingest order, any duplication, any
+split into increments, and any save/load/save round trip must produce
+byte-identical canonical exports — plus the typed-error discipline of
+the persistence layer (missing / truncated / malformed / newer
+version each gets its own :class:`StoreError` flavor, never a stray
+traceback).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.store import (
+    FORMAT_VERSION, EntityStore, StoreError, StoreNotFoundError,
+    StoreVersionError, alias_key,
+)
+
+N_DOCS = 7  # size of the conftest corpus
+
+ORDERS = st.permutations(list(range(N_DOCS)))
+PROPERTY_SETTINGS = settings(max_examples=15, deadline=None)
+
+
+class TestIngestOrderIndependence:
+    @PROPERTY_SETTINGS
+    @given(order=ORDERS)
+    def test_digest_is_ingest_order_independent(
+            self, store_builder, reference_digest, order):
+        assert store_builder(order=order).digest() == reference_digest
+
+    @PROPERTY_SETTINGS
+    @given(order=ORDERS)
+    def test_canonical_entities_are_order_independent(
+            self, store_builder, reference_store, order):
+        permuted = store_builder(order=order).snapshot()
+        reference = reference_store.snapshot()
+        assert permuted.entities == reference.entities
+        assert permuted.n_alias_merges == reference.n_alias_merges
+
+    @PROPERTY_SETTINGS
+    @given(order=ORDERS)
+    def test_fact_aggregates_are_order_independent(
+            self, store_builder, reference_store, order):
+        permuted = store_builder(order=order).snapshot()
+        reference = reference_store.snapshot()
+        assert permuted.facts == reference.facts
+
+    @PROPERTY_SETTINGS
+    @given(order=ORDERS)
+    def test_persisted_bytes_are_order_independent(
+            self, store_builder, reference_store, tmp_path_factory,
+            order):
+        directory = tmp_path_factory.mktemp("perm")
+        reference_bytes = reference_store.save(
+            directory / "ref.json").read_bytes()
+        saved = store_builder(order=order).save(directory / "perm.json")
+        assert saved.read_bytes() == reference_bytes
+
+
+class TestIdempotence:
+    @PROPERTY_SETTINGS
+    @given(repeats=st.lists(st.integers(0, N_DOCS - 1), max_size=8))
+    def test_reingesting_documents_is_a_noop(
+            self, store_builder, reference_store, reference_digest,
+            repeats):
+        store = store_builder(repeats=repeats)
+        assert store.digest() == reference_digest
+        snapshot = store.snapshot()
+        reference = reference_store.snapshot()
+        assert snapshot.n_mentions == reference.n_mentions
+        assert snapshot.n_assertions == reference.n_assertions
+        assert snapshot.n_links == reference.n_links
+
+    @PROPERTY_SETTINGS
+    @given(split=st.integers(0, N_DOCS))
+    def test_incremental_ingest_equals_batch(
+            self, vocabulary, store_documents, reference_digest, split):
+        from repro.store import ingest_documents
+
+        store = EntityStore(vocabulary=vocabulary)
+        ingest_documents(store, store_documents[:split])
+        store.snapshot()  # force (and then invalidate) the cache
+        ingest_documents(store, store_documents[split:])
+        assert store.digest() == reference_digest
+
+
+class TestPersistenceRoundTrip:
+    def test_save_load_save_is_byte_identical(
+            self, reference_store, vocabulary, tmp_path):
+        first = reference_store.save(tmp_path / "store")
+        assert first == tmp_path / "store" / "store.json"
+        loaded = EntityStore.load(tmp_path / "store",
+                                  vocabulary=vocabulary)
+        second = loaded.save(tmp_path / "again.json")
+        assert second.read_bytes() == first.read_bytes()
+        assert loaded.digest() == reference_store.digest()
+
+    def test_load_without_vocabulary_aggregates_identically(
+            self, reference_store, tmp_path):
+        """Links are resolved at ingest time and persisted, so the
+        normalizer is not needed to reproduce the aggregation."""
+        reference_store.save(tmp_path)
+        loaded = EntityStore.load(tmp_path)
+        assert loaded.digest() == reference_store.digest()
+        assert (loaded.snapshot().entities
+                == reference_store.snapshot().entities)
+
+    def test_export_writes_canonical_jsonl(self, reference_store,
+                                           tmp_path):
+        paths = reference_store.export(tmp_path / "export")
+        assert sorted(paths) == ["entities", "facts"]
+        for path in paths.values():
+            lines = path.read_text().splitlines()
+            assert lines
+            for line in lines:
+                record = json.loads(line)
+                assert line == json.dumps(record, sort_keys=True)
+
+
+class TestTypedErrors:
+    def test_missing_store_raises_not_found(self, tmp_path):
+        with pytest.raises(StoreNotFoundError, match="--store"):
+            EntityStore.load(tmp_path / "nowhere")
+
+    def test_truncated_store_is_a_store_error(self, reference_store,
+                                              tmp_path):
+        target = reference_store.save(tmp_path)
+        target.write_bytes(target.read_bytes()[:-40])
+        with pytest.raises(StoreError, match="truncated or not JSON"):
+            EntityStore.load(tmp_path)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        (tmp_path / "store.json").write_text("[1, 2, 3]")
+        with pytest.raises(StoreError, match="not a JSON object"):
+            EntityStore.load(tmp_path)
+
+    def test_malformed_records_rejected(self, tmp_path):
+        payload = {"version": FORMAT_VERSION, "kind": "entity-store",
+                   "mentions": [{"bogus": 1}], "assertions": [],
+                   "links": []}
+        (tmp_path / "store.json").write_text(json.dumps(payload))
+        with pytest.raises(StoreError, match="malformed"):
+            EntityStore.load(tmp_path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        for version in (0, "2", None):
+            (tmp_path / "store.json").write_text(
+                json.dumps({"version": version}))
+            with pytest.raises(StoreError, match="unsupported"):
+                EntityStore.load(tmp_path)
+
+    def test_newer_version_refused_not_parsed(self, reference_store,
+                                              tmp_path):
+        """Refusing to downgrade is a deliberate, explained decision —
+        the checkpoint discipline — not a KeyError from missing
+        fields."""
+        target = reference_store.save(tmp_path)
+        payload = json.loads(target.read_text())
+        payload["version"] = FORMAT_VERSION + 1
+        target.write_text(json.dumps(payload))
+        with pytest.raises(StoreVersionError) as excinfo:
+            EntityStore.load(tmp_path)
+        message = str(excinfo.value)
+        assert "refusing" in message
+        assert "newer build" in message
+        assert isinstance(excinfo.value, StoreError)
+
+    def test_store_errors_are_value_errors(self):
+        # The CLI catches ValueError-compatible errors into exit code 2.
+        assert issubclass(StoreNotFoundError, StoreError)
+        assert issubclass(StoreVersionError, StoreError)
+        assert issubclass(StoreError, ValueError)
+
+
+class TestAliasFolding:
+    @pytest.mark.parametrize("variant", [
+        "Foo-Bar syndrome", "foo bar  SYNDROME", "FOO-BAR-SYNDROME",
+        "  foo   bar syndrome  ",
+    ])
+    def test_equivalent_surfaces_share_one_key(self, variant):
+        assert alias_key(variant) == "foo bar syndrome"
+
+    def test_distinct_surfaces_keep_distinct_keys(self):
+        assert alias_key("foobar") != alias_key("foo bar")
+
+
+class TestReferenceCorpusShape:
+    """Pins the hand-checkable semantics of the fixture corpus."""
+
+    def test_alias_variants_merge_onto_vocabulary_ids(
+            self, reference_store, store_entries):
+        drug, disease, gene = store_entries
+        entities = {e["id"]: e
+                    for e in reference_store.snapshot().entities}
+        assert drug.canonical in entities[drug.term_id]["aliases"]
+        assert drug.synonyms[0] in entities[drug.term_id]["aliases"]
+        assert (drug.canonical.upper()
+                in entities[drug.term_id]["aliases"])
+        assert disease.synonyms[0] in entities[disease.term_id]["aliases"]
+        assert "Qzx-17" in entities["SURF:DRUG:qzx 17"]["aliases"]
+
+    def test_corroboration_counts_sources_not_assertions(
+            self, reference_store, store_entries):
+        drug, disease, _ = store_entries
+        fact = next(f for f in reference_store.snapshot().facts
+                    if f["predicate"] == "inhibits")
+        assert fact["subject_id"] == drug.term_id
+        assert fact["object_id"] == disease.term_id
+        assert fact["support"] == 3        # three assertions...
+        assert fact["documents"] == 3      # ...in three documents...
+        assert fact["corroboration"] == 2  # ...but only two URLs.
+
+    def test_negated_pair_kept_distinct(self, reference_store):
+        negated = [f for f in reference_store.snapshot().facts
+                   if f["negated"]]
+        assert len(negated) == 1
+        assert negated[0]["predicate"] == "associated_with"
+        assert negated[0]["corroboration"] == 1
+
+    def test_provenance_offsets_slice_source_text(
+            self, reference_store, store_documents):
+        texts = {d.doc_id: d.text for d in store_documents}
+        for fact in reference_store.snapshot().facts:
+            for entry in fact["provenance"]:
+                text = texts[entry["doc_id"]]
+                start, end = entry["subject_span"]
+                assert text[start:end] == entry["subject"]
+                start, end = entry["object_span"]
+                assert text[start:end] == entry["object"]
+
+
+class TestStoreMetrics:
+    def test_metrics_deterministic_across_ingest_orders(
+            self, store_builder):
+        exports = []
+        for order in (None, list(reversed(range(N_DOCS)))):
+            store = store_builder(order=order)
+            registry = MetricsRegistry()
+            store.publish_metrics(registry)
+            exports.append(registry.to_dict())
+        assert exports[0] == exports[1]
+
+    def test_metrics_mirror_snapshot_counts(self, reference_store):
+        registry = MetricsRegistry()
+        reference_store.publish_metrics(registry)
+        snapshot = reference_store.snapshot()
+        values = {entry["name"]: entry["value"]
+                  for entry in registry.to_dict()["metrics"]}
+        assert values["store.facts"] == snapshot.n_facts
+        assert values["store.entities"] == snapshot.n_entities
+        assert values["store.alias_merges"] > 0
+        assert values["store.corroborated_facts"] >= 1
